@@ -1,0 +1,578 @@
+//! Mycroft–O'Keefe-style polymorphic type checker (the paper's baseline).
+//!
+//! Jacobs positions his system as "a prescriptive type system for logic
+//! programs, along the lines of \[MO84\]" — Mycroft & O'Keefe, *A polymorphic
+//! type system for Prolog* (Artificial Intelligence 23, 1984) — "that
+//! supports parametric polymorphism **and subtypes**". This crate implements
+//! the \[MO84\] side of that comparison:
+//!
+//! * every function symbol has one declared signature
+//!   `f : τ₁ × … × τₙ → τ₀` (datatype-style, no subtyping, no overloading);
+//! * every predicate has a declared type `p(τ₁, …, τₙ)`;
+//! * a clause is well-typed iff the types of all argument terms *unify* with
+//!   the declared positions — head predicate-type variables stay generic
+//!   (rigid), body atoms may instantiate fresh copies (flexible), mirroring
+//!   the head/body asymmetry of Definition 16 in Jacobs' paper.
+//!
+//! [`FuncSigTable::from_constraints`] converts the subtype-free fragment of
+//! a Jacobs constraint set into \[MO84\] signatures (`list(A) >= nil` becomes
+//! `nil : list(A)`), and reports exactly which declarations fall outside the
+//! fragment — quantifying the expressiveness gap (experiment F3's baseline
+//! and the `knowledge_base` example).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use lp_engine::Clause;
+use lp_term::{Signature, Subst, Sym, SymKind, Term, Var, VarGen};
+use subtype_core::ConstraintSet;
+
+/// An \[MO84\] function signature `f : args → result`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncSig {
+    /// Argument types (over type constructors and type variables).
+    pub args: Vec<Term>,
+    /// Result type.
+    pub result: Term,
+}
+
+/// Errors from the converter and checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mo84Error {
+    /// A declaration uses subtyping and cannot be expressed in \[MO84\].
+    NotRepresentable {
+        /// Which constraint, and why.
+        detail: String,
+    },
+    /// A function symbol was given two different signatures (overloading).
+    Overloaded {
+        /// The function symbol's name.
+        func: String,
+    },
+    /// A function symbol with no signature was used in a checked clause.
+    MissingFuncSig {
+        /// The function symbol's name.
+        func: String,
+    },
+    /// A predicate with no declared type was used in a checked clause.
+    MissingPredType {
+        /// The predicate's name.
+        pred: String,
+    },
+    /// An atom failed to type-check.
+    IllTyped {
+        /// Index of the atom (0 = head).
+        atom: usize,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Mo84Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mo84Error::NotRepresentable { detail } => {
+                write!(f, "not representable in MO84: {detail}")
+            }
+            Mo84Error::Overloaded { func } => write!(
+                f,
+                "function symbol `{func}` would need two signatures (MO84 forbids overloading)"
+            ),
+            Mo84Error::MissingFuncSig { func } => {
+                write!(f, "function symbol `{func}` has no MO84 signature")
+            }
+            Mo84Error::MissingPredType { pred } => {
+                write!(f, "predicate `{pred}` has no declared type")
+            }
+            Mo84Error::IllTyped { atom, detail } => {
+                write!(f, "atom #{atom} is ill-typed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Mo84Error {}
+
+/// The table of \[MO84\] function signatures.
+#[derive(Debug, Clone, Default)]
+pub struct FuncSigTable {
+    sigs: HashMap<Sym, FuncSig>,
+}
+
+impl FuncSigTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `f : args → result`.
+    ///
+    /// # Errors
+    ///
+    /// [`Mo84Error::Overloaded`] if `f` already has a different signature.
+    pub fn insert(
+        &mut self,
+        sig: &Signature,
+        f: Sym,
+        func_sig: FuncSig,
+    ) -> Result<(), Mo84Error> {
+        match self.sigs.get(&f) {
+            Some(prev) if *prev != func_sig => Err(Mo84Error::Overloaded {
+                func: sig.name(f).to_string(),
+            }),
+            _ => {
+                self.sigs.insert(f, func_sig);
+                Ok(())
+            }
+        }
+    }
+
+    /// The signature of `f`, if declared.
+    pub fn get(&self, f: Sym) -> Option<&FuncSig> {
+        self.sigs.get(&f)
+    }
+
+    /// Number of declared signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Converts the subtype-free fragment of a Jacobs constraint set.
+    ///
+    /// A constraint `c(α…) >= rhs` converts when every `+`-operand of `rhs`
+    /// is a *function application* `f(τ…)`, yielding `f : τ… → c(α…)`.
+    /// Operands that are bare type constructors or variables are genuine
+    /// subtyping and fail the conversion.
+    ///
+    /// # Errors
+    ///
+    /// [`Mo84Error::NotRepresentable`] or [`Mo84Error::Overloaded`] naming
+    /// the offending declaration.
+    pub fn from_constraints(sig: &Signature, set: &ConstraintSet) -> Result<Self, Mo84Error> {
+        let union = sig.lookup("+");
+        let mut table = FuncSigTable::new();
+        for c in set.constraints() {
+            // Skip the predefined union's own constraints: they are the
+            // subtyping machinery itself, not data declarations.
+            if Some(c.ctor()) == union {
+                continue;
+            }
+            let mut operands = Vec::new();
+            flatten_union(union, &c.rhs, &mut operands);
+            for op in operands {
+                match op.functor() {
+                    Some(f) if sig.kind(f) == SymKind::Func => {
+                        table.insert(
+                            sig,
+                            f,
+                            FuncSig {
+                                args: op.args().to_vec(),
+                                result: c.lhs.clone(),
+                            },
+                        )?;
+                    }
+                    _ => {
+                        return Err(Mo84Error::NotRepresentable {
+                            detail: format!(
+                                "constraint for `{}` has a non-constructor alternative \
+                                 (a subtype relation between type constructors)",
+                                sig.name(c.ctor())
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(table)
+    }
+}
+
+fn flatten_union<'t>(union: Option<Sym>, ty: &'t Term, out: &mut Vec<&'t Term>) {
+    match ty {
+        Term::App(s, args) if Some(*s) == union && args.len() == 2 => {
+            flatten_union(union, &args[0], out);
+            flatten_union(union, &args[1], out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// The \[MO84\] checker.
+#[derive(Debug, Clone, Copy)]
+pub struct Mo84Checker<'a> {
+    sig: &'a Signature,
+    funcs: &'a FuncSigTable,
+    preds: &'a subtype_core::PredTypeTable,
+}
+
+/// Typing state threaded across one clause.
+#[derive(Debug, Clone, Default)]
+struct State {
+    bindings: Subst,
+    var_types: HashMap<Var, Term>,
+    flexible: BTreeSet<Var>,
+    gen: VarGen,
+}
+
+impl State {
+    fn fresh(&mut self, flexible: bool) -> Var {
+        let v = self.gen.fresh();
+        if flexible {
+            self.flexible.insert(v);
+        }
+        v
+    }
+}
+
+impl<'a> Mo84Checker<'a> {
+    /// Creates a checker from function signatures and predicate types.
+    pub fn new(
+        sig: &'a Signature,
+        funcs: &'a FuncSigTable,
+        preds: &'a subtype_core::PredTypeTable,
+    ) -> Self {
+        Mo84Checker { sig, funcs, preds }
+    }
+
+    /// Checks a program clause.
+    ///
+    /// # Errors
+    ///
+    /// An [`Mo84Error`] naming the offending atom.
+    pub fn check_clause(&self, clause: &Clause) -> Result<(), Mo84Error> {
+        let atoms: Vec<&Term> = clause.atoms().collect();
+        self.check_atoms(&atoms, true)
+    }
+
+    /// Checks a query.
+    ///
+    /// # Errors
+    ///
+    /// An [`Mo84Error`] naming the offending goal.
+    pub fn check_query(&self, goals: &[Term]) -> Result<(), Mo84Error> {
+        let atoms: Vec<&Term> = goals.iter().collect();
+        self.check_atoms(&atoms, false)
+    }
+
+    /// Checks every clause, collecting all errors.
+    ///
+    /// # Errors
+    ///
+    /// One `(clause index, error)` pair per ill-typed clause.
+    pub fn check_program<'c>(
+        &self,
+        clauses: impl IntoIterator<Item = &'c Clause>,
+    ) -> Result<(), Vec<(usize, Mo84Error)>> {
+        let mut errors = Vec::new();
+        for (i, c) in clauses.into_iter().enumerate() {
+            if let Err(e) = self.check_clause(c) {
+                errors.push((i, e));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    fn check_atoms(&self, atoms: &[&Term], rigid_head: bool) -> Result<(), Mo84Error> {
+        let mut watermark = 0;
+        for a in atoms {
+            for v in a.vars() {
+                watermark = watermark.max(v.0 + 1);
+            }
+        }
+        for (_, t) in self.preds.iter() {
+            for v in t.vars() {
+                watermark = watermark.max(v.0 + 1);
+            }
+        }
+        let mut state = State {
+            gen: VarGen::starting_at(watermark),
+            ..State::default()
+        };
+        for (index, atom) in atoms.iter().enumerate() {
+            let p = atom.functor().expect("atoms are applications");
+            let declared = self
+                .preds
+                .get(p)
+                .ok_or_else(|| Mo84Error::MissingPredType {
+                    pred: self.sig.name(p).to_string(),
+                })?;
+            let rigid = rigid_head && index == 0;
+            let expected = self.rename(declared, &mut state, !rigid);
+            for (tau, term) in expected.args().iter().zip(atom.args()) {
+                let actual = self.infer(term, &mut state, index)?;
+                self.unify_types(&mut state, tau, &actual).map_err(|()| {
+                    Mo84Error::IllTyped {
+                        atom: index,
+                        detail: format!(
+                            "argument type mismatch for `{}`",
+                            self.sig.name(p)
+                        ),
+                    }
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Infers the type of a program term.
+    fn infer(&self, t: &Term, state: &mut State, atom: usize) -> Result<Term, Mo84Error> {
+        match t {
+            Term::Var(x) => match state.var_types.get(x) {
+                Some(ty) => Ok(ty.clone()),
+                None => {
+                    let ty = Term::Var(state.fresh(true));
+                    state.var_types.insert(*x, ty.clone());
+                    Ok(ty)
+                }
+            },
+            Term::App(f, args) => {
+                let fs = self
+                    .funcs
+                    .get(*f)
+                    .ok_or_else(|| Mo84Error::MissingFuncSig {
+                        func: self.sig.name(*f).to_string(),
+                    })?
+                    .clone();
+                // Fresh instance of the signature (parametric polymorphism).
+                let mut map = HashMap::new();
+                let mut inst = |ty: &Term, state: &mut State| {
+                    ty.map_vars(&mut |v| {
+                        Term::Var(*map.entry(v).or_insert_with(|| state.fresh(true)))
+                    })
+                };
+                let expected: Vec<Term> = fs.args.iter().map(|a| inst(a, state)).collect();
+                let result = inst(&fs.result, state);
+                for (tau, arg) in expected.iter().zip(args) {
+                    let actual = self.infer(arg, state, atom)?;
+                    self.unify_types(state, tau, &actual)
+                        .map_err(|()| Mo84Error::IllTyped {
+                            atom,
+                            detail: format!(
+                                "argument of `{}` has the wrong type",
+                                self.sig.name(*f)
+                            ),
+                        })?;
+                }
+                Ok(result)
+            }
+        }
+    }
+
+    /// Unification over type terms; only flexible variables may bind.
+    fn unify_types(&self, state: &mut State, a: &Term, b: &Term) -> Result<(), ()> {
+        let a = state.bindings.walk(a).clone();
+        let b = state.bindings.walk(b).clone();
+        match (&a, &b) {
+            (Term::Var(x), Term::Var(y)) if x == y => Ok(()),
+            (Term::Var(x), other) if state.flexible.contains(x) => {
+                if occurs(&state.bindings, *x, other) {
+                    return Err(());
+                }
+                state.bindings.bind(*x, other.clone());
+                Ok(())
+            }
+            (other, Term::Var(x)) if state.flexible.contains(x) => {
+                if occurs(&state.bindings, *x, other) {
+                    return Err(());
+                }
+                state.bindings.bind(*x, other.clone());
+                Ok(())
+            }
+            (Term::Var(_), _) | (_, Term::Var(_)) => Err(()),
+            (Term::App(f, fa), Term::App(g, ga)) => {
+                if f != g || fa.len() != ga.len() {
+                    return Err(());
+                }
+                for (x, y) in fa.iter().zip(ga) {
+                    self.unify_types(state, x, y)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Renames a predicate type apart, rigid or flexible.
+    fn rename(&self, ty: &Term, state: &mut State, flexible: bool) -> Term {
+        let mut map = HashMap::new();
+        ty.map_vars(&mut |v| {
+            Term::Var(*map.entry(v).or_insert_with(|| state.fresh(flexible)))
+        })
+    }
+}
+
+fn occurs(bindings: &Subst, v: Var, t: &Term) -> bool {
+    match bindings.walk(t) {
+        Term::Var(w) => *w == v,
+        Term::App(_, args) => args.iter().any(|a| occurs(bindings, v, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_parser::parse_module;
+    use subtype_core::PredTypeTable;
+
+    /// Pure MO84-style list declarations: no subtype relations between
+    /// constructors, constructors declared directly into list(A).
+    const MO84_LISTS: &str = "
+        FUNC nil, cons.
+        TYPE list.
+        list(A) >= nil.
+        list(A) >= cons(A, list(A)).
+        PRED app(list(A), list(A), list(A)).
+        app(nil, L, L).
+        app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+    ";
+
+    fn setup(src: &str) -> (lp_parser::Module, FuncSigTable, PredTypeTable) {
+        let m = parse_module(src).expect("fixture parses");
+        let cs = ConstraintSet::from_module(&m).unwrap();
+        let funcs = FuncSigTable::from_constraints(&m.sig, &cs).expect("convertible");
+        let preds = PredTypeTable::from_module(&m).unwrap();
+        (m, funcs, preds)
+    }
+
+    #[test]
+    fn converts_datatype_style_declarations() {
+        let (m, funcs, _) = setup(MO84_LISTS);
+        let nil = m.sig.lookup("nil").unwrap();
+        let cons = m.sig.lookup("cons").unwrap();
+        assert_eq!(funcs.get(nil).unwrap().args.len(), 0);
+        assert_eq!(funcs.get(cons).unwrap().args.len(), 2);
+        assert_eq!(funcs.len(), 2);
+    }
+
+    #[test]
+    fn append_is_well_typed_in_mo84() {
+        let (m, funcs, preds) = setup(MO84_LISTS);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        checker.check_program(clauses.iter()).expect("well-typed");
+    }
+
+    #[test]
+    fn heterogeneous_list_is_rejected() {
+        let src = format!(
+            "{MO84_LISTS}
+             FUNC 0.
+             TYPE nat.
+             nat >= 0.
+             :- app(cons(0, nil), cons(nil, nil), Z).
+            "
+        );
+        let (m, funcs, preds) = setup(&src);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        let err = checker.check_query(&m.queries[0].goals).unwrap_err();
+        assert!(matches!(err, Mo84Error::IllTyped { .. }));
+    }
+
+    #[test]
+    fn head_stays_generic() {
+        // p(list(A)) cannot be defined at a specific instance, matching
+        // Jacobs' §5 example (and MO84's genericity condition).
+        let src = format!(
+            "{MO84_LISTS}
+             PRED p(list(A)).
+             p(cons(nil, nil)).
+            "
+        );
+        let (m, funcs, preds) = setup(&src);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        let err = checker.check_clause(&m.clauses[2].clause).unwrap_err();
+        assert!(matches!(err, Mo84Error::IllTyped { atom: 0, .. }));
+    }
+
+    #[test]
+    fn body_may_instantiate() {
+        let src = format!(
+            "{MO84_LISTS}
+             PRED p(list(A)).
+             PRED q(list(list(A))).
+             q(X) :- p(X).
+            "
+        );
+        let (m, funcs, preds) = setup(&src);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        checker
+            .check_clause(&m.clauses[2].clause)
+            .expect("body commits p's A to list(A')");
+    }
+
+    #[test]
+    fn subtype_declarations_are_not_representable() {
+        // The paper's nat/unnat/int world: 0 would be overloaded and
+        // int >= nat + unnat is constructor-to-constructor subtyping.
+        let src = "
+            FUNC 0, succ, pred.
+            TYPE nat, unnat, int.
+            nat >= 0 + succ(nat).
+            unnat >= 0 + pred(unnat).
+            int >= nat + unnat.
+        ";
+        let m = parse_module(src).unwrap();
+        let cs = ConstraintSet::from_module(&m).unwrap();
+        let err = FuncSigTable::from_constraints(&m.sig, &cs).unwrap_err();
+        // Either failure mode is a faithful report of the expressiveness gap.
+        assert!(matches!(
+            err,
+            Mo84Error::Overloaded { .. } | Mo84Error::NotRepresentable { .. }
+        ));
+    }
+
+    #[test]
+    fn elist_nelist_list_is_not_representable() {
+        // list(A) >= elist + nelist(A) relates type constructors.
+        let src = "
+            FUNC nil, cons.
+            TYPE elist, nelist, list.
+            elist >= nil.
+            nelist(A) >= cons(A, list(A)).
+            list(A) >= elist + nelist(A).
+        ";
+        let m = parse_module(src).unwrap();
+        let cs = ConstraintSet::from_module(&m).unwrap();
+        let err = FuncSigTable::from_constraints(&m.sig, &cs).unwrap_err();
+        assert!(matches!(err, Mo84Error::NotRepresentable { .. }));
+    }
+
+    #[test]
+    fn missing_signature_reported() {
+        let src = format!(
+            "{MO84_LISTS}
+             FUNC ghost.
+             :- app(cons(ghost, nil), nil, Z).
+            "
+        );
+        let (m, funcs, preds) = setup(&src);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        let err = checker.check_query(&m.queries[0].goals).unwrap_err();
+        assert!(matches!(err, Mo84Error::MissingFuncSig { .. }));
+    }
+
+    #[test]
+    fn query_variables_are_flexible() {
+        let src = format!(
+            "{MO84_LISTS}
+             PRED p(list(A)).
+             PRED q(list(list(B))).
+             :- p(X), q(X).
+            "
+        );
+        let (m, funcs, preds) = setup(&src);
+        let checker = Mo84Checker::new(&m.sig, &funcs, &preds);
+        checker.check_query(&m.queries[0].goals).expect("accepted");
+    }
+}

@@ -1,0 +1,133 @@
+//! Ablation — design choices called out in DESIGN.md:
+//!
+//! * the deterministic prover's variable-enumeration budget (the extension
+//!   beyond the paper's §3 strategy): cost of completeness on
+//!   heterogeneous-membership queries, and the non-cost on ground queries;
+//! * the checker's deferred lower-bound solving vs its price on programs
+//!   that never need it (plain pipelines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_gen::programs;
+use lp_term::{Term, Var};
+use subtype_core::{Checker, Prover, ProverConfig};
+
+fn bench_var_budget_on_heterogeneous_membership(c: &mut Criterion) {
+    // cons(0, cons(pred(0), nil)) ∈ list(A): needs A = unnat/int, found
+    // only through enumeration. Budget 0 is fast but inconclusive.
+    let w = bench::workload(programs::LIST_DECLS);
+    let sig = &w.module.sig;
+    let list = sig.lookup("list").unwrap();
+    let cons = sig.lookup("cons").unwrap();
+    let nil = sig.lookup("nil").unwrap();
+    let zero = sig.lookup("0").unwrap();
+    let pred = sig.lookup("pred").unwrap();
+    let t = Term::app(
+        cons,
+        vec![
+            Term::constant(zero),
+            Term::app(
+                cons,
+                vec![
+                    Term::app(pred, vec![Term::constant(zero)]),
+                    Term::constant(nil),
+                ],
+            ),
+        ],
+    );
+    let ty = Term::app(list, vec![Term::Var(Var(900_000))]);
+    let mut group = c.benchmark_group("ablation_var_budget_heterogeneous");
+    for &budget in &[0u32, 2, 4, 16] {
+        let prover = Prover::with_config(
+            sig,
+            &w.checked,
+            ProverConfig {
+                var_expansion_budget: budget,
+                ..ProverConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| {
+                let proof = prover.subtype(std::hint::black_box(&ty), &t);
+                if budget == 0 {
+                    assert!(proof.is_unknown());
+                } else {
+                    assert!(proof.is_proved());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_var_budget_on_ground_queries(c: &mut Criterion) {
+    // Ground queries never enumerate: the budget must be free here.
+    let w = bench::workload(programs::LIST_DECLS);
+    let sig = &w.module.sig;
+    let list = sig.lookup("list").unwrap();
+    let int = sig.lookup("int").unwrap();
+    let ty = Term::app(list, vec![Term::constant(int)]);
+    let t = bench::int_list(&w.module, 32);
+    let mut group = c.benchmark_group("ablation_var_budget_ground");
+    for &budget in &[0u32, 16] {
+        let prover = Prover::with_config(
+            sig,
+            &w.checked,
+            ProverConfig {
+                var_expansion_budget: budget,
+                ..ProverConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, _| {
+            b.iter(|| {
+                assert!(prover.member(std::hint::black_box(&ty), &t).is_proved());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deferred_bounds_non_cost(c: &mut Criterion) {
+    // Pipelines never defer (all agreement is by unification): the
+    // finalize pass must be near-free on them. Compare against the
+    // fact-base family, whose every query atom defers one bound per fact.
+    let mut group = c.benchmark_group("ablation_deferred_bounds");
+    let pipeline = bench::workload(&programs::pipeline(16, 2));
+    let clauses: Vec<_> = pipeline
+        .module
+        .clauses
+        .iter()
+        .map(|c| c.clause.clone())
+        .collect();
+    group.bench_function("pipeline16_no_deferral", |b| {
+        let checker = Checker::new(&pipeline.module.sig, &pipeline.checked, &pipeline.preds);
+        b.iter(|| {
+            checker
+                .check_program(std::hint::black_box(&clauses).iter())
+                .expect("well-typed");
+        });
+    });
+    let facts = bench::workload(&programs::fact_base(48));
+    let fclauses: Vec<_> = facts
+        .module
+        .clauses
+        .iter()
+        .map(|c| c.clause.clone())
+        .collect();
+    group.bench_function("factbase48_with_ground_facts", |b| {
+        let checker = Checker::new(&facts.module.sig, &facts.checked, &facts.preds);
+        b.iter(|| {
+            checker
+                .check_program(std::hint::black_box(&fclauses).iter())
+                .expect("well-typed");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_var_budget_on_heterogeneous_membership,
+    bench_var_budget_on_ground_queries,
+    bench_deferred_bounds_non_cost
+);
+criterion_main!(ablation);

@@ -1,0 +1,88 @@
+//! F5 — static analysis cost: uniformity check, dependence graph +
+//! guardedness, and `H_C` construction, vs constraint-set size.
+//!
+//! Expected shape: uniformity linear in total constraint size; guardedness
+//! linear in edges (the generated dependence DAGs are sparse); `H_C`
+//! construction linear in constraints + symbols.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_gen::worlds;
+use subtype_core::{analysis, DependenceGraph, HornTheory};
+
+fn world_of_size(n_ctors: usize) -> lp_gen::BuiltWorld {
+    worlds::random(
+        n_ctors as u64,
+        worlds::RandomWorldConfig {
+            n_ctors,
+            n_funcs: 6,
+            max_arity: 2,
+            constraints_per_ctor: 3,
+        },
+    )
+}
+
+fn bench_uniformity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_uniformity");
+    for &n in bench::F5_CTORS {
+        let world = world_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                analysis::check_uniform(&world.sig, std::hint::black_box(&world.cs)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_guardedness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_guardedness");
+    for &n in bench::F5_CTORS {
+        let world = world_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let g = DependenceGraph::build(&world.sig, std::hint::black_box(&world.cs));
+                g.check_guarded(&world.sig).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_horn_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f5_horn_theory");
+    for &n in bench::F5_CTORS {
+        let world = world_of_size(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let theory = HornTheory::build(&world.sig, std::hint::black_box(&world.cs));
+                assert!(theory.database().len() > n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_guardedness_worst_case(c: &mut Criterion) {
+    // Long dependence chains are the worst case for the transitive-closure
+    // cycle check.
+    let mut group = c.benchmark_group("f5_guardedness_chain");
+    for &d in &[16usize, 64, 256] {
+        let world = worlds::chain(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let g = DependenceGraph::build(&world.sig, std::hint::black_box(&world.cs));
+                g.check_guarded(&world.sig).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    f5,
+    bench_uniformity,
+    bench_guardedness,
+    bench_horn_construction,
+    bench_chain_guardedness_worst_case
+);
+criterion_main!(f5);

@@ -1,0 +1,103 @@
+//! F3 — whole-program checking throughput: the Jacobs checker vs the MO84
+//! baseline, on the shared MO84-expressible pipeline family.
+//!
+//! Expected shape: both linear in program size; MO84 faster by a constant
+//! factor (no constraint-expansion search), while only the Jacobs checker
+//! accepts the subtype-using program families at all (the expressiveness
+//! side is measured by the `report` binary, which also runs the Jacobs
+//! checker on a subtype-rich variant MO84 cannot even express).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lp_baseline::{FuncSigTable, Mo84Checker};
+use lp_gen::programs;
+use subtype_core::Checker;
+
+fn bench_jacobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_check_jacobs");
+    for &n in bench::F3_SIZES {
+        let src = programs::pipeline(n, 2);
+        let w = bench::workload(&src);
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        group.throughput(Throughput::Elements(clauses.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+            b.iter(|| {
+                checker
+                    .check_program(std::hint::black_box(&clauses).iter())
+                    .expect("well-typed");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mo84(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_check_mo84");
+    for &n in bench::F3_SIZES {
+        let src = programs::pipeline(n, 2);
+        let w = bench::workload(&src);
+        let funcs = FuncSigTable::from_constraints(&w.module.sig, &w.raw)
+            .expect("pipeline is MO84-expressible");
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        group.throughput(Throughput::Elements(clauses.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let checker = Mo84Checker::new(&w.module.sig, &funcs, &w.preds);
+            b.iter(|| {
+                checker
+                    .check_program(std::hint::black_box(&clauses).iter())
+                    .expect("well-typed");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobs_subtype_rich(c: &mut Criterion) {
+    // The same sizes but over the full subtype declarations (nat/unnat/int
+    // with heterogeneous facts) — the fragment MO84 rejects outright.
+    let mut group = c.benchmark_group("f3_check_jacobs_subtype_rich");
+    for &n in bench::F3_SIZES {
+        let src = programs::fact_base(n * 3);
+        let w = bench::workload(&src);
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        group.throughput(Throughput::Elements(clauses.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+            b.iter(|| {
+                checker
+                    .check_program(std::hint::black_box(&clauses).iter())
+                    .expect("well-typed");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rejection_latency(c: &mut Criterion) {
+    // Negative path: how fast are corrupted programs rejected?
+    let mut group = c.benchmark_group("f3_check_rejection");
+    for &n in &[4usize, 16] {
+        let src = programs::pipeline_with_errors(n, 2, 2);
+        let w = bench::workload(&src);
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+            b.iter(|| {
+                let errors = checker
+                    .check_program(std::hint::black_box(&clauses).iter())
+                    .expect_err("corrupted");
+                assert_eq!(errors.len(), 2);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    f3,
+    bench_jacobs,
+    bench_mo84,
+    bench_jacobs_subtype_rich,
+    bench_rejection_latency
+);
+criterion_main!(f3);

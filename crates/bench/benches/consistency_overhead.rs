@@ -1,0 +1,87 @@
+//! F4 — runtime overhead of Theorem 6 consistency auditing: plain SLD
+//! execution vs audited execution on the nrev and fact-scan workloads.
+//!
+//! Expected shape: the audited run costs `plain + resolvents ×
+//! per-resolvent-check`; on nrev the ratio is roughly constant in n (both
+//! sides are Θ(n²) resolvents), reported as audited/plain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_engine::{Query, SolveConfig};
+use lp_gen::programs;
+use subtype_core::consistency::{AuditConfig, Auditor};
+use subtype_core::Checker;
+
+fn bench_plain_nrev(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_nrev_plain");
+    for &n in bench::F4_SIZES {
+        let w = bench::workload(&programs::nrev(n));
+        let db = w.module.database();
+        let goals = w.module.queries[0].goals.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut q = Query::new(&db, std::hint::black_box(goals.clone()), SolveConfig::default());
+                assert!(q.next_solution().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_audited_nrev(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_nrev_audited");
+    group.sample_size(10);
+    for &n in bench::F4_SIZES {
+        let w = bench::workload(&programs::nrev(n));
+        let db = w.module.database();
+        let goals = w.module.queries[0].goals.clone();
+        let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+        let auditor = Auditor::new(checker);
+        let config = AuditConfig {
+            max_solutions: 1,
+            ..AuditConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let report = auditor.run(&db, std::hint::black_box(&goals), config);
+                assert!(report.is_clean());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fact_scan(c: &mut Criterion) {
+    // Wide, shallow derivations: auditing cost per resolvent dominates.
+    let mut group = c.benchmark_group("f4_fact_scan");
+    for &n in &[16usize, 64] {
+        let w = bench::workload(&programs::fact_base(n));
+        let db = w.module.database();
+        let goals = w.module.queries[0].goals.clone();
+        let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+        let auditor = Auditor::new(checker);
+        let config = AuditConfig {
+            max_solutions: n,
+            ..AuditConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("audited", n), &n, |b, _| {
+            b.iter(|| {
+                let report = auditor.run(&db, std::hint::black_box(&goals), config);
+                assert_eq!(report.solutions.len(), n);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut q = Query::new(&db, std::hint::black_box(goals.clone()), SolveConfig::default());
+                let mut count = 0;
+                while q.next_solution().is_some() {
+                    count += 1;
+                }
+                assert_eq!(count, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(f4, bench_plain_nrev, bench_audited_nrev, bench_fact_scan);
+criterion_main!(f4);

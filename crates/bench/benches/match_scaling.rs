@@ -1,0 +1,105 @@
+//! F2 — `match` latency vs term size and vs constraint-set size.
+//!
+//! Expected shape: linear in term size for list membership (one expansion
+//! chain per cons cell), and roughly linear in the number of constraints
+//! per constructor (each expansion branch is tried).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_gen::programs;
+use lp_term::Term;
+use subtype_core::match_type;
+
+fn bench_term_size(c: &mut Criterion) {
+    let w = bench::workload(programs::LIST_DECLS);
+    let list = w.module.sig.lookup("list").unwrap();
+    let int = w.module.sig.lookup("int").unwrap();
+    let ty = Term::app(list, vec![Term::constant(int)]);
+    let mut group = c.benchmark_group("f2_match_term_size");
+    for &n in bench::F2_SIZES {
+        let t = bench::int_list(&w.module, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = match_type(
+                    &w.module.sig,
+                    &w.checked,
+                    std::hint::black_box(&ty),
+                    &t,
+                );
+                assert!(out.typing().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_constraint_count(c: &mut Criterion) {
+    // A union of k variants for one constructor: match must try each
+    // expansion branch.
+    let mut group = c.benchmark_group("f2_match_constraint_count");
+    for &k in &[2usize, 8, 32] {
+        let mut src = String::from("FUNC ");
+        for i in 0..k {
+            src.push_str(&format!("g{i}, "));
+        }
+        src.push_str("base.\nTYPE t.\n");
+        for i in 0..k {
+            src.push_str(&format!("t >= g{i}(t).\n"));
+        }
+        src.push_str("t >= base.\n");
+        let w = bench::workload(&src);
+        let t_sym = w.module.sig.lookup("t").unwrap();
+        // A term using the LAST variant, so all k branches are examined.
+        let g_last = w.module.sig.lookup(&format!("g{}", k - 1)).unwrap();
+        let base = w.module.sig.lookup("base").unwrap();
+        let term = Term::app(g_last, vec![Term::constant(base)]);
+        let ty = Term::constant(t_sym);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let out = match_type(
+                    &w.module.sig,
+                    &w.checked,
+                    std::hint::black_box(&ty),
+                    &term,
+                );
+                assert!(out.typing().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nested_polymorphism(c: &mut Criterion) {
+    // list(list(…list(int)…)) against an equally nested ground list.
+    let w = bench::workload(programs::LIST_DECLS);
+    let list = w.module.sig.lookup("list").unwrap();
+    let int = w.module.sig.lookup("int").unwrap();
+    let nil = w.module.sig.lookup("nil").unwrap();
+    let cons = w.module.sig.lookup("cons").unwrap();
+    let mut group = c.benchmark_group("f2_match_nesting_depth");
+    for &d in &[1usize, 4, 16] {
+        // Level 0: a flat int list against list(int); each level wraps both
+        // the type and the term in one more list layer.
+        let mut ty = Term::app(list, vec![Term::constant(int)]);
+        let mut t = bench::int_list(&w.module, 2);
+        for _ in 0..d {
+            ty = Term::app(list, vec![ty]);
+            t = Term::app(cons, vec![t, Term::constant(nil)]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                let out =
+                    match_type(&w.module.sig, &w.checked, std::hint::black_box(&ty), &t);
+                assert!(out.typing().is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    f2,
+    bench_term_size,
+    bench_constraint_count,
+    bench_nested_polymorphism
+);
+criterion_main!(f2);

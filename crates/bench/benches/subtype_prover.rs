@@ -1,0 +1,77 @@
+//! F1 — cost of a subtype query: the deterministic §3 strategy vs the raw
+//! §2 proof system (depth-bounded SLD over `H_C`), over subtype chains of
+//! increasing depth.
+//!
+//! Expected shape: the deterministic prover stays near-linear in chain
+//! depth; the naive prover's bounded search grows exponentially with the
+//! required derivation depth and stops being able to answer at all past
+//! small depths (its curve is reported up to the point where the step
+//! budget dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lp_gen::worlds;
+use lp_term::Term;
+use subtype_core::{NaiveProver, Prover};
+
+fn bench_deterministic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_deterministic_chain");
+    for &depth in bench::F1_DEPTHS {
+        let world = worlds::chain(depth);
+        let t0 = Term::constant(world.sig.lookup("t0").unwrap());
+        let z = Term::constant(world.sig.lookup("z").unwrap());
+        let prover = Prover::new(&world.sig, &world.checked);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                assert!(prover.subtype(std::hint::black_box(&t0), &z).is_proved());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic_negative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_deterministic_chain_negative");
+    for &depth in bench::F1_DEPTHS {
+        let world = worlds::chain(depth);
+        let t0 = Term::constant(world.sig.lookup("t0").unwrap());
+        let tn = Term::constant(world.sig.lookup(&format!("t{depth}")).unwrap());
+        let prover = Prover::new(&world.sig, &world.checked);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                // The reversed chain is never derivable.
+                assert!(prover.subtype(std::hint::black_box(&tn), &t0).is_refuted());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_naive_sld_chain");
+    group.sample_size(10);
+    // The naive prover's per-query cost explodes; bound the sweep and the
+    // budget so the benchmark finishes.
+    for &depth in &[1usize, 2, 4] {
+        let world = worlds::chain(depth);
+        let t0 = Term::constant(world.sig.lookup("t0").unwrap());
+        let z = Term::constant(world.sig.lookup("z").unwrap());
+        let naive = NaiveProver::new(&world.sig, &world.cs)
+            .with_max_depth(2 * depth + 6)
+            .with_step_budget(2_000_000);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let out = naive.prove(std::hint::black_box(&t0), &z);
+                assert!(out.is_proved(), "chain({depth}) must be derivable: {out:?}");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    f1,
+    bench_deterministic,
+    bench_deterministic_negative,
+    bench_naive
+);
+criterion_main!(f1);

@@ -1,0 +1,201 @@
+//! Prints the full experiment report (the series recorded in
+//! EXPERIMENTS.md) in one pass: wall-clock timings plus search-effort
+//! counters that Criterion cannot show.
+//!
+//! Run with: `cargo run --release -p bench --bin report`
+
+use std::time::{Duration, Instant};
+
+use lp_baseline::{FuncSigTable, Mo84Checker};
+use lp_engine::{Query, SolveConfig};
+use lp_gen::{programs, worlds};
+use lp_term::Term;
+use subtype_core::consistency::{AuditConfig, Auditor};
+use subtype_core::{analysis, Checker, DependenceGraph, HornTheory, NaiveProver, Prover};
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    t0.elapsed() / n as u32
+}
+
+fn main() {
+    println!("# subtype-lp experiment report\n");
+    f1();
+    f2();
+    f3();
+    f4();
+    f5();
+}
+
+/// F1: deterministic strategy vs raw SLD over H_C, on subtype chains.
+fn f1() {
+    println!("## F1 — subtype query cost: deterministic (§3) vs naive SLD (§2)\n");
+    println!("chain d | deterministic t0>=z | deterministic refute | naive ID t0>=z (attempts)");
+    println!("--------|---------------------|----------------------|---------------------------");
+    for &d in bench::F1_DEPTHS {
+        let world = worlds::chain(d);
+        let t0 = Term::constant(world.sig.lookup("t0").unwrap());
+        let tn = Term::constant(world.sig.lookup(&format!("t{d}")).unwrap());
+        let z = Term::constant(world.sig.lookup("z").unwrap());
+        let det = Prover::new(&world.sig, &world.checked);
+        let fast = time_n(100, || assert!(det.subtype(&t0, &z).is_proved()));
+        let fast_neg = time_n(100, || assert!(det.subtype(&tn, &t0).is_refuted()));
+        // The naive side is only feasible for tiny depths.
+        let naive_cell = if d <= 4 {
+            let naive = NaiveProver::new(&world.sig, &world.cs)
+                .with_max_depth(2 * d + 8)
+                .with_step_budget(8_000_000);
+            let mut attempts = 0u64;
+            let (outcome, dur) = time(|| {
+                for depth in 1..=(2 * d + 8) {
+                    let (out, stats) = naive.prove_at_depth_with_stats(&t0, &z, depth);
+                    attempts += stats.attempts;
+                    if out.is_proved() || stats.budget_exhausted {
+                        return out;
+                    }
+                }
+                subtype_core::NaiveOutcome::DepthLimit
+            });
+            format!("{dur:?} ({attempts} attempts, {outcome:?})")
+        } else {
+            "infeasible (exponential)".to_string()
+        };
+        println!("{d:7} | {fast:>19.2?} | {fast_neg:>20.2?} | {naive_cell}");
+    }
+    println!();
+}
+
+/// F2: match latency vs term size / constraint count.
+fn f2() {
+    println!("## F2 — match latency\n");
+    let w = bench::workload(programs::LIST_DECLS);
+    let list = w.module.sig.lookup("list").unwrap();
+    let int = w.module.sig.lookup("int").unwrap();
+    let ty = Term::app(list, vec![Term::constant(int)]);
+    println!("list length n | match(list(int), [x1..xn])");
+    println!("--------------|---------------------------");
+    for &n in bench::F2_SIZES {
+        let t = bench::int_list(&w.module, n);
+        let d = time_n(200, || {
+            assert!(subtype_core::match_type(&w.module.sig, &w.checked, &ty, &t)
+                .typing()
+                .is_some());
+        });
+        println!("{n:13} | {d:?}");
+    }
+    println!();
+}
+
+/// F3: whole-program checking throughput, Jacobs vs MO84.
+fn f3() {
+    println!("## F3 — checking throughput (pipeline family, MO84-expressible)\n");
+    println!("preds n | clauses | Jacobs | MO84 | ratio");
+    println!("--------|---------|--------|------|------");
+    for &n in bench::F3_SIZES {
+        let src = programs::pipeline(n, 2);
+        let w = bench::workload(&src);
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+        let jac = time_n(20, || {
+            checker.check_program(clauses.iter()).expect("well-typed")
+        });
+        let funcs = FuncSigTable::from_constraints(&w.module.sig, &w.raw).unwrap();
+        let mo = Mo84Checker::new(&w.module.sig, &funcs, &w.preds);
+        let mo84 = time_n(20, || mo.check_program(clauses.iter()).expect("well-typed"));
+        let ratio = jac.as_secs_f64() / mo84.as_secs_f64().max(1e-12);
+        println!(
+            "{n:7} | {:7} | {jac:>6.2?} | {mo84:>4.2?} | {ratio:.2}x",
+            clauses.len()
+        );
+    }
+    println!("\nsubtype-rich fact bases (MO84 cannot express these at all):\n");
+    println!("facts | Jacobs check | MO84");
+    println!("------|--------------|-----");
+    for &n in &[16usize, 64] {
+        let src = programs::fact_base(n);
+        let w = bench::workload(&src);
+        let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+        let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+        let jac = time_n(20, || {
+            checker.check_program(clauses.iter()).expect("well-typed")
+        });
+        let mo84 = match FuncSigTable::from_constraints(&w.module.sig, &w.raw) {
+            Err(e) => format!("rejected: {e}"),
+            Ok(_) => "unexpectedly accepted".to_string(),
+        };
+        println!("{n:5} | {jac:>12.2?} | {mo84}");
+    }
+    println!();
+}
+
+/// F4: consistency-auditing overhead.
+fn f4() {
+    println!("## F4 — Theorem 6 auditing overhead (nrev workload)\n");
+    println!("n  | plain run | audited run | resolvents | ratio");
+    println!("---|-----------|-------------|------------|------");
+    for &n in bench::F4_SIZES {
+        let w = bench::workload(&programs::nrev(n));
+        let db = w.module.database();
+        let goals = w.module.queries[0].goals.clone();
+        let plain = time_n(10, || {
+            let mut q = Query::new(&db, goals.clone(), SolveConfig::default());
+            assert!(q.next_solution().is_some());
+        });
+        let checker = Checker::new(&w.module.sig, &w.checked, &w.preds);
+        let auditor = Auditor::new(checker);
+        let config = AuditConfig {
+            max_solutions: 1,
+            ..AuditConfig::default()
+        };
+        let mut resolvents = 0;
+        let audited = time_n(10, || {
+            let report = auditor.run(&db, &goals, config);
+            assert!(report.is_clean());
+            resolvents = report.resolvents_checked;
+        });
+        let ratio = audited.as_secs_f64() / plain.as_secs_f64().max(1e-12);
+        println!("{n:2} | {plain:>9.2?} | {audited:>11.2?} | {resolvents:10} | {ratio:.1}x");
+    }
+    println!();
+}
+
+/// F5: static analysis cost.
+fn f5() {
+    println!("## F5 — static analysis cost (random guarded worlds)\n");
+    println!("ctors | constraints | uniformity | guardedness | H_C build");
+    println!("------|-------------|------------|-------------|----------");
+    for &n in bench::F5_CTORS {
+        let world = worlds::random(
+            n as u64,
+            worlds::RandomWorldConfig {
+                n_ctors: n,
+                n_funcs: 6,
+                max_arity: 2,
+                constraints_per_ctor: 3,
+            },
+        );
+        let m = world.cs.len();
+        let uni = time_n(50, || {
+            analysis::check_uniform(&world.sig, &world.cs).unwrap()
+        });
+        let grd = time_n(50, || {
+            DependenceGraph::build(&world.sig, &world.cs)
+                .check_guarded(&world.sig)
+                .unwrap()
+        });
+        let horn = time_n(50, || {
+            assert!(HornTheory::build(&world.sig, &world.cs).database().len() > n);
+        });
+        println!("{n:5} | {m:11} | {uni:>10.2?} | {grd:>11.2?} | {horn:>9.2?}");
+    }
+    println!();
+}

@@ -1,0 +1,82 @@
+//! Shared workload setup for the benchmark harness (experiments F1–F5).
+//!
+//! Each `benches/*.rs` target regenerates one experiment from
+//! `EXPERIMENTS.md`; the `report` binary prints all series in one pass with
+//! wall-clock timings and search-effort counters.
+
+use lp_parser::Module;
+use lp_term::Term;
+use subtype_core::{CheckedConstraints, ConstraintSet, PredTypeTable};
+
+/// A fully prepared checking workload: module + checked constraints +
+/// predicate types.
+pub struct CheckWorkload {
+    /// The parsed module.
+    pub module: Module,
+    /// Checked constraints.
+    pub checked: CheckedConstraints,
+    /// Raw constraints (for the naive prover / MO84 conversion).
+    pub raw: ConstraintSet,
+    /// Predicate types.
+    pub preds: PredTypeTable,
+}
+
+/// Parses a source program into a [`CheckWorkload`].
+///
+/// # Panics
+///
+/// Panics on any parse/validation error — benchmark fixtures must be valid.
+pub fn workload(src: &str) -> CheckWorkload {
+    let module = lp_parser::parse_module(src).expect("bench fixture parses");
+    let raw = ConstraintSet::from_module(&module).expect("constraints valid");
+    let checked = raw
+        .clone()
+        .checked(&module.sig)
+        .expect("uniform and guarded");
+    let preds = PredTypeTable::from_module(&module).expect("pred types valid");
+    CheckWorkload {
+        module,
+        checked,
+        raw,
+        preds,
+    }
+}
+
+/// Builds an int list term `cons(x₁, … cons(xₙ, nil))` cycling small
+/// numerals, against the paper's list declarations in `module`.
+///
+/// # Panics
+///
+/// Panics if the module lacks the list/nat symbols.
+pub fn int_list(module: &Module, n: usize) -> Term {
+    let nil = module.sig.lookup("nil").expect("nil");
+    let cons = module.sig.lookup("cons").expect("cons");
+    let zero = module.sig.lookup("0").expect("0");
+    let succ = module.sig.lookup("succ").expect("succ");
+    let pred = module.sig.lookup("pred").expect("pred");
+    let mut out = Term::constant(nil);
+    for i in 0..n {
+        let mut x = Term::constant(zero);
+        let wrap = if i % 2 == 0 { succ } else { pred };
+        for _ in 0..(i % 3) {
+            x = Term::app(wrap, vec![x]);
+        }
+        out = Term::app(cons, vec![x, out]);
+    }
+    out
+}
+
+/// The chain-depth sweep used by F1.
+pub const F1_DEPTHS: &[usize] = &[1, 2, 4, 8, 16, 32];
+
+/// The list-length sweep used by F2.
+pub const F2_SIZES: &[usize] = &[4, 16, 64, 256];
+
+/// The pipeline sizes (predicates) used by F3.
+pub const F3_SIZES: &[usize] = &[4, 16, 64];
+
+/// The nrev sizes used by F4.
+pub const F4_SIZES: &[usize] = &[4, 8, 16];
+
+/// The constructor counts used by F5.
+pub const F5_CTORS: &[usize] = &[8, 32, 128];

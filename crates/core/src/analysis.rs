@@ -1,0 +1,366 @@
+//! Static checks on type declarations (paper §3, Definitions 6–9).
+//!
+//! Two restrictions make subtype derivation deterministic and terminating:
+//!
+//! * **Uniform polymorphism** (Definition 6): every constraint's left-hand
+//!   side applies its constructor to *distinct variables*.
+//! * **Guardedness** (Definition 9): no type constructor *directly depends*
+//!   on itself (Definition 8), i.e. recursion must pass through a function
+//!   symbol ("recursive type definitions are guarded").
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use lp_term::{Signature, Sym, SymKind, Term};
+
+use crate::constraint::ConstraintSet;
+
+/// Errors in a set of type declarations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDeclError {
+    /// A constraint violating Definition 2.
+    MalformedConstraint {
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A constraint violating uniform polymorphism (Definition 6).
+    NonUniform {
+        /// Index of the offending constraint in declaration order.
+        index: usize,
+        /// Name of the defining constructor.
+        ctor: String,
+    },
+    /// A direct-dependence cycle violating guardedness (Definition 9).
+    Unguarded {
+        /// The constructors along the cycle, starting and ending with the
+        /// self-dependent one.
+        cycle: Vec<String>,
+    },
+}
+
+impl fmt::Display for TypeDeclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeDeclError::MalformedConstraint { detail } => {
+                write!(f, "malformed subtype constraint: {detail}")
+            }
+            TypeDeclError::NonUniform { index, ctor } => write!(
+                f,
+                "constraint #{index} for `{ctor}` is not uniform polymorphic: the left-hand \
+                 side must apply `{ctor}` to distinct variables (Definition 6)"
+            ),
+            TypeDeclError::Unguarded { cycle } => write!(
+                f,
+                "type declarations are not guarded: `{}` directly depends on itself via {} \
+                 (Definition 9 requires recursion to pass through a function symbol)",
+                cycle.first().map(String::as_str).unwrap_or("?"),
+                cycle.join(" -> "),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TypeDeclError {}
+
+/// Checks uniform polymorphism (Definition 6).
+///
+/// # Errors
+///
+/// [`TypeDeclError::NonUniform`] naming the first offending constraint.
+pub fn check_uniform(sig: &Signature, set: &ConstraintSet) -> Result<(), TypeDeclError> {
+    for (index, c) in set.constraints().iter().enumerate() {
+        if !c.is_uniform() {
+            return Err(TypeDeclError::NonUniform {
+                index,
+                ctor: sig.name(c.ctor()).to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The *direct dependence* relation between type constructors
+/// (Definition 8), as a graph.
+///
+/// `c` has an edge to `d` iff some constraint `c(α…) >= τ` contains an
+/// occurrence of `d` in `τ` that is not inside an argument of a function
+/// symbol. The paper's relation is the transitive closure of these edges;
+/// [`DependenceGraph::depends_on`] exposes that closure and
+/// [`DependenceGraph::check_guarded`] implements Definition 9.
+#[derive(Debug, Clone, Default)]
+pub struct DependenceGraph {
+    edges: BTreeMap<Sym, BTreeSet<Sym>>,
+}
+
+impl DependenceGraph {
+    /// Builds the edge relation from a constraint set.
+    pub fn build(sig: &Signature, set: &ConstraintSet) -> Self {
+        let mut edges: BTreeMap<Sym, BTreeSet<Sym>> = BTreeMap::new();
+        for c in set.constraints() {
+            let targets = edges.entry(c.ctor()).or_default();
+            collect_unguarded_ctors(sig, &c.rhs, targets);
+        }
+        DependenceGraph { edges }
+    }
+
+    /// The direct (one-step) dependencies of `c`.
+    pub fn direct(&self, c: Sym) -> impl Iterator<Item = Sym> + '_ {
+        self.edges.get(&c).into_iter().flatten().copied()
+    }
+
+    /// Whether `c` directly depends on `d` in the paper's (transitively
+    /// closed) sense.
+    pub fn depends_on(&self, c: Sym, d: Sym) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<Sym> = self.direct(c).collect();
+        while let Some(x) = stack.pop() {
+            if x == d {
+                return true;
+            }
+            if seen.insert(x) {
+                stack.extend(self.direct(x));
+            }
+        }
+        false
+    }
+
+    /// Checks guardedness (Definition 9): no constructor depends on itself.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeDeclError::Unguarded`] with a concrete dependence cycle.
+    pub fn check_guarded(&self, sig: &Signature) -> Result<(), TypeDeclError> {
+        for &c in self.edges.keys() {
+            if let Some(mut cycle) = self.find_cycle_from(c) {
+                let names: Vec<String> = {
+                    cycle.push(c);
+                    cycle.iter().map(|s| sig.name(*s).to_string()).collect()
+                };
+                return Err(TypeDeclError::Unguarded { cycle: names });
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds a path `c -> … -> c`, if one exists, excluding the final `c`.
+    fn find_cycle_from(&self, c: Sym) -> Option<Vec<Sym>> {
+        // DFS with path reconstruction.
+        let mut seen = BTreeSet::new();
+        let mut path = vec![c];
+        self.dfs_cycle(c, c, &mut seen, &mut path).then_some(path)
+    }
+
+    fn dfs_cycle(
+        &self,
+        current: Sym,
+        target: Sym,
+        seen: &mut BTreeSet<Sym>,
+        path: &mut Vec<Sym>,
+    ) -> bool {
+        for next in self.direct(current) {
+            if next == target {
+                return true;
+            }
+            if seen.insert(next) {
+                path.push(next);
+                if self.dfs_cycle(next, target, seen, path) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+}
+
+/// Collects type constructors occurring in `ty` outside any function-symbol
+/// argument (the occurrences that create direct dependence).
+fn collect_unguarded_ctors(sig: &Signature, ty: &Term, out: &mut BTreeSet<Sym>) {
+    match ty {
+        Term::Var(_) => {}
+        Term::App(s, args) => match sig.kind(*s) {
+            SymKind::TypeCtor => {
+                out.insert(*s);
+                for a in args {
+                    collect_unguarded_ctors(sig, a, out);
+                }
+            }
+            // A function symbol guards everything beneath it.
+            SymKind::Func | SymKind::Skolem => {}
+            SymKind::Pred => {}
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_term::VarGen;
+
+    struct Fx {
+        sig: Signature,
+        gen: VarGen,
+        cs: ConstraintSet,
+    }
+
+    impl Fx {
+        fn new() -> Self {
+            Fx {
+                sig: Signature::new(),
+                gen: VarGen::new(),
+                cs: ConstraintSet::new(),
+            }
+        }
+
+        fn func(&mut self, name: &str) -> Sym {
+            self.sig.declare(name, SymKind::Func).unwrap()
+        }
+
+        fn ctor(&mut self, name: &str) -> Sym {
+            self.sig.declare(name, SymKind::TypeCtor).unwrap()
+        }
+
+        fn add(&mut self, lhs: Term, rhs: Term) {
+            self.cs.add(&self.sig, lhs, rhs).unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_nat_declarations_are_guarded() {
+        // nat >= 0 + succ(nat): the recursive occurrence of nat is guarded
+        // by succ, but `+` makes nat depend on `+`… no: `+` appears on the
+        // RIGHT of nat's constraint, so nat -> + is NOT an edge (only ctor
+        // occurrences in the rhs create edges from the lhs ctor). Check that
+        // nat does not depend on itself.
+        let mut fx = Fx::new();
+        let zero = fx.func("0");
+        let succ = fx.func("succ");
+        let nat = fx.ctor("nat");
+        let plus = fx.cs.add_union(&mut fx.sig, &mut fx.gen).unwrap();
+        fx.add(
+            Term::constant(nat),
+            Term::app(
+                plus,
+                vec![
+                    Term::constant(zero),
+                    Term::app(succ, vec![Term::constant(nat)]),
+                ],
+            ),
+        );
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        // nat -> + (the union occurs unguarded in nat's rhs).
+        assert!(g.depends_on(nat, plus));
+        // succ(nat) guards the recursion.
+        assert!(!g.depends_on(nat, nat));
+        g.check_guarded(&fx.sig).unwrap();
+    }
+
+    #[test]
+    fn immediate_self_recursion_rejected() {
+        // c >= c. (paper §3: "the constraints c >= c. … are not" acceptable)
+        let mut fx = Fx::new();
+        let c = fx.ctor("c");
+        fx.add(Term::constant(c), Term::constant(c));
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        let err = g.check_guarded(&fx.sig).unwrap_err();
+        assert!(matches!(err, TypeDeclError::Unguarded { .. }));
+        assert!(err.to_string().contains('c'));
+    }
+
+    #[test]
+    fn self_recursion_under_ctor_argument_rejected() {
+        // c(A) >= c(f(A)). — not acceptable (paper §3): the occurrence of c
+        // in the rhs is not inside a function symbol (f is inside c).
+        let mut fx = Fx::new();
+        let f = fx.func("f");
+        let c = fx.ctor("c");
+        let a = fx.gen.fresh();
+        fx.add(
+            Term::app(c, vec![Term::Var(a)]),
+            Term::app(c, vec![Term::app(f, vec![Term::Var(a)])]),
+        );
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        assert!(g.check_guarded(&fx.sig).is_err());
+    }
+
+    #[test]
+    fn mutual_recursion_rejected() {
+        // c(A) >= b(f(A)).  b(B) >= c(f(B)). — not acceptable (paper §3).
+        let mut fx = Fx::new();
+        let f = fx.func("f");
+        let c = fx.ctor("c");
+        let b = fx.ctor("b");
+        let a = fx.gen.fresh();
+        fx.add(
+            Term::app(c, vec![Term::Var(a)]),
+            Term::app(b, vec![Term::app(f, vec![Term::Var(a)])]),
+        );
+        let bvar = fx.gen.fresh();
+        fx.add(
+            Term::app(b, vec![Term::Var(bvar)]),
+            Term::app(c, vec![Term::app(f, vec![Term::Var(bvar)])]),
+        );
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        assert!(g.depends_on(c, b));
+        assert!(g.depends_on(b, c));
+        assert!(g.depends_on(c, c));
+        let err = g.check_guarded(&fx.sig).unwrap_err();
+        let TypeDeclError::Unguarded { cycle } = err else {
+            panic!("expected Unguarded");
+        };
+        // The cycle mentions both constructors.
+        assert!(cycle.len() >= 2);
+    }
+
+    #[test]
+    fn recursion_through_polymorphism_rejected() {
+        // b(A) >= A.  c >= b(c). — not acceptable (paper §3): c occurs in an
+        // argument of the type constructor b, which is not a guard.
+        let mut fx = Fx::new();
+        let b = fx.ctor("b");
+        let c = fx.ctor("c");
+        let a = fx.gen.fresh();
+        fx.add(Term::app(b, vec![Term::Var(a)]), Term::Var(a));
+        fx.add(Term::constant(c), Term::app(b, vec![Term::constant(c)]));
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        assert!(g.depends_on(c, c));
+        assert!(g.check_guarded(&fx.sig).is_err());
+    }
+
+    #[test]
+    fn guarded_recursion_through_function_symbol_accepted() {
+        // c >= f(c). — acceptable (paper §3).
+        let mut fx = Fx::new();
+        let f = fx.func("f");
+        let c = fx.ctor("c");
+        fx.add(
+            Term::constant(c),
+            Term::app(f, vec![Term::constant(c)]),
+        );
+        let g = DependenceGraph::build(&fx.sig, &fx.cs);
+        assert!(!g.depends_on(c, c));
+        g.check_guarded(&fx.sig).unwrap();
+    }
+
+    #[test]
+    fn non_uniform_detected() {
+        let mut fx = Fx::new();
+        let c = fx.ctor("c");
+        let nat = fx.ctor("nat");
+        fx.add(
+            Term::app(c, vec![Term::constant(nat)]),
+            Term::constant(nat),
+        );
+        let err = check_uniform(&fx.sig, &fx.cs).unwrap_err();
+        assert!(matches!(err, TypeDeclError::NonUniform { index: 0, .. }));
+    }
+
+    #[test]
+    fn checked_constructor_runs_both_checks() {
+        let mut fx = Fx::new();
+        let c = fx.ctor("c");
+        fx.add(Term::constant(c), Term::constant(c));
+        let sig = fx.sig.clone();
+        assert!(fx.cs.clone().checked(&sig).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime consistency auditing (paper §6, Theorem 6).
+//!
+//! Theorem 6: *every resolvent of a well-typed negative clause and a
+//! well-typed program clause is well-typed*; a corollary is that every
+//! answer substitution computed by a well-typed program is type consistent.
+//!
+//! The [`Auditor`] validates this empirically: it runs a query on the SLD
+//! engine and re-checks **every resolvent produced during execution** as a
+//! negative clause, recording any violation. For well-typed programs the
+//! violation list must stay empty (experiment E7); for deliberately
+//! ill-typed programs the auditor demonstrates how type errors surface at
+//! runtime (fault injection).
+
+use lp_engine::{Database, Query, Solution, SolveConfig, Step};
+use lp_term::Term;
+
+use crate::welltyped::{Checker, TypeCheckError};
+
+/// A resolvent that failed the well-typedness conditions during execution.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Depth of the resolvent in the SLD derivation.
+    pub depth: usize,
+    /// The offending resolvent (goal atoms, bindings applied).
+    pub resolvent: Vec<Term>,
+    /// Why it is ill-typed.
+    pub error: TypeCheckError,
+}
+
+/// The outcome of an audited run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Resolvents produced (and checked) during the search.
+    pub resolvents_checked: u64,
+    /// Resolvents that were ill-typed.
+    pub violations: Vec<Violation>,
+    /// Solutions found (up to the configured limit).
+    pub solutions: Vec<Solution>,
+    /// Whether every computed answer substitution left the instantiated
+    /// query well-typed (the corollary to Theorem 6).
+    pub answers_consistent: bool,
+}
+
+impl AuditReport {
+    /// Whether the run exhibited no type violation at all.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.answers_consistent
+    }
+}
+
+/// Limits for an audited run.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Stop after this many solutions.
+    pub max_solutions: usize,
+    /// Engine limits (depth/step bounds) for the underlying search.
+    pub solve: SolveConfig,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            max_solutions: 10,
+            solve: SolveConfig {
+                max_steps: Some(100_000),
+                ..SolveConfig::default()
+            },
+        }
+    }
+}
+
+/// Audits query executions against the well-typedness conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct Auditor<'a> {
+    checker: Checker<'a>,
+}
+
+impl<'a> Auditor<'a> {
+    /// Creates an auditor wrapping a checker.
+    pub fn new(checker: Checker<'a>) -> Self {
+        Auditor { checker }
+    }
+
+    /// Runs `:- goals.` against `db`, checking every resolvent produced.
+    pub fn run(&self, db: &Database, goals: &[Term], config: AuditConfig) -> AuditReport {
+        let mut query = Query::new(db, goals.to_vec(), config.solve);
+        let mut report = AuditReport {
+            answers_consistent: true,
+            ..AuditReport::default()
+        };
+        let checker = self.checker;
+        loop {
+            let mut new_violations: Vec<Violation> = Vec::new();
+            let mut checked = 0u64;
+            let solution = query.next_solution_observed(&mut |step: &Step| {
+                checked += 1;
+                if step.resolvent.is_empty() {
+                    return; // the empty clause is trivially well-typed
+                }
+                if let Err(error) = checker.check_query(&step.resolvent) {
+                    new_violations.push(Violation {
+                        depth: step.depth,
+                        resolvent: step.resolvent.clone(),
+                        error,
+                    });
+                }
+            });
+            report.resolvents_checked += checked;
+            report.violations.extend(new_violations);
+            match solution {
+                Some(sol) => {
+                    // Corollary: the instantiated query must stay well-typed.
+                    let instantiated: Vec<Term> =
+                        goals.iter().map(|g| sol.answer.resolve(g)).collect();
+                    if checker.check_query(&instantiated).is_err() {
+                        report.answers_consistent = false;
+                    }
+                    report.solutions.push(sol);
+                    if report.solutions.len() >= config.max_solutions {
+                        return report;
+                    }
+                }
+                None => return report,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+    use crate::welltyped::PredTypeTable;
+    use lp_parser::parse_module;
+
+    const LIST_DECLS: &str = "
+        FUNC 0, succ, pred, nil, cons.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+    ";
+
+    fn audit(src: &str) -> AuditReport {
+        let m = parse_module(src).expect("fixture parses");
+        let cs = ConstraintSet::from_module(&m)
+            .unwrap()
+            .checked(&m.sig)
+            .unwrap();
+        let preds = PredTypeTable::from_module(&m).unwrap();
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let db = m.database();
+        Auditor::new(checker).run(&db, &m.queries[0].goals, AuditConfig::default())
+    }
+
+    #[test]
+    fn well_typed_append_run_is_clean() {
+        let report = audit(&format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(cons(0, nil), cons(succ(0), nil), Z).
+            "
+        ));
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.solutions.len(), 1);
+        assert!(report.resolvents_checked >= 2);
+    }
+
+    #[test]
+    fn enumerating_splits_stays_clean() {
+        let report = audit(&format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(X, Y, cons(0, cons(0, nil))).
+            "
+        ));
+        assert!(report.is_clean());
+        assert_eq!(report.solutions.len(), 3);
+    }
+
+    #[test]
+    fn ill_typed_program_produces_violations() {
+        // §5's failure mode, forced through an UNCHECKED program: p expects
+        // an int but the fact stores a list; running :- q(X), p(X) with
+        // q/p sharing X drags the list into p. We bypass the static checker
+        // (which would reject this) and watch the auditor flag resolvents.
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(int).
+             PRED q(list(int)).
+             p(nil).           % ill-typed fact (would be rejected statically)
+             q(cons(0, nil)).
+             :- p(X).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let cs = ConstraintSet::from_module(&m)
+            .unwrap()
+            .checked(&m.sig)
+            .unwrap();
+        let preds = PredTypeTable::from_module(&m).unwrap();
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        // The program is indeed statically ill-typed (clause 0).
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        assert!(checker.check_program(clauses.iter()).is_err());
+        // Dynamically: the query itself is fine, but the answer X = nil is
+        // not an int — the corollary check fails.
+        let db = m.database();
+        let report = Auditor::new(checker).run(&db, &m.queries[0].goals, AuditConfig::default());
+        assert!(!report.answers_consistent);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn deep_recursion_audits_every_step() {
+        // nrev-style workload: reverse of a 5-element list; every resolvent
+        // along the way is checked.
+        let report = audit(&format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             PRED rev(list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             rev(nil, nil).
+             rev(cons(X, L), R) :- rev(L, T), app(T, cons(X, nil), R).
+             :- rev(cons(0, cons(succ(0), cons(0, cons(succ(0), cons(0, nil))))), R).
+            "
+        ));
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.solutions.len(), 1);
+        assert!(report.resolvents_checked > 10);
+    }
+}

@@ -1,0 +1,356 @@
+//! Subtype constraints and constraint sets (paper Definition 2).
+//!
+//! A subtype constraint for `c/n ∈ T` has the form `c(τ₁,…,τₙ) >= τ` with
+//! `var(τ) ⊆ var(c(τ₁,…,τₙ))`. A [`ConstraintSet`] holds a collection of
+//! such constraints indexed by their defining type constructor; a
+//! [`CheckedConstraints`] is a constraint set that has additionally passed
+//! the *uniform polymorphism* and *guardedness* checks of §3 and therefore
+//! supports the deterministic derivation strategy and `match`.
+
+use std::collections::HashMap;
+
+use lp_term::{Signature, Subst, Sym, SymKind, Term, VarGen};
+
+use crate::analysis::{self, TypeDeclError};
+
+/// One subtype constraint `lhs >= rhs` (Definition 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtypeConstraint {
+    /// The left-hand side `c(τ₁,…,τₙ)`; its outermost symbol is in `T`.
+    pub lhs: Term,
+    /// The right-hand side `τ`; `var(rhs) ⊆ var(lhs)`.
+    pub rhs: Term,
+}
+
+impl SubtypeConstraint {
+    /// The defining type constructor `c`.
+    pub fn ctor(&self) -> Sym {
+        self.lhs.functor().expect("lhs is a type-ctor application")
+    }
+
+    /// The parameters `τ₁,…,τₙ` of the left-hand side.
+    pub fn params(&self) -> &[Term] {
+        self.lhs.args()
+    }
+
+    /// Whether this constraint is uniform polymorphic (Definition 6): each
+    /// parameter is a distinct variable.
+    pub fn is_uniform(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.params().iter().all(|p| match p {
+            Term::Var(v) => seen.insert(*v),
+            _ => false,
+        })
+    }
+}
+
+/// A set of subtype constraints, indexed by defining constructor.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    constraints: Vec<SubtypeConstraint>,
+    by_ctor: HashMap<Sym, Vec<usize>>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the set from a loaded [`Module`](lp_parser::Module), validating
+    /// each constraint against the module's signature.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeDeclError::MalformedConstraint`] if a constraint violates
+    /// Definition 2 (the loader already enforces this, so this only fires on
+    /// hand-built modules).
+    pub fn from_module(module: &lp_parser::Module) -> Result<Self, TypeDeclError> {
+        let mut set = ConstraintSet::new();
+        for (lhs, rhs) in &module.constraints {
+            set.add(&module.sig, lhs.clone(), rhs.clone())?;
+        }
+        Ok(set)
+    }
+
+    /// Adds a constraint after validating Definition 2 against `sig`.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeDeclError::MalformedConstraint`] if the left-hand side is not a
+    /// type-constructor application or the right-hand side has variables not
+    /// bound on the left.
+    pub fn add(&mut self, sig: &Signature, lhs: Term, rhs: Term) -> Result<(), TypeDeclError> {
+        match lhs.functor() {
+            Some(c) if sig.kind(c) == SymKind::TypeCtor => {}
+            _ => {
+                return Err(TypeDeclError::MalformedConstraint {
+                    detail: "left-hand side must be a type-constructor application".into(),
+                })
+            }
+        }
+        let lhs_vars = lhs.vars();
+        if !rhs.vars().is_subset(&lhs_vars) {
+            return Err(TypeDeclError::MalformedConstraint {
+                detail: "right-hand side variables must occur on the left (Definition 2)".into(),
+            });
+        }
+        let idx = self.constraints.len();
+        let c = SubtypeConstraint { lhs, rhs };
+        self.by_ctor.entry(c.ctor()).or_default().push(idx);
+        self.constraints.push(c);
+        Ok(())
+    }
+
+    /// Declares the predefined polymorphic union `+` in `sig` (if absent) and
+    /// adds its constraints `A+B >= A.` and `A+B >= B.` (paper §1).
+    ///
+    /// # Errors
+    ///
+    /// [`TypeDeclError::MalformedConstraint`] never in practice;
+    /// [`lp_term::SigError`] kind clashes surface as malformed constraints.
+    pub fn add_union(&mut self, sig: &mut Signature, gen: &mut VarGen) -> Result<Sym, TypeDeclError> {
+        let plus = sig
+            .declare_with_arity("+", SymKind::TypeCtor, 2)
+            .map_err(|e| TypeDeclError::MalformedConstraint {
+                detail: format!("cannot predefine `+`: {e}"),
+            })?;
+        let (a, b) = (gen.fresh(), gen.fresh());
+        self.add(
+            sig,
+            Term::app(plus, vec![Term::Var(a), Term::Var(b)]),
+            Term::Var(a),
+        )?;
+        let (a2, b2) = (gen.fresh(), gen.fresh());
+        self.add(
+            sig,
+            Term::app(plus, vec![Term::Var(a2), Term::Var(b2)]),
+            Term::Var(b2),
+        )?;
+        Ok(plus)
+    }
+
+    /// All constraints in declaration order.
+    pub fn constraints(&self) -> &[SubtypeConstraint] {
+        &self.constraints
+    }
+
+    /// The constraints defining `c`, in declaration order.
+    pub fn for_ctor(&self, c: Sym) -> impl Iterator<Item = &SubtypeConstraint> {
+        self.by_ctor
+            .get(&c)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.constraints[i])
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Runs the §3 static checks, producing a [`CheckedConstraints`] that the
+    /// deterministic prover and `match` can use.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeDeclError::NonUniform`] (Definition 6) or
+    /// [`TypeDeclError::Unguarded`] (Definition 9), with the offending
+    /// constraint or dependence cycle.
+    pub fn checked(self, sig: &Signature) -> Result<CheckedConstraints, TypeDeclError> {
+        analysis::check_uniform(sig, &self)?;
+        let deps = analysis::DependenceGraph::build(sig, &self);
+        deps.check_guarded(sig)?;
+        Ok(CheckedConstraints { set: self })
+    }
+}
+
+/// A constraint set known to be uniform polymorphic and guarded.
+///
+/// Obtained via [`ConstraintSet::checked`]; this is the precondition for the
+/// deterministic strategy (Theorems 2–3) and for `match` (Definition 13).
+#[derive(Debug, Clone)]
+pub struct CheckedConstraints {
+    set: ConstraintSet,
+}
+
+impl CheckedConstraints {
+    /// The underlying constraint set.
+    pub fn as_set(&self) -> &ConstraintSet {
+        &self.set
+    }
+
+    /// The constraints defining `c`.
+    pub fn for_ctor(&self, c: Sym) -> impl Iterator<Item = &SubtypeConstraint> {
+        self.set.for_ctor(c)
+    }
+
+    /// The one-step rewriting `c(τ₁,…,τₙ) →_C σ` used by two-step
+    /// application (Definition 7) and by `match` (Definition 13):
+    /// for each constraint `c(α₁,…,αₙ) >= τ`, yields
+    /// `τ{α₁ ↦ τ₁, …, αₙ ↦ τₙ}`.
+    ///
+    /// Returns an empty vector if `ty` is not a type-constructor application
+    /// or has no defining constraints.
+    pub fn expansions(&self, ty: &Term) -> Vec<Term> {
+        let Some(c) = ty.functor() else {
+            return Vec::new();
+        };
+        let args = ty.args();
+        self.for_ctor(c)
+            .filter(|con| con.params().len() == args.len())
+            .map(|con| {
+                // Uniformity: parameters are distinct variables, so this
+                // substitution is exactly the paper's {αᵢ ↦ τᵢ}.
+                let bindings = con
+                    .params()
+                    .iter()
+                    .zip(args)
+                    .map(|(p, a)| match p {
+                        Term::Var(v) => (*v, a.clone()),
+                        _ => unreachable!("checked constraints are uniform"),
+                    })
+                    .collect::<Subst>();
+                bindings.resolve(&con.rhs)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_term::SymKind;
+
+    fn nat_sig() -> (Signature, VarGen) {
+        let mut sig = Signature::new();
+        for f in ["0", "succ", "pred"] {
+            sig.declare(f, SymKind::Func).unwrap();
+        }
+        for t in ["nat", "unnat", "int"] {
+            sig.declare(t, SymKind::TypeCtor).unwrap();
+        }
+        (sig, VarGen::new())
+    }
+
+    #[test]
+    fn add_validates_lhs_kind() {
+        let (sig, _gen) = nat_sig();
+        let zero = sig.lookup("0").unwrap();
+        let nat = sig.lookup("nat").unwrap();
+        let mut cs = ConstraintSet::new();
+        let err = cs
+            .add(&sig, Term::constant(zero), Term::constant(nat))
+            .unwrap_err();
+        assert!(matches!(err, TypeDeclError::MalformedConstraint { .. }));
+    }
+
+    #[test]
+    fn add_validates_var_scoping() {
+        let (mut sig, mut gen) = nat_sig();
+        let c = sig.declare("c", SymKind::TypeCtor).unwrap();
+        let d = sig.declare("d", SymKind::TypeCtor).unwrap();
+        let (a, b) = (gen.fresh(), gen.fresh());
+        let mut cs = ConstraintSet::new();
+        let err = cs
+            .add(
+                &sig,
+                Term::app(c, vec![Term::Var(a)]),
+                Term::app(d, vec![Term::Var(a), Term::Var(b)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TypeDeclError::MalformedConstraint { .. }));
+    }
+
+    #[test]
+    fn for_ctor_groups_constraints() {
+        let (sig, _) = nat_sig();
+        let nat = sig.lookup("nat").unwrap();
+        let int = sig.lookup("int").unwrap();
+        let zero = sig.lookup("0").unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add(&sig, Term::constant(nat), Term::constant(zero))
+            .unwrap();
+        cs.add(&sig, Term::constant(int), Term::constant(nat))
+            .unwrap();
+        cs.add(&sig, Term::constant(nat), Term::constant(nat))
+            .unwrap();
+        assert_eq!(cs.for_ctor(nat).count(), 2);
+        assert_eq!(cs.for_ctor(int).count(), 1);
+        assert_eq!(cs.for_ctor(zero).count(), 0);
+    }
+
+    #[test]
+    fn uniformity_of_individual_constraints() {
+        let (mut sig, mut gen) = nat_sig();
+        let c = sig.declare("c", SymKind::TypeCtor).unwrap();
+        let nat = sig.lookup("nat").unwrap();
+        let (a, b) = (gen.fresh(), gen.fresh());
+        let uniform = SubtypeConstraint {
+            lhs: Term::app(c, vec![Term::Var(a), Term::Var(b)]),
+            rhs: Term::Var(a),
+        };
+        assert!(uniform.is_uniform());
+        let repeated = SubtypeConstraint {
+            lhs: Term::app(c, vec![Term::Var(a), Term::Var(a)]),
+            rhs: Term::Var(a),
+        };
+        assert!(!repeated.is_uniform());
+        let non_var = SubtypeConstraint {
+            lhs: Term::app(c, vec![Term::constant(nat), Term::Var(b)]),
+            rhs: Term::Var(b),
+        };
+        assert!(!non_var.is_uniform());
+    }
+
+    #[test]
+    fn expansions_substitute_parameters() {
+        // list(A) >= elist + nelist(A), instantiated at list(nat).
+        let (mut sig, mut gen) = nat_sig();
+        let list = sig.declare("list", SymKind::TypeCtor).unwrap();
+        let elist = sig.declare("elist", SymKind::TypeCtor).unwrap();
+        let nelist = sig.declare("nelist", SymKind::TypeCtor).unwrap();
+        let nat = sig.lookup("nat").unwrap();
+        let mut cs = ConstraintSet::new();
+        let plus = cs.add_union(&mut sig, &mut gen).unwrap();
+        let a = gen.fresh();
+        cs.add(
+            &sig,
+            Term::app(list, vec![Term::Var(a)]),
+            Term::app(
+                plus,
+                vec![
+                    Term::constant(elist),
+                    Term::app(nelist, vec![Term::Var(a)]),
+                ],
+            ),
+        )
+        .unwrap();
+        let checked = cs.checked(&sig).unwrap();
+        let exps = checked.expansions(&Term::app(list, vec![Term::constant(nat)]));
+        assert_eq!(exps.len(), 1);
+        assert_eq!(
+            exps[0],
+            Term::app(
+                plus,
+                vec![
+                    Term::constant(elist),
+                    Term::app(nelist, vec![Term::constant(nat)]),
+                ]
+            )
+        );
+        // Union expands both ways.
+        let union_exps = checked.expansions(&exps[0]);
+        assert_eq!(union_exps.len(), 2);
+        assert_eq!(union_exps[0], Term::constant(elist));
+        assert_eq!(
+            union_exps[1],
+            Term::app(nelist, vec![Term::constant(nat)])
+        );
+    }
+}

@@ -1,0 +1,496 @@
+//! Automatic generation of *filtering predicates* (paper §7).
+//!
+//! The paper's only way to move a value from a supertype context into a
+//! subtype context is an explicit conversion predicate:
+//!
+//! ```text
+//! PRED int2nat(int, nat).
+//! int2nat(0, 0).
+//! int2nat(succ(X), succ(X)).
+//! ```
+//!
+//! "We are currently exploring a more general solution to this problem
+//! based on this notion of filtering." — this module is that general
+//! solution: [`build_filter`] derives, for any pair of closed types
+//! `(from, to)`, a family of predicates `filterN(from, to)` that succeeds
+//! exactly on the values of `from` that are also values of `to`, copying
+//! them through.
+//!
+//! The construction enumerates the *shapes* of both types (their
+//! function-symbol-rooted one-or-more-step expansions — finitely many by
+//! guardedness), intersects them by outermost symbol, and emits one clause
+//! per common shape. Argument positions whose types differ recurse through
+//! auxiliary filters (memoized, so recursive types like lists close the
+//! loop); positions with syntactically equal types are copied directly —
+//! which is exactly why the paper's `int2nat` needs no recursive call: the
+//! type system already guarantees `X : nat` in `succ(X) : int`.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use lp_engine::Clause;
+use lp_term::{Signature, Sym, SymKind, Term, VarGen};
+
+use crate::constraint::CheckedConstraints;
+
+/// Why a filter could not be generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FilterError {
+    /// Filters are generated for closed (variable-free) types only.
+    OpenType {
+        /// The offending type, displayed.
+        ty: String,
+    },
+    /// The target type has no shapes in common with the source: the filter
+    /// would be the empty relation.
+    EmptyIntersection {
+        /// The source type, displayed.
+        from: String,
+        /// The target type, displayed.
+        to: String,
+    },
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::OpenType { ty } => {
+                write!(f, "cannot build a filter for the open type `{ty}`")
+            }
+            FilterError::EmptyIntersection { from, to } => write!(
+                f,
+                "the filter `{from}` -> `{to}` would be empty: the types share no constructor shape"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+/// A generated filter: entry predicate plus all auxiliary predicates.
+#[derive(Debug, Clone)]
+pub struct FilterLibrary {
+    /// The entry predicate symbol `filterN` with type `filterN(from, to)`.
+    pub entry: Sym,
+    /// Program clauses defining the entry and auxiliary filters.
+    pub clauses: Vec<Clause>,
+    /// Predicate types (`p(τ_from, τ_to)`) for every generated predicate.
+    pub pred_types: Vec<Term>,
+}
+
+/// Enumerates the *shapes* of a closed type: the function-symbol-rooted
+/// types reachable by zero or more one-step expansions. Finite for guarded
+/// constraint sets (Theorem 3's argument).
+pub fn shapes(sig: &Signature, cs: &CheckedConstraints, ty: &Term) -> Vec<Term> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![ty.clone()];
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t.clone()) {
+            continue;
+        }
+        match &t {
+            Term::Var(_) => {}
+            Term::App(s, _) => match sig.kind(*s) {
+                SymKind::Func | SymKind::Skolem => {
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+                SymKind::TypeCtor => stack.extend(cs.expansions(&t)),
+                SymKind::Pred => {}
+            },
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Builds the filtering predicate family for `from → to`.
+///
+/// Fresh predicate symbols `filter0, filter1, …` (first unused suffix) are
+/// declared into `sig`; clauses draw fresh variables from `gen`.
+///
+/// ```
+/// use lp_parser::parse_module;
+/// use lp_term::Term;
+/// use subtype_core::{build_filter, ConstraintSet};
+///
+/// let mut m = parse_module(
+///     "FUNC 0, succ, pred. TYPE nat, unnat, int.
+///      nat >= 0 + succ(nat).
+///      unnat >= 0 + pred(unnat).
+///      int >= nat + unnat.",
+/// )?;
+/// let cs = ConstraintSet::from_module(&m)?.checked(&m.sig)?;
+/// let int = Term::constant(m.sig.lookup("int").unwrap());
+/// let nat = Term::constant(m.sig.lookup("nat").unwrap());
+///
+/// // Derive the paper's §7 int2nat predicate.
+/// let lib = build_filter(&mut m.sig, &cs, &int, &nat, &mut m.gen)?;
+/// assert_eq!(lib.clauses.len(), 2); // filter(0,0). filter(succ(X),succ(X)).
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// [`FilterError::OpenType`] if either type contains variables;
+/// [`FilterError::EmptyIntersection`] if no value can pass the filter.
+pub fn build_filter(
+    sig: &mut Signature,
+    cs: &CheckedConstraints,
+    from: &Term,
+    to: &Term,
+    gen: &mut VarGen,
+) -> Result<FilterLibrary, FilterError> {
+    if !from.is_ground() {
+        return Err(FilterError::OpenType {
+            ty: format!("{from:?}"),
+        });
+    }
+    if !to.is_ground() {
+        return Err(FilterError::OpenType {
+            ty: format!("{to:?}"),
+        });
+    }
+    let mut builder = Builder {
+        sig,
+        cs,
+        gen,
+        memo: BTreeMap::new(),
+        clauses: Vec::new(),
+        pred_types: Vec::new(),
+        next_name: 0,
+    };
+    let entry = builder.filter_for(from, to)?;
+    // Reject filters that can never succeed at the top level.
+    if builder
+        .clauses
+        .iter()
+        .all(|c| c.head.functor() != Some(entry))
+    {
+        return Err(FilterError::EmptyIntersection {
+            from: format!("{from:?}"),
+            to: format!("{to:?}"),
+        });
+    }
+    Ok(FilterLibrary {
+        entry,
+        clauses: builder.clauses,
+        pred_types: builder.pred_types,
+    })
+}
+
+struct Builder<'a> {
+    sig: &'a mut Signature,
+    cs: &'a CheckedConstraints,
+    gen: &'a mut VarGen,
+    memo: BTreeMap<(Term, Term), Sym>,
+    clauses: Vec<Clause>,
+    pred_types: Vec<Term>,
+    next_name: usize,
+}
+
+impl Builder<'_> {
+    fn fresh_pred(&mut self) -> Sym {
+        loop {
+            let name = format!("filter{}", self.next_name);
+            self.next_name += 1;
+            if self.sig.lookup(&name).is_none() {
+                return self
+                    .sig
+                    .declare_with_arity(&name, SymKind::Pred, 2)
+                    .expect("fresh name");
+            }
+        }
+    }
+
+    /// Returns (declaring and defining if necessary) the filter predicate
+    /// for `from → to`.
+    fn filter_for(&mut self, from: &Term, to: &Term) -> Result<Sym, FilterError> {
+        let key = (from.clone(), to.clone());
+        if let Some(&p) = self.memo.get(&key) {
+            return Ok(p);
+        }
+        let p = self.fresh_pred();
+        // Memoize *before* generating clauses: recursive types (lists)
+        // reference their own filter.
+        self.memo.insert(key, p);
+        self.pred_types
+            .push(Term::app(p, vec![from.clone(), to.clone()]));
+
+        if from == to {
+            // Identity filter: the type system guarantees the copy is safe.
+            let x = self.gen.fresh();
+            self.clauses.push(Clause::fact(Term::app(
+                p,
+                vec![Term::Var(x), Term::Var(x)],
+            )));
+            return Ok(p);
+        }
+
+        let from_shapes = shapes(self.sig, self.cs, from);
+        let to_shapes = shapes(self.sig, self.cs, to);
+        for to_shape in &to_shapes {
+            let f = to_shape.functor().expect("shapes are applications");
+            let n = to_shape.args().len();
+            // All source shapes with the same outermost symbol; a source
+            // value with this constructor has, per argument, the *union* of
+            // their argument types.
+            let sources: Vec<&Term> = from_shapes
+                .iter()
+                .filter(|s| s.functor() == Some(f) && s.args().len() == n)
+                .collect();
+            if sources.is_empty() {
+                continue;
+            }
+            let mut body = Vec::new();
+            let mut in_args = Vec::with_capacity(n);
+            let mut out_args = Vec::with_capacity(n);
+            let mut degenerate = false;
+            for i in 0..n {
+                let to_arg = &to_shape.args()[i];
+                let from_arg = union_of(self.sig, sources.iter().map(|s| &s.args()[i]));
+                let x = self.gen.fresh();
+                if &from_arg == to_arg {
+                    // Same type: copy straight through.
+                    in_args.push(Term::Var(x));
+                    out_args.push(Term::Var(x));
+                } else {
+                    let y = self.gen.fresh();
+                    match self.filter_for(&from_arg, to_arg) {
+                        Ok(sub) => {
+                            body.push(Term::app(sub, vec![Term::Var(x), Term::Var(y)]));
+                            in_args.push(Term::Var(x));
+                            out_args.push(Term::Var(y));
+                        }
+                        Err(FilterError::EmptyIntersection { .. }) => {
+                            degenerate = true;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            if degenerate {
+                continue;
+            }
+            self.clauses.push(Clause::rule(
+                Term::app(p, vec![Term::app(f, in_args), Term::app(f, out_args)]),
+                body,
+            ));
+        }
+        Ok(p)
+    }
+}
+
+/// The union (via the predefined `+`) of one or more types; a single type
+/// is returned as-is.
+fn union_of<'t>(sig: &Signature, mut types: impl Iterator<Item = &'t Term>) -> Term {
+    let first = types.next().expect("at least one source shape").clone();
+    let mut distinct: Vec<Term> = vec![first];
+    for t in types {
+        if !distinct.contains(t) {
+            distinct.push(t.clone());
+        }
+    }
+    let plus = sig.lookup("+");
+    distinct
+        .into_iter()
+        .reduce(|a, b| match plus {
+            Some(plus) => Term::app(plus, vec![a, b]),
+            None => a, // no union declared: keep the first source type
+        })
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::tests::world;
+    use crate::prover::Prover;
+    use crate::welltyped::{Checker, PredTypeTable};
+    use lp_engine::{Database, Query, SolveConfig};
+
+    fn library_world() -> (crate::prover::tests::World, lp_term::VarGen) {
+        let w = world();
+        let gen = lp_term::VarGen::starting_at(10_000);
+        (w, gen)
+    }
+
+    #[test]
+    fn shapes_of_int_and_nat() {
+        let (w, _) = library_world();
+        let int_shapes = shapes(&w.sig, &w.cs, &Term::constant(w.int));
+        // 0, succ(nat), pred(unnat).
+        assert_eq!(int_shapes.len(), 3);
+        let nat_shapes = shapes(&w.sig, &w.cs, &Term::constant(w.nat));
+        assert_eq!(nat_shapes.len(), 2);
+    }
+
+    #[test]
+    fn generated_int2nat_matches_the_paper() {
+        // build_filter(int, nat) must produce exactly the §7 predicate:
+        // filter(0, 0). filter(succ(X), succ(X)).
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let lib = build_filter(
+            &mut w.sig,
+            &cs,
+            &Term::constant(w.int),
+            &Term::constant(w.nat),
+            &mut gen,
+        )
+        .unwrap();
+        assert_eq!(lib.clauses.len(), 2);
+        // Both clauses are facts (no recursive calls): argument types agree.
+        assert!(lib.clauses.iter().all(Clause::is_fact));
+        // One clause per shape: 0 and succ.
+        let heads: BTreeSet<Sym> = lib
+            .clauses
+            .iter()
+            .map(|c| c.head.args()[0].functor().unwrap())
+            .collect();
+        assert!(heads.contains(&w.zero));
+        assert!(heads.contains(&w.succ));
+    }
+
+    #[test]
+    fn generated_filters_are_well_typed() {
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        let lib = build_filter(&mut w.sig, &cs, &list_int, &list_nat, &mut gen).unwrap();
+        let mut preds = PredTypeTable::new();
+        for pt in &lib.pred_types {
+            preds.insert(&w.sig, pt.clone()).unwrap();
+        }
+        let checker = Checker::new(&w.sig, &cs, &preds);
+        checker
+            .check_program(lib.clauses.iter())
+            .unwrap_or_else(|e| panic!("generated filter ill-typed: {e:?}"));
+    }
+
+    #[test]
+    fn filters_filter_operationally() {
+        // Run the generated int→nat filter on inhabitants: nats pass,
+        // unnats (except 0) are rejected.
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let lib = build_filter(
+            &mut w.sig,
+            &cs,
+            &Term::constant(w.int),
+            &Term::constant(w.nat),
+            &mut gen,
+        )
+        .unwrap();
+        let db: Database = lib.clauses.iter().cloned().collect();
+        let run = |input: Term| -> Option<Term> {
+            let out = Term::Var(lp_term::Var(99_999));
+            let goal = Term::app(lib.entry, vec![input, out.clone()]);
+            let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+            q.next_solution().map(|s| s.answer.resolve(&out))
+        };
+        assert_eq!(run(w.num(0)), Some(w.num(0)));
+        assert_eq!(run(w.num(3)), Some(w.num(3)));
+        assert_eq!(run(w.num(-1)), None);
+        assert_eq!(run(w.num(-4)), None);
+    }
+
+    #[test]
+    fn recursive_list_filter_works_end_to_end() {
+        // list(int) → list(nat): keeps all-nat lists, rejects lists with
+        // any unnat element.
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        let lib = build_filter(&mut w.sig, &cs, &list_int, &list_nat, &mut gen).unwrap();
+        let db: Database = lib.clauses.iter().cloned().collect();
+        let prover = Prover::new(&w.sig, &cs);
+        let run = |input: Term| -> bool {
+            let out = Term::Var(lp_term::Var(99_999));
+            let goal = Term::app(lib.entry, vec![input, out.clone()]);
+            let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+            match q.next_solution() {
+                None => false,
+                Some(s) => {
+                    // Whatever passes must be a list(nat).
+                    let result = s.answer.resolve(&out);
+                    assert!(prover.member(&list_nat, &result).is_proved());
+                    true
+                }
+            }
+        };
+        assert!(run(w.list_of(&[])));
+        assert!(run(w.list_of(&[w.num(0), w.num(2)])));
+        assert!(!run(w.list_of(&[w.num(0), w.num(-1)])));
+        assert!(!run(w.list_of(&[w.num(-2)])));
+    }
+
+    #[test]
+    fn identity_filter_is_single_copy_clause() {
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let nat = Term::constant(w.nat);
+        let lib = build_filter(&mut w.sig, &cs, &nat, &nat, &mut gen).unwrap();
+        assert_eq!(lib.clauses.len(), 1);
+        assert!(lib.clauses[0].is_fact());
+        // head filter(X, X).
+        let head = &lib.clauses[0].head;
+        assert_eq!(head.args()[0], head.args()[1]);
+    }
+
+    #[test]
+    fn empty_intersection_is_rejected() {
+        // elist and nat share no constructor shape.
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let err = build_filter(
+            &mut w.sig,
+            &cs,
+            &Term::constant(w.elist),
+            &Term::constant(w.nat),
+            &mut gen,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FilterError::EmptyIntersection { .. }));
+    }
+
+    #[test]
+    fn open_types_are_rejected() {
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let a = gen.fresh();
+        let open = Term::app(w.list, vec![Term::Var(a)]);
+        let err = build_filter(&mut w.sig, &cs, &open, &Term::constant(w.nat), &mut gen)
+            .unwrap_err();
+        assert!(matches!(err, FilterError::OpenType { .. }));
+    }
+
+    #[test]
+    fn int_to_unnat_filter_is_dual() {
+        let (mut w, mut gen) = library_world();
+        let cs = w.cs.clone();
+        let lib = build_filter(
+            &mut w.sig,
+            &cs,
+            &Term::constant(w.int),
+            &Term::constant(w.unnat),
+            &mut gen,
+        )
+        .unwrap();
+        let db: Database = lib.clauses.iter().cloned().collect();
+        let run = |input: Term| -> bool {
+            let out = Term::Var(lp_term::Var(99_999));
+            let goal = Term::app(lib.entry, vec![input, out.clone()]);
+            let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+            q.next_solution().is_some()
+        };
+        assert!(run(w.num(0)));
+        assert!(run(w.num(-3)));
+        assert!(!run(w.num(2)));
+    }
+}

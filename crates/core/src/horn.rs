@@ -1,0 +1,273 @@
+//! The Horn theory `H_C` (paper §2).
+//!
+//! "The set `H_C` contains each constraint in `C` as a fact, a substitution
+//! axiom
+//!
+//! ```text
+//! s(α₁,…,αₙ) >= s(β₁,…,βₙ) :- α₁ >= β₁, …, αₙ >= βₙ.
+//! ```
+//!
+//! for each `s/n ∈ F ∪ T`, including the degenerate case `s >= s.` where
+//! `n = 0`, and the transitivity axiom
+//!
+//! ```text
+//! A >= C :- A >= B, B >= C.
+//! ```
+//!
+//! The theory is materialized as an ordinary [`Database`] for the SLD engine:
+//! this is the *definition* of subtyping (Definition 3), and the reference
+//! [`NaiveProver`](crate::NaiveProver) executes it literally.
+
+use lp_engine::{Clause, Database};
+use lp_term::{Signature, Sym, SymKind, Term, VarGen};
+
+use crate::constraint::ConstraintSet;
+
+/// The Horn theory `H_C` for a set of subtype constraints, ready to run.
+#[derive(Debug, Clone)]
+pub struct HornTheory {
+    /// An augmented copy of the user signature with the `>=` predicate.
+    sig: Signature,
+    /// The `>=` predicate symbol.
+    geq: Sym,
+    /// The clauses of `H_C`.
+    db: Database,
+    /// Fresh-variable source positioned past every clause variable.
+    watermark: u32,
+}
+
+impl HornTheory {
+    /// Builds `H_C` for `set`, generating substitution axioms for every
+    /// function symbol, type constructor and skolem constant currently
+    /// declared in `sig`.
+    ///
+    /// Skolems receive their degenerate axiom `sk >= sk.` so that frozen
+    /// types (`τ̄`, Definition 5) can be reasoned about; build the theory
+    /// *after* freezing whatever needs freezing.
+    pub fn build(sig: &Signature, set: &ConstraintSet) -> Self {
+        let mut sig = sig.clone();
+        let geq = sig
+            .declare_with_arity(">=", SymKind::Pred, 2)
+            .expect("`>=` must not clash with user symbols");
+        let mut gen = VarGen::new();
+        // Position the generator past all constraint variables.
+        for c in set.constraints() {
+            for v in c.lhs.vars().into_iter().chain(c.rhs.vars()) {
+                gen.reserve(v);
+            }
+        }
+        let mut db = Database::new();
+        // Each constraint as a fact.
+        for c in set.constraints() {
+            db.add(Clause::fact(Term::app(
+                geq,
+                vec![c.lhs.clone(), c.rhs.clone()],
+            )));
+        }
+        // Substitution axioms for each s/n ∈ F ∪ T (and skolems).
+        let symbols: Vec<Sym> = sig
+            .symbols()
+            .filter(|&s| {
+                matches!(
+                    sig.kind(s),
+                    SymKind::Func | SymKind::TypeCtor | SymKind::Skolem
+                )
+            })
+            .collect();
+        for s in symbols {
+            let n = sig.arity(s).unwrap_or(0);
+            let alphas: Vec<Term> = (0..n).map(|_| Term::Var(gen.fresh())).collect();
+            let betas: Vec<Term> = (0..n).map(|_| Term::Var(gen.fresh())).collect();
+            let head = Term::app(
+                geq,
+                vec![
+                    Term::app(s, alphas.clone()),
+                    Term::app(s, betas.clone()),
+                ],
+            );
+            let body: Vec<Term> = alphas
+                .into_iter()
+                .zip(betas)
+                .map(|(a, b)| Term::app(geq, vec![a, b]))
+                .collect();
+            db.add(Clause::rule(head, body));
+        }
+        // Transitivity: A >= C :- A >= B, B >= C.
+        let (a, b, c) = (gen.fresh(), gen.fresh(), gen.fresh());
+        db.add(Clause::rule(
+            Term::app(geq, vec![Term::Var(a), Term::Var(c)]),
+            vec![
+                Term::app(geq, vec![Term::Var(a), Term::Var(b)]),
+                Term::app(geq, vec![Term::Var(b), Term::Var(c)]),
+            ],
+        ));
+        let watermark = gen.watermark().max(db.var_watermark());
+        HornTheory {
+            sig,
+            geq,
+            db,
+            watermark,
+        }
+    }
+
+    /// The clause database of `H_C`.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The `>=` predicate symbol.
+    pub fn geq(&self) -> Sym {
+        self.geq
+    }
+
+    /// The augmented signature (user symbols plus `>=`).
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Builds the goal atom `τ₁ >= τ₂`.
+    pub fn goal(&self, sup: &Term, sub: &Term) -> Term {
+        Term::app(self.geq, vec![sup.clone(), sub.clone()])
+    }
+
+    /// First variable index safely past every clause of the theory.
+    pub fn var_watermark(&self) -> u32 {
+        self.watermark
+    }
+
+    /// Replays an explicit SLD derivation: resolves the leftmost atom with
+    /// the database clause at each given index, in order. Returns the final
+    /// resolvent (empty for a refutation) with all bindings applied.
+    ///
+    /// This is how the worked derivation of §2 is verified literally
+    /// (experiment E1): blind search cannot reach depth-13 refutations of
+    /// `H_C`, but checking the paper's own clause sequence is immediate.
+    ///
+    /// # Errors
+    ///
+    /// The failing step index, when a clause head does not unify with the
+    /// selected atom or the resolvent is already empty.
+    pub fn replay(&self, goals: Vec<Term>, clause_indices: &[usize]) -> Result<Vec<Term>, usize> {
+        let mut gen = lp_term::VarGen::starting_at(self.watermark);
+        let mut goals = goals;
+        for g in &goals {
+            for v in g.vars() {
+                gen.reserve(v);
+            }
+        }
+        let mut subst = lp_term::Subst::new();
+        for (step, &index) in clause_indices.iter().enumerate() {
+            let Some(selected) = goals.first().cloned() else {
+                return Err(step);
+            };
+            let clause = self.db.clause(index);
+            let mut map = std::collections::HashMap::new();
+            let head = lp_term::rename_term(&clause.head, &mut gen, &mut map);
+            if lp_term::unify(&selected, &head, &mut subst).is_err() {
+                return Err(step);
+            }
+            let mut next = Vec::with_capacity(clause.body.len() + goals.len() - 1);
+            for b in &clause.body {
+                next.push(lp_term::rename_term(b, &mut gen, &mut map));
+            }
+            next.extend_from_slice(&goals[1..]);
+            goals = next;
+        }
+        Ok(goals.iter().map(|g| subst.resolve(g)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_engine::{Query, SolveConfig};
+
+    /// The intro nat/int declarations.
+    fn nat_theory() -> (Signature, ConstraintSet, VarGen) {
+        let mut sig = Signature::new();
+        let zero = sig.declare("0", SymKind::Func).unwrap();
+        let succ = sig.declare_with_arity("succ", SymKind::Func, 1).unwrap();
+        let pred = sig.declare_with_arity("pred", SymKind::Func, 1).unwrap();
+        let nat = sig.declare("nat", SymKind::TypeCtor).unwrap();
+        let unnat = sig.declare("unnat", SymKind::TypeCtor).unwrap();
+        let int = sig.declare("int", SymKind::TypeCtor).unwrap();
+        let mut gen = VarGen::new();
+        let mut cs = ConstraintSet::new();
+        let plus = cs.add_union(&mut sig, &mut gen).unwrap();
+        cs.add(
+            &sig,
+            Term::constant(nat),
+            Term::app(
+                plus,
+                vec![
+                    Term::constant(zero),
+                    Term::app(succ, vec![Term::constant(nat)]),
+                ],
+            ),
+        )
+        .unwrap();
+        cs.add(
+            &sig,
+            Term::constant(unnat),
+            Term::app(
+                plus,
+                vec![
+                    Term::constant(zero),
+                    Term::app(pred, vec![Term::constant(unnat)]),
+                ],
+            ),
+        )
+        .unwrap();
+        cs.add(
+            &sig,
+            Term::constant(int),
+            Term::app(plus, vec![Term::constant(nat), Term::constant(unnat)]),
+        )
+        .unwrap();
+        (sig, cs, gen)
+    }
+
+    #[test]
+    fn theory_has_expected_clause_count() {
+        let (sig, cs, _) = nat_theory();
+        let theory = HornTheory::build(&sig, &cs);
+        // 5 constraint facts (2 union + 3) + 7 substitution axioms
+        // (0, succ, pred, nat, unnat, int, +) + 1 transitivity.
+        assert_eq!(theory.database().len(), 5 + 7 + 1);
+    }
+
+    #[test]
+    fn derives_int_geq_succ_zero_via_sld() {
+        let (sig, cs, _) = nat_theory();
+        let theory = HornTheory::build(&sig, &cs);
+        let int = sig.lookup("int").unwrap();
+        let succ = sig.lookup("succ").unwrap();
+        let zero = sig.lookup("0").unwrap();
+        let one = Term::app(succ, vec![Term::constant(zero)]);
+        let goal = theory.goal(&Term::constant(int), &one);
+        // Depth-bounded DFS: the SLD tree of H_C is infinite.
+        let mut q = Query::new(
+            theory.database(),
+            vec![goal],
+            SolveConfig::depth_bounded(12),
+        );
+        assert!(q.next_solution().is_some());
+    }
+
+    #[test]
+    fn does_not_derive_nat_geq_pred_zero_within_bound() {
+        let (sig, cs, _) = nat_theory();
+        let theory = HornTheory::build(&sig, &cs);
+        let nat = sig.lookup("nat").unwrap();
+        let pred = sig.lookup("pred").unwrap();
+        let zero = sig.lookup("0").unwrap();
+        let minus_one = Term::app(pred, vec![Term::constant(zero)]);
+        let goal = theory.goal(&Term::constant(nat), &minus_one);
+        let mut q = Query::new(
+            theory.database(),
+            vec![goal],
+            SolveConfig::depth_bounded(10),
+        );
+        assert!(q.next_solution().is_none());
+    }
+}

@@ -1,0 +1,371 @@
+//! The `match` function (paper §4, Definition 13).
+//!
+//! `match(τ, t)` returns a most general, respectful typing for the variables
+//! of `t` under the type `τ`, when it can find one:
+//!
+//! * `match(τ, x) = {x ↦ τ}`;
+//! * `match(x, f(t₁…tₙ)) = ⊥` — a bare type variable cannot type a compound
+//!   term respectfully;
+//! * `match(g(τ…), f(t…))`: `fail` on constructor mismatch, otherwise match
+//!   argument-wise; disagreeing sub-typings give `⊥`;
+//! * `match(c(τ…), f(t…))` for `c ∈ T`: match against every one-step
+//!   expansion `c(τ…) →_C σ`; exactly one distinct successful typing wins,
+//!   several (or any `⊥`) give `⊥`, none gives `fail`.
+//!
+//! The three-valued result is faithful to the paper, *including* its
+//! documented incompleteness: `⊥` means "match lost track" — a respectful
+//! most general typing may or may not exist (see the §4 examples,
+//! reproduced in this module's tests).
+//!
+//! The case `S = ∅` (a type constructor with *no* defining constraints) is
+//! unspecified in the paper; we return `fail`, which is the reading
+//! consistent with Theorem 2 (any typing must come through some constraint)
+//! and with the Theorem 4 proof. This completion is recorded in DESIGN.md.
+//!
+//! Termination for uniform, guarded constraint sets is Theorem 5.
+
+use lp_term::{SymKind, Term};
+
+use crate::constraint::CheckedConstraints;
+use crate::typing::Typing;
+
+/// The three-valued result of `match` (Definition 13).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatchOutcome {
+    /// A respectful, most general typing (Theorem 4, part 1).
+    Typing(Typing),
+    /// No typing exists at all (Theorem 4, part 2).
+    Fail,
+    /// `⊥`: `match` lost track — no claim either way.
+    Bottom,
+}
+
+impl MatchOutcome {
+    /// The typing, if one was found.
+    pub fn typing(&self) -> Option<&Typing> {
+        match self {
+            MatchOutcome::Typing(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the outcome is `fail`.
+    pub fn is_fail(&self) -> bool {
+        matches!(self, MatchOutcome::Fail)
+    }
+
+    /// Whether the outcome is `⊥`.
+    pub fn is_bottom(&self) -> bool {
+        matches!(self, MatchOutcome::Bottom)
+    }
+}
+
+/// Computes `match(τ, t)` (Definition 13).
+///
+/// `sig` classifies symbols: the type side may use `F ∪ T` (and skolems),
+/// the term side `F` (and, when matching atoms as in Definition 16,
+/// a predicate symbol at the root — predicate symbols are treated as
+/// function symbols here, exactly as the paper prescribes).
+///
+/// ```
+/// use lp_parser::parse_module;
+/// use lp_term::Term;
+/// use subtype_core::{match_type, ConstraintSet};
+///
+/// let mut m = parse_module(
+///     "FUNC nil, cons. TYPE elist, nelist, list.
+///      elist >= nil.
+///      nelist(A) >= cons(A, list(A)).
+///      list(A) >= elist + nelist(A).",
+/// )?;
+/// let cs = ConstraintSet::from_module(&m)?.checked(&m.sig)?;
+/// let list = m.sig.lookup("list").unwrap();
+/// let cons = m.sig.lookup("cons").unwrap();
+/// let (a, x, y) = (m.gen.fresh(), m.gen.fresh(), m.gen.fresh());
+///
+/// // match(list(A), cons(X, Y)) = {X ↦ A, Y ↦ list(A)}.
+/// let ty = Term::app(list, vec![Term::Var(a)]);
+/// let t = Term::app(cons, vec![Term::Var(x), Term::Var(y)]);
+/// let theta = match_type(&m.sig, &cs, &ty, &t).typing().unwrap().clone();
+/// assert_eq!(theta.get(x), Some(&Term::Var(a)));
+/// assert_eq!(theta.get(y), Some(&ty));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn match_type(
+    sig: &lp_term::Signature,
+    cs: &CheckedConstraints,
+    ty: &Term,
+    t: &Term,
+) -> MatchOutcome {
+    // Clause 1: match(τ, x) = {x ↦ τ}.
+    if let Term::Var(x) = t {
+        return MatchOutcome::Typing(Typing::from_bindings([(*x, ty.clone())]));
+    }
+    match ty {
+        // Clause 2: match(x, f(t₁…tₘ)) = ⊥.
+        Term::Var(_) => MatchOutcome::Bottom,
+        Term::App(g, gargs) => match sig.kind(*g) {
+            // Clause 3: g is (treated as) a function symbol.
+            SymKind::Func | SymKind::Skolem | SymKind::Pred => {
+                let (f, fargs) = (t.functor().expect("t is an application"), t.args());
+                if *g != f || gargs.len() != fargs.len() {
+                    return MatchOutcome::Fail;
+                }
+                let mut acc = Typing::empty();
+                let mut bottom = false;
+                for (tau_i, t_i) in gargs.iter().zip(fargs) {
+                    match match_type(sig, cs, tau_i, t_i) {
+                        MatchOutcome::Fail => return MatchOutcome::Fail,
+                        MatchOutcome::Bottom => bottom = true,
+                        MatchOutcome::Typing(theta) => {
+                            if !acc.agrees_with(&theta) {
+                                bottom = true;
+                            } else if !bottom {
+                                acc = acc.union(&theta);
+                            }
+                        }
+                    }
+                }
+                if bottom {
+                    MatchOutcome::Bottom
+                } else {
+                    MatchOutcome::Typing(acc)
+                }
+            }
+            // Clause 4: g = c ∈ T — match against every expansion.
+            SymKind::TypeCtor => {
+                let mut typings: Vec<Typing> = Vec::new();
+                let mut saw_bottom = false;
+                for sigma in cs.expansions(ty) {
+                    match match_type(sig, cs, &sigma, t) {
+                        MatchOutcome::Fail => {}
+                        MatchOutcome::Bottom => saw_bottom = true,
+                        MatchOutcome::Typing(theta) => {
+                            // Set semantics: keep distinct typings only.
+                            if !typings.contains(&theta) {
+                                typings.push(theta);
+                            }
+                        }
+                    }
+                }
+                if saw_bottom {
+                    MatchOutcome::Bottom
+                } else {
+                    match typings.len() {
+                        0 => MatchOutcome::Fail,
+                        1 => MatchOutcome::Typing(typings.pop().expect("len 1")),
+                        _ => MatchOutcome::Bottom,
+                    }
+                }
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::tests::{world, World};
+    use crate::typing::{is_respectful, is_typing, typing_more_general};
+    use lp_term::{Term, Var};
+
+    fn x_of(w: &mut World) -> Var {
+        w.gen.fresh()
+    }
+
+    #[test]
+    fn match_variable_term_returns_the_type() {
+        // match(list(A), X) = {X ↦ list(A)} (§4).
+        let mut w = world();
+        let a = w.gen.fresh();
+        let x = x_of(&mut w);
+        let la = Term::app(w.list, vec![Term::Var(a)]);
+        let out = match_type(&w.sig, &w.cs, &la, &Term::Var(x));
+        let theta = out.typing().expect("typing");
+        assert_eq!(theta.get(x), Some(&la));
+    }
+
+    #[test]
+    fn match_fails_when_no_typing_possible() {
+        // match(int, cons(X, Y)) = fail (§4).
+        let mut w = world();
+        let (x, y) = (x_of(&mut w), x_of(&mut w));
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(y)]);
+        let out = match_type(&w.sig, &w.cs, &Term::constant(w.int), &t);
+        assert!(out.is_fail());
+    }
+
+    #[test]
+    fn match_list_of_cons_gives_element_typings() {
+        // match(list(A), cons(X, Y)) should type X: A and Y: list(A).
+        let mut w = world();
+        let a = w.gen.fresh();
+        let (x, y) = (x_of(&mut w), x_of(&mut w));
+        let la = Term::app(w.list, vec![Term::Var(a)]);
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(y)]);
+        let out = match_type(&w.sig, &w.cs, &la, &t);
+        let theta = out.typing().expect("typing").clone();
+        assert_eq!(theta.get(x), Some(&Term::Var(a)));
+        assert_eq!(theta.get(y), Some(&la));
+        // Theorem 4: respectful and most general.
+        let cs = w.cs.clone();
+        assert!(is_typing(&mut w.sig, &cs, &la, &t, &theta));
+        assert!(is_respectful(&mut w.sig, &cs, &la, &t, &theta));
+    }
+
+    #[test]
+    fn bottom_when_function_symbol_takes_arguments_of_different_types() {
+        // match(f(int) + f(list(A)), f(X)) = ⊥ (§4; f here: succ).
+        let mut w = world();
+        let plus = w.sig.lookup("+").unwrap();
+        let a = w.gen.fresh();
+        let x = x_of(&mut w);
+        let ty = Term::app(
+            plus,
+            vec![
+                Term::app(w.succ, vec![Term::constant(w.int)]),
+                Term::app(
+                    w.succ,
+                    vec![Term::app(w.list, vec![Term::Var(a)])],
+                ),
+            ],
+        );
+        let t = Term::app(w.succ, vec![Term::Var(x)]);
+        assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
+    }
+
+    #[test]
+    fn bottom_when_type_is_a_variable_over_compound_term() {
+        // match(A, f(X)) = ⊥ (§4).
+        let mut w = world();
+        let a = w.gen.fresh();
+        let x = x_of(&mut w);
+        let t = Term::app(w.succ, vec![Term::Var(x)]);
+        assert!(match_type(&w.sig, &w.cs, &Term::Var(a), &t).is_bottom());
+    }
+
+    #[test]
+    fn bottom_on_lost_track_union_of_comparable_types() {
+        // match(f(int) + f(nat), f(X)) = ⊥ — a respectful most general
+        // typing exists ({X↦int}) but match loses track (§4).
+        let mut w = world();
+        let plus = w.sig.lookup("+").unwrap();
+        let x = x_of(&mut w);
+        let ty = Term::app(
+            plus,
+            vec![
+                Term::app(w.succ, vec![Term::constant(w.int)]),
+                Term::app(w.succ, vec![Term::constant(w.nat)]),
+            ],
+        );
+        let t = Term::app(w.succ, vec![Term::Var(x)]);
+        assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
+    }
+
+    #[test]
+    fn bottom_on_repeated_variable_with_comparable_types() {
+        // match(f(int, nat), f(X, X)) = ⊥ (§4; f here: cons).
+        let mut w = world();
+        let x = x_of(&mut w);
+        let ty = Term::app(
+            w.cons,
+            vec![Term::constant(w.int), Term::constant(w.nat)],
+        );
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(x)]);
+        assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
+    }
+
+    #[test]
+    fn bottom_on_repeated_variable_with_incompatible_types() {
+        // match(f(int, list(A)), f(X, X)) = ⊥ — actually no typing exists,
+        // but match cannot tell (§4).
+        let mut w = world();
+        let a = w.gen.fresh();
+        let x = x_of(&mut w);
+        let ty = Term::app(
+            w.cons,
+            vec![
+                Term::constant(w.int),
+                Term::app(w.list, vec![Term::Var(a)]),
+            ],
+        );
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(x)]);
+        assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
+    }
+
+    #[test]
+    fn constant_matches_through_nullary_clause() {
+        // match(nat, 0): expansion nat → 0 + succ(nat) → 0 succeeds with {}.
+        let w = world();
+        let out = match_type(&w.sig, &w.cs, &Term::constant(w.nat), &Term::constant(w.zero));
+        assert_eq!(out.typing().map(Typing::len), Some(0));
+    }
+
+    #[test]
+    fn ground_numeral_matches_int_but_not_nat_when_negative() {
+        let w = world();
+        let minus_one = Term::app(w.pred, vec![Term::constant(w.zero)]);
+        assert!(match_type(&w.sig, &w.cs, &Term::constant(w.int), &minus_one)
+            .typing()
+            .is_some());
+        assert!(match_type(&w.sig, &w.cs, &Term::constant(w.nat), &minus_one).is_fail());
+    }
+
+    #[test]
+    fn match_is_most_general_among_sampled_typings() {
+        // Theorem 4 spot check: the computed typing is more general than
+        // hand-picked alternatives.
+        let mut w = world();
+        let a = w.gen.fresh();
+        let (x, y) = (x_of(&mut w), x_of(&mut w));
+        let la = Term::app(w.list, vec![Term::Var(a)]);
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(y)]);
+        let computed = match_type(&w.sig, &w.cs, &la, &t)
+            .typing()
+            .expect("typing")
+            .clone();
+        let cs = w.cs.clone();
+        for alt in [
+            Typing::from_bindings([
+                (x, Term::constant(w.int)),
+                (y, Term::app(w.list, vec![Term::constant(w.int)])),
+            ]),
+            Typing::from_bindings([
+                (x, Term::constant(w.nat)),
+                (y, Term::constant(w.elist)),
+            ]),
+        ] {
+            // Only compare alternatives that are actually typings.
+            if is_typing(&mut w.sig, &cs, &la, &t, &alt) {
+                assert!(typing_more_general(&mut w.sig, &cs, &computed, &alt, &t));
+            }
+        }
+    }
+
+    #[test]
+    fn skolem_type_fails_on_any_application() {
+        let mut w = world();
+        let sk = w.sig.fresh_skolem();
+        let t = Term::app(w.succ, vec![Term::constant(w.zero)]);
+        assert!(match_type(&w.sig, &w.cs, &Term::constant(sk), &t).is_fail());
+    }
+
+    #[test]
+    fn nested_polymorphic_match() {
+        // match(list(list(A)), cons(cons(X, nil), nil)).
+        let mut w = world();
+        let a = w.gen.fresh();
+        let x = x_of(&mut w);
+        let lla = Term::app(w.list, vec![Term::app(w.list, vec![Term::Var(a)])]);
+        let t = Term::app(
+            w.cons,
+            vec![
+                Term::app(w.cons, vec![Term::Var(x), Term::constant(w.nil)]),
+                Term::constant(w.nil),
+            ],
+        );
+        let out = match_type(&w.sig, &w.cs, &lla, &t);
+        let theta = out.typing().expect("typing");
+        assert_eq!(theta.get(x), Some(&Term::Var(a)));
+    }
+}

@@ -1,0 +1,375 @@
+//! Typings and the bar operation (paper §2 Definition 5, §4 Definitions
+//! 10–12).
+//!
+//! * [`freeze`] implements `τ̄`: "τ with each variable replaced by a unique
+//!   constant not appearing in any type" — fresh skolem symbols.
+//! * [`Typing`] is a finite map from (program) variables to types.
+//! * [`is_typing`] / [`is_respectful`] decide Definition 10 using the
+//!   deterministic prover; [`is_more_general`] decides Definition 5;
+//!   [`typing_more_general`] lifts it to typings (Definition 11);
+//!   [`Typing::agrees_with`] is Definition 12 (syntactic type equality).
+
+use std::collections::BTreeMap;
+
+use lp_term::{Signature, Sym, Term, Var};
+
+use crate::constraint::CheckedConstraints;
+use crate::prover::{Proof, Prover};
+
+/// Freezes a term: every variable becomes a fresh skolem constant, shared
+/// occurrences staying shared. Returns the frozen term.
+///
+/// Each call uses *new* skolems; to freeze several terms consistently (same
+/// variable ↦ same skolem across terms) use [`freeze_with`] or
+/// [`freeze_pair`].
+pub fn freeze(sig: &mut Signature, t: &Term) -> Term {
+    let mut map = BTreeMap::new();
+    freeze_with(sig, &mut map, t)
+}
+
+/// Freezes `t` reusing (and extending) an explicit variable ↦ skolem map.
+pub fn freeze_with(sig: &mut Signature, map: &mut BTreeMap<Var, Sym>, t: &Term) -> Term {
+    t.map_vars(&mut |v| {
+        let sk = *map.entry(v).or_insert_with(|| sig.fresh_skolem());
+        Term::constant(sk)
+    })
+}
+
+/// Freezes two terms with one shared map, so variables common to both freeze
+/// to the same skolem (needed for statements like `τ̄₁ >= τ̄₂`).
+pub fn freeze_pair(sig: &mut Signature, t1: &Term, t2: &Term) -> (Term, Term) {
+    let mut map = BTreeMap::new();
+    let f1 = freeze_with(sig, &mut map, t1);
+    let f2 = freeze_with(sig, &mut map, t2);
+    (f1, f2)
+}
+
+/// Decides Definition 5: `τ₁` is more general than `τ₂` iff `τ₁ ⪰_C τ̄₂`.
+///
+/// Variables of `τ₂` are frozen (universally read); variables of `τ₁` remain
+/// free (existentially read).
+pub fn is_more_general(
+    sig: &mut Signature,
+    cs: &CheckedConstraints,
+    t1: &Term,
+    t2: &Term,
+) -> Proof {
+    let frozen = freeze(sig, t2);
+    Prover::new(sig, cs).subtype(t1, &frozen)
+}
+
+/// A typing: a substitution mapping each variable of a term to a type
+/// (Definition 10).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Typing {
+    map: BTreeMap<Var, Term>,
+}
+
+impl Typing {
+    /// The empty typing (for a variable-free term).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a typing from bindings.
+    pub fn from_bindings(bindings: impl IntoIterator<Item = (Var, Term)>) -> Self {
+        Typing {
+            map: bindings.into_iter().collect(),
+        }
+    }
+
+    /// Assigns type `ty` to variable `v`.
+    pub fn bind(&mut self, v: Var, ty: Term) {
+        self.map.insert(v, ty);
+    }
+
+    /// The type assigned to `v`, if any.
+    pub fn get(&self, v: Var) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Iterates over bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, &Term)> {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+
+    /// Number of typed variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no variable is typed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Definition 12: two typings agree iff they assign *syntactically
+    /// equal* types to common variables.
+    pub fn agrees_with(&self, other: &Typing) -> bool {
+        self.map
+            .iter()
+            .all(|(v, t)| other.map.get(v).is_none_or(|u| u == t))
+    }
+
+    /// Union of two agreeing typings (the `∪S` of Definition 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the typings disagree.
+    pub fn union(mut self, other: &Typing) -> Typing {
+        debug_assert!(self.agrees_with(other), "union of disagreeing typings");
+        for (v, t) in &other.map {
+            self.map.entry(*v).or_insert_with(|| t.clone());
+        }
+        self
+    }
+
+    /// Applies the typing to a term, replacing typed variables by their
+    /// types (producing `tθ`).
+    pub fn apply(&self, t: &Term) -> Term {
+        t.map_vars(&mut |v| match self.map.get(&v) {
+            Some(ty) => ty.clone(),
+            None => Term::Var(v),
+        })
+    }
+}
+
+impl FromIterator<(Var, Term)> for Typing {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Typing::from_bindings(iter)
+    }
+}
+
+/// Definition 12 for a whole set: pairwise agreement.
+pub fn agree(typings: &[&Typing]) -> bool {
+    typings
+        .iter()
+        .enumerate()
+        .all(|(i, a)| typings[i + 1..].iter().all(|b| a.agrees_with(b)))
+}
+
+/// Definition 10: `θ` is a typing for `t` under `τ` iff `τ ⪰_C 〈tθ〉̄`.
+pub fn is_typing(
+    sig: &mut Signature,
+    cs: &CheckedConstraints,
+    ty: &Term,
+    t: &Term,
+    theta: &Typing,
+) -> bool {
+    let applied = theta.apply(t);
+    let frozen = freeze(sig, &applied);
+    Prover::new(sig, cs).subtype(ty, &frozen).is_proved()
+}
+
+/// Definition 10: `θ` is *respectful* iff `τ̄ ⪰_C 〈tθ〉̄`, freezing shared
+/// variables consistently.
+pub fn is_respectful(
+    sig: &mut Signature,
+    cs: &CheckedConstraints,
+    ty: &Term,
+    t: &Term,
+    theta: &Typing,
+) -> bool {
+    let applied = theta.apply(t);
+    let (ty_frozen, applied_frozen) = freeze_pair(sig, ty, &applied);
+    Prover::new(sig, cs)
+        .subtype(&ty_frozen, &applied_frozen)
+        .is_proved()
+}
+
+/// Definition 11: `θ₁` is a more general typing for `t` than `θ₂` iff for
+/// every `x ∈ var(t)`, `xθ₁` is more general than `xθ₂` (Definition 5).
+///
+/// Variables of `t` not bound by a typing are treated as typed by themselves
+/// (the identity — maximally general).
+pub fn typing_more_general(
+    sig: &mut Signature,
+    cs: &CheckedConstraints,
+    theta1: &Typing,
+    theta2: &Typing,
+    t: &Term,
+) -> bool {
+    t.vars().into_iter().all(|x| {
+        let t1 = theta1
+            .get(x)
+            .cloned()
+            .unwrap_or(Term::Var(x));
+        let t2 = theta2
+            .get(x)
+            .cloned()
+            .unwrap_or(Term::Var(x));
+        is_more_general(sig, cs, &t1, &t2).is_proved()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::tests::{world, World};
+    use lp_term::SymKind;
+
+    fn list_a(w: &mut World) -> (Term, Var) {
+        let a = w.gen.fresh();
+        (Term::app(w.list, vec![Term::Var(a)]), a)
+    }
+
+    #[test]
+    fn freeze_replaces_vars_with_fresh_skolems() {
+        let mut w = world();
+        let (ty, a) = list_a(&mut w);
+        let frozen = freeze(&mut w.sig, &ty);
+        assert!(frozen.is_ground());
+        let sk = frozen.args()[0].functor().unwrap();
+        assert_eq!(w.sig.kind(sk), SymKind::Skolem);
+        // Shared variables freeze consistently within one call.
+        let pair = Term::app(w.cons, vec![Term::Var(a), Term::Var(a)]);
+        let frozen_pair = freeze(&mut w.sig, &pair);
+        assert_eq!(frozen_pair.args()[0], frozen_pair.args()[1]);
+    }
+
+    #[test]
+    fn more_general_paper_examples() {
+        // "list(A) is more general than nelist(int) but list(int) is not
+        // more general than nelist(A)." (§2)
+        let mut w = world();
+        let (list_a, _) = list_a(&mut w);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        let cs = w.cs.clone();
+        assert!(is_more_general(&mut w.sig, &cs, &list_a, &nelist_int).is_proved());
+
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let b = w.gen.fresh();
+        let nelist_b = Term::app(w.nelist, vec![Term::Var(b)]);
+        assert!(!is_more_general(&mut w.sig, &cs, &list_int, &nelist_b).is_proved());
+    }
+
+    #[test]
+    fn more_general_is_reflexive_and_respects_instantiation() {
+        let mut w = world();
+        let cs = w.cs.clone();
+        let (la, _) = list_a(&mut w);
+        assert!(is_more_general(&mut w.sig, &cs, &la, &la.clone()).is_proved());
+        // list(A) more general than list(int).
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        assert!(is_more_general(&mut w.sig, &cs, &la, &list_int).is_proved());
+        // list(int) not more general than list(A).
+        let (la2, _) = list_a(&mut w);
+        assert!(!is_more_general(&mut w.sig, &cs, &list_int, &la2).is_proved());
+    }
+
+    #[test]
+    fn paper_typing_examples_for_x_under_list_a() {
+        // §4: typings for X under list(A): {X↦list(A)}, {X↦nelist(A)},
+        // {X↦list(int)}, {X↦list(B)}; only the first two are respectful.
+        let mut w = world();
+        let cs = w.cs.clone();
+        let a = w.gen.fresh();
+        let b = w.gen.fresh();
+        let x = w.gen.fresh();
+        let tx = Term::Var(x);
+        let la = Term::app(w.list, vec![Term::Var(a)]);
+        let cases = [
+            (Term::app(w.list, vec![Term::Var(a)]), true),
+            (Term::app(w.nelist, vec![Term::Var(a)]), true),
+            (Term::app(w.list, vec![Term::constant(w.int)]), false),
+            (Term::app(w.list, vec![Term::Var(b)]), false),
+        ];
+        for (assignment, respectful) in cases {
+            let theta = Typing::from_bindings([(x, assignment.clone())]);
+            assert!(
+                is_typing(&mut w.sig, &cs, &la, &tx, &theta),
+                "{assignment:?} should be a typing"
+            );
+            assert_eq!(
+                is_respectful(&mut w.sig, &cs, &la, &tx, &theta),
+                respectful,
+                "{assignment:?} respectful?"
+            );
+        }
+    }
+
+    #[test]
+    fn every_assignment_types_fx_under_a_but_none_respectfully() {
+        // §4: "every substitution over {X} is a typing for f(X) under A,
+        // but none is respectful." (f here: succ.)
+        let mut w = world();
+        let cs = w.cs.clone();
+        let a = w.gen.fresh();
+        let x = w.gen.fresh();
+        let fx = Term::app(w.succ, vec![Term::Var(x)]);
+        let ty_a = Term::Var(a);
+        for assignment in [
+            Term::constant(w.int),
+            Term::app(w.list, vec![Term::constant(w.nat)]),
+            Term::constant(w.elist),
+        ] {
+            let theta = Typing::from_bindings([(x, assignment.clone())]);
+            assert!(is_typing(&mut w.sig, &cs, &ty_a, &fx, &theta));
+            assert!(!is_respectful(&mut w.sig, &cs, &ty_a, &fx, &theta));
+        }
+    }
+
+    #[test]
+    fn typing_generality_paper_example() {
+        // {X↦list(A)} is a more general typing than {X↦nelist(A)} and
+        // {X↦list(int)}.
+        let mut w = world();
+        let cs = w.cs.clone();
+        let a = w.gen.fresh();
+        let x = w.gen.fresh();
+        let tx = Term::Var(x);
+        let general = Typing::from_bindings([(x, Term::app(w.list, vec![Term::Var(a)]))]);
+        let nelist = Typing::from_bindings([(x, Term::app(w.nelist, vec![Term::Var(a)]))]);
+        let list_int =
+            Typing::from_bindings([(x, Term::app(w.list, vec![Term::constant(w.int)]))]);
+        assert!(typing_more_general(&mut w.sig, &cs, &general, &nelist, &tx));
+        assert!(typing_more_general(&mut w.sig, &cs, &general, &list_int, &tx));
+        assert!(!typing_more_general(&mut w.sig, &cs, &list_int, &general, &tx));
+    }
+
+    #[test]
+    fn agreement_is_syntactic() {
+        let mut w = world();
+        let x = w.gen.fresh();
+        let y = w.gen.fresh();
+        let t_int = Typing::from_bindings([(x, Term::constant(w.int))]);
+        let t_int2 = Typing::from_bindings([(x, Term::constant(w.int)), (y, Term::constant(w.nat))]);
+        let t_nat = Typing::from_bindings([(x, Term::constant(w.nat))]);
+        assert!(t_int.agrees_with(&t_int2));
+        assert!(!t_int.agrees_with(&t_nat));
+        // Disjoint domains always agree…
+        let t_y = Typing::from_bindings([(y, Term::constant(w.elist))]);
+        assert!(t_int.agrees_with(&t_y));
+        // …but overlapping ones must assign syntactically equal types:
+        // t_int2 types y as nat, t_y as elist.
+        assert!(!t_int2.agrees_with(&t_y));
+        assert!(!agree(&[&t_int, &t_int2, &t_y]));
+        assert!(agree(&[&t_int, &t_int2]));
+        assert!(!agree(&[&t_int, &t_int2, &t_nat]));
+    }
+
+    #[test]
+    fn union_merges_agreeing_typings() {
+        let mut w = world();
+        let x = w.gen.fresh();
+        let y = w.gen.fresh();
+        let t1 = Typing::from_bindings([(x, Term::constant(w.int))]);
+        let t2 = Typing::from_bindings([(y, Term::constant(w.nat))]);
+        let u = t1.union(&t2);
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.get(x), Some(&Term::constant(w.int)));
+        assert_eq!(u.get(y), Some(&Term::constant(w.nat)));
+    }
+
+    #[test]
+    fn apply_substitutes_types() {
+        let mut w = world();
+        let x = w.gen.fresh();
+        let theta = Typing::from_bindings([(x, Term::constant(w.int))]);
+        let t = Term::app(w.cons, vec![Term::Var(x), Term::constant(w.nil)]);
+        assert_eq!(
+            theta.apply(&t),
+            Term::app(w.cons, vec![Term::constant(w.int), Term::constant(w.nil)])
+        );
+    }
+}

@@ -1,0 +1,545 @@
+//! Well-typedness of clauses, queries and programs (paper §§5–6).
+//!
+//! Definition 16: a program clause `A₀ :- A₁,…,Aₖ.` is well-typed iff there
+//! exist substitutions `η₁…ηₖ` such that `match(type(A₀), A₀)` and
+//! `match(type(Aᵢ)ηᵢ, Aᵢ)` are all defined and in agreement; a query needs
+//! only the body conditions. The effective checker (the constraint-
+//! generating matcher, [`cmatch`](crate::cmatch)) realizes the `ηᵢ` as
+//! fresh *flexible* type variables and agreement as unification.
+//!
+//! [`PredTypeTable`] is the paper's set `D` of predicate types, one per
+//! predicate symbol (Definitions 14–15).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use lp_engine::Clause;
+use lp_term::{Signature, Sym, SymKind, Term, Var};
+
+use crate::cmatch::{CMatchFailure, CMatcher, CState};
+use crate::constraint::CheckedConstraints;
+
+/// The fixed set `D` of predicate types (Definition 15).
+#[derive(Debug, Clone, Default)]
+pub struct PredTypeTable {
+    types: HashMap<Sym, Term>,
+}
+
+impl PredTypeTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the table from a loaded module's `PRED` declarations.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeCheckError::DuplicatePredType`] on a duplicate declaration
+    /// (the loader also rejects these, so this guards hand-built modules).
+    pub fn from_module(module: &lp_parser::Module) -> Result<Self, TypeCheckError> {
+        let mut table = PredTypeTable::new();
+        for pt in &module.pred_types {
+            table.insert(&module.sig, pt.clone())?;
+        }
+        Ok(table)
+    }
+
+    /// Inserts the predicate type `p(τ₁…τₙ)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TypeCheckError::DuplicatePredType`] if `p` already has a type;
+    /// [`TypeCheckError::NotAPredicate`] if the outermost symbol of the term
+    /// is not a predicate symbol.
+    pub fn insert(&mut self, sig: &Signature, pred_type: Term) -> Result<(), TypeCheckError> {
+        let Some(p) = pred_type.functor() else {
+            return Err(TypeCheckError::NotAPredicate {
+                detail: "a predicate type must be a predicate application".into(),
+            });
+        };
+        if sig.kind(p) != SymKind::Pred {
+            return Err(TypeCheckError::NotAPredicate {
+                detail: format!("`{}` is not a predicate symbol", sig.name(p)),
+            });
+        }
+        if self.types.insert(p, pred_type).is_some() {
+            return Err(TypeCheckError::DuplicatePredType {
+                pred: sig.name(p).to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The declared type of predicate `p` (Definition 15's `type(A)`).
+    pub fn get(&self, p: Sym) -> Option<&Term> {
+        self.types.get(&p)
+    }
+
+    /// Number of typed predicates.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over `(predicate, type)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &Term)> {
+        self.types.iter().map(|(p, t)| (*p, t))
+    }
+}
+
+/// Why a clause or query failed the well-typedness conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeCheckError {
+    /// A predicate used in the program has no declared type.
+    MissingPredType {
+        /// The predicate's name.
+        pred: String,
+    },
+    /// Two `PRED` declarations for the same predicate.
+    DuplicatePredType {
+        /// The predicate's name.
+        pred: String,
+    },
+    /// A predicate type whose outermost symbol is not a predicate.
+    NotAPredicate {
+        /// Explanation.
+        detail: String,
+    },
+    /// An atom failed constraint matching.
+    IllTypedAtom {
+        /// Index of the atom within the clause: 0 is the head for program
+        /// clauses; for queries, 0 is the first goal.
+        atom: usize,
+        /// The predicate's name.
+        pred: String,
+        /// The matcher's reason.
+        failure: CMatchFailure,
+    },
+    /// The clause's collected type-variable commitments (the `η_i` of
+    /// Definition 16) have no solution.
+    UnsatisfiableCommitments {
+        /// The matcher's reason.
+        failure: CMatchFailure,
+    },
+}
+
+impl fmt::Display for TypeCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeCheckError::MissingPredType { pred } => {
+                write!(f, "predicate `{pred}` has no PRED declaration")
+            }
+            TypeCheckError::DuplicatePredType { pred } => {
+                write!(f, "duplicate predicate type for `{pred}`")
+            }
+            TypeCheckError::NotAPredicate { detail } => f.write_str(detail),
+            TypeCheckError::IllTypedAtom {
+                atom,
+                pred,
+                failure,
+            } => write!(f, "atom #{atom} (`{pred}`) is ill-typed: {failure}"),
+            TypeCheckError::UnsatisfiableCommitments { failure } => write!(
+                f,
+                "the clause's type-variable commitments cannot be satisfied: {failure}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TypeCheckError {}
+
+/// The per-clause evidence produced by a successful check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClauseTyping {
+    /// Each program variable's type, fully resolved. Unresolved flexible
+    /// type variables may remain (maximally general commitments).
+    pub var_types: BTreeMap<Var, Term>,
+    /// The instantiated predicate type of each atom (`type(Aᵢ)ηᵢ` resolved),
+    /// in the same order as the atoms checked (head first for clauses).
+    pub atom_types: Vec<Term>,
+}
+
+/// The well-typedness checker (Definition 16, effective version).
+#[derive(Debug, Clone, Copy)]
+pub struct Checker<'a> {
+    sig: &'a Signature,
+    cs: &'a CheckedConstraints,
+    preds: &'a PredTypeTable,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker for the given signature, checked constraints and
+    /// predicate types.
+    pub fn new(sig: &'a Signature, cs: &'a CheckedConstraints, preds: &'a PredTypeTable) -> Self {
+        Checker { sig, cs, preds }
+    }
+
+    /// Checks a program clause (Definition 16, first form).
+    ///
+    /// # Errors
+    ///
+    /// A [`TypeCheckError`] naming the offending atom.
+    pub fn check_clause(&self, clause: &Clause) -> Result<ClauseTyping, TypeCheckError> {
+        let atoms: Vec<&Term> = clause.atoms().collect();
+        self.check_atoms(&atoms, true)
+    }
+
+    /// Checks a negative clause / query (Definition 16, second form).
+    ///
+    /// # Errors
+    ///
+    /// A [`TypeCheckError`] naming the offending goal.
+    pub fn check_query(&self, goals: &[Term]) -> Result<ClauseTyping, TypeCheckError> {
+        let atoms: Vec<&Term> = goals.iter().collect();
+        self.check_atoms(&atoms, false)
+    }
+
+    /// Checks every clause of a program, collecting all errors.
+    ///
+    /// # Errors
+    ///
+    /// One `(clause index, error)` pair per ill-typed clause.
+    pub fn check_program<'c>(
+        &self,
+        clauses: impl IntoIterator<Item = &'c Clause>,
+    ) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
+        let mut typings = Vec::new();
+        let mut errors = Vec::new();
+        for (i, clause) in clauses.into_iter().enumerate() {
+            match self.check_clause(clause) {
+                Ok(t) => typings.push(t),
+                Err(e) => errors.push((i, e)),
+            }
+        }
+        if errors.is_empty() {
+            Ok(typings)
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Shared engine: `rigid_head` marks whether atom 0 is a clause head
+    /// (its predicate-type variables must stay rigid).
+    fn check_atoms(
+        &self,
+        atoms: &[&Term],
+        rigid_head: bool,
+    ) -> Result<ClauseTyping, TypeCheckError> {
+        // Fresh type variables must not collide with program variables.
+        let mut watermark = 0u32;
+        for a in atoms {
+            for v in a.vars() {
+                watermark = watermark.max(v.0 + 1);
+            }
+        }
+        for (_, t) in self.preds.iter() {
+            for v in t.vars() {
+                watermark = watermark.max(v.0 + 1);
+            }
+        }
+        let mut state = CState::new(watermark);
+        let cm = CMatcher::new(self.sig, self.cs);
+        let mut atom_types = Vec::with_capacity(atoms.len());
+        for (index, atom) in atoms.iter().enumerate() {
+            let p = atom.functor().expect("atoms are applications");
+            let declared = self.preds.get(p).ok_or_else(|| {
+                TypeCheckError::MissingPredType {
+                    pred: self.sig.name(p).to_string(),
+                }
+            })?;
+            // Rename the predicate type apart; head variables are rigid,
+            // body (and query) variables flexible — they are the ηᵢ.
+            let rigid = rigid_head && index == 0;
+            let renamed = rename_apart(declared, &mut state, rigid);
+            atom_types.push(renamed.clone());
+            for (tau_i, t_i) in renamed.args().iter().zip(atom.args()) {
+                cm.cmatch(&mut state, tau_i, t_i).map_err(|failure| {
+                    TypeCheckError::IllTypedAtom {
+                        atom: index,
+                        pred: self.sig.name(p).to_string(),
+                        failure,
+                    }
+                })?;
+            }
+        }
+        // Solve the collected η commitments (paper §7).
+        cm.finalize(&mut state)
+            .map_err(|failure| TypeCheckError::UnsatisfiableCommitments { failure })?;
+        Ok(ClauseTyping {
+            var_types: state.all_types(),
+            atom_types: atom_types.iter().map(|t| state.resolve(t)).collect(),
+        })
+    }
+}
+
+/// Renames a predicate type with fresh (rigid or flexible) type variables,
+/// shared occurrences staying shared.
+fn rename_apart(pred_type: &Term, state: &mut CState, rigid: bool) -> Term {
+    let mut map = std::collections::HashMap::new();
+    pred_type.map_vars(&mut |v| {
+        let w = *map.entry(v).or_insert_with(|| {
+            if rigid {
+                state.fresh_rigid()
+            } else {
+                state.fresh_flexible()
+            }
+        });
+        Term::Var(w)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_parser::parse_module;
+
+    use crate::constraint::ConstraintSet;
+
+    /// Paper fixtures: lists + nat world with various PRED declarations.
+    fn setup(src: &str) -> (lp_parser::Module, CheckedConstraints, PredTypeTable) {
+        let m = parse_module(src).expect("fixture parses");
+        let cs = ConstraintSet::from_module(&m)
+            .expect("constraints valid")
+            .checked(&m.sig)
+            .expect("uniform and guarded");
+        let preds = PredTypeTable::from_module(&m).expect("pred types valid");
+        (m, cs, preds)
+    }
+
+    const LIST_DECLS: &str = "
+        FUNC 0, succ, pred, nil, cons.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+    ";
+
+    #[test]
+    fn paper_app_program_is_well_typed() {
+        // §1: PRED app(list(A), list(A), list(A)) with the usual clauses.
+        let src = format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        let typings = checker.check_program(clauses.iter()).expect("well-typed");
+        assert_eq!(typings.len(), 2);
+        // In the second clause, X : A and L, M, N : list(A).
+        let t = &typings[1];
+        assert_eq!(t.var_types.len(), 4);
+    }
+
+    #[test]
+    fn paper_query_app_nil_0_0_is_rejected() {
+        // §1: "this rules out certain successful queries, such as
+        // :- app(nil, 0, 0)."
+        let src = format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             :- app(nil, 0, 0).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_query(&m.queries[0].goals).unwrap_err();
+        assert!(matches!(
+            err,
+            TypeCheckError::IllTypedAtom { atom: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn paper_aliasing_query_rejected() {
+        // §5: PRED p(int). PRED q(list(A)). The query :- p(X), q(X) must be
+        // rejected — X would appear as both an int and a list(A).
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(int).
+             PRED q(list(A)).
+             :- p(X), q(X).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_query(&m.queries[0].goals).unwrap_err();
+        let TypeCheckError::IllTypedAtom { failure, .. } = err else {
+            panic!("expected IllTypedAtom");
+        };
+        assert!(matches!(failure, CMatchFailure::VariableClash { .. }));
+    }
+
+    #[test]
+    fn paper_clause_crossing_type_contexts_rejected() {
+        // §5: PRED r(list(A)). r(X) :- p(X). with PRED p(int).
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(int).
+             PRED r(list(A)).
+             r(X) :- p(X).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_clause(&m.clauses[0].clause).unwrap_err();
+        assert!(matches!(err, TypeCheckError::IllTypedAtom { atom: 1, .. }));
+    }
+
+    #[test]
+    fn paper_repeated_head_variable_rejected() {
+        // §5: PRED s(int, list(A)). s(X, X).
+        let src = format!(
+            "{LIST_DECLS}
+             PRED s(int, list(A)).
+             s(X, X).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_clause(&m.clauses[0].clause).unwrap_err();
+        assert!(matches!(err, TypeCheckError::IllTypedAtom { atom: 0, .. }));
+    }
+
+    #[test]
+    fn paper_head_commitment_rejected() {
+        // §5: PRED p(list(A)). The clause p(cons(nil, nil)). must be
+        // rejected — it would commit A to elist.
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(list(A)).
+             p(cons(nil, nil)).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_clause(&m.clauses[0].clause).unwrap_err();
+        let TypeCheckError::IllTypedAtom { failure, .. } = err else {
+            panic!("expected IllTypedAtom");
+        };
+        assert!(matches!(failure, CMatchFailure::RigidCommitment { .. }));
+    }
+
+    #[test]
+    fn paper_body_commitment_accepted() {
+        // §5: PRED p(list(A)). PRED q(list(int)). The query :- p(X), q(X).
+        // is acceptable — X may be assigned list(int) (η commits A := int).
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(list(A)).
+             PRED q(list(int)).
+             :- p(X), q(X).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let typing = checker.check_query(&m.queries[0].goals).expect("accepted");
+        // X ends up typed list(int).
+        let x_type = typing.var_types.values().next().expect("X typed");
+        let list = m.sig.lookup("list").unwrap();
+        let int = m.sig.lookup("int").unwrap();
+        assert_eq!(x_type, &Term::app(list, vec![Term::constant(int)]));
+    }
+
+    #[test]
+    fn section7_nat_int_query_rejected_as_written() {
+        // §7: PRED p(nat). PRED q(int). :- p(X), q(X). is NOT expressible
+        // without a conversion predicate — the checker rejects it (nat and
+        // int are different type contexts; agreement is syntactic).
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(nat).
+             PRED q(int).
+             :- p(X), q(X).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        assert!(checker.check_query(&m.queries[0].goals).is_err());
+    }
+
+    #[test]
+    fn section7_int2nat_filtering_program_is_well_typed() {
+        // §7: the int2nat conversion predicate and the reformulated query.
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(nat).
+             PRED q(int).
+             PRED int2nat(int, nat).
+             int2nat(0, 0).
+             int2nat(succ(X), succ(X)).
+             p(0).
+             q(0).
+             :- p(X), int2nat(Y, X), q(Y).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        checker.check_program(clauses.iter()).expect("well-typed");
+        checker
+            .check_query(&m.queries[0].goals)
+            .expect("filtered query accepted");
+    }
+
+    #[test]
+    fn missing_pred_type_is_reported() {
+        let src = format!("{LIST_DECLS} p(nil).");
+        let m = parse_module(&src).unwrap();
+        let cs = ConstraintSet::from_module(&m)
+            .unwrap()
+            .checked(&m.sig)
+            .unwrap();
+        let preds = PredTypeTable::new();
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let err = checker.check_clause(&m.clauses[0].clause).unwrap_err();
+        assert!(matches!(err, TypeCheckError::MissingPredType { .. }));
+    }
+
+    #[test]
+    fn subtype_use_in_facts_is_accepted() {
+        // Facts may use subtypes covariantly: storing a nat where an int is
+        // expected is fine.
+        let src = format!(
+            "{LIST_DECLS}
+             PRED q(int).
+             q(succ(0)).
+             q(pred(0)).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        checker.check_program(clauses.iter()).expect("well-typed");
+    }
+
+    #[test]
+    fn check_program_collects_all_errors() {
+        let src = format!(
+            "{LIST_DECLS}
+             PRED p(nat).
+             p(pred(0)).
+             p(0).
+             p(cons(nil, nil)).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let clauses: Vec<_> = m.clauses.iter().map(|c| c.clause.clone()).collect();
+        let errors = checker.check_program(clauses.iter()).unwrap_err();
+        assert_eq!(errors.len(), 2);
+        assert_eq!(errors[0].0, 0);
+        assert_eq!(errors[1].0, 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the subtype relation and its provers.
+//!
+//! Strategy: proptest supplies seeds; terms/types are drawn from the
+//! deterministic `lp-gen` generators over the paper world, so every failure
+//! is reproducible from the seed alone.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lp_gen::{terms, worlds};
+use lp_term::Term;
+use subtype_core::{semantics, Prover};
+
+fn closed_type(seed: u64, depth: usize) -> (worlds::BuiltWorld, Term) {
+    let world = worlds::paper_world();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ty = terms::random_type(&mut rng, &world, depth, &[]);
+    (world, ty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn subtyping_is_reflexive_on_closed_types(seed in any::<u64>()) {
+        let (world, ty) = closed_type(seed, 3);
+        let prover = Prover::new(&world.sig, &world.checked);
+        prop_assert!(prover.subtype(&ty, &ty).is_proved());
+    }
+
+    #[test]
+    fn subtyping_is_transitive_on_closed_types(seed in any::<u64>()) {
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = terms::random_type(&mut rng, &world, 2, &[]);
+        let b = terms::random_type(&mut rng, &world, 2, &[]);
+        let c = terms::random_type(&mut rng, &world, 2, &[]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        if prover.subtype(&a, &b).is_proved() && prover.subtype(&b, &c).is_proved() {
+            prop_assert!(
+                prover.subtype(&a, &c).is_proved(),
+                "transitivity violated: {a:?} >= {b:?} >= {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_is_monotone_along_subtyping(seed in any::<u64>()) {
+        // If τ₁ ⪰ τ₂ then M⟦τ₂⟧ ⊆ M⟦τ₁⟧ (on the enumerated fragment).
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t1 = terms::random_type(&mut rng, &world, 2, &[]);
+        let t2 = terms::random_type(&mut rng, &world, 2, &[]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        if prover.subtype(&t1, &t2).is_proved() {
+            let inner = semantics::inhabitants(&world.sig, &world.checked, &t2, 3);
+            for t in inner {
+                prop_assert!(
+                    prover.member(&t1, &t).is_proved(),
+                    "{t:?} in M[{t2:?}] but not in M[{t1:?}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_declared_constructors(seed in any::<u64>()) {
+        // τa ⪰ τb ⟹ list(τa) ⪰ list(τb) and nelist(τa) ⪰ nelist(τb).
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = terms::random_type(&mut rng, &world, 2, &[]);
+        let b = terms::random_type(&mut rng, &world, 2, &[]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        if prover.subtype(&a, &b).is_proved() {
+            let list = world.sig.lookup("list").unwrap();
+            let nelist = world.sig.lookup("nelist").unwrap();
+            prop_assert!(prover
+                .subtype(
+                    &Term::app(list, vec![a.clone()]),
+                    &Term::app(list, vec![b.clone()])
+                )
+                .is_proved());
+            prop_assert!(prover
+                .subtype(
+                    &Term::app(nelist, vec![a]),
+                    &Term::app(nelist, vec![b])
+                )
+                .is_proved());
+        }
+    }
+
+    #[test]
+    fn union_is_an_upper_bound(seed in any::<u64>()) {
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = terms::random_type(&mut rng, &world, 2, &[]);
+        let b = terms::random_type(&mut rng, &world, 2, &[]);
+        let plus = world.sig.lookup("+").unwrap();
+        let union = Term::app(plus, vec![a.clone(), b.clone()]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        prop_assert!(prover.subtype(&union, &a).is_proved());
+        prop_assert!(prover.subtype(&union, &b).is_proved());
+    }
+
+    #[test]
+    fn sampled_inhabitants_are_members(seed in any::<u64>()) {
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ty = terms::random_type(&mut rng, &world, 2, &[]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        if let Some(t) = terms::sample_inhabitant(&mut rng, &world.sig, &world.checked, &ty, 8) {
+            prop_assert!(
+                prover.member(&ty, &t).is_proved(),
+                "sampled inhabitant {t:?} of {ty:?} not derivable"
+            );
+        }
+    }
+
+    #[test]
+    fn freezing_preserves_derivability_of_ground_statements(seed in any::<u64>()) {
+        // For closed τ and ground t, membership is unchanged by freezing
+        // (there is nothing to freeze) and is stable under repetition.
+        let world = worlds::paper_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ty = terms::random_type(&mut rng, &world, 2, &[]);
+        let t = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+        let prover = Prover::new(&world.sig, &world.checked);
+        let once = prover.member(&ty, &t).is_proved();
+        let twice = prover.member(&ty, &t).is_proved();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn random_world_reflexivity(seed in any::<u64>()) {
+        let world = worlds::random(seed % 1000, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ty = terms::random_type(&mut rng, &world, 3, &[]);
+        let prover = Prover::new(&world.sig, &world.checked);
+        prop_assert!(prover.subtype(&ty, &ty).is_proved());
+    }
+}

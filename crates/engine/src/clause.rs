@@ -1,0 +1,102 @@
+//! Program clauses (paper §5).
+//!
+//! "A program clause has the form `h :- b.` where `h` is an atom, called the
+//! head, and `b` is a list of atoms, called the body." Atoms are represented
+//! as ordinary [`Term`]s whose outermost symbol is a predicate symbol — this
+//! lets the type system apply `match` directly to atoms, exactly as
+//! Definition 16 does ("we treat predicate symbols as function symbols so
+//! match can be applied to atoms").
+
+use std::collections::BTreeSet;
+
+use lp_term::{Term, Var};
+
+/// A definite program clause `head :- body.` (a fact when the body is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// The head atom.
+    pub head: Term,
+    /// The body atoms, resolved left to right.
+    pub body: Vec<Term>,
+}
+
+impl Clause {
+    /// Builds a rule `head :- body.`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is a variable — clause heads must be atoms.
+    pub fn rule(head: Term, body: Vec<Term>) -> Self {
+        assert!(!head.is_var(), "clause head must be an atom, not a variable");
+        Clause { head, body }
+    }
+
+    /// Builds a fact `head.`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the head is a variable.
+    pub fn fact(head: Term) -> Self {
+        Clause::rule(head, Vec::new())
+    }
+
+    /// All variables occurring in the clause, sorted.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        self.head.collect_vars(&mut out);
+        for b in &self.body {
+            b.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// The largest variable index used, if any (for standardizing apart).
+    pub fn max_var(&self) -> Option<Var> {
+        self.vars().into_iter().next_back()
+    }
+
+    /// Whether this clause is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// All atoms of the clause: head first, then the body.
+    pub fn atoms(&self) -> impl Iterator<Item = &Term> {
+        std::iter::once(&self.head).chain(self.body.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_term::{Signature, SymKind};
+
+    #[test]
+    fn fact_has_empty_body() {
+        let mut sig = Signature::new();
+        let p = sig.declare("p", SymKind::Pred).unwrap();
+        let c = Clause::fact(Term::constant(p));
+        assert!(c.is_fact());
+        assert_eq!(c.atoms().count(), 1);
+    }
+
+    #[test]
+    fn vars_span_head_and_body() {
+        let mut sig = Signature::new();
+        let p = sig.declare("p", SymKind::Pred).unwrap();
+        let q = sig.declare("q", SymKind::Pred).unwrap();
+        let c = Clause::rule(
+            Term::app(p, vec![Term::Var(Var(2))]),
+            vec![Term::app(q, vec![Term::Var(Var(5)), Term::Var(Var(2))])],
+        );
+        let vs: Vec<_> = c.vars().into_iter().collect();
+        assert_eq!(vs, vec![Var(2), Var(5)]);
+        assert_eq!(c.max_var(), Some(Var(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "clause head must be an atom")]
+    fn variable_head_panics() {
+        let _ = Clause::fact(Term::Var(Var(0)));
+    }
+}

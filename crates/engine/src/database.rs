@@ -1,0 +1,132 @@
+//! Clause storage with first-argument-free functor indexing.
+
+use std::collections::HashMap;
+
+use lp_term::{Sym, Var};
+
+use crate::clause::Clause;
+
+/// A clause database: the program under execution.
+///
+/// Clauses are kept in insertion order (source order matters for SLD search)
+/// and indexed by `(head functor, arity)` so resolution only scans candidate
+/// clauses for the selected atom's predicate.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    clauses: Vec<Clause>,
+    index: HashMap<(Sym, usize), Vec<usize>>,
+    max_var: Option<Var>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a clause, keeping source order within its predicate.
+    pub fn add(&mut self, clause: Clause) {
+        let key = (
+            clause.head.functor().expect("clause head is an atom"),
+            clause.head.args().len(),
+        );
+        if let Some(v) = clause.max_var() {
+            if self.max_var.is_none_or(|m| v > m) {
+                self.max_var = Some(v);
+            }
+        }
+        self.index.entry(key).or_default().push(self.clauses.len());
+        self.clauses.push(clause);
+    }
+
+    /// Extends the database from an iterator of clauses.
+    pub fn extend(&mut self, clauses: impl IntoIterator<Item = Clause>) {
+        for c in clauses {
+            self.add(c);
+        }
+    }
+
+    /// Indices of clauses whose head matches `functor/arity`, in source order.
+    pub fn candidates(&self, functor: Sym, arity: usize) -> &[usize] {
+        self.index
+            .get(&(functor, arity))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The clause at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn clause(&self, index: usize) -> &Clause {
+        &self.clauses[index]
+    }
+
+    /// All clauses in insertion order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The largest variable index used by any stored clause.
+    ///
+    /// Query variable generators must be seeded past this watermark so goals
+    /// are automatically standardized apart from the program.
+    pub fn var_watermark(&self) -> u32 {
+        self.max_var.map_or(0, |v| v.0 + 1)
+    }
+}
+
+impl FromIterator<Clause> for Database {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut db = Database::new();
+        db.extend(iter);
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_term::{Signature, SymKind, Term};
+
+    #[test]
+    fn indexing_by_functor_and_arity() {
+        let mut sig = Signature::new();
+        let p = sig.declare("p", SymKind::Pred).unwrap();
+        let q = sig.declare("q", SymKind::Pred).unwrap();
+        let a = sig.declare("a", SymKind::Func).unwrap();
+
+        let mut db = Database::new();
+        db.add(Clause::fact(Term::app(p, vec![Term::constant(a)])));
+        db.add(Clause::fact(Term::constant(q)));
+        db.add(Clause::fact(Term::app(p, vec![Term::Var(Var(0))])));
+
+        assert_eq!(db.candidates(p, 1), &[0, 2]);
+        assert_eq!(db.candidates(q, 0), &[1]);
+        assert_eq!(db.candidates(p, 2), &[] as &[usize]);
+        assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn watermark_tracks_max_var() {
+        let mut sig = Signature::new();
+        let p = sig.declare("p", SymKind::Pred).unwrap();
+        let mut db = Database::new();
+        assert_eq!(db.var_watermark(), 0);
+        db.add(Clause::fact(Term::app(p, vec![Term::Var(Var(7))])));
+        assert_eq!(db.var_watermark(), 8);
+        db.add(Clause::fact(Term::app(p, vec![Term::Var(Var(3))])));
+        assert_eq!(db.var_watermark(), 8);
+    }
+}

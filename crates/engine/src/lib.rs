@@ -1,0 +1,68 @@
+//! SLD resolution engine for the `subtype-lp` workspace.
+//!
+//! The paper defines the meaning of types by SLD-resolution over a Horn
+//! theory `H_C` (Definition 3), and its consistency theorem (Theorem 6)
+//! quantifies over "every resolvent produced during the execution" of a
+//! well-typed program. Both uses need an actual engine:
+//!
+//! * [`Database`] stores program clauses indexed by head functor;
+//! * [`Query`] runs leftmost-selection SLD resolution with chronological
+//!   backtracking, yielding answer substitutions one at a time;
+//! * depth and step budgets ([`SolveConfig`]) support the iterative-deepening
+//!   reference prover for `H_C`, whose SLD tree is infinite (the transitivity
+//!   axiom can always be applied);
+//! * every resolution step can be observed via [`Step`] callbacks — this is
+//!   how the consistency harness of `subtype-core` audits each resolvent.
+//!
+//! # Example
+//!
+//! ```
+//! use lp_term::{Signature, SymKind, Term, VarGen};
+//! use lp_engine::{Clause, Database, Query, SolveConfig};
+//!
+//! let mut sig = Signature::new();
+//! let nil = sig.declare("nil", SymKind::Func).unwrap();
+//! let cons = sig.declare("cons", SymKind::Func).unwrap();
+//! let app = sig.declare("app", SymKind::Pred).unwrap();
+//!
+//! let mut gen = VarGen::new();
+//! let (l, m) = (gen.fresh(), gen.fresh());
+//! let mut db = Database::new();
+//! // app(nil, L, L).
+//! db.add(Clause::fact(Term::app(app, vec![
+//!     Term::constant(nil), Term::Var(l), Term::Var(l),
+//! ])));
+//! // app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+//! let (x, l2, m2, n) = (gen.fresh(), gen.fresh(), gen.fresh(), gen.fresh());
+//! db.add(Clause::rule(
+//!     Term::app(app, vec![
+//!         Term::app(cons, vec![Term::Var(x), Term::Var(l2)]),
+//!         Term::Var(m2),
+//!         Term::app(cons, vec![Term::Var(x), Term::Var(n)]),
+//!     ]),
+//!     vec![Term::app(app, vec![Term::Var(l2), Term::Var(m2), Term::Var(n)])],
+//! ));
+//!
+//! // :- app(cons(nil, nil), nil, Z).
+//! let z = gen.fresh();
+//! let goal = Term::app(app, vec![
+//!     Term::app(cons, vec![Term::constant(nil), Term::constant(nil)]),
+//!     Term::constant(nil),
+//!     Term::Var(z),
+//! ]);
+//! let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+//! let sol = q.next_solution().expect("append succeeds");
+//! let answer = sol.answer.resolve(&Term::Var(z));
+//! assert_eq!(answer, Term::app(cons, vec![Term::constant(nil), Term::constant(nil)]));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod clause;
+mod database;
+mod solve;
+
+pub use clause::Clause;
+pub use database::Database;
+pub use solve::{Query, Solution, SolveConfig, Stats, Step};

@@ -1,0 +1,22 @@
+//! Workload generators for `subtype-lp` tests and benchmarks.
+//!
+//! Everything here is deterministic given an RNG seed, so experiments are
+//! reproducible:
+//!
+//! * [`worlds`] — constraint-set families: the paper's §1 declarations,
+//!   subtype *chains* of configurable depth (experiment F1), and random
+//!   guarded uniform sets (experiment E2's fuzzing);
+//! * [`terms`] — random ground terms, random types, and random inhabitants
+//!   of a type (sampling `M_C⟦τ⟧`);
+//! * [`programs`] — families of well-typed source programs of configurable
+//!   size (experiment F3's throughput workloads and F4's execution
+//!   workloads), in both Jacobs style and the MO84-compatible fragment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod programs;
+pub mod terms;
+pub mod worlds;
+
+pub use worlds::BuiltWorld;

@@ -1,0 +1,186 @@
+//! Random terms, types and inhabitants.
+
+use lp_term::{Signature, Sym, SymKind, Term, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+use subtype_core::CheckedConstraints;
+
+use crate::worlds::BuiltWorld;
+
+/// A uniformly random ground term over the given function symbols with depth
+/// ≤ `depth` (at least 1; requires at least one constant).
+pub fn random_ground_term(rng: &mut StdRng, sig: &Signature, funcs: &[Sym], depth: usize) -> Term {
+    let constants: Vec<Sym> = funcs
+        .iter()
+        .copied()
+        .filter(|&f| sig.arity(f).unwrap_or(0) == 0)
+        .collect();
+    assert!(
+        !constants.is_empty(),
+        "random_ground_term needs at least one constant"
+    );
+    if depth <= 1 {
+        return Term::constant(constants[rng.gen_range(0..constants.len())]);
+    }
+    let f = funcs[rng.gen_range(0..funcs.len())];
+    let n = sig.arity(f).unwrap_or(0);
+    if n == 0 {
+        return Term::constant(f);
+    }
+    Term::app(
+        f,
+        (0..n)
+            .map(|_| random_ground_term(rng, sig, funcs, depth - 1))
+            .collect(),
+    )
+}
+
+/// A random *type* over the world's constructors and function symbols with
+/// up to `n_vars` distinct variables (drawn from `vars`).
+pub fn random_type(rng: &mut StdRng, world: &BuiltWorld, depth: usize, vars: &[Var]) -> Term {
+    if !vars.is_empty() && rng.gen_bool(0.15) {
+        return Term::Var(vars[rng.gen_range(0..vars.len())]);
+    }
+    let use_ctor = rng.gen_bool(0.6);
+    let pool = if use_ctor { &world.ctors } else { &world.funcs };
+    let s = pool[rng.gen_range(0..pool.len())];
+    let n = world.sig.arity(s).unwrap_or(0);
+    if depth <= 1 || n == 0 {
+        // Prefer a nullary symbol at the leaves.
+        let nullary: Vec<Sym> = world
+            .ctors
+            .iter()
+            .chain(world.funcs.iter())
+            .copied()
+            .filter(|&x| world.sig.arity(x).unwrap_or(0) == 0)
+            .collect();
+        if n > 0 && !nullary.is_empty() {
+            return Term::constant(nullary[rng.gen_range(0..nullary.len())]);
+        }
+        if n == 0 {
+            return Term::constant(s);
+        }
+    }
+    Term::app(
+        s,
+        (0..n)
+            .map(|_| random_type(rng, world, depth.saturating_sub(1), vars))
+            .collect(),
+    )
+}
+
+/// Samples a ground inhabitant of `ty` (an element of `M_C⟦τ⟧`) by a random
+/// walk over expansions, or `None` if the walk dead-ends within `fuel`.
+///
+/// For well-founded types (every constructor has a base case) a few retries
+/// find an inhabitant with high probability.
+pub fn sample_inhabitant(
+    rng: &mut StdRng,
+    sig: &Signature,
+    cs: &CheckedConstraints,
+    ty: &Term,
+    fuel: usize,
+) -> Option<Term> {
+    if fuel == 0 {
+        return None;
+    }
+    match ty {
+        // A variable type admits anything; pick a constant function symbol.
+        Term::Var(_) => {
+            let constants: Vec<Sym> = sig
+                .symbols_of_kind(SymKind::Func)
+                .filter(|&f| sig.arity(f).unwrap_or(0) == 0)
+                .collect();
+            if constants.is_empty() {
+                None
+            } else {
+                Some(Term::constant(
+                    constants[rng.gen_range(0..constants.len())],
+                ))
+            }
+        }
+        Term::App(s, args) => match sig.kind(*s) {
+            SymKind::Func => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(sample_inhabitant(rng, sig, cs, a, fuel - 1)?);
+                }
+                Some(Term::app(*s, out))
+            }
+            SymKind::TypeCtor => {
+                let exps = cs.expansions(ty);
+                if exps.is_empty() {
+                    return None;
+                }
+                // Try expansions in a random rotation, so recursive
+                // alternatives do not starve base cases.
+                let start = rng.gen_range(0..exps.len());
+                for k in 0..exps.len() {
+                    let e = &exps[(start + k) % exps.len()];
+                    if let Some(t) = sample_inhabitant(rng, sig, cs, e, fuel - 1) {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            SymKind::Skolem | SymKind::Pred => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::paper_world;
+    use rand::SeedableRng;
+    use subtype_core::Prover;
+
+    #[test]
+    fn ground_terms_are_ground_and_bounded() {
+        let w = paper_world();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let t = random_ground_term(&mut rng, &w.sig, &w.funcs, 4);
+            assert!(t.is_ground());
+            assert!(t.depth() <= 4);
+        }
+    }
+
+    #[test]
+    fn sampled_inhabitants_are_members() {
+        let mut w = paper_world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let prover = Prover::new(&w.sig, &w.checked);
+        let nat = w.sig.lookup("nat").unwrap();
+        let list = w.sig.lookup("list").unwrap();
+        let types = [
+            Term::constant(nat),
+            Term::app(list, vec![Term::constant(nat)]),
+        ];
+        let mut found = 0;
+        for ty in &types {
+            for _ in 0..20 {
+                if let Some(t) = sample_inhabitant(&mut rng, &w.sig, &w.checked, ty, 12) {
+                    assert!(
+                        prover.member(ty, &t).is_proved(),
+                        "sampled {t:?} not a member of {ty:?}"
+                    );
+                    found += 1;
+                }
+            }
+        }
+        assert!(found > 10, "sampler should usually succeed");
+        let _ = w.gen.fresh();
+    }
+
+    #[test]
+    fn random_types_have_bounded_depth() {
+        let mut w = paper_world();
+        let mut rng = StdRng::seed_from_u64(3);
+        let vars = [w.gen.fresh(), w.gen.fresh()];
+        for _ in 0..50 {
+            let ty = random_type(&mut rng, &w, 3, &vars);
+            assert!(ty.depth() <= 3 + 1);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Constraint-set families ("worlds") for tests and benchmarks.
+
+use lp_term::{Signature, Sym, SymKind, Term, VarGen};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subtype_core::{CheckedConstraints, ConstraintSet};
+
+/// A signature plus a checked constraint set, ready for provers and `match`.
+#[derive(Debug, Clone)]
+pub struct BuiltWorld {
+    /// The signature with all declared symbols.
+    pub sig: Signature,
+    /// A generator past every variable used in the constraints.
+    pub gen: VarGen,
+    /// The raw constraint set (for the naive prover / Horn theory).
+    pub cs: ConstraintSet,
+    /// The checked set (for the deterministic prover and `match`).
+    pub checked: CheckedConstraints,
+    /// Declared type constructors, in declaration order.
+    pub ctors: Vec<Sym>,
+    /// Declared function symbols, in declaration order.
+    pub funcs: Vec<Sym>,
+}
+
+fn finish(sig: Signature, gen: VarGen, cs: ConstraintSet) -> BuiltWorld {
+    let checked = cs
+        .clone()
+        .checked(&sig)
+        .expect("generated worlds are uniform and guarded");
+    let ctors = sig.symbols_of_kind(SymKind::TypeCtor).collect();
+    let funcs = sig.symbols_of_kind(SymKind::Func).collect();
+    BuiltWorld {
+        sig,
+        gen,
+        cs,
+        checked,
+        ctors,
+        funcs,
+    }
+}
+
+/// The paper's §1 declarations (nat/unnat/int and elist/nelist/list), built
+/// programmatically.
+pub fn paper_world() -> BuiltWorld {
+    let src = "
+        FUNC 0, succ, pred, nil, cons, foo.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+    ";
+    let m = lp_parser::parse_module(src).expect("paper world parses");
+    let cs = ConstraintSet::from_module(&m).expect("paper constraints valid");
+    finish(m.sig, m.gen, cs)
+}
+
+/// A subtype *chain* of the given depth (experiment F1):
+///
+/// ```text
+/// FUNC z, w.              TYPE t0, …, t_d.
+/// t0 >= t1.  t1 >= t2.  …  t_{d-1} >= t_d.   t_d >= z + w(t0).
+/// ```
+///
+/// Deciding `t0 ⪰ z` takes a derivation of length Θ(d): the deterministic
+/// strategy walks the chain once, while naive SLD search over `H_C` must
+/// thread transitivity through an exponentially branching tree.
+pub fn chain(depth: usize) -> BuiltWorld {
+    let mut sig = Signature::new();
+    let z = sig.declare_with_arity("z", SymKind::Func, 0).unwrap();
+    let w = sig.declare_with_arity("w", SymKind::Func, 1).unwrap();
+    let ctors: Vec<Sym> = (0..=depth)
+        .map(|i| {
+            sig.declare_with_arity(&format!("t{i}"), SymKind::TypeCtor, 0)
+                .unwrap()
+        })
+        .collect();
+    let mut gen = VarGen::new();
+    let mut cs = ConstraintSet::new();
+    let plus = cs.add_union(&mut sig, &mut gen).unwrap();
+    for i in 0..depth {
+        cs.add(&sig, Term::constant(ctors[i]), Term::constant(ctors[i + 1]))
+            .unwrap();
+    }
+    // Base: t_d >= z + w(t0) — ground inhabitants and a guarded cycle back.
+    cs.add(
+        &sig,
+        Term::constant(ctors[depth]),
+        Term::app(
+            plus,
+            vec![
+                Term::constant(z),
+                Term::app(w, vec![Term::constant(ctors[0])]),
+            ],
+        ),
+    )
+    .unwrap();
+    finish(sig, gen, cs)
+}
+
+/// Parameters for [`random`] worlds.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWorldConfig {
+    /// Number of type constructors.
+    pub n_ctors: usize,
+    /// Number of function symbols.
+    pub n_funcs: usize,
+    /// Maximum arity for both kinds of symbols.
+    pub max_arity: usize,
+    /// Constraints per type constructor.
+    pub constraints_per_ctor: usize,
+}
+
+impl Default for RandomWorldConfig {
+    fn default() -> Self {
+        RandomWorldConfig {
+            n_ctors: 6,
+            n_funcs: 5,
+            max_arity: 2,
+            constraints_per_ctor: 2,
+        }
+    }
+}
+
+/// A random uniform, guarded constraint set.
+///
+/// Guardedness is ensured by construction: constructors are ordered and a
+/// constraint for `cᵢ` may mention `cⱼ` outside function guards only for
+/// `j > i` (the dependence graph is a DAG).
+pub fn random(seed: u64, config: RandomWorldConfig) -> BuiltWorld {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sig = Signature::new();
+    let funcs: Vec<Sym> = (0..config.n_funcs.max(1))
+        .map(|i| {
+            // Always keep at least one constant so every world has ground
+            // terms and type base cases.
+            let arity = if i == 0 {
+                0
+            } else {
+                rng.gen_range(0..=config.max_arity)
+            };
+            sig.declare_with_arity(&format!("f{i}"), SymKind::Func, arity)
+                .unwrap()
+        })
+        .collect();
+    let ctors: Vec<Sym> = (0..config.n_ctors)
+        .map(|i| {
+            let arity = rng.gen_range(0..=config.max_arity.min(1)); // 0 or 1 params
+            sig.declare_with_arity(&format!("c{i}"), SymKind::TypeCtor, arity)
+                .unwrap()
+        })
+        .collect();
+    let mut gen = VarGen::new();
+    let mut cs = ConstraintSet::new();
+    cs.add_union(&mut sig, &mut gen).unwrap();
+    for (i, &c) in ctors.iter().enumerate() {
+        let arity = sig.arity(c).unwrap_or(0);
+        for _ in 0..config.constraints_per_ctor {
+            let params: Vec<lp_term::Var> = (0..arity).map(|_| gen.fresh()).collect();
+            let lhs = Term::app(c, params.iter().map(|v| Term::Var(*v)).collect());
+            let rhs = random_rhs(&mut rng, &sig, &funcs, &ctors, i, &params, 2);
+            cs.add(&sig, lhs, rhs).expect("generated constraint valid");
+        }
+    }
+    finish(sig, gen, cs)
+}
+
+/// Builds a random constraint right-hand side for constructor index `i`:
+/// only constructors with index `> i` may appear outside function guards.
+fn random_rhs(
+    rng: &mut StdRng,
+    sig: &Signature,
+    funcs: &[Sym],
+    ctors: &[Sym],
+    i: usize,
+    params: &[lp_term::Var],
+    fuel: usize,
+) -> Term {
+    let choice = rng.gen_range(0..100);
+    // A lhs parameter variable (always safe).
+    if (choice < 20 && !params.is_empty()) || fuel == 0 {
+        if let Some(&v) = params.first() {
+            if fuel == 0 || rng.gen_bool(0.7) {
+                return Term::Var(params[rng.gen_range(0..params.len())]);
+            }
+            let _ = v;
+        }
+        // No parameters: fall through to a function constant.
+    }
+    if choice < 55 || fuel == 0 {
+        // Function application (guards everything beneath it).
+        let f = funcs[rng.gen_range(0..funcs.len())];
+        let n = sig.arity(f).unwrap_or(0);
+        let args = (0..n)
+            .map(|_| random_guarded_type(rng, sig, funcs, ctors, params, fuel.saturating_sub(1)))
+            .collect();
+        return Term::app(f, args);
+    }
+    if choice < 80 && i + 1 < ctors.len() {
+        // A later constructor. Its arguments sit at *unguarded* positions
+        // (Definition 8 ignores only function-symbol guards), so they must
+        // respect the same ordering discipline.
+        let j = rng.gen_range(i + 1..ctors.len());
+        let c = ctors[j];
+        let n = sig.arity(c).unwrap_or(0);
+        let args = (0..n)
+            .map(|_| random_safe_type(rng, sig, funcs, ctors, i + 1, params, fuel.saturating_sub(1)))
+            .collect();
+        return Term::app(c, args);
+    }
+    // Union of two recursively generated alternatives.
+    let plus = sig.lookup("+").expect("union predeclared");
+    let a = random_rhs(rng, sig, funcs, ctors, i, params, fuel.saturating_sub(1));
+    let b = random_rhs(rng, sig, funcs, ctors, i, params, fuel.saturating_sub(1));
+    Term::app(plus, vec![a, b])
+}
+
+/// A type usable at an *unguarded* position of a constraint for a
+/// constructor with index `< min_ctor`: only constructors with index
+/// `≥ min_ctor` may appear outside function guards.
+fn random_safe_type(
+    rng: &mut StdRng,
+    sig: &Signature,
+    funcs: &[Sym],
+    ctors: &[Sym],
+    min_ctor: usize,
+    params: &[lp_term::Var],
+    fuel: usize,
+) -> Term {
+    if !params.is_empty() && rng.gen_bool(0.4) {
+        return Term::Var(params[rng.gen_range(0..params.len())]);
+    }
+    if fuel > 0 && min_ctor < ctors.len() && rng.gen_bool(0.3) {
+        let j = rng.gen_range(min_ctor..ctors.len());
+        let c = ctors[j];
+        let n = sig.arity(c).unwrap_or(0);
+        let args = (0..n)
+            .map(|_| random_safe_type(rng, sig, funcs, ctors, min_ctor, params, fuel - 1))
+            .collect();
+        return Term::app(c, args);
+    }
+    // A function application guards everything beneath it.
+    let f = funcs[rng.gen_range(0..funcs.len())];
+    let n = sig.arity(f).unwrap_or(0);
+    let args = (0..n)
+        .map(|_| random_guarded_type(rng, sig, funcs, ctors, params, fuel.saturating_sub(1)))
+        .collect();
+    Term::app(f, args)
+}
+
+/// A type usable *inside a function guard*: any constructor is safe here.
+fn random_guarded_type(
+    rng: &mut StdRng,
+    sig: &Signature,
+    funcs: &[Sym],
+    ctors: &[Sym],
+    params: &[lp_term::Var],
+    fuel: usize,
+) -> Term {
+    if !params.is_empty() && rng.gen_bool(0.4) {
+        return Term::Var(params[rng.gen_range(0..params.len())]);
+    }
+    if fuel == 0 || rng.gen_bool(0.5) {
+        // A nullary-ish constructor or function constant.
+        let pool: Vec<Sym> = ctors
+            .iter()
+            .chain(funcs.iter())
+            .copied()
+            .filter(|&s| sig.arity(s).unwrap_or(0) == 0)
+            .collect();
+        if let Some(&s) = pool.first() {
+            let pick = pool[rng.gen_range(0..pool.len())];
+            let _ = s;
+            return Term::constant(pick);
+        }
+    }
+    let c = ctors[rng.gen_range(0..ctors.len())];
+    let n = sig.arity(c).unwrap_or(0);
+    let args = (0..n)
+        .map(|_| random_guarded_type(rng, sig, funcs, ctors, params, fuel.saturating_sub(1)))
+        .collect();
+    Term::app(c, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_world_builds() {
+        let w = paper_world();
+        assert_eq!(w.ctors.len(), 7); // 6 declared + '+'
+        assert_eq!(w.funcs.len(), 6);
+        assert_eq!(w.cs.len(), 2 + 6);
+    }
+
+    #[test]
+    fn chain_world_depths() {
+        for d in [1, 4, 16] {
+            let w = chain(d);
+            // d chain constraints + base + 2 union.
+            assert_eq!(w.cs.len(), d + 1 + 2);
+        }
+    }
+
+    #[test]
+    fn chain_subtyping_holds_end_to_end() {
+        let w = chain(8);
+        let prover = subtype_core::Prover::new(&w.sig, &w.checked);
+        let t0 = w.sig.lookup("t0").unwrap();
+        let z = w.sig.lookup("z").unwrap();
+        assert!(prover
+            .subtype(&Term::constant(t0), &Term::constant(z))
+            .is_proved());
+        // And the reverse fails.
+        let t8 = w.sig.lookup("t8").unwrap();
+        assert!(prover
+            .subtype(&Term::constant(t8), &Term::constant(t0))
+            .is_refuted());
+    }
+
+    #[test]
+    fn random_worlds_are_checked_for_many_seeds() {
+        for seed in 0..30 {
+            let w = random(seed, RandomWorldConfig::default());
+            assert!(!w.cs.is_empty());
+        }
+    }
+
+    #[test]
+    fn random_worlds_are_deterministic_per_seed() {
+        let a = random(7, RandomWorldConfig::default());
+        let b = random(7, RandomWorldConfig::default());
+        assert_eq!(a.cs.len(), b.cs.len());
+        for (x, y) in a.cs.constraints().iter().zip(b.cs.constraints()) {
+            assert_eq!(x, y);
+        }
+    }
+}

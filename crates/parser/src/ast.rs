@@ -1,0 +1,111 @@
+//! Purely syntactic AST, before symbol resolution.
+
+use crate::token::Span;
+
+/// A syntactic term: variable or named application.
+///
+/// At this stage names are strings; kinds (function symbol, type constructor,
+/// predicate) are resolved by the [`Loader`](crate::Loader).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermAst {
+    /// A variable occurrence. The name `_` denotes an anonymous variable:
+    /// every occurrence is distinct.
+    Var {
+        /// Source name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `name(args…)`, or a constant when `args` is empty.
+    App {
+        /// Symbol name (the infix `+` appears here as the name `"+"`).
+        name: String,
+        /// Argument terms.
+        args: Vec<TermAst>,
+        /// Source location of the whole application.
+        span: Span,
+    },
+}
+
+impl TermAst {
+    /// The source span of the term.
+    pub fn span(&self) -> Span {
+        match self {
+            TermAst::Var { span, .. } | TermAst::App { span, .. } => *span,
+        }
+    }
+
+    /// The outermost name, or `None` for a variable.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            TermAst::Var { .. } => None,
+            TermAst::App { name, .. } => Some(name),
+        }
+    }
+}
+
+/// A name occurrence in a `FUNC`/`TYPE` declaration list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameAst {
+    /// The declared name.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// One top-level item of a source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `FUNC f, g, h.` — declares function symbols.
+    FuncDecl(Vec<NameAst>),
+    /// `TYPE c, d.` — declares type constructors.
+    TypeDecl(Vec<NameAst>),
+    /// `PRED p(τ…), q(τ…).` — declares predicate types (Definition 14).
+    PredDecl(Vec<TermAst>),
+    /// `c(α…) >= τ.` — a subtype constraint (Definition 2).
+    Constraint {
+        /// Left-hand side (the supertype pattern).
+        lhs: TermAst,
+        /// Right-hand side.
+        rhs: TermAst,
+        /// Span of the whole constraint.
+        span: Span,
+    },
+    /// `h :- b₁, …, bₖ.` or `h.` — a program clause.
+    Clause {
+        /// Head atom.
+        head: TermAst,
+        /// Body atoms (empty for a fact).
+        body: Vec<TermAst>,
+        /// Span of the whole clause.
+        span: Span,
+    },
+    /// `:- b₁, …, bₖ.` — a query (negative clause).
+    Query {
+        /// Goal atoms.
+        body: Vec<TermAst>,
+        /// Span of the whole query.
+        span: Span,
+    },
+}
+
+impl Item {
+    /// The source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Item::FuncDecl(ns) | Item::TypeDecl(ns) => ns
+                .iter()
+                .map(|n| n.span)
+                .reduce(Span::merge)
+                .unwrap_or_default(),
+            Item::PredDecl(ts) => ts
+                .iter()
+                .map(|t| t.span())
+                .reduce(Span::merge)
+                .unwrap_or_default(),
+            Item::Constraint { span, .. } | Item::Clause { span, .. } | Item::Query { span, .. } => {
+                *span
+            }
+        }
+    }
+}

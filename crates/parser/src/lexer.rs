@@ -1,0 +1,281 @@
+//! Hand-written lexer for the declaration language.
+
+use crate::error::{ParseError, ParseErrorKind};
+use crate::token::{Span, Token, TokenKind};
+
+/// A lexer over source text; produces [`Token`]s on demand.
+#[derive(Debug, Clone)]
+pub struct Lexer<'src> {
+    src: &'src str,
+    pos: usize,
+}
+
+impl<'src> Lexer<'src> {
+    /// Creates a lexer over `src`.
+    pub fn new(src: &'src str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    /// Lexes the entire input into a token vector ending with `Eof`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first lexical error encountered.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let done = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.pos;
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '*' && self.peek() == Some('/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(ParseError::new(
+                            ParseErrorKind::UnterminatedComment,
+                            Span::new(start, self.pos),
+                        ));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lexes the next token.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseErrorKind::UnexpectedChar`] on an unknown character and
+    /// [`ParseErrorKind::UnterminatedComment`] on an unclosed `/*`.
+    pub fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia()?;
+        let start = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span: Span::new(start, start),
+            });
+        };
+        let kind = match c {
+            '(' => {
+                self.bump();
+                TokenKind::LParen
+            }
+            ')' => {
+                self.bump();
+                TokenKind::RParen
+            }
+            ',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            '.' => {
+                self.bump();
+                TokenKind::Dot
+            }
+            '+' => {
+                self.bump();
+                TokenKind::Plus
+            }
+            ':' if self.peek2() == Some('-') => {
+                self.bump();
+                self.bump();
+                TokenKind::Turnstile
+            }
+            '>' if self.peek2() == Some('=') => {
+                self.bump();
+                self.bump();
+                TokenKind::Supertype
+            }
+            c if c.is_ascii_digit() => {
+                let mut name = String::new();
+                while let Some(d) = self.peek() {
+                    if d.is_ascii_digit() {
+                        name.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokenKind::Name(name)
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let mut name = String::new();
+                while let Some(d) = self.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '$' {
+                        name.push(d);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if c.is_uppercase() || c == '_' {
+                    TokenKind::Variable(name)
+                } else {
+                    TokenKind::Name(name)
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    ParseErrorKind::UnexpectedChar(other),
+                    Span::new(start, start + other.len_utf8()),
+                ));
+            }
+        };
+        Ok(Token {
+            kind,
+            span: Span::new(start, self.pos),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_paper_constraint() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("nat >= 0 + succ(nat)."),
+            vec![
+                Name("nat".into()),
+                Supertype,
+                Name("0".into()),
+                Plus,
+                Name("succ".into()),
+                LParen,
+                Name("nat".into()),
+                RParen,
+                Dot,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_clause_with_variables() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("app(nil, L, L) :- q(L)."),
+            vec![
+                Name("app".into()),
+                LParen,
+                Name("nil".into()),
+                Comma,
+                Variable("L".into()),
+                Comma,
+                Variable("L".into()),
+                RParen,
+                Turnstile,
+                Name("q".into()),
+                LParen,
+                Variable("L".into()),
+                RParen,
+                Dot,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("% line\n a /* block\nstill */ b."),
+            vec![Name("a".into()), Name("b".into()), Dot, Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let err = Lexer::new("/* oops").tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnterminatedComment);
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        assert!(matches!(
+            kinds("_Foo _")[..],
+            [
+                TokenKind::Variable(ref a),
+                TokenKind::Variable(ref b),
+                TokenKind::Eof
+            ] if a == "_Foo" && b == "_"
+        ));
+    }
+
+    #[test]
+    fn digits_are_names() {
+        assert!(matches!(
+            kinds("0 succ 42")[..],
+            [
+                TokenKind::Name(ref a),
+                TokenKind::Name(ref b),
+                TokenKind::Name(ref c),
+                TokenKind::Eof
+            ] if a == "0" && b == "succ" && c == "42"
+        ));
+    }
+
+    #[test]
+    fn unexpected_char_reports_span() {
+        let err = Lexer::new("a ?").tokenize().unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::UnexpectedChar('?'));
+        assert_eq!(err.span, Span::new(2, 3));
+    }
+}

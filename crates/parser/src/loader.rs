@@ -1,0 +1,680 @@
+//! Symbol resolution: turns the syntactic AST into signature-checked terms.
+//!
+//! The loader enforces the paper's syntactic discipline:
+//!
+//! * `F`, `T`, `P` are disjoint and every symbol has a fixed arity;
+//! * types (in `PRED` declarations and subtype constraints) are terms over
+//!   `F ∪ T`;
+//! * program atoms are predicate symbols applied to terms over `F`
+//!   (variables allowed, of course);
+//! * each clause/query gets its own variable scope; `_` is anonymous.
+//!
+//! Predicate symbols are declared implicitly by use (a `PRED` declaration is
+//! only required for *type checking*, not for loading); function symbols may
+//! be declared implicitly too by enabling
+//! [`LoaderOptions::implicit_funcs`] — useful for running plain untyped
+//! Prolog programs through the engine.
+
+use std::collections::HashMap;
+
+use lp_engine::Clause;
+use lp_term::{NameHints, Signature, Sym, SymKind, Term, Var, VarGen};
+
+use crate::ast::{Item, TermAst};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::parser::parse_items;
+use crate::token::Span;
+
+/// Loader configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoaderOptions {
+    /// Declare unknown lower-case symbols in *program term* positions as
+    /// function symbols instead of erroring. Off by default: the paper's
+    /// language declares `F` explicitly with `FUNC`.
+    pub implicit_funcs: bool,
+    /// Predeclare the polymorphic union constructor `+` together with its
+    /// constraints `A+B >= A.` and `A+B >= B.` (paper §1). On by default.
+    pub predefine_union: bool,
+}
+
+impl Default for LoaderOptions {
+    fn default() -> Self {
+        LoaderOptions {
+            implicit_funcs: false,
+            predefine_union: true,
+        }
+    }
+}
+
+/// A loaded program clause with presentation metadata.
+#[derive(Debug, Clone)]
+pub struct LoadedClause {
+    /// The engine clause.
+    pub clause: Clause,
+    /// Source names for the clause's variables.
+    pub hints: NameHints,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A loaded query with presentation metadata.
+#[derive(Debug, Clone)]
+pub struct LoadedQuery {
+    /// The goal atoms.
+    pub goals: Vec<Term>,
+    /// Source names for the query's variables.
+    pub hints: NameHints,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A fully loaded module: signature plus everything declared in the source.
+#[derive(Debug, Clone)]
+pub struct Module {
+    /// The signature with every declared (and predefined) symbol.
+    pub sig: Signature,
+    /// A variable generator positioned past every variable in the module.
+    pub gen: VarGen,
+    /// Raw subtype constraints `(lhs, rhs)` in declaration order, including
+    /// the predefined union constraints when enabled.
+    pub constraints: Vec<(Term, Term)>,
+    /// Declared predicate types `p(τ₁, …, τₙ)`, one per predicate.
+    pub pred_types: Vec<Term>,
+    /// Program clauses in source order.
+    pub clauses: Vec<LoadedClause>,
+    /// Queries in source order.
+    pub queries: Vec<LoadedQuery>,
+    /// The predefined `+` constructor, if enabled.
+    pub union_sym: Option<Sym>,
+}
+
+impl Module {
+    /// Builds an engine [`Database`](lp_engine::Database) from the clauses.
+    pub fn database(&self) -> lp_engine::Database {
+        self.clauses.iter().map(|c| c.clause.clone()).collect()
+    }
+}
+
+/// Parses and loads a source file in one step with default options.
+///
+/// # Errors
+///
+/// Any lexical, syntactic or resolution error, with its source span.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let mut loader = Loader::new(LoaderOptions::default());
+    loader.load_source(src)?;
+    Ok(loader.finish())
+}
+
+/// Position of a term within an item; drives kind checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Position {
+    /// Inside a type (PRED argument or either side of `>=`): `F ∪ T`.
+    Type,
+    /// Inside an atom's arguments: `F` only.
+    ProgramTerm,
+}
+
+/// Incremental loader; feed it items or whole sources, then [`finish`].
+///
+/// [`finish`]: Loader::finish
+#[derive(Debug)]
+pub struct Loader {
+    options: LoaderOptions,
+    sig: Signature,
+    gen: VarGen,
+    constraints: Vec<(Term, Term)>,
+    pred_types: Vec<Term>,
+    pred_type_owner: HashMap<Sym, Span>,
+    clauses: Vec<LoadedClause>,
+    queries: Vec<LoadedQuery>,
+    union_sym: Option<Sym>,
+}
+
+impl Loader {
+    /// Creates a loader, predeclaring `+` per `options`.
+    pub fn new(options: LoaderOptions) -> Self {
+        let mut sig = Signature::new();
+        let mut gen = VarGen::new();
+        let mut constraints = Vec::new();
+        let union_sym = if options.predefine_union {
+            let plus = sig
+                .declare_with_arity("+", SymKind::TypeCtor, 2)
+                .expect("fresh signature");
+            // A+B >= A.   A+B >= B.
+            let (a, b) = (gen.fresh(), gen.fresh());
+            let lhs = Term::app(plus, vec![Term::Var(a), Term::Var(b)]);
+            constraints.push((lhs.clone(), Term::Var(a)));
+            let (a2, b2) = (gen.fresh(), gen.fresh());
+            let lhs2 = Term::app(plus, vec![Term::Var(a2), Term::Var(b2)]);
+            constraints.push((lhs2, Term::Var(b2)));
+            Some(plus)
+        } else {
+            None
+        };
+        Loader {
+            options,
+            sig,
+            gen,
+            constraints,
+            pred_types: Vec::new(),
+            pred_type_owner: HashMap::new(),
+            clauses: Vec::new(),
+            queries: Vec::new(),
+            union_sym,
+        }
+    }
+
+    /// Access to the signature built so far.
+    pub fn signature(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// Re-opens a finished [`Module`] for further loading or for resolving
+    /// additional terms against its signature (e.g. command-line queries).
+    pub fn resume(module: Module, options: LoaderOptions) -> Self {
+        let mut pred_type_owner = HashMap::new();
+        for pt in &module.pred_types {
+            if let Some(p) = pt.functor() {
+                pred_type_owner.insert(p, Span::default());
+            }
+        }
+        Loader {
+            options,
+            sig: module.sig,
+            gen: module.gen,
+            constraints: module.constraints,
+            pred_types: module.pred_types,
+            pred_type_owner,
+            clauses: module.clauses,
+            queries: module.queries,
+            union_sym: module.union_sym,
+        }
+    }
+
+    /// Parses and resolves a standalone *type* (a term over `F ∪ T`),
+    /// returning it with the name hints for its variables.
+    ///
+    /// # Errors
+    ///
+    /// Lexical/syntactic errors, undeclared symbols, kind/arity clashes.
+    pub fn parse_type(&mut self, src: &str) -> Result<(Term, NameHints), ParseError> {
+        let ast = crate::parser::parse_single_term(src)?;
+        let mut scope = Scope::new();
+        let t = self.resolve(&ast, Position::Type, &mut scope)?;
+        Ok((t, scope.hints))
+    }
+
+    /// Parses and resolves a standalone *program term* (a term over `F`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Loader::parse_type`].
+    pub fn parse_program_term(&mut self, src: &str) -> Result<(Term, NameHints), ParseError> {
+        let ast = crate::parser::parse_single_term(src)?;
+        let mut scope = Scope::new();
+        let t = self.resolve(&ast, Position::ProgramTerm, &mut scope)?;
+        Ok((t, scope.hints))
+    }
+
+    /// Parses and resolves a standalone goal list `a₁, …, aₙ` (an optional
+    /// leading `:-` and trailing `.` are accepted).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Loader::parse_type`].
+    pub fn parse_goals(&mut self, src: &str) -> Result<(Vec<Term>, NameHints), ParseError> {
+        let trimmed = src.trim().trim_start_matches(":-");
+        let dotted = trimmed.trim_end();
+        let with_dot = if dotted.ends_with('.') {
+            dotted.to_string()
+        } else {
+            format!("{dotted}.")
+        };
+        let items = parse_items(&format!(":- {with_dot}"))?;
+        let [Item::Query { body, .. }] = items.as_slice() else {
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed("expected a goal list".into()),
+                Span::default(),
+            ));
+        };
+        let mut scope = Scope::new();
+        let mut goals = Vec::with_capacity(body.len());
+        for b in body {
+            goals.push(self.resolve_atom(b, &mut scope)?);
+        }
+        Ok((goals, scope.hints))
+    }
+
+    /// Parses `src` and loads all of its items.
+    ///
+    /// # Errors
+    ///
+    /// Any lexical, syntactic or resolution error.
+    pub fn load_source(&mut self, src: &str) -> Result<(), ParseError> {
+        for item in parse_items(src)? {
+            self.load_item(&item)?;
+        }
+        Ok(())
+    }
+
+    /// Loads one already-parsed item.
+    ///
+    /// # Errors
+    ///
+    /// Resolution errors: undeclared symbols, kind clashes, arity clashes,
+    /// malformed constraints, duplicate predicate types.
+    pub fn load_item(&mut self, item: &Item) -> Result<(), ParseError> {
+        match item {
+            Item::FuncDecl(names) => {
+                for n in names {
+                    self.sig
+                        .declare(&n.name, SymKind::Func)
+                        .map_err(|e| ParseError::from((e, n.span)))?;
+                }
+                Ok(())
+            }
+            Item::TypeDecl(names) => {
+                for n in names {
+                    self.sig
+                        .declare(&n.name, SymKind::TypeCtor)
+                        .map_err(|e| ParseError::from((e, n.span)))?;
+                }
+                Ok(())
+            }
+            Item::PredDecl(types) => {
+                for t in types {
+                    self.load_pred_type(t)?;
+                }
+                Ok(())
+            }
+            Item::Constraint { lhs, rhs, span } => self.load_constraint(lhs, rhs, *span),
+            Item::Clause { head, body, span } => self.load_clause(head, body, *span),
+            Item::Query { body, span } => self.load_query(body, *span),
+        }
+    }
+
+    /// Consumes the loader, producing the module.
+    pub fn finish(self) -> Module {
+        Module {
+            sig: self.sig,
+            gen: self.gen,
+            constraints: self.constraints,
+            pred_types: self.pred_types,
+            clauses: self.clauses,
+            queries: self.queries,
+            union_sym: self.union_sym,
+        }
+    }
+
+    fn load_pred_type(&mut self, t: &TermAst) -> Result<(), ParseError> {
+        let TermAst::App { name, args, span } = t else {
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed("a PRED declaration must name a predicate".into()),
+                t.span(),
+            ));
+        };
+        let pred = self
+            .sig
+            .declare(name, SymKind::Pred)
+            .map_err(|e| ParseError::from((e, *span)))?;
+        self.sig
+            .fix_arity(pred, args.len())
+            .map_err(|e| ParseError::from((e, *span)))?;
+        if let Some(_prev) = self.pred_type_owner.insert(pred, *span) {
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed(format!(
+                    "duplicate predicate type for `{name}` (Definition 15 fixes one per predicate)"
+                )),
+                *span,
+            ));
+        }
+        let mut scope = Scope::new();
+        let mut resolved = Vec::with_capacity(args.len());
+        for a in args {
+            resolved.push(self.resolve(a, Position::Type, &mut scope)?);
+        }
+        self.pred_types.push(Term::app(pred, resolved));
+        Ok(())
+    }
+
+    fn load_constraint(
+        &mut self,
+        lhs: &TermAst,
+        rhs: &TermAst,
+        span: Span,
+    ) -> Result<(), ParseError> {
+        let mut scope = Scope::new();
+        let lhs_t = self.resolve(lhs, Position::Type, &mut scope)?;
+        // Definition 2: the left-hand side is `c(τ₁…τₙ)` with `c ∈ T`.
+        match lhs_t.functor() {
+            Some(c) if self.sig.kind(c) == SymKind::TypeCtor => {}
+            _ => {
+                return Err(ParseError::new(
+                    ParseErrorKind::Malformed(
+                        "the left-hand side of a subtype constraint must be a type-constructor \
+                         application (Definition 2)"
+                            .into(),
+                    ),
+                    lhs.span(),
+                ));
+            }
+        }
+        let rhs_t = self.resolve(rhs, Position::Type, &mut scope)?;
+        // Definition 2: var(rhs) ⊆ var(lhs).
+        let lhs_vars = lhs_t.vars();
+        if let Some(v) = rhs_t.vars().difference(&lhs_vars).next() {
+            let name = scope
+                .hints
+                .get(*v)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("_G{}", v.0));
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed(format!(
+                    "variable `{name}` occurs on the right of `>=` but not on the left \
+                     (Definition 2 requires var(τ) ⊆ var(c(τ₁…τₙ)))"
+                )),
+                span,
+            ));
+        }
+        self.constraints.push((lhs_t, rhs_t));
+        Ok(())
+    }
+
+    fn load_clause(
+        &mut self,
+        head: &TermAst,
+        body: &[TermAst],
+        span: Span,
+    ) -> Result<(), ParseError> {
+        let mut scope = Scope::new();
+        let head_t = self.resolve_atom(head, &mut scope)?;
+        let mut body_t = Vec::with_capacity(body.len());
+        for b in body {
+            body_t.push(self.resolve_atom(b, &mut scope)?);
+        }
+        self.clauses.push(LoadedClause {
+            clause: Clause::rule(head_t, body_t),
+            hints: scope.hints,
+            span,
+        });
+        Ok(())
+    }
+
+    fn load_query(&mut self, body: &[TermAst], span: Span) -> Result<(), ParseError> {
+        let mut scope = Scope::new();
+        let mut goals = Vec::with_capacity(body.len());
+        for b in body {
+            goals.push(self.resolve_atom(b, &mut scope)?);
+        }
+        self.queries.push(LoadedQuery {
+            goals,
+            hints: scope.hints,
+            span,
+        });
+        Ok(())
+    }
+
+    /// Resolves an atom: predicate applied to program terms.
+    fn resolve_atom(&mut self, t: &TermAst, scope: &mut Scope) -> Result<Term, ParseError> {
+        let TermAst::App { name, args, span } = t else {
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed("an atom cannot be a variable".into()),
+                t.span(),
+            ));
+        };
+        // Predicates are declared implicitly by use.
+        let pred = self
+            .sig
+            .declare(name, SymKind::Pred)
+            .map_err(|e| ParseError::from((e, *span)))?;
+        self.sig
+            .fix_arity(pred, args.len())
+            .map_err(|e| ParseError::from((e, *span)))?;
+        let mut resolved = Vec::with_capacity(args.len());
+        for a in args {
+            resolved.push(self.resolve(a, Position::ProgramTerm, scope)?);
+        }
+        Ok(Term::app(pred, resolved))
+    }
+
+    /// Resolves a term in a type or program-term position.
+    fn resolve(
+        &mut self,
+        t: &TermAst,
+        pos: Position,
+        scope: &mut Scope,
+    ) -> Result<Term, ParseError> {
+        match t {
+            TermAst::Var { name, .. } => Ok(Term::Var(scope.var(&mut self.gen, name))),
+            TermAst::App { name, args, span } => {
+                let sym = match self.sig.lookup(name) {
+                    Some(s) => {
+                        let kind = self.sig.kind(s);
+                        let ok = match pos {
+                            Position::Type => {
+                                kind == SymKind::Func || kind == SymKind::TypeCtor
+                            }
+                            Position::ProgramTerm => kind == SymKind::Func,
+                        };
+                        if !ok {
+                            let wanted = match pos {
+                                Position::Type => "a function symbol or type constructor",
+                                Position::ProgramTerm => "a function symbol",
+                            };
+                            return Err(ParseError::new(
+                                ParseErrorKind::Malformed(format!(
+                                    "`{name}` is a {} but {wanted} is required here",
+                                    kind
+                                )),
+                                *span,
+                            ));
+                        }
+                        s
+                    }
+                    None if pos == Position::ProgramTerm && self.options.implicit_funcs => self
+                        .sig
+                        .declare(name, SymKind::Func)
+                        .map_err(|e| ParseError::from((e, *span)))?,
+                    None => {
+                        return Err(ParseError::new(
+                            ParseErrorKind::UndeclaredSymbol(name.clone()),
+                            *span,
+                        ));
+                    }
+                };
+                self.sig
+                    .fix_arity(sym, args.len())
+                    .map_err(|e| ParseError::from((e, *span)))?;
+                let mut resolved = Vec::with_capacity(args.len());
+                for a in args {
+                    resolved.push(self.resolve(a, pos, scope)?);
+                }
+                Ok(Term::app(sym, resolved))
+            }
+        }
+    }
+}
+
+/// Per-item variable scope.
+#[derive(Default)]
+struct Scope {
+    by_name: HashMap<String, Var>,
+    hints: NameHints,
+}
+
+impl Scope {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn var(&mut self, gen: &mut VarGen, name: &str) -> Var {
+        if name == "_" {
+            // Anonymous: every occurrence is fresh.
+            return gen.fresh();
+        }
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = gen.fresh();
+        self.by_name.insert(name.to_string(), v);
+        self.hints.insert(v, name);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LISTS: &str = "
+        FUNC nil, cons.
+        TYPE elist, nelist, list.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+        PRED app(list(A), list(A), list(A)).
+        app(nil, L, L).
+        app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+        :- app(nil, nil, Z).
+    ";
+
+    #[test]
+    fn loads_paper_list_module() {
+        let m = parse_module(LISTS).unwrap();
+        // 2 builtin union constraints + 3 declared.
+        assert_eq!(m.constraints.len(), 5);
+        assert_eq!(m.pred_types.len(), 1);
+        assert_eq!(m.clauses.len(), 2);
+        assert_eq!(m.queries.len(), 1);
+        let app = m.sig.lookup("app").unwrap();
+        assert_eq!(m.sig.kind(app), SymKind::Pred);
+        assert_eq!(m.sig.arity(app), Some(3));
+        let list = m.sig.lookup("list").unwrap();
+        assert_eq!(m.sig.kind(list), SymKind::TypeCtor);
+        assert_eq!(m.sig.arity(list), Some(1));
+    }
+
+    #[test]
+    fn loaded_program_runs_on_engine() {
+        use lp_engine::{Query, SolveConfig};
+        let m = parse_module(LISTS).unwrap();
+        let db = m.database();
+        let q = &m.queries[0];
+        let mut run = Query::new(&db, q.goals.clone(), SolveConfig::default());
+        let sol = run.next_solution().expect("append query succeeds");
+        // Z = nil.
+        let z = q.goals[0].args()[2].clone();
+        let nil = m.sig.lookup("nil").unwrap();
+        assert_eq!(sol.answer.resolve(&z), Term::constant(nil));
+    }
+
+    #[test]
+    fn undeclared_symbol_in_clause_errors() {
+        let err = parse_module("p(foo).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UndeclaredSymbol(ref n) if n == "foo"));
+    }
+
+    #[test]
+    fn implicit_funcs_declares_on_use() {
+        let mut loader = Loader::new(LoaderOptions {
+            implicit_funcs: true,
+            ..LoaderOptions::default()
+        });
+        loader.load_source("p(foo, bar(foo)).").unwrap();
+        let m = loader.finish();
+        assert_eq!(m.sig.kind(m.sig.lookup("foo").unwrap()), SymKind::Func);
+        assert_eq!(m.sig.arity(m.sig.lookup("bar").unwrap()), Some(1));
+    }
+
+    #[test]
+    fn constraint_lhs_must_be_type_ctor() {
+        let err = parse_module("FUNC f. TYPE t. f(A) >= t.").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Malformed(_)));
+        assert!(err.to_string().contains("Definition 2"));
+    }
+
+    #[test]
+    fn constraint_rhs_vars_must_be_bound_by_lhs() {
+        let err = parse_module("TYPE c, d. c(A) >= d(A, B).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Malformed(_)));
+        assert!(err.to_string().contains('B'));
+    }
+
+    #[test]
+    fn duplicate_pred_type_rejected() {
+        let err = parse_module("TYPE t. PRED p(t). PRED p(t).").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn type_ctor_rejected_in_program_position() {
+        let err = parse_module("TYPE t. p(t).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Malformed(_)));
+    }
+
+    #[test]
+    fn pred_rejected_inside_type() {
+        let err = parse_module("PRED q(r). ").unwrap_err();
+        // `r` is undeclared here.
+        assert!(matches!(err.kind, ParseErrorKind::UndeclaredSymbol(_)));
+    }
+
+    #[test]
+    fn arity_clash_detected_across_items() {
+        let err = parse_module("FUNC f. TYPE t. t >= f(t). PRED p(t). p(f(X, Y)).").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Signature(lp_term::SigError::ArityClash { .. })
+        ));
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let m = parse_module("p(_, _).").unwrap();
+        let c = &m.clauses[0].clause;
+        let vars = c.vars();
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn named_variables_are_shared_within_clause() {
+        let m = parse_module("p(X, X).").unwrap();
+        assert_eq!(m.clauses[0].clause.vars().len(), 1);
+    }
+
+    #[test]
+    fn variable_scopes_are_per_clause() {
+        let m = parse_module("p(X). q(X).").unwrap();
+        let v1 = m.clauses[0].clause.vars();
+        let v2 = m.clauses[1].clause.vars();
+        assert!(v1.is_disjoint(&v2));
+    }
+
+    #[test]
+    fn union_predefined_with_builtin_constraints() {
+        let m = parse_module("").unwrap();
+        let plus = m.union_sym.expect("predefined +");
+        assert_eq!(m.sig.kind(plus), SymKind::TypeCtor);
+        assert_eq!(m.constraints.len(), 2);
+        // Both constraints have `+` on the left.
+        for (lhs, _) in &m.constraints {
+            assert_eq!(lhs.functor(), Some(plus));
+        }
+    }
+
+    #[test]
+    fn nonuniform_id_example_loads() {
+        // The paper's non-uniform polymorphic type (§1).
+        let src = "
+            FUNC 0, succ, m, f.
+            TYPE nat, males, females, id, person.
+            nat >= 0 + succ(nat).
+            id(males) >= m(nat).
+            id(females) >= f(nat).
+            person >= males + females.
+        ";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.constraints.len(), 2 + 4);
+    }
+}

@@ -1,0 +1,393 @@
+//! Recursive-descent parser producing the syntactic AST.
+
+use crate::ast::{Item, NameAst, TermAst};
+use crate::error::{ParseError, ParseErrorKind};
+use crate::lexer::Lexer;
+use crate::token::{Token, TokenKind};
+
+/// Parses a whole source file into top-level [`Item`]s.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error with its span.
+pub fn parse_items(src: &str) -> Result<Vec<Item>, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    Parser { tokens, pos: 0 }.items()
+}
+
+/// Parses a single term (optionally `.`-terminated), e.g. a type or goal
+/// given on a command line.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, including trailing input.
+pub fn parse_single_term(src: &str) -> Result<TermAst, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.term()?;
+    if p.peek().kind == TokenKind::Dot {
+        p.bump();
+    }
+    if p.peek().kind != TokenKind::Eof {
+        return Err(p.unexpected("end of input"));
+    }
+    Ok(t)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> ParseError {
+        ParseError::new(
+            ParseErrorKind::UnexpectedToken {
+                found: self.peek().kind.clone(),
+                expected: expected.to_string(),
+            },
+            self.peek().span,
+        )
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Variable(v) if v == kw)
+    }
+
+    fn items(mut self) -> Result<Vec<Item>, ParseError> {
+        let mut items = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        if self.at_keyword("FUNC") {
+            self.bump();
+            let names = self.name_list()?;
+            self.expect(&TokenKind::Dot, "`.` after FUNC declaration")?;
+            return Ok(Item::FuncDecl(names));
+        }
+        if self.at_keyword("TYPE") {
+            self.bump();
+            let names = self.name_list()?;
+            self.expect(&TokenKind::Dot, "`.` after TYPE declaration")?;
+            return Ok(Item::TypeDecl(names));
+        }
+        if self.at_keyword("PRED") {
+            self.bump();
+            let mut types = vec![self.term()?];
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                types.push(self.term()?);
+            }
+            self.expect(&TokenKind::Dot, "`.` after PRED declaration")?;
+            return Ok(Item::PredDecl(types));
+        }
+        if self.peek().kind == TokenKind::Turnstile {
+            let start = self.bump().span;
+            let body = self.atom_list()?;
+            let end = self.expect(&TokenKind::Dot, "`.` after query")?.span;
+            return Ok(Item::Query {
+                body,
+                span: start.merge(end),
+            });
+        }
+        // Constraint, fact or rule: starts with a term.
+        let lhs = self.term()?;
+        match &self.peek().kind {
+            TokenKind::Supertype => {
+                self.bump();
+                let rhs = self.term()?;
+                let end = self.expect(&TokenKind::Dot, "`.` after constraint")?.span;
+                let span = lhs.span().merge(end);
+                Ok(Item::Constraint { lhs, rhs, span })
+            }
+            TokenKind::Turnstile => {
+                self.bump();
+                let body = self.atom_list()?;
+                let end = self.expect(&TokenKind::Dot, "`.` after clause body")?.span;
+                let span = lhs.span().merge(end);
+                Ok(Item::Clause {
+                    head: lhs,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Dot => {
+                let end = self.bump().span;
+                let span = lhs.span().merge(end);
+                Ok(Item::Clause {
+                    head: lhs,
+                    body: Vec::new(),
+                    span,
+                })
+            }
+            _ => Err(self.unexpected("`>=`, `:-` or `.` after a top-level term")),
+        }
+    }
+
+    /// `name (, name)*` — for FUNC/TYPE lists. `+` is accepted as a name here
+    /// (the paper itself declares `TYPE +.`).
+    fn name_list(&mut self) -> Result<Vec<NameAst>, ParseError> {
+        let mut out = vec![self.decl_name()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.decl_name()?);
+        }
+        Ok(out)
+    }
+
+    fn decl_name(&mut self) -> Result<NameAst, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Name(name) => {
+                let span = self.bump().span;
+                Ok(NameAst { name, span })
+            }
+            TokenKind::Plus => {
+                let span = self.bump().span;
+                Ok(NameAst {
+                    name: "+".to_string(),
+                    span,
+                })
+            }
+            _ => Err(self.unexpected("a symbol name")),
+        }
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<TermAst>, ParseError> {
+        let mut out = vec![self.term()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            out.push(self.term()?);
+        }
+        Ok(out)
+    }
+
+    /// `term := primary (`+` primary)*`, left-associative.
+    fn term(&mut self) -> Result<TermAst, ParseError> {
+        let mut lhs = self.primary()?;
+        while self.peek().kind == TokenKind::Plus {
+            self.bump();
+            let rhs = self.primary()?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = TermAst::App {
+                name: "+".to_string(),
+                args: vec![lhs, rhs],
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<TermAst, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Variable(name) => {
+                let span = self.bump().span;
+                Ok(TermAst::Var { name, span })
+            }
+            TokenKind::Name(name) => {
+                let start = self.bump().span;
+                if self.peek().kind == TokenKind::LParen {
+                    self.bump();
+                    let mut args = vec![self.term()?];
+                    while self.peek().kind == TokenKind::Comma {
+                        self.bump();
+                        args.push(self.term()?);
+                    }
+                    let end = self
+                        .expect(&TokenKind::RParen, "`)` closing the argument list")?
+                        .span;
+                    Ok(TermAst::App {
+                        name,
+                        args,
+                        span: start.merge(end),
+                    })
+                } else {
+                    Ok(TermAst::App {
+                        name,
+                        args: Vec::new(),
+                        span: start,
+                    })
+                }
+            }
+            TokenKind::LParen => {
+                // Parenthesized term, e.g. the right side of `a + (b + c)`.
+                self.bump();
+                let t = self.term()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(t)
+            }
+            _ => Err(self.unexpected("a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Span;
+
+    fn app(name: &str, args: Vec<TermAst>) -> TermAst {
+        TermAst::App {
+            name: name.into(),
+            args,
+            span: Span::default(),
+        }
+    }
+
+    /// Structural equality ignoring spans.
+    fn eq_ast(a: &TermAst, b: &TermAst) -> bool {
+        match (a, b) {
+            (TermAst::Var { name: n1, .. }, TermAst::Var { name: n2, .. }) => n1 == n2,
+            (
+                TermAst::App {
+                    name: n1, args: a1, ..
+                },
+                TermAst::App {
+                    name: n2, args: a2, ..
+                },
+            ) => n1 == n2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| eq_ast(x, y)),
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn parses_func_and_type_decls() {
+        let items = parse_items("FUNC 0, succ, pred.\nTYPE nat, unnat, int.").unwrap();
+        match &items[0] {
+            Item::FuncDecl(ns) => {
+                let names: Vec<_> = ns.iter().map(|n| n.name.as_str()).collect();
+                assert_eq!(names, vec!["0", "succ", "pred"]);
+            }
+            other => panic!("expected FuncDecl, got {other:?}"),
+        }
+        match &items[1] {
+            Item::TypeDecl(ns) => assert_eq!(ns.len(), 3),
+            other => panic!("expected TypeDecl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_plus_in_type_decl() {
+        let items = parse_items("TYPE +.").unwrap();
+        assert!(matches!(&items[0], Item::TypeDecl(ns) if ns[0].name == "+"));
+    }
+
+    #[test]
+    fn parses_constraint_with_union() {
+        let items = parse_items("nat >= 0 + succ(nat).").unwrap();
+        match &items[0] {
+            Item::Constraint { lhs, rhs, .. } => {
+                assert!(eq_ast(lhs, &app("nat", vec![])));
+                assert!(eq_ast(
+                    rhs,
+                    &app(
+                        "+",
+                        vec![app("0", vec![]), app("succ", vec![app("nat", vec![])])]
+                    )
+                ));
+            }
+            other => panic!("expected Constraint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plus_is_left_associative() {
+        let items = parse_items("int >= a + b + c.").unwrap();
+        match &items[0] {
+            Item::Constraint { rhs, .. } => {
+                assert!(eq_ast(
+                    rhs,
+                    &app(
+                        "+",
+                        vec![
+                            app("+", vec![app("a", vec![]), app("b", vec![])]),
+                            app("c", vec![])
+                        ]
+                    )
+                ));
+            }
+            other => panic!("expected Constraint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_associativity() {
+        let items = parse_items("int >= a + (b + c).").unwrap();
+        match &items[0] {
+            Item::Constraint { rhs, .. } => {
+                assert!(eq_ast(
+                    rhs,
+                    &app(
+                        "+",
+                        vec![
+                            app("a", vec![]),
+                            app("+", vec![app("b", vec![]), app("c", vec![])])
+                        ]
+                    )
+                ));
+            }
+            other => panic!("expected Constraint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_rule_and_fact_and_query() {
+        let src = "app(nil, L, L).\napp(cons(X,L), M, cons(X,N)) :- app(L, M, N).\n:- app(nil, nil, Z).";
+        let items = parse_items(src).unwrap();
+        assert!(matches!(&items[0], Item::Clause { body, .. } if body.is_empty()));
+        assert!(matches!(&items[1], Item::Clause { body, .. } if body.len() == 1));
+        assert!(matches!(&items[2], Item::Query { body, .. } if body.len() == 1));
+    }
+
+    #[test]
+    fn parses_pred_decl() {
+        let items = parse_items("PRED app(list(A), list(A), list(A)), member(A, list(A)).").unwrap();
+        match &items[0] {
+            Item::PredDecl(ts) => {
+                assert_eq!(ts.len(), 2);
+                assert_eq!(ts[0].name(), Some("app"));
+                assert_eq!(ts[1].name(), Some("member"));
+            }
+            other => panic!("expected PredDecl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_dot() {
+        let err = parse_items("FUNC a, b").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedToken { .. }
+        ));
+        assert!(err.to_string().contains("FUNC"));
+    }
+
+    #[test]
+    fn error_on_stray_supertype() {
+        let err = parse_items(">= nat.").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
+    }
+}

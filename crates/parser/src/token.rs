@@ -1,0 +1,117 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based `(line, column)` of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Lower-case identifier or digit sequence: a symbol name.
+    Name(String),
+    /// Upper-case or `_`-initial identifier: a variable name.
+    Variable(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.` (clause terminator)
+    Dot,
+    /// `:-`
+    Turnstile,
+    /// `>=`
+    Supertype,
+    /// `+`
+    Plus,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Name(n) => format!("name `{n}`"),
+            TokenKind::Variable(v) => format!("variable `{v}`"),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Dot => "`.`".to_string(),
+            TokenKind::Turnstile => "`:-`".to_string(),
+            TokenKind::Supertype => "`>=`".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Where in the source the token came from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_is_one_based() {
+        let src = "abc\ndef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(2, 3).line_col(src), (1, 3));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 1));
+        assert_eq!(Span::new(6, 7).line_col(src), (2, 3));
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = Span::new(3, 5);
+        let b = Span::new(10, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+}

@@ -1,0 +1,206 @@
+//! Pretty-printing a loaded [`Module`] back to concrete syntax.
+//!
+//! The output re-parses to an equivalent module (alpha-renaming of clause
+//! variables aside), which the round-trip tests check by a fixpoint
+//! argument: `unparse(parse(unparse(m))) == unparse(m)`.
+
+use std::fmt::Write as _;
+
+use lp_term::{NameHints, SymKind, Term, TermDisplay, Var};
+
+use crate::loader::Module;
+
+/// Renders a module as declaration-language source text.
+///
+/// The predefined `+` constructor and its two constraints are omitted (the
+/// loader reintroduces them), as are skolem constants.
+pub fn unparse(module: &Module) -> String {
+    let sig = &module.sig;
+    let mut out = String::new();
+
+    let funcs: Vec<&str> = sig
+        .symbols_of_kind(SymKind::Func)
+        .map(|s| sig.name(s))
+        .collect();
+    if !funcs.is_empty() {
+        let _ = writeln!(out, "FUNC {}.", funcs.join(", "));
+    }
+    let ctors: Vec<&str> = sig
+        .symbols_of_kind(SymKind::TypeCtor)
+        .filter(|&s| Some(s) != module.union_sym)
+        .map(|s| sig.name(s))
+        .collect();
+    if !ctors.is_empty() {
+        let _ = writeln!(out, "TYPE {}.", ctors.join(", "));
+    }
+
+    for (lhs, rhs) in &module.constraints {
+        if lhs.functor() == module.union_sym {
+            continue; // predefined
+        }
+        let hints = letter_hints(&[lhs, rhs]);
+        let _ = writeln!(
+            out,
+            "{} >= {}.",
+            TermDisplay::new(lhs, sig).with_hints(&hints),
+            TermDisplay::new(rhs, sig).with_hints(&hints)
+        );
+    }
+
+    for pt in &module.pred_types {
+        let hints = letter_hints(&[pt]);
+        let _ = writeln!(out, "PRED {}.", TermDisplay::new(pt, sig).with_hints(&hints));
+    }
+
+    for lc in &module.clauses {
+        let hints = merge_hints(&lc.hints, || {
+            let atoms: Vec<&Term> = lc.clause.atoms().collect();
+            letter_hints(&atoms)
+        });
+        let head = TermDisplay::new(&lc.clause.head, sig).with_hints(&hints);
+        if lc.clause.body.is_empty() {
+            let _ = writeln!(out, "{head}.");
+        } else {
+            let body: Vec<String> = lc
+                .clause
+                .body
+                .iter()
+                .map(|b| TermDisplay::new(b, sig).with_hints(&hints).to_string())
+                .collect();
+            let _ = writeln!(out, "{head} :- {}.", body.join(", "));
+        }
+    }
+
+    for q in &module.queries {
+        let hints = merge_hints(&q.hints, || {
+            let atoms: Vec<&Term> = q.goals.iter().collect();
+            letter_hints(&atoms)
+        });
+        let goals: Vec<String> = q
+            .goals
+            .iter()
+            .map(|g| TermDisplay::new(g, sig).with_hints(&hints).to_string())
+            .collect();
+        let _ = writeln!(out, ":- {}.", goals.join(", "));
+    }
+    out
+}
+
+/// Assigns upper-case letter names (`A`, `B`, …, `V26`, …) to every variable
+/// of the given terms, in first-occurrence order.
+fn letter_hints(terms: &[&Term]) -> NameHints {
+    let mut hints = NameHints::new();
+    let mut count = 0usize;
+    let mut seen = std::collections::BTreeSet::new();
+    let name_for = |i: usize| -> String {
+        if i < 26 {
+            char::from(b'A' + i as u8).to_string()
+        } else {
+            format!("V{i}")
+        }
+    };
+    for t in terms {
+        for sub in t.subterms() {
+            if let Term::Var(v) = sub {
+                if seen.insert(*v) {
+                    hints.insert(*v, name_for(count));
+                    count += 1;
+                }
+            }
+        }
+    }
+    hints
+}
+
+/// Uses the source hints where present, generated letters otherwise. (A
+/// clause built programmatically may have no hints at all.)
+fn merge_hints(source: &NameHints, fallback: impl FnOnce() -> NameHints) -> NameHints {
+    let generated = fallback();
+    let mut out = NameHints::new();
+    for (v, name) in generated.iter() {
+        out.insert(v, name);
+    }
+    for (v, name) in source.iter() {
+        out.insert(v, name);
+    }
+    out
+}
+
+/// Letter-hint display of a standalone term (used by tools and tests).
+pub fn unparse_term(module: &Module, t: &Term) -> String {
+    let hints = letter_hints(&[t]);
+    TermDisplay::new(t, &module.sig)
+        .with_hints(&hints)
+        .to_string()
+}
+
+// Var is used via pattern matching above.
+#[allow(unused)]
+fn _keep(v: Var) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::parse_module;
+
+    const SRC: &str = "
+        FUNC 0, succ, pred, nil, cons.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+        PRED app(list(A), list(A), list(A)).
+        app(nil, L, L).
+        app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+        :- app(nil, nil, Z).
+    ";
+
+    #[test]
+    fn unparse_reparses() {
+        let m1 = parse_module(SRC).unwrap();
+        let text = unparse(&m1);
+        let m2 = parse_module(&text).unwrap_or_else(|e| panic!("{}\n---\n{text}", e.render(&text)));
+        assert_eq!(m1.constraints.len(), m2.constraints.len());
+        assert_eq!(m1.pred_types.len(), m2.pred_types.len());
+        assert_eq!(m1.clauses.len(), m2.clauses.len());
+        assert_eq!(m1.queries.len(), m2.queries.len());
+    }
+
+    #[test]
+    fn unparse_is_a_fixpoint_modulo_renaming() {
+        let m1 = parse_module(SRC).unwrap();
+        let t1 = unparse(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = unparse(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn unparse_preserves_source_variable_names() {
+        let m = parse_module("PRED p(A). p(Xs) :- p(Xs).").unwrap();
+        let text = unparse(&m);
+        assert!(text.contains("p(Xs) :- p(Xs)."), "{text}");
+    }
+
+    #[test]
+    fn predefined_union_is_not_emitted() {
+        let m = parse_module("TYPE t. FUNC a. t >= a.").unwrap();
+        let text = unparse(&m);
+        assert!(!text.contains("A + B >="), "{text}");
+        assert_eq!(text.matches(">=").count(), 1);
+    }
+
+    #[test]
+    fn infix_union_round_trips_with_parens() {
+        let m1 = parse_module("FUNC a, b, c. TYPE t. t >= a + (b + c).").unwrap();
+        let text = unparse(&m1);
+        let m2 = parse_module(&text).unwrap();
+        // The reparsed constraint keeps right-nesting.
+        let (_, rhs1) = &m1.constraints[2];
+        let (_, rhs2) = &m2.constraints[2];
+        assert_eq!(rhs1, rhs2);
+    }
+}

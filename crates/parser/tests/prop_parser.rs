@@ -1,0 +1,66 @@
+//! Robustness properties of the front end: the parser never panics, spans
+//! stay within bounds, and valid programs round-trip through the unparser.
+
+use proptest::prelude::*;
+
+use lp_parser::{parse_items, parse_module, unparse};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(src in "\\PC*") {
+        // Any outcome is fine; panicking is not.
+        let _ = parse_items(&src);
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_symbol_soup(
+        src in proptest::collection::vec(
+            prop_oneof![
+                Just("FUNC".to_string()),
+                Just("TYPE".to_string()),
+                Just("PRED".to_string()),
+                Just(":-".to_string()),
+                Just(">=".to_string()),
+                Just("+".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just(".".to_string()),
+                "[a-z][a-z0-9]{0,3}",
+                "[A-Z][a-z0-9]{0,3}",
+                "[0-9]{1,3}",
+            ],
+            0..30,
+        ).prop_map(|toks| toks.join(" "))
+    ) {
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn error_spans_are_in_bounds(src in "\\PC{0,80}") {
+        if let Err(e) = parse_module(&src) {
+            prop_assert!(e.span.start <= e.span.end);
+            prop_assert!(e.span.end <= src.len() + 1);
+            // Rendering must not panic either.
+            let _ = e.render(&src);
+        }
+    }
+}
+
+#[test]
+fn structured_programs_round_trip() {
+    // A deterministic family of generated programs parses, unparses, and
+    // re-parses to the same canonical text.
+    for n in [1usize, 3, 7] {
+        let src = lp_gen::programs::pipeline(n, 2);
+        let m1 = parse_module(&src).unwrap();
+        let t1 = unparse(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = unparse(&m2);
+        assert_eq!(t1, t2, "fixpoint failed for pipeline({n})");
+        assert_eq!(m1.clauses.len(), m2.clauses.len());
+    }
+}

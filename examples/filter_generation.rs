@@ -1,0 +1,102 @@
+//! Automatic filtering predicates (the §7 "future work", implemented):
+//! derive `int2nat` instead of writing it, splice it into a program, and run
+//! the paper's filtered query.
+//!
+//! Run with: `cargo run --example filter_generation`
+
+use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::core::filter::build_filter;
+use subtype_lp::core::{Checker, ConstraintSet, PredTypeTable};
+use subtype_lp::core::consistency::Auditor;
+use subtype_lp::term::{Term, TermDisplay};
+
+const SOURCE: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+
+    PRED p(nat).
+    PRED q(int).
+    p(0). p(succ(0)).
+    q(succ(0)). q(pred(0)).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut module = subtype_lp::parser::parse_module(SOURCE)?;
+    let cs = ConstraintSet::from_module(&module)?.checked(&module.sig)?;
+
+    // Derive the conversion predicate the paper wrote by hand (§7).
+    let int = Term::constant(module.sig.lookup("int").unwrap());
+    let nat = Term::constant(module.sig.lookup("nat").unwrap());
+    let lib = build_filter(&mut module.sig, &cs, &int, &nat, &mut module.gen)?;
+    println!("generated {} clause(s) for int -> nat:", lib.clauses.len());
+    for c in &lib.clauses {
+        let head = TermDisplay::new(&c.head, &module.sig);
+        if c.body.is_empty() {
+            println!("  {head}.");
+        } else {
+            let body: Vec<String> = c
+                .body
+                .iter()
+                .map(|b| TermDisplay::new(b, &module.sig).to_string())
+                .collect();
+            println!("  {head} :- {}.", body.join(", "));
+        }
+    }
+
+    // Splice the generated predicates into the program and type-check the
+    // whole thing, including the §7 query through the filter.
+    let mut preds = PredTypeTable::from_module(&module)?;
+    for pt in &lib.pred_types {
+        preds.insert(&module.sig, pt.clone()).map_err(|e| e.to_string())?;
+    }
+    let mut db = module.database();
+    for c in &lib.clauses {
+        db.add(c.clone());
+    }
+    let checker = Checker::new(&module.sig, &cs, &preds);
+    let all_clauses: Vec<_> = module
+        .clauses
+        .iter()
+        .map(|c| c.clause.clone())
+        .chain(lib.clauses.iter().cloned())
+        .collect();
+    checker
+        .check_program(all_clauses.iter())
+        .map_err(|e| format!("{e:?}"))?;
+    println!("\nprogram + generated filter is well-typed");
+
+    // :- p(X), filter(Y, X), q(Y).   (the paper's query, filter generated)
+    let p = module.sig.lookup("p").unwrap();
+    let q = module.sig.lookup("q").unwrap();
+    let x = Term::Var(module.gen.fresh());
+    let y = Term::Var(module.gen.fresh());
+    let goals = vec![
+        Term::app(p, vec![x.clone()]),
+        Term::app(lib.entry, vec![y.clone(), x.clone()]),
+        Term::app(q, vec![y.clone()]),
+    ];
+    checker.check_query(&goals).map_err(|e| e.to_string())?;
+    let report = Auditor::new(checker).run(&db, &goals, AuditConfig::default());
+    println!("\n:- p(X), {}(Y, X), q(Y).", module.sig.name(lib.entry));
+    for sol in &report.solutions {
+        println!(
+            "  X = {}, Y = {}",
+            TermDisplay::new(&sol.answer.resolve(&x), &module.sig),
+            TermDisplay::new(&sol.answer.resolve(&y), &module.sig),
+        );
+    }
+    println!(
+        "  ({} resolvents audited, clean: {})",
+        report.resolvents_checked,
+        report.is_clean()
+    );
+    assert!(report.is_clean());
+    assert_eq!(report.solutions.len(), 1); // only succ(0) passes both sides
+    Ok(())
+}

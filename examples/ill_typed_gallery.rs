@@ -1,0 +1,127 @@
+//! A gallery of every rejection example in the paper (§1, §5, §7), with the
+//! checker's diagnostics.
+//!
+//! Run with: `cargo run --example ill_typed_gallery`
+
+use subtype_lp::TypedProgram;
+
+const DECLS: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+";
+
+struct Case {
+    title: &'static str,
+    paper: &'static str,
+    source: String,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cases = vec![
+        Case {
+            title: "query at the wrong type",
+            paper: "§1: \"this rules out certain successful queries, such as :- app(nil,0,0).\"",
+            source: format!(
+                "{DECLS}
+                 PRED app(list(A), list(A), list(A)).
+                 app(nil, L, L).
+                 app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+                 :- app(nil, 0, 0)."
+            ),
+        },
+        Case {
+            title: "variable aliased across incompatible type contexts",
+            paper: "§5: PRED p(int). PRED q(list(A)). the query :- p(X), q(X).",
+            source: format!(
+                "{DECLS}
+                 PRED p(int).
+                 PRED q(list(A)).
+                 p(0).
+                 q(nil).
+                 :- p(X), q(X)."
+            ),
+        },
+        Case {
+            title: "clause body drags a variable into another type context",
+            paper: "§5: PRED r(list(A)). r(X) :- p(X).",
+            source: format!(
+                "{DECLS}
+                 PRED p(int).
+                 PRED r(list(A)).
+                 p(0).
+                 r(X) :- p(X)."
+            ),
+        },
+        Case {
+            title: "repeated head variable at two types",
+            paper: "§5: PRED s(int, list(A)). s(X, X).",
+            source: format!(
+                "{DECLS}
+                 PRED s(int, list(A)).
+                 s(X, X)."
+            ),
+        },
+        Case {
+            title: "defining clause commits the predicate's type variable",
+            paper: "§5: PRED p(list(A)). the clause p(cons(nil, nil)). must be rejected",
+            source: format!(
+                "{DECLS}
+                 PRED p(list(A)).
+                 p(cons(nil, nil))."
+            ),
+        },
+        Case {
+            title: "subtype aliasing without a filter",
+            paper: "§7: PRED p(nat). PRED q(int). information may flow from q back into p",
+            source: format!(
+                "{DECLS}
+                 PRED p(nat).
+                 PRED q(int).
+                 p(0).
+                 q(0).
+                 :- p(X), q(X)."
+            ),
+        },
+    ];
+
+    // Unguarded/non-uniform declarations are rejected even earlier.
+    let decl_cases = [
+        ("§3: c >= c. is not guarded", "TYPE c. c >= c."),
+        (
+            "§3: c(A) >= c(f(A)). is not guarded",
+            "FUNC f. TYPE c. c(A) >= c(f(A)).",
+        ),
+        (
+            "§3: mutual recursion without a guard",
+            "FUNC f. TYPE c, b. c(A) >= b(f(A)). b(B) >= c(f(B)).",
+        ),
+        (
+            "§3: recursion through polymorphism",
+            "TYPE b, c. b(A) >= A. c >= b(c).",
+        ),
+    ];
+
+    for (paper, src) in decl_cases {
+        println!("== {paper}");
+        match TypedProgram::from_source(src) {
+            Err(e) => println!("   {e}\n"),
+            Ok(_) => unreachable!("must be rejected: {src}"),
+        }
+    }
+
+    for case in cases {
+        println!("== {} \n   {}", case.title, case.paper);
+        let program = TypedProgram::from_source(&case.source)?;
+        match program.check_all() {
+            Err(e) => println!("   {e}"),
+            Ok(()) => unreachable!("must be rejected: {}", case.title),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,143 @@
+//! Non-uniform polymorphic types (paper §1): the `id(males)/id(females)`
+//! knowledge-representation example, compared against what the MO84
+//! baseline can express.
+//!
+//! The paper assigns meaning to *all* types, but defines well-typedness only
+//! for uniform polymorphic declarations. This example therefore explores
+//! non-uniform declarations at the semantic level — through the Horn theory
+//! `H_C` (Definition 3): shallow derivations are found by blind
+//! iterative-deepening SLD, and the deeper `id(person)` derivations are
+//! *replayed* clause by clause (blind search over `H_C` blows up
+//! exponentially — the very motivation for the paper's §3 strategy, which
+//! requires uniformity and so does not apply here).
+//!
+//! Run with: `cargo run --example knowledge_base`
+
+use subtype_lp::baseline::FuncSigTable;
+use subtype_lp::core::{ConstraintSet, NaiveProver};
+use subtype_lp::term::{Term, TermDisplay};
+
+const SOURCE: &str = "
+    FUNC 0, succ, m, f.
+    TYPE nat, males, females, person, id.
+    nat >= 0 + succ(nat).
+
+    % Non-uniform: id is indexed by *which* population the number identifies.
+    id(males) >= m(nat).
+    id(females) >= f(nat).
+
+    person >= males + females.
+
+    % id(person) therefore contains the ids of both populations…
+    id(person) >= id(males) + id(females).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = subtype_lp::parser::parse_module(SOURCE)?;
+    let cs = ConstraintSet::from_module(&module)?;
+    let sig = &module.sig;
+
+    // The declarations are NOT uniform polymorphic: id(males) applies id to
+    // a constant, so the §3 machinery (match, the deterministic strategy)
+    // is out of scope — exactly as the paper says.
+    match cs.clone().checked(sig) {
+        Err(e) => println!("uniform polymorphic? no — {e}"),
+        Ok(_) => unreachable!("id(males) >= … is not uniform"),
+    }
+
+    let prover = NaiveProver::new(sig, &cs)
+        .with_max_depth(7)
+        .with_step_budget(500_000);
+
+    let id = sig.lookup("id").unwrap();
+    let males = sig.lookup("males").unwrap();
+    let females = sig.lookup("females").unwrap();
+    let person = sig.lookup("person").unwrap();
+    let m = sig.lookup("m").unwrap();
+    let f = sig.lookup("f").unwrap();
+    let zero = sig.lookup("0").unwrap();
+    let succ = sig.lookup("succ").unwrap();
+
+    let one = Term::app(succ, vec![Term::constant(zero)]);
+    let m0 = Term::app(m, vec![Term::constant(zero)]);
+    let f0 = Term::app(f, vec![Term::constant(zero)]);
+    let f1 = Term::app(f, vec![one]);
+    let id_males = Term::app(id, vec![Term::constant(males)]);
+    let id_females = Term::app(id, vec![Term::constant(females)]);
+    let id_person = Term::app(id, vec![Term::constant(person)]);
+
+    println!("\nshallow memberships by blind SLD over H_C (Definition 3):");
+    for (ty, t, expected) in [
+        (&id_males, &m0, true),
+        (&id_males, &f0, false),
+        (&id_females, &f0, true),
+    ] {
+        let outcome = prover.prove(ty, t);
+        println!(
+            "  {} ∋ {} : {:?}",
+            TermDisplay::new(ty, sig),
+            TermDisplay::new(t, sig),
+            outcome
+        );
+        assert_eq!(outcome.is_proved(), expected);
+    }
+
+    // id(person) memberships need depth-10+ refutations of H_C — blind
+    // search cannot reach them, so replay the derivations clause by clause.
+    // Database layout: facts 0..=6 in declaration order (union first),
+    // substitution axioms next, transitivity last.
+    let theory = prover.theory();
+    let trans = theory.database().len() - 1;
+    let axiom_for = |s: lp_term::Sym| {
+        (0..theory.database().len())
+            .find(|&i| {
+                let c = theory.database().clause(i);
+                c.head.args().len() == 2
+                    && c.head.args()[0].functor() == Some(s)
+                    && c.head.args()[1].functor() == Some(s)
+                    && c.head.args()[0].args().iter().all(Term::is_var)
+                    && c.body.len() == sig.arity(s).unwrap_or(0)
+            })
+            .expect("substitution axiom present")
+    };
+    // Facts: 0/1 = union, 2 = nat, 3 = id(males), 4 = id(females),
+    // 5 = person, 6 = id(person).
+    println!("\ndeep memberships by replaying their SLD derivations:");
+    let m_case = [
+        trans, 6, trans, 0, trans, 3, axiom_for(m), trans, 2, 0,
+    ];
+    let resolvent = theory
+        .replay(vec![theory.goal(&id_person, &m0)], &m_case)
+        .expect("derivation applies");
+    assert!(resolvent.is_empty());
+    println!(
+        "  {} ∋ {} : refuted in {} steps",
+        TermDisplay::new(&id_person, sig),
+        TermDisplay::new(&m0, sig),
+        m_case.len()
+    );
+
+    let f_case = [
+        trans, 6, trans, 1, trans, 4, axiom_for(f), trans, 2, trans, 1,
+        axiom_for(succ), trans, 2, 0,
+    ];
+    let resolvent = theory
+        .replay(vec![theory.goal(&id_person, &f1)], &f_case)
+        .expect("derivation applies");
+    assert!(resolvent.is_empty());
+    println!(
+        "  {} ∋ {} : refuted in {} steps",
+        TermDisplay::new(&id_person, sig),
+        TermDisplay::new(&f1, sig),
+        f_case.len()
+    );
+
+    // MO84 cannot express any of this: id would need per-instance
+    // constructor signatures and person >= males + females is a subtype
+    // relation between type constructors.
+    match FuncSigTable::from_constraints(sig, &cs) {
+        Err(e) => println!("\nMO84 conversion fails, as expected:\n  {e}"),
+        Ok(_) => unreachable!("non-uniform subtyping is not MO84-expressible"),
+    }
+    Ok(())
+}

@@ -1,0 +1,126 @@
+//! Subtypes and information flow (paper §7): why `:- p(X), q(X).` with
+//! `PRED p(nat). PRED q(int).` is rejected, and how the paper's `int2nat`
+//! *filtering* predicate recovers the query — plus typed Peano arithmetic
+//! exercising nat/unnat/int subtyping.
+//!
+//! Run with: `cargo run --example nat_arith`
+
+use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::term::Term;
+use subtype_lp::TypedProgram;
+
+const DECLS: &str = "
+    FUNC 0, succ, pred.
+    TYPE nat, unnat, int.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- The §7 problem -------------------------------------------------
+    // p produces nats, q consumes ints. Information may flow both ways in
+    // logic programming, so the aliased query is rejected outright.
+    let rejected = format!(
+        "{DECLS}
+         PRED p(nat).
+         PRED q(int).
+         p(0).
+         q(0).
+         :- p(X), q(X).
+        "
+    );
+    let program = TypedProgram::from_source(&rejected)?;
+    program.check_clauses()?;
+    let err = program.check_queries().expect_err("the paper rejects this");
+    println!("rejected :- p(X), q(X).   [p: nat, q: int]\n  {err}");
+
+    // ---- The §7 solution: filtering through int2nat ---------------------
+    let filtered = format!(
+        "{DECLS}
+         PRED p(nat).
+         PRED q(int).
+         PRED int2nat(int, nat).
+         int2nat(0, 0).
+         int2nat(succ(X), succ(X)).
+         p(succ(0)).
+         q(succ(0)).
+         q(pred(0)).
+         :- p(X), int2nat(Y, X), q(Y).
+        "
+    );
+    let program = TypedProgram::from_source(&filtered)?;
+    program.check_all()?;
+    println!("\naccepted :- p(X), int2nat(Y, X), q(Y).");
+    let report = program.audit_query(0, AuditConfig::default());
+    assert!(report.is_clean());
+    let q = &program.module().queries[0];
+    for sol in &report.solutions {
+        for (v, name) in q.hints.iter() {
+            let value = sol.answer.resolve(&Term::Var(v));
+            println!("  {name} = {}", program.display_with(&value, &q.hints));
+        }
+    }
+    println!(
+        "  ({} resolvents audited, {} violations)",
+        report.resolvents_checked,
+        report.violations.len()
+    );
+
+    // The filter really filters: pred(0) is an int but not a nat, so
+    // int2nat(Y, X) never produces it on the nat side.
+    let filtering = format!(
+        "{DECLS}
+         PRED int2nat(int, nat).
+         int2nat(0, 0).
+         int2nat(succ(X), succ(X)).
+         :- int2nat(pred(0), X).
+        "
+    );
+    let program = TypedProgram::from_source(&filtering)?;
+    // Note: this query is itself well-typed (pred(0) IS an int)…
+    program.check_all()?;
+    // …it simply has no solutions.
+    let solutions = program.run_query(0, 10);
+    println!("\nint2nat(pred(0), X): {} solutions (filtered out)", solutions.len());
+    assert!(solutions.is_empty());
+
+    // ---- Typed Peano addition over nat ----------------------------------
+    let arith = format!(
+        "{DECLS}
+         PRED plus(nat, nat, nat).
+         plus(0, N, N).
+         plus(succ(M), N, succ(K)) :- plus(M, N, K).
+         :- plus(succ(succ(0)), succ(0), K).
+         :- plus(M, N, succ(succ(0))).
+        "
+    );
+    let program = TypedProgram::from_source(&arith)?;
+    program.check_all()?;
+    println!("\n2 + 1:");
+    let q0 = &program.module().queries[0];
+    for sol in program.run_query(0, 1) {
+        for (v, name) in q0.hints.iter() {
+            let value = sol.answer.resolve(&Term::Var(v));
+            println!("  {name} = {}", program.display_with(&value, &q0.hints));
+        }
+    }
+    println!("all splits of 2:");
+    let report = program.audit_query(1, AuditConfig::default());
+    assert!(report.is_clean());
+    println!("  {} solutions, every resolvent well-typed", report.solutions.len());
+
+    // Subtyping lets nat evidence flow where ints are expected, but not the
+    // reverse: storing pred(0) in plus would be rejected.
+    let bad = format!(
+        "{DECLS}
+         PRED plus(nat, nat, nat).
+         plus(0, N, N).
+         plus(pred(0), N, N).
+        "
+    );
+    let program = TypedProgram::from_source(&bad)?;
+    let err = program.check_clauses().expect_err("pred(0) is not a nat");
+    println!("\nrejected plus(pred(0), N, N).\n  {err}");
+    Ok(())
+}

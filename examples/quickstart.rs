@@ -1,0 +1,74 @@
+//! Quickstart: declare types, check a program, run a query.
+//!
+//! This is the paper's running example (§1): lists built from `nil`/`cons`
+//! with the empty/non-empty subtype split, and a typed `app` (append)
+//! predicate.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::term::Term;
+use subtype_lp::TypedProgram;
+
+const SOURCE: &str = "
+    % The paper's §1 declarations.
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+
+    % Typed append.
+    PRED app(list(A), list(A), list(A)).
+    app(nil, L, L).
+    app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+
+    % Append two int lists.
+    :- app(cons(0, nil), cons(succ(0), cons(pred(0), nil)), Z).
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = TypedProgram::from_source(SOURCE)?;
+
+    // 1. Static checking (Definition 16).
+    program.check_all()?;
+    println!("program is well-typed");
+
+    // 2. Subtype queries against the declarations (Definition 3).
+    let prover = program.prover();
+    let sig = &program.module().sig;
+    let int = Term::constant(sig.lookup("int").unwrap());
+    let nat = Term::constant(sig.lookup("nat").unwrap());
+    println!(
+        "int >= nat : {}",
+        prover.subtype(&int, &nat).is_proved()
+    );
+    println!(
+        "nat >= int : {}",
+        prover.subtype(&nat, &int).is_proved()
+    );
+
+    // 3. Execution with consistency auditing (Theorem 6): every resolvent
+    //    produced by the SLD engine is re-checked against the types.
+    let report = program.audit_query(0, AuditConfig::default());
+    let q = &program.module().queries[0];
+    for sol in &report.solutions {
+        for (v, name) in q.hints.iter() {
+            let value = sol.answer.resolve(&Term::Var(v));
+            println!("{name} = {}", program.display_with(&value, &q.hints));
+        }
+    }
+    println!(
+        "audited {} resolvents, {} violations, answers consistent: {}",
+        report.resolvents_checked,
+        report.violations.len(),
+        report.answers_consistent
+    );
+    assert!(report.is_clean());
+    Ok(())
+}

@@ -1,0 +1,317 @@
+//! `slp` — the subtype-lp command-line interface.
+//!
+//! ```text
+//! slp check   FILE                 type-check every clause and query
+//! slp run     FILE [-q N] [-n N]   run a query (after checking)
+//! slp audit   FILE [-q N] [-n N]   run with Theorem 6 consistency auditing
+//! slp subtype FILE SUP SUB         decide SUP >= SUB (deterministic prover)
+//! slp match   FILE TYPE TERM       evaluate match(TYPE, TERM)
+//! slp filter  FILE FROM TO         generate a filtering predicate (§7)
+//! slp export  FILE                 print the module in canonical syntax
+//! slp info    FILE                 summarize declarations
+//! ```
+
+use std::process::ExitCode;
+
+use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::core::{match_type, ConstraintSet, MatchOutcome, NaiveProver, Prover};
+use subtype_lp::term::TermDisplay;
+use subtype_lp::TypedProgram;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("slp: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  slp check FILE\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let file = args.get(1).ok_or_else(usage)?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let program = TypedProgram::from_source(&src).map_err(|e| pretty(&src, e))?;
+
+    match command.as_str() {
+        "check" => check(&program),
+        "run" => execute(&program, args, false),
+        "audit" => execute(&program, args, true),
+        "subtype" => subtype(program, &src, args),
+        "match" => match_cmd(program, &src, args),
+        "filter" => filter_cmd(program, args),
+        "export" => {
+            print!("{}", subtype_lp::parser::unparse(program.module()));
+            Ok(())
+        }
+        "info" => info(&program),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn pretty(src: &str, e: subtype_lp::Error) -> String {
+    match e {
+        subtype_lp::Error::Parse(p) => p.render(src),
+        other => other.to_string(),
+    }
+}
+
+fn check(program: &TypedProgram) -> Result<(), String> {
+    let n_clauses = program.module().clauses.len();
+    let n_queries = program.module().queries.len();
+    program.check_all().map_err(|e| e.to_string())?;
+    println!("well-typed: {n_clauses} clause(s), {n_queries} query(ies)");
+    Ok(())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn execute(program: &TypedProgram, args: &[String], auditing: bool) -> Result<(), String> {
+    program.check_all().map_err(|e| e.to_string())?;
+    let query = flag_value(args, "-q").unwrap_or(0);
+    let max = flag_value(args, "-n").unwrap_or(10);
+    let queries = &program.module().queries;
+    if queries.is_empty() {
+        return Err("the program contains no queries".into());
+    }
+    if query >= queries.len() {
+        return Err(format!(
+            "query index {query} out of range (program has {})",
+            queries.len()
+        ));
+    }
+    let hints = &queries[query].hints;
+    if auditing {
+        let report = program.audit_query(
+            query,
+            AuditConfig {
+                max_solutions: max,
+                ..AuditConfig::default()
+            },
+        );
+        for sol in &report.solutions {
+            print_solution(program, query, sol);
+        }
+        println!(
+            "audited {} resolvent(s): {} violation(s), answers {}",
+            report.resolvents_checked,
+            report.violations.len(),
+            if report.answers_consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            }
+        );
+        if !report.is_clean() {
+            return Err("consistency violations detected".into());
+        }
+    } else {
+        let solutions = program.run_query(query, max);
+        if solutions.is_empty() {
+            println!("no.");
+        }
+        for sol in &solutions {
+            print_solution(program, query, sol);
+        }
+    }
+    let _ = hints;
+    Ok(())
+}
+
+fn print_solution(
+    program: &TypedProgram,
+    query: usize,
+    sol: &subtype_lp::engine::Solution,
+) {
+    let q = &program.module().queries[query];
+    let mut parts = Vec::new();
+    for (v, name) in q.hints.iter() {
+        let value = sol.answer.resolve(&subtype_lp::term::Term::Var(v));
+        let shown = program.display_with(&value, &q.hints).to_string();
+        if shown != name {
+            parts.push(format!("{name} = {shown}"));
+        }
+    }
+    parts.sort();
+    if parts.is_empty() {
+        println!("yes.");
+    } else {
+        println!("{}.", parts.join(", "));
+    }
+}
+
+fn subtype(program: TypedProgram, src: &str, args: &[String]) -> Result<(), String> {
+    let sup_src = args.get(2).ok_or_else(usage)?;
+    let sub_src = args.get(3).ok_or_else(usage)?;
+    let naive = args.iter().any(|a| a == "--naive");
+    let mut loader = program.into_loader();
+    let (sup, _) = loader
+        .parse_type(sup_src)
+        .map_err(|e| format!("supertype: {e}"))?;
+    let (sub, _) = loader
+        .parse_type(sub_src)
+        .map_err(|e| format!("subtype: {e}"))?;
+    let module = loader.finish();
+    let cs = ConstraintSet::from_module(&module).map_err(|e| e.to_string())?;
+    if naive {
+        let prover = NaiveProver::new(&module.sig, &cs);
+        let outcome = prover.prove(&sup, &sub);
+        println!("naive SLD over H_C: {outcome:?}");
+        return Ok(());
+    }
+    let checked = cs.checked(&module.sig).map_err(|e| e.to_string())?;
+    let prover = Prover::new(&module.sig, &checked);
+    let proof = prover.subtype(&sup, &sub);
+    let verdict = match &proof {
+        subtype_lp::core::Proof::Proved(answer) => {
+            let witness: Vec<String> = answer
+                .iter()
+                .map(|(v, t)| {
+                    format!("_G{} = {}", v.0, TermDisplay::new(t, &module.sig))
+                })
+                .collect();
+            if witness.is_empty() {
+                "derivable".to_string()
+            } else {
+                format!("derivable with {}", witness.join(", "))
+            }
+        }
+        subtype_lp::core::Proof::Refuted => "not derivable (exhaustive search)".to_string(),
+        subtype_lp::core::Proof::Unknown => "inconclusive (search budget)".to_string(),
+    };
+    println!(
+        "{} >= {}: {verdict}",
+        TermDisplay::new(&sup, &module.sig),
+        TermDisplay::new(&sub, &module.sig)
+    );
+    let _ = src;
+    Ok(())
+}
+
+fn match_cmd(program: TypedProgram, _src: &str, args: &[String]) -> Result<(), String> {
+    let ty_src = args.get(2).ok_or_else(usage)?;
+    let term_src = args.get(3).ok_or_else(usage)?;
+    let mut loader = program.into_loader();
+    let (ty, ty_hints) = loader.parse_type(ty_src).map_err(|e| format!("type: {e}"))?;
+    let (term, mut hints) = loader
+        .parse_program_term(term_src)
+        .map_err(|e| format!("term: {e}"))?;
+    // Type and term were parsed in separate scopes, so their variables are
+    // distinct; merge the hint tables for display.
+    for (v, name) in ty_hints.iter() {
+        hints.insert(v, name);
+    }
+    let module = loader.finish();
+    let cs = ConstraintSet::from_module(&module)
+        .map_err(|e| e.to_string())?
+        .checked(&module.sig)
+        .map_err(|e| e.to_string())?;
+    match match_type(&module.sig, &cs, &ty, &term) {
+        MatchOutcome::Typing(theta) => {
+            if theta.is_empty() {
+                println!("match: {{}} (the empty typing)");
+            } else {
+                let bindings: Vec<String> = theta
+                    .iter()
+                    .map(|(v, t)| {
+                        let name = hints
+                            .get(v)
+                            .map(str::to_string)
+                            .unwrap_or_else(|| format!("_G{}", v.0));
+                        format!(
+                            "{name} ↦ {}",
+                            TermDisplay::new(t, &module.sig).with_hints(&hints)
+                        )
+                    })
+                    .collect();
+                println!("match: {{{}}}", bindings.join(", "));
+            }
+        }
+        MatchOutcome::Fail => println!("match: fail (no typing exists)"),
+        MatchOutcome::Bottom => println!("match: ⊥ (no unique most general typing)"),
+    }
+    Ok(())
+}
+
+fn filter_cmd(program: TypedProgram, args: &[String]) -> Result<(), String> {
+    let from_src = args.get(2).ok_or_else(usage)?;
+    let to_src = args.get(3).ok_or_else(usage)?;
+    let mut loader = program.into_loader();
+    let (from, _) = loader
+        .parse_type(from_src)
+        .map_err(|e| format!("from: {e}"))?;
+    let (to, _) = loader.parse_type(to_src).map_err(|e| format!("to: {e}"))?;
+    let mut module = loader.finish();
+    let cs = ConstraintSet::from_module(&module)
+        .map_err(|e| e.to_string())?
+        .checked(&module.sig)
+        .map_err(|e| e.to_string())?;
+    let lib = subtype_lp::core::build_filter(&mut module.sig, &cs, &from, &to, &mut module.gen)
+        .map_err(|e| e.to_string())?;
+    for pt in &lib.pred_types {
+        println!("PRED {}.", TermDisplay::new(pt, &module.sig));
+    }
+    for c in &lib.clauses {
+        let head = TermDisplay::new(&c.head, &module.sig);
+        if c.body.is_empty() {
+            println!("{head}.");
+        } else {
+            let body: Vec<String> = c
+                .body
+                .iter()
+                .map(|b| TermDisplay::new(b, &module.sig).to_string())
+                .collect();
+            println!("{head} :- {}.", body.join(", "));
+        }
+    }
+    Ok(())
+}
+
+fn info(program: &TypedProgram) -> Result<(), String> {
+    let m = program.module();
+    let sig = &m.sig;
+    use subtype_lp::term::SymKind;
+    let names = |kind: SymKind| -> Vec<String> {
+        sig.symbols_of_kind(kind)
+            .map(|s| match sig.arity(s) {
+                Some(n) => format!("{}/{n}", sig.name(s)),
+                None => sig.name(s).to_string(),
+            })
+            .collect()
+    };
+    println!("function symbols: {}", names(SymKind::Func).join(", "));
+    println!("type constructors: {}", names(SymKind::TypeCtor).join(", "));
+    println!("predicates:        {}", names(SymKind::Pred).join(", "));
+    println!("constraints:");
+    for c in program.constraints().as_set().constraints() {
+        println!(
+            "  {} >= {}",
+            TermDisplay::new(&c.lhs, sig),
+            TermDisplay::new(&c.rhs, sig)
+        );
+    }
+    println!("predicate types:");
+    for (_, t) in program.pred_types().iter() {
+        println!("  {}", TermDisplay::new(t, sig));
+    }
+    println!(
+        "{} clause(s), {} query(ies)",
+        m.clauses.len(),
+        m.queries.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,344 @@
+//! # subtype-lp
+//!
+//! A complete implementation of the type system of
+//! *Type Declarations as Subtype Constraints in Logic Programming*
+//! (Dean Jacobs, PLDI 1990): parametric polymorphism with name-based
+//! subtypes for logic programs, together with everything needed to use it —
+//! a declaration-language front end, an SLD resolution engine, the
+//! deterministic subtype prover of §3, the `match` algorithm of §4, the
+//! well-typedness checker of §6, a runtime consistency auditor for
+//! Theorem 6, and a Mycroft–O'Keefe baseline checker for comparison.
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! * [`term`] — symbols, terms, substitutions, unification;
+//! * [`engine`] — clause database and SLD resolution;
+//! * [`parser`] — the `FUNC`/`TYPE`/`PRED`/`>=` declaration language;
+//! * [`core`] — the paper's type system;
+//! * [`baseline`] — the \[MO84\] comparison checker;
+//! * [`gen`] — workload generators used by tests and benchmarks.
+//!
+//! For most uses, [`TypedProgram`] is the entry point:
+//!
+//! ```
+//! use subtype_lp::TypedProgram;
+//!
+//! let program = TypedProgram::from_source(
+//!     "FUNC 0, succ, pred, nil, cons.
+//!      TYPE nat, unnat, int, elist, nelist, list.
+//!      nat >= 0 + succ(nat).
+//!      unnat >= 0 + pred(unnat).
+//!      int >= nat + unnat.
+//!      elist >= nil.
+//!      nelist(A) >= cons(A, list(A)).
+//!      list(A) >= elist + nelist(A).
+//!
+//!      PRED app(list(A), list(A), list(A)).
+//!      app(nil, L, L).
+//!      app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+//!
+//!      :- app(cons(0, nil), cons(succ(0), nil), Z).",
+//! )?;
+//!
+//! // Static checking: every clause and query respects the PRED types.
+//! program.check_all()?;
+//!
+//! // Execution with consistency auditing (Theorem 6): every resolvent
+//! // produced during the run is re-checked.
+//! let report = program.audit_query(0, Default::default());
+//! assert!(report.is_clean());
+//! assert_eq!(report.solutions.len(), 1);
+//! # Ok::<(), subtype_lp::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use lp_baseline as baseline;
+pub use lp_engine as engine;
+pub use lp_gen as gen;
+pub use lp_parser as parser;
+pub use lp_term as term;
+pub use subtype_core as core;
+
+use lp_engine::{Database, Query, Solution, SolveConfig};
+use lp_parser::{Loader, LoaderOptions, Module, ParseError};
+use lp_term::{NameHints, Term, TermDisplay};
+use subtype_core::consistency::{AuditConfig, AuditReport, Auditor};
+use subtype_core::welltyped::ClauseTyping;
+use subtype_core::{
+    CheckedConstraints, Checker, ConstraintSet, PredTypeTable, Prover, TypeCheckError,
+    TypeDeclError,
+};
+
+/// Any error surfaced by the high-level API.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// Lexical, syntactic or symbol-resolution error.
+    Parse(ParseError),
+    /// Ill-formed, non-uniform or unguarded type declarations.
+    Declarations(TypeDeclError),
+    /// Ill-typed clauses (with their indices) or queries.
+    Check(Vec<(usize, TypeCheckError)>),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Declarations(e) => write!(f, "type declaration error: {e}"),
+            Error::Check(errors) => {
+                writeln!(f, "{} ill-typed clause(s)/query(ies):", errors.len())?;
+                for (i, e) in errors {
+                    writeln!(f, "  #{i}: {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Parse(e)
+    }
+}
+
+impl From<TypeDeclError> for Error {
+    fn from(e: TypeDeclError) -> Self {
+        Error::Declarations(e)
+    }
+}
+
+/// A parsed, validated, ready-to-check-and-run typed logic program.
+#[derive(Debug, Clone)]
+pub struct TypedProgram {
+    module: Module,
+    constraints: CheckedConstraints,
+    pred_types: PredTypeTable,
+}
+
+impl TypedProgram {
+    /// Parses `src` and validates its type declarations (Definitions 2, 6
+    /// and 9).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Parse`] or [`Error::Declarations`].
+    pub fn from_source(src: &str) -> Result<Self, Error> {
+        let module = lp_parser::parse_module(src)?;
+        Self::from_module(module)
+    }
+
+    /// Wraps an already-loaded module.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Declarations`] if the constraints are malformed, non-uniform
+    /// or unguarded.
+    pub fn from_module(module: Module) -> Result<Self, Error> {
+        let constraints = ConstraintSet::from_module(&module)?.checked(&module.sig)?;
+        let pred_types =
+            PredTypeTable::from_module(&module).map_err(|e| Error::Check(vec![(0, e)]))?;
+        Ok(TypedProgram {
+            module,
+            constraints,
+            pred_types,
+        })
+    }
+
+    /// The underlying module (signature, clauses, queries, hints).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The checked constraint set.
+    pub fn constraints(&self) -> &CheckedConstraints {
+        &self.constraints
+    }
+
+    /// The predicate-type table (`D` of Definition 15).
+    pub fn pred_types(&self) -> &PredTypeTable {
+        &self.pred_types
+    }
+
+    /// A well-typedness checker borrowing this program.
+    pub fn checker(&self) -> Checker<'_> {
+        Checker::new(&self.module.sig, &self.constraints, &self.pred_types)
+    }
+
+    /// A deterministic subtype prover borrowing this program.
+    pub fn prover(&self) -> Prover<'_> {
+        Prover::new(&self.module.sig, &self.constraints)
+    }
+
+    /// Checks every program clause (Definition 16).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] with one entry per ill-typed clause.
+    pub fn check_clauses(&self) -> Result<Vec<ClauseTyping>, Error> {
+        self.checker()
+            .check_program(self.module.clauses.iter().map(|c| &c.clause))
+            .map_err(Error::Check)
+    }
+
+    /// Checks every query.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] with one entry per ill-typed query (indices are
+    /// query indices).
+    pub fn check_queries(&self) -> Result<Vec<ClauseTyping>, Error> {
+        let checker = self.checker();
+        let mut typings = Vec::new();
+        let mut errors = Vec::new();
+        for (i, q) in self.module.queries.iter().enumerate() {
+            match checker.check_query(&q.goals) {
+                Ok(t) => typings.push(t),
+                Err(e) => errors.push((i, e)),
+            }
+        }
+        if errors.is_empty() {
+            Ok(typings)
+        } else {
+            Err(Error::Check(errors))
+        }
+    }
+
+    /// Checks all clauses and all queries.
+    ///
+    /// # Errors
+    ///
+    /// The first of [`Self::check_clauses`] / [`Self::check_queries`] to
+    /// fail.
+    pub fn check_all(&self) -> Result<(), Error> {
+        self.check_clauses()?;
+        self.check_queries()?;
+        Ok(())
+    }
+
+    /// Builds the engine database for the program's clauses.
+    pub fn database(&self) -> Database {
+        self.module.database()
+    }
+
+    /// Runs query number `index`, returning up to `max_solutions` answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn run_query(&self, index: usize, max_solutions: usize) -> Vec<Solution> {
+        let db = self.database();
+        let goals = self.module.queries[index].goals.clone();
+        let mut q = Query::new(&db, goals, SolveConfig::default());
+        let mut out = Vec::new();
+        while out.len() < max_solutions {
+            match q.next_solution() {
+                Some(s) => out.push(s),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Runs query number `index` under the Theorem 6 consistency auditor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn audit_query(&self, index: usize, config: AuditConfig) -> AuditReport {
+        let db = self.database();
+        Auditor::new(self.checker()).run(&db, &self.module.queries[index].goals, config)
+    }
+
+    /// Displays a term with this program's symbol names.
+    pub fn display<'a>(&'a self, t: &'a Term) -> TermDisplay<'a> {
+        TermDisplay::new(t, &self.module.sig)
+    }
+
+    /// Displays a term with symbol names and variable name hints.
+    pub fn display_with<'a>(&'a self, t: &'a Term, hints: &'a NameHints) -> TermDisplay<'a> {
+        TermDisplay::new(t, &self.module.sig).with_hints(hints)
+    }
+
+    /// Consumes the program, re-opening it as a [`Loader`] (to resolve
+    /// additional command-line types, terms or goals).
+    pub fn into_loader(self) -> Loader {
+        Loader::resume(self.module, LoaderOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = "
+        FUNC 0, succ, pred, nil, cons.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+        PRED app(list(A), list(A), list(A)).
+        app(nil, L, L).
+        app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+        :- app(X, Y, cons(0, nil)).
+    ";
+
+    #[test]
+    fn end_to_end_check_and_run() {
+        let p = TypedProgram::from_source(APP).unwrap();
+        p.check_all().unwrap();
+        let solutions = p.run_query(0, 10);
+        assert_eq!(solutions.len(), 2);
+    }
+
+    #[test]
+    fn audit_is_clean_for_well_typed_program() {
+        let p = TypedProgram::from_source(APP).unwrap();
+        let report = p.audit_query(0, AuditConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.solutions.len(), 2);
+    }
+
+    #[test]
+    fn unguarded_declarations_rejected_at_load() {
+        let err = TypedProgram::from_source("TYPE c. c >= c.").unwrap_err();
+        assert!(matches!(err, Error::Declarations(_)));
+    }
+
+    #[test]
+    fn ill_typed_query_reported() {
+        let src = format!("{APP}\n:- app(nil, 0, 0).");
+        let p = TypedProgram::from_source(&src).unwrap();
+        p.check_clauses().unwrap();
+        let err = p.check_queries().unwrap_err();
+        let Error::Check(errors) = err else {
+            panic!("expected Check");
+        };
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].0, 1);
+    }
+
+    #[test]
+    fn loader_roundtrip_resolves_cli_terms() {
+        let p = TypedProgram::from_source(APP).unwrap();
+        let mut loader = p.into_loader();
+        let (ty, _) = loader.parse_type("list(int)").unwrap();
+        let (t, _) = loader.parse_program_term("cons(0, nil)").unwrap();
+        let module = loader.finish();
+        let cs = ConstraintSet::from_module(&module)
+            .unwrap()
+            .checked(&module.sig)
+            .unwrap();
+        let prover = Prover::new(&module.sig, &cs);
+        assert!(prover.member(&ty, &t).is_proved());
+    }
+}

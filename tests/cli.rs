@@ -1,0 +1,135 @@
+//! End-to-end tests of the `slp` command-line interface.
+
+use std::io::Write;
+use std::process::Command;
+
+const APP: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+    PRED app(list(A), list(A), list(A)).
+    app(nil, L, L).
+    app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+    :- app(cons(0, nil), cons(succ(0), nil), Z).
+";
+
+fn write_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("slp-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+fn slp(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_slp"))
+        .args(args)
+        .output()
+        .expect("slp runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn check_accepts_well_typed_program() {
+    let f = write_fixture("app.slp", APP);
+    let (ok, stdout, _) = slp(&["check", f.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("well-typed"));
+}
+
+#[test]
+fn check_rejects_ill_typed_query() {
+    let f = write_fixture("bad.slp", &format!("{APP}\n:- app(nil, 0, 0)."));
+    let (ok, _, stderr) = slp(&["check", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("ill-typed"));
+}
+
+#[test]
+fn run_prints_answer() {
+    let f = write_fixture("run.slp", APP);
+    let (ok, stdout, _) = slp(&["run", f.to_str().unwrap()]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("Z = cons(0, cons(succ(0), nil))"), "{stdout}");
+}
+
+#[test]
+fn audit_reports_clean_run() {
+    let f = write_fixture("audit.slp", APP);
+    let (ok, stdout, _) = slp(&["audit", f.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 violation(s)"));
+    assert!(stdout.contains("answers consistent"));
+}
+
+#[test]
+fn subtype_judgements() {
+    let f = write_fixture("sub.slp", APP);
+    let (ok, stdout, _) = slp(&["subtype", f.to_str().unwrap(), "int", "nat"]);
+    assert!(ok);
+    assert!(stdout.contains("derivable"), "{stdout}");
+    let (ok, stdout, _) = slp(&["subtype", f.to_str().unwrap(), "nat", "int"]);
+    assert!(ok);
+    assert!(stdout.contains("not derivable"), "{stdout}");
+}
+
+#[test]
+fn match_judgements() {
+    let f = write_fixture("match.slp", APP);
+    let (ok, stdout, _) = slp(&["match", f.to_str().unwrap(), "list(A)", "cons(X, Y)"]);
+    assert!(ok);
+    assert!(stdout.contains("X ↦ A"), "{stdout}");
+    assert!(stdout.contains("Y ↦ list(A)"), "{stdout}");
+    let (ok, stdout, _) = slp(&["match", f.to_str().unwrap(), "int", "cons(X, nil)"]);
+    assert!(ok);
+    assert!(stdout.contains("fail"), "{stdout}");
+}
+
+#[test]
+fn info_summarizes_declarations() {
+    let f = write_fixture("info.slp", APP);
+    let (ok, stdout, _) = slp(&["info", f.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("cons/2"));
+    assert!(stdout.contains("list/1"));
+    assert!(stdout.contains("app/3"));
+}
+
+#[test]
+fn filter_generates_int2nat() {
+    let f = write_fixture("filter.slp", APP);
+    let (ok, stdout, _) = slp(&["filter", f.to_str().unwrap(), "int", "nat"]);
+    assert!(ok, "{stdout}");
+    // The paper's int2nat, modulo naming: one clause per nat shape.
+    assert!(stdout.contains("PRED filter0(int, nat)."), "{stdout}");
+    assert!(stdout.contains("filter0(0, 0)."), "{stdout}");
+    assert!(stdout.contains("succ"), "{stdout}");
+}
+
+#[test]
+fn export_round_trips_through_check() {
+    let f = write_fixture("export.slp", APP);
+    let (ok, stdout, _) = slp(&["export", f.to_str().unwrap()]);
+    assert!(ok);
+    let f2 = write_fixture("export2.slp", &stdout);
+    let (ok2, stdout2, stderr2) = slp(&["check", f2.to_str().unwrap()]);
+    assert!(ok2, "exported program fails: {stdout2} {stderr2}\n{stdout}");
+}
+
+#[test]
+fn parse_errors_have_positions() {
+    let f = write_fixture("syntax.slp", "FUNC a b.");
+    let (ok, _, stderr) = slp(&["check", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("1:"), "{stderr}");
+}

@@ -1,0 +1,134 @@
+//! Experiment E7: Theorem 6 (consistency) validated over generated
+//! well-typed programs, plus fault injection on corrupted ones.
+
+use subtype_lp::core::consistency::{AuditConfig, Auditor};
+use subtype_lp::core::{Checker, ConstraintSet, PredTypeTable};
+use subtype_lp::gen::programs;
+use subtype_lp::TypedProgram;
+
+#[test]
+fn pipelines_execute_consistently() {
+    for (n, k) in [(2, 1), (4, 2)] {
+        let mut src = programs::pipeline(n, k);
+        // Drive the first stage on a concrete list.
+        src.push_str(":- p0(cons(0, cons(succ(0), cons(0, nil))), R).\n");
+        let p = TypedProgram::from_source(&src).unwrap();
+        p.check_all().unwrap();
+        let report = p.audit_query(0, AuditConfig::default());
+        assert!(report.is_clean(), "pipeline({n},{k}): {:?}", report.violations);
+        assert!(!report.solutions.is_empty());
+    }
+}
+
+#[test]
+fn nrev_workload_is_clean_at_every_size() {
+    for n in [0, 1, 5, 10] {
+        let p = TypedProgram::from_source(&programs::nrev(n)).unwrap();
+        p.check_all().unwrap();
+        let report = p.audit_query(0, AuditConfig::default());
+        assert!(report.is_clean(), "nrev({n}): {:?}", report.violations);
+        assert_eq!(report.solutions.len(), 1);
+        // nrev produces Θ(n²) resolvents.
+        if n >= 5 {
+            assert!(report.resolvents_checked as usize >= n * n / 2);
+        }
+    }
+}
+
+#[test]
+fn fact_base_scan_is_clean() {
+    let p = TypedProgram::from_source(&programs::fact_base(25)).unwrap();
+    p.check_all().unwrap();
+    let report = p.audit_query(
+        0,
+        AuditConfig {
+            max_solutions: 25,
+            ..AuditConfig::default()
+        },
+    );
+    assert!(report.is_clean());
+    assert_eq!(report.solutions.len(), 25);
+}
+
+#[test]
+fn corrupted_pipelines_rejected_statically() {
+    for errors in [1, 3] {
+        let src = programs::pipeline_with_errors(3, 2, errors);
+        let p = TypedProgram::from_source(&src).unwrap();
+        let err = p.check_clauses().unwrap_err();
+        let subtype_lp::Error::Check(list) = err else {
+            panic!("expected Check errors");
+        };
+        assert_eq!(list.len(), errors);
+    }
+}
+
+#[test]
+fn fault_injection_surfaces_at_runtime() {
+    // Bypass static checking; the auditor must flag the run.
+    let src = format!(
+        "{}
+         PRED head(list(int), int).
+         head(cons(X, L), X).
+         head(nil, nil).     % ill-typed: nil is not an int
+         :- head(L, X).
+        ",
+        programs::LIST_DECLS
+    );
+    let module = subtype_lp::parser::parse_module(&src).unwrap();
+    let cs = ConstraintSet::from_module(&module)
+        .unwrap()
+        .checked(&module.sig)
+        .unwrap();
+    let preds = PredTypeTable::from_module(&module).unwrap();
+    let checker = Checker::new(&module.sig, &cs, &preds);
+    let clauses: Vec<_> = module.clauses.iter().map(|c| c.clause.clone()).collect();
+    assert!(checker.check_program(clauses.iter()).is_err());
+
+    let db = module.database();
+    let report =
+        Auditor::new(checker).run(&db, &module.queries[0].goals, AuditConfig::default());
+    assert!(
+        !report.is_clean(),
+        "the auditor must catch consequences of the ill-typed fact"
+    );
+}
+
+#[test]
+fn audit_resolvent_counts_match_plain_execution() {
+    // The auditor must not change the search itself: solution sets agree
+    // with un-audited runs.
+    let src = programs::nrev(6);
+    let p = TypedProgram::from_source(&src).unwrap();
+    let audited = p.audit_query(0, AuditConfig::default());
+    let plain = p.run_query(0, 10);
+    assert_eq!(audited.solutions.len(), plain.len());
+    for (a, b) in audited.solutions.iter().zip(&plain) {
+        assert_eq!(a.depth, b.depth);
+    }
+}
+
+#[test]
+fn theorem6_holds_under_backtracking_heavy_queries() {
+    // Open-ended append query: many choice points, many resolvents.
+    let src = format!(
+        "{}
+         PRED app(list(A), list(A), list(A)).
+         app(nil, L, L).
+         app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+         :- app(X, Y, cons(0, cons(pred(0), cons(succ(0), cons(0, nil))))).
+        ",
+        programs::LIST_DECLS
+    );
+    let p = TypedProgram::from_source(&src).unwrap();
+    p.check_all().unwrap();
+    let report = p.audit_query(
+        0,
+        AuditConfig {
+            max_solutions: 10,
+            ..AuditConfig::default()
+        },
+    );
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.solutions.len(), 5);
+}

@@ -1,0 +1,148 @@
+//! The SLD engine checked against independent oracles: append answers must
+//! equal Rust-side list concatenation; reverse must equal Rust-side reverse;
+//! solution counts must match combinatorial expectations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subtype_lp::engine::{Query, SolveConfig};
+use subtype_lp::term::{Sym, Term, Var};
+use subtype_lp::TypedProgram;
+
+const LIB: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+    PRED app(list(A), list(A), list(A)).
+    app(nil, L, L).
+    app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+    PRED rev(list(A), list(A)).
+    rev(nil, nil).
+    rev(cons(X, L), R) :- rev(L, T), app(T, cons(X, nil), R).
+";
+
+struct Fx {
+    program: TypedProgram,
+    nil: Sym,
+    cons: Sym,
+    zero: Sym,
+    succ: Sym,
+    pred: Sym,
+}
+
+fn fx() -> Fx {
+    let program = TypedProgram::from_source(LIB).unwrap();
+    let sig = &program.module().sig;
+    Fx {
+        nil: sig.lookup("nil").unwrap(),
+        cons: sig.lookup("cons").unwrap(),
+        zero: sig.lookup("0").unwrap(),
+        succ: sig.lookup("succ").unwrap(),
+        pred: sig.lookup("pred").unwrap(),
+        program,
+    }
+}
+
+impl Fx {
+    fn num(&self, n: i64) -> Term {
+        let mut t = Term::constant(self.zero);
+        let w = if n >= 0 { self.succ } else { self.pred };
+        for _ in 0..n.abs() {
+            t = Term::app(w, vec![t]);
+        }
+        t
+    }
+
+    fn list(&self, items: &[i64]) -> Term {
+        items.iter().rev().fold(Term::constant(self.nil), |acc, &n| {
+            Term::app(self.cons, vec![self.num(n), acc])
+        })
+    }
+
+    fn solve_one(&self, goal: Term, out: Var) -> Option<Term> {
+        let db = self.program.database();
+        let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+        q.next_solution().map(|s| s.answer.resolve(&Term::Var(out)))
+    }
+}
+
+#[test]
+fn append_matches_rust_concatenation() {
+    let f = fx();
+    let app = f.program.module().sig.lookup("app").unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..40 {
+        let a: Vec<i64> = (0..rng.gen_range(0..5)).map(|_| rng.gen_range(-2..3)).collect();
+        let b: Vec<i64> = (0..rng.gen_range(0..5)).map(|_| rng.gen_range(-2..3)).collect();
+        let expected: Vec<i64> = a.iter().chain(&b).copied().collect();
+        let out = Var(1_000_000);
+        let goal = Term::app(app, vec![f.list(&a), f.list(&b), Term::Var(out)]);
+        let got = f.solve_one(goal, out).expect("append succeeds");
+        assert_eq!(got, f.list(&expected), "append {a:?} ++ {b:?}");
+    }
+}
+
+#[test]
+fn reverse_matches_rust_reverse() {
+    let f = fx();
+    let rev = f.program.module().sig.lookup("rev").unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..25 {
+        let a: Vec<i64> = (0..rng.gen_range(0..6)).map(|_| rng.gen_range(-2..3)).collect();
+        let mut expected = a.clone();
+        expected.reverse();
+        let out = Var(1_000_000);
+        let goal = Term::app(rev, vec![f.list(&a), Term::Var(out)]);
+        let got = f.solve_one(goal, out).expect("reverse succeeds");
+        assert_eq!(got, f.list(&expected), "reverse {a:?}");
+    }
+}
+
+#[test]
+fn split_counts_are_n_plus_one() {
+    let f = fx();
+    let app = f.program.module().sig.lookup("app").unwrap();
+    let db = f.program.database();
+    for n in 0..6 {
+        let items: Vec<i64> = (0..n).collect();
+        let goal = Term::app(
+            app,
+            vec![
+                Term::Var(Var(1_000_000)),
+                Term::Var(Var(1_000_001)),
+                f.list(&items),
+            ],
+        );
+        let mut q = Query::new(&db, vec![goal], SolveConfig::default());
+        let mut count = 0;
+        while q.next_solution().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, n + 1, "splits of a {n}-element list");
+        assert!(q.exhausted_conclusively());
+    }
+}
+
+#[test]
+fn append_is_reversible_mode() {
+    // app(X, [1], [0, 1]) determines X = [0].
+    let f = fx();
+    let app = f.program.module().sig.lookup("app").unwrap();
+    let out = Var(1_000_000);
+    let goal = Term::app(
+        app,
+        vec![Term::Var(out), f.list(&[1]), f.list(&[0, 1])],
+    );
+    assert_eq!(f.solve_one(goal, out), Some(f.list(&[0])));
+    // And an impossible suffix fails finitely.
+    let goal = Term::app(
+        app,
+        vec![Term::Var(out), f.list(&[2]), f.list(&[0, 1])],
+    );
+    assert_eq!(f.solve_one(goal, out), None);
+}

@@ -1,0 +1,169 @@
+//! Integration tests for generated filtering predicates (§7 future work):
+//! generated filters must be well-typed, semantically exact (pass exactly
+//! the intersection of the two denotations), and consistent under auditing.
+
+use subtype_lp::core::consistency::{AuditConfig, Auditor};
+use subtype_lp::core::filter::{build_filter, shapes};
+use subtype_lp::core::{semantics, Checker, ConstraintSet, PredTypeTable, Prover};
+use subtype_lp::engine::{Database, Query, SolveConfig};
+use subtype_lp::term::Term;
+
+const DECLS: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+";
+
+struct World {
+    module: subtype_lp::parser::Module,
+    cs: subtype_lp::core::CheckedConstraints,
+}
+
+fn world() -> World {
+    let module = subtype_lp::parser::parse_module(DECLS).unwrap();
+    let cs = ConstraintSet::from_module(&module)
+        .unwrap()
+        .checked(&module.sig)
+        .unwrap();
+    World { module, cs }
+}
+
+fn ty(w: &World, name: &str) -> Term {
+    Term::constant(w.module.sig.lookup(name).unwrap())
+}
+
+/// Runs the filter on `input`, returning the output term if it passes.
+fn run_filter(
+    db: &Database,
+    entry: subtype_lp::term::Sym,
+    input: &Term,
+    out_var: subtype_lp::term::Var,
+) -> Option<Term> {
+    let out = Term::Var(out_var);
+    let goal = Term::app(entry, vec![input.clone(), out.clone()]);
+    let mut q = Query::new(db, vec![goal], SolveConfig::default());
+    q.next_solution().map(|s| s.answer.resolve(&out))
+}
+
+#[test]
+fn filters_compute_exact_denotation_intersections() {
+    // For several (from, to) pairs: a ground input passes the generated
+    // filter iff it inhabits BOTH types (checked against enumeration).
+    let mut w = world();
+    let pairs = [
+        ("int", "nat"),
+        ("int", "unnat"),
+        ("nat", "int"), // widening: everything passes
+    ];
+    for (from_name, to_name) in pairs {
+        let from = ty(&w, from_name);
+        let to = ty(&w, to_name);
+        let cs = w.cs.clone();
+        let lib = build_filter(&mut w.module.sig, &cs, &from, &to, &mut w.module.gen).unwrap();
+        let db: Database = lib.clauses.iter().cloned().collect();
+        let out_var = w.module.gen.fresh();
+        let from_inh = semantics::inhabitants(&w.module.sig, &w.cs, &from, 4);
+        let to_inh = semantics::inhabitants(&w.module.sig, &w.cs, &to, 4);
+        for t in &from_inh {
+            let expected = to_inh.contains(t);
+            let got = run_filter(&db, lib.entry, t, out_var);
+            assert_eq!(
+                got.is_some(),
+                expected,
+                "{from_name}->{to_name} on {t:?}"
+            );
+            if let Some(result) = got {
+                assert_eq!(&result, t, "filters must copy values through");
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_filters_type_check_and_audit_clean() {
+    let mut w = world();
+    let from = {
+        let list = w.module.sig.lookup("list").unwrap();
+        Term::app(list, vec![ty(&w, "int")])
+    };
+    let to = {
+        let list = w.module.sig.lookup("list").unwrap();
+        Term::app(list, vec![ty(&w, "nat")])
+    };
+    let cs = w.cs.clone();
+    let lib = build_filter(&mut w.module.sig, &cs, &from, &to, &mut w.module.gen).unwrap();
+    let mut preds = PredTypeTable::new();
+    for pt in &lib.pred_types {
+        preds.insert(&w.module.sig, pt.clone()).unwrap();
+    }
+    let checker = Checker::new(&w.module.sig, &w.cs, &preds);
+    checker.check_program(lib.clauses.iter()).unwrap();
+
+    // Audit a run through the filter.
+    let db: Database = lib.clauses.iter().cloned().collect();
+    let cons = w.module.sig.lookup("cons").unwrap();
+    let nil = w.module.sig.lookup("nil").unwrap();
+    let zero = w.module.sig.lookup("0").unwrap();
+    let input = Term::app(
+        cons,
+        vec![Term::constant(zero), Term::constant(nil)],
+    );
+    let out = Term::Var(w.module.gen.fresh());
+    let goals = vec![Term::app(lib.entry, vec![input, out])];
+    let report = Auditor::new(checker).run(&db, &goals, AuditConfig::default());
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.solutions.len(), 1);
+}
+
+#[test]
+fn shapes_enumeration_matches_declarations() {
+    let w = world();
+    let int_shapes = shapes(&w.module.sig, &w.cs, &ty(&w, "int"));
+    assert_eq!(int_shapes.len(), 3); // 0, succ(nat), pred(unnat)
+    let list = w.module.sig.lookup("list").unwrap();
+    let list_shapes = shapes(
+        &w.module.sig,
+        &w.cs,
+        &Term::app(list, vec![ty(&w, "nat")]),
+    );
+    assert_eq!(list_shapes.len(), 2); // nil, cons(nat, list(nat))
+}
+
+#[test]
+fn widening_filter_is_total_on_source() {
+    // nat -> int never rejects: nat ⊆ int.
+    let mut w = world();
+    let cs = w.cs.clone();
+    let from = ty(&w, "nat");
+    let to = ty(&w, "int");
+    let lib = build_filter(&mut w.module.sig, &cs, &from, &to, &mut w.module.gen).unwrap();
+    let db: Database = lib.clauses.iter().cloned().collect();
+    let out_var = w.module.gen.fresh();
+    for t in semantics::inhabitants(&w.module.sig, &w.cs, &ty(&w, "nat"), 5) {
+        assert!(run_filter(&db, lib.entry, &t, out_var).is_some());
+    }
+}
+
+#[test]
+fn nested_list_filter_depth_two() {
+    // list(list(int)) -> list(list(nat)).
+    let mut w = world();
+    let list = w.module.sig.lookup("list").unwrap();
+    let from = Term::app(list, vec![Term::app(list, vec![ty(&w, "int")])]);
+    let to = Term::app(list, vec![Term::app(list, vec![ty(&w, "nat")])]);
+    let cs = w.cs.clone();
+    let lib = build_filter(&mut w.module.sig, &cs, &from, &to, &mut w.module.gen).unwrap();
+    let db: Database = lib.clauses.iter().cloned().collect();
+    let prover = Prover::new(&w.module.sig, &w.cs);
+    let out_var = w.module.gen.fresh();
+    for t in semantics::inhabitants(&w.module.sig, &w.cs, &from, 5) {
+        let expected = prover.member(&to, &t).is_proved();
+        let got = run_filter(&db, lib.entry, &t, out_var).is_some();
+        assert_eq!(got, expected, "nested filter on {t:?}");
+    }
+}

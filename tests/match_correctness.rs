@@ -1,0 +1,187 @@
+//! Experiment E4: Theorem 4 (correctness of `match`), validated on random
+//! inputs against the prover and small-scope enumeration.
+//!
+//! * If `match(τ, t) = θ`: `θ` is a respectful typing for `t` under `τ`
+//!   (checked via the prover), and more general than sampled alternative
+//!   typings (Definition 11).
+//! * If `match(τ, t) = fail`: no typing exists — for ground `t`, exactly
+//!   `t ∉ M_C⟦τ⟧`, cross-checked against both the prover and exhaustive
+//!   enumeration.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use subtype_lp::core::typing::{is_respectful, is_typing, typing_more_general, Typing};
+use subtype_lp::core::{match_type, semantics, MatchOutcome, Prover};
+use subtype_lp::gen::{terms, worlds};
+use subtype_lp::term::{Term, Var};
+
+#[test]
+fn theorem4_part1_returned_typings_are_respectful_and_most_general() {
+    let world = worlds::paper_world();
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut sig = world.sig.clone();
+    let mut checked_typings = 0;
+    for round in 0..400 {
+        let mut gen = world.gen.clone();
+        let tyvars = [gen.fresh(), gen.fresh()];
+        let ty = terms::random_type(&mut rng, &world, 3, &tyvars);
+        // A term with a few variables: start from a random ground term and
+        // punch variable holes into it.
+        let ground = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+        let t = punch_holes(&mut rng, &ground, &mut gen);
+        if let MatchOutcome::Typing(theta) = match_type(&world.sig, &world.checked, &ty, &t) {
+            checked_typings += 1;
+            assert!(
+                is_typing(&mut sig, &world.checked, &ty, &t, &theta),
+                "round {round}: match result is not a typing: {ty:?} / {t:?} -> {theta:?}"
+            );
+            assert!(
+                is_respectful(&mut sig, &world.checked, &ty, &t, &theta),
+                "round {round}: match result is not respectful: {ty:?} / {t:?} -> {theta:?}"
+            );
+        }
+    }
+    assert!(
+        checked_typings > 50,
+        "workload too degenerate: only {checked_typings} typings checked"
+    );
+}
+
+#[test]
+fn theorem4_part1_generality_against_sampled_alternatives() {
+    let world = worlds::paper_world();
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut sig = world.sig.clone();
+    let nat = Term::constant(world.sig.lookup("nat").unwrap());
+    let int = Term::constant(world.sig.lookup("int").unwrap());
+    let elist = Term::constant(world.sig.lookup("elist").unwrap());
+    let list = world.sig.lookup("list").unwrap();
+    let mut compared = 0;
+    for _ in 0..200 {
+        let mut gen = world.gen.clone();
+        let a = gen.fresh();
+        let ty = terms::random_type(&mut rng, &world, 3, &[a]);
+        let ground = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+        let t = punch_holes(&mut rng, &ground, &mut gen);
+        let MatchOutcome::Typing(theta) = match_type(&world.sig, &world.checked, &ty, &t) else {
+            continue;
+        };
+        // Sample alternative typings: assign arbitrary closed types to the
+        // term's variables and keep those that are typings.
+        for _ in 0..4 {
+            let alt: Typing = t
+                .vars()
+                .into_iter()
+                .map(|v| {
+                    let pick = match rng.gen_range(0..4) {
+                        0 => nat.clone(),
+                        1 => int.clone(),
+                        2 => elist.clone(),
+                        _ => Term::app(list, vec![int.clone()]),
+                    };
+                    (v, pick)
+                })
+                .collect();
+            if is_typing(&mut sig, &world.checked, &ty, &t, &alt) {
+                compared += 1;
+                assert!(
+                    typing_more_general(&mut sig, &world.checked, &theta, &alt, &t),
+                    "match typing {theta:?} not more general than {alt:?} for {ty:?}/{t:?}"
+                );
+            }
+        }
+    }
+    assert!(compared > 20, "workload too degenerate: {compared} comparisons");
+}
+
+#[test]
+fn theorem4_part2_fail_means_no_typing_ground_case() {
+    // For ground terms, "no typing" is exactly non-membership; enumeration
+    // provides an independent oracle.
+    let world = worlds::paper_world();
+    let prover = Prover::new(&world.sig, &world.checked);
+    let mut rng = StdRng::seed_from_u64(44);
+    let mut fails = 0;
+    for _ in 0..300 {
+        let ty = terms::random_type(&mut rng, &world, 2, &[]);
+        let t = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+        let out = match_type(&world.sig, &world.checked, &ty, &t);
+        if out.is_fail() {
+            fails += 1;
+            let proof = prover.member(&ty, &t);
+            assert!(
+                !proof.is_proved(),
+                "match said fail but {t:?} ∈ M⟦{ty:?}⟧"
+            );
+            // Independent oracle: enumeration up to this term's depth.
+            let inh = semantics::inhabitants(&world.sig, &world.checked, &ty, t.depth());
+            assert!(!inh.contains(&t));
+        }
+    }
+    assert!(fails > 30, "workload too degenerate: {fails} fail outcomes");
+}
+
+#[test]
+fn match_agrees_with_membership_for_ground_terms_when_not_bottom() {
+    // For ground t, match(τ, t) = θ implies θ = {} and t ∈ M⟦τ⟧;
+    // match = fail implies t ∉ M⟦τ⟧; ⊥ makes no claim.
+    let world = worlds::paper_world();
+    let prover = Prover::new(&world.sig, &world.checked);
+    let mut rng = StdRng::seed_from_u64(45);
+    for _ in 0..300 {
+        let ty = terms::random_type(&mut rng, &world, 2, &[]);
+        let t = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+        match match_type(&world.sig, &world.checked, &ty, &t) {
+            MatchOutcome::Typing(theta) => {
+                assert!(theta.is_empty());
+                assert!(prover.member(&ty, &t).is_proved());
+            }
+            MatchOutcome::Fail => assert!(!prover.member(&ty, &t).is_proved()),
+            MatchOutcome::Bottom => {}
+        }
+    }
+}
+
+#[test]
+fn theorem5_match_terminates_on_random_worlds() {
+    // Termination (Theorem 5) exercised over random guarded worlds — if
+    // match diverged, the test harness would hang; we also sanity-check the
+    // outcome distribution isn't degenerate.
+    let mut counts = [0usize; 3];
+    for seed in 0..10 {
+        let world = worlds::random(seed, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        for _ in 0..50 {
+            let ty = terms::random_type(&mut rng, &world, 3, &[]);
+            let t = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 3);
+            match match_type(&world.sig, &world.checked, &ty, &t) {
+                MatchOutcome::Typing(_) => counts[0] += 1,
+                MatchOutcome::Fail => counts[1] += 1,
+                MatchOutcome::Bottom => counts[2] += 1,
+            }
+        }
+    }
+    assert!(counts[0] + counts[1] + counts[2] == 500);
+    assert!(counts[1] > 0, "some matches should fail");
+}
+
+/// Replaces random leaves of a ground term with fresh variables.
+fn punch_holes(rng: &mut StdRng, t: &Term, gen: &mut subtype_lp::term::VarGen) -> Term {
+    match t {
+        Term::Var(v) => Term::Var(*v),
+        Term::App(s, args) => {
+            if args.is_empty() && rng.gen_bool(0.3) {
+                return Term::Var(gen.fresh());
+            }
+            Term::app(
+                *s,
+                args.iter().map(|a| punch_holes(rng, a, gen)).collect(),
+            )
+        }
+    }
+}
+
+// Var is referenced in signatures above.
+#[allow(unused)]
+fn _keep(v: Var) {}

@@ -1,0 +1,283 @@
+//! Experiments E1, E5, E6, E8: every worked example in the paper, end to
+//! end through the public API.
+
+use subtype_lp::core::{match_type, ConstraintSet, NaiveProver, PredTypeTable};
+use subtype_lp::term::Term;
+use subtype_lp::TypedProgram;
+
+/// The paper's §1 declarations.
+const DECLS: &str = "
+    FUNC 0, succ, pred, nil, cons, foo.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+";
+
+fn program(extra: &str) -> TypedProgram {
+    TypedProgram::from_source(&format!("{DECLS}\n{extra}")).expect("fixture loads")
+}
+
+// ---------------------------------------------------------------- E1 (§2)
+
+#[test]
+fn e1_section2_derivation_exists_and_replays() {
+    // cons(foo, nil) ∈ M_C⟦list(A)⟧ — first via the deterministic §3
+    // strategy, then by replaying the §2 SLD derivation over H_C itself.
+    let p = program("");
+    let sig = &p.module().sig;
+    let list = sig.lookup("list").unwrap();
+    let cons = sig.lookup("cons").unwrap();
+    let foo = sig.lookup("foo").unwrap();
+    let nil = sig.lookup("nil").unwrap();
+    let t = Term::app(cons, vec![Term::constant(foo), Term::constant(nil)]);
+    let ty = Term::app(list, vec![Term::Var(lp_term::Var(90_000))]);
+    assert!(p.prover().member(&ty, &t).is_proved());
+
+    // Replay over H_C. Facts: 0/1 union, 2 nat, 3 unnat, 4 int, 5 elist,
+    // 6 nelist, 7 list; substitution axioms next; transitivity last.
+    let module = p.module();
+    let cs = ConstraintSet::from_module(module).unwrap();
+    let naive = NaiveProver::new(sig, &cs);
+    let theory = naive.theory();
+    let trans = theory.database().len() - 1;
+    let axiom_for = |s: lp_term::Sym| {
+        (0..theory.database().len())
+            .find(|&i| {
+                let c = theory.database().clause(i);
+                c.head.args().len() == 2
+                    && c.head.args()[0].functor() == Some(s)
+                    && c.head.args()[1].functor() == Some(s)
+                    && c.head.args()[0].args().iter().all(Term::is_var)
+                    && c.body.len() == sig.arity(s).unwrap_or(0)
+            })
+            .unwrap()
+    };
+    let goal = theory.goal(&ty, &t);
+    let seq = [
+        trans,
+        7,
+        trans,
+        1,
+        trans,
+        6,
+        axiom_for(cons),
+        axiom_for(foo),
+        trans,
+        7,
+        trans,
+        0,
+        5,
+    ];
+    let resolvent = theory.replay(vec![goal], &seq).expect("derivation applies");
+    assert!(resolvent.is_empty(), "§2 derivation must be a refutation");
+}
+
+#[test]
+fn e1_more_general_examples_from_section2() {
+    // "list(A) is more general than nelist(int) but list(int) is not more
+    // general than nelist(A)."
+    let p = program("");
+    let mut module = p.module().clone();
+    let cs = ConstraintSet::from_module(&module)
+        .unwrap()
+        .checked(&module.sig)
+        .unwrap();
+    let list = module.sig.lookup("list").unwrap();
+    let nelist = module.sig.lookup("nelist").unwrap();
+    let int = module.sig.lookup("int").unwrap();
+    let a = module.gen.fresh();
+    let list_a = Term::app(list, vec![Term::Var(a)]);
+    let nelist_int = Term::app(nelist, vec![Term::constant(int)]);
+    assert!(
+        subtype_lp::core::typing::is_more_general(&mut module.sig, &cs, &list_a, &nelist_int)
+            .is_proved()
+    );
+    let list_int = Term::app(list, vec![Term::constant(int)]);
+    let b = module.gen.fresh();
+    let nelist_b = Term::app(nelist, vec![Term::Var(b)]);
+    assert!(
+        !subtype_lp::core::typing::is_more_general(&mut module.sig, &cs, &list_int, &nelist_b)
+            .is_proved()
+    );
+}
+
+// ---------------------------------------------------------------- E5 (§4)
+
+#[test]
+fn e5_match_examples_from_section4() {
+    let p = program("");
+    let mut module = p.module().clone();
+    let cs = ConstraintSet::from_module(&module)
+        .unwrap()
+        .checked(&module.sig)
+        .unwrap();
+    let sig = module.sig.clone();
+    let list = sig.lookup("list").unwrap();
+    let int = sig.lookup("int").unwrap();
+    let nat = sig.lookup("nat").unwrap();
+    let cons = sig.lookup("cons").unwrap();
+    let succ = sig.lookup("succ").unwrap();
+    let plus = sig.lookup("+").unwrap();
+    let a = module.gen.fresh();
+    let x = module.gen.fresh();
+    let y = module.gen.fresh();
+
+    // match(list(A), X) = {X ↦ list(A)}.
+    let list_a = Term::app(list, vec![Term::Var(a)]);
+    let out = match_type(&sig, &cs, &list_a, &Term::Var(x));
+    assert_eq!(out.typing().and_then(|t| t.get(x)), Some(&list_a));
+
+    // match(int, cons(X, Y)) = fail.
+    let consxy = Term::app(cons, vec![Term::Var(x), Term::Var(y)]);
+    assert!(match_type(&sig, &cs, &Term::constant(int), &consxy).is_fail());
+
+    // match(f(int) + f(list(A)), f(X)) = ⊥ (both respectful, neither most
+    // general).
+    let fx = Term::app(succ, vec![Term::Var(x)]);
+    let u1 = Term::app(
+        plus,
+        vec![
+            Term::app(succ, vec![Term::constant(int)]),
+            Term::app(succ, vec![list_a.clone()]),
+        ],
+    );
+    assert!(match_type(&sig, &cs, &u1, &fx).is_bottom());
+
+    // match(A, f(X)) = ⊥ (most general but not respectful).
+    assert!(match_type(&sig, &cs, &Term::Var(a), &fx).is_bottom());
+
+    // match(f(int) + f(nat), f(X)) = ⊥ — match loses track although
+    // {X ↦ int} is respectful and most general.
+    let u2 = Term::app(
+        plus,
+        vec![
+            Term::app(succ, vec![Term::constant(int)]),
+            Term::app(succ, vec![Term::constant(nat)]),
+        ],
+    );
+    assert!(match_type(&sig, &cs, &u2, &fx).is_bottom());
+
+    // match(f(int, nat), f(X, X)) = ⊥.
+    let f_int_nat = Term::app(cons, vec![Term::constant(int), Term::constant(nat)]);
+    let fxx = Term::app(cons, vec![Term::Var(x), Term::Var(x)]);
+    assert!(match_type(&sig, &cs, &f_int_nat, &fxx).is_bottom());
+
+    // match(f(int, list(A)), f(X, X)) = ⊥ — no typing possible but match
+    // cannot tell.
+    let f_int_lista = Term::app(cons, vec![Term::constant(int), list_a]);
+    assert!(match_type(&sig, &cs, &f_int_lista, &fxx).is_bottom());
+}
+
+// ------------------------------------------------------------- E6 (§5–§6)
+
+#[test]
+fn e6_app_program_well_typed_and_bad_query_rejected() {
+    let p = program(
+        "PRED app(list(A), list(A), list(A)).
+         app(nil, L, L).
+         app(cons(X, L), M, cons(X, N)) :- app(L, M, N).",
+    );
+    p.check_all().unwrap();
+
+    let bad = program(
+        "PRED app(list(A), list(A), list(A)).
+         app(nil, L, L).
+         app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+         :- app(nil, 0, 0).",
+    );
+    bad.check_clauses().unwrap();
+    assert!(bad.check_queries().is_err());
+}
+
+#[test]
+fn e6_rejection_gallery() {
+    // Each §5 rejection example, through the facade.
+    let rejected = [
+        // Aliased query across int / list(A).
+        "PRED p(int). PRED q(list(A)). p(0). q(nil). :- p(X), q(X).",
+        // Clause crossing type contexts.
+        "PRED p(int). PRED r(list(A)). p(0). r(X) :- p(X).",
+        // Repeated head variable at two types.
+        "PRED s(int, list(A)). s(X, X).",
+        // Head commits the predicate's type variable.
+        "PRED p(list(A)). p(cons(nil, nil)).",
+    ];
+    for src in rejected {
+        let p = program(src);
+        assert!(p.check_all().is_err(), "must reject: {src}");
+    }
+
+    // The §5 positive example: a query may commit type variables.
+    let p = program("PRED p(list(A)). PRED q(list(int)). p(nil). q(nil). :- p(X), q(X).");
+    p.check_all().unwrap();
+}
+
+#[test]
+fn e6_accepted_programs_execute_consistently() {
+    let p = program(
+        "PRED app(list(A), list(A), list(A)).
+         app(nil, L, L).
+         app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+         :- app(X, Y, cons(0, cons(pred(0), nil))).",
+    );
+    p.check_all().unwrap();
+    let report = p.audit_query(0, Default::default());
+    assert!(report.is_clean(), "violations: {:?}", report.violations);
+    assert_eq!(report.solutions.len(), 3);
+}
+
+// ---------------------------------------------------------------- E8 (§7)
+
+#[test]
+fn e8_subtype_information_flow() {
+    // Rejected as written…
+    let p = program("PRED p(nat). PRED q(int). p(0). q(0). :- p(X), q(X).");
+    p.check_clauses().unwrap();
+    assert!(p.check_queries().is_err());
+
+    // …accepted through the filtering predicate, and the filter works.
+    let p = program(
+        "PRED p(nat).
+         PRED q(int).
+         PRED int2nat(int, nat).
+         int2nat(0, 0).
+         int2nat(succ(X), succ(X)).
+         p(0). p(succ(0)).
+         q(succ(0)). q(pred(0)).
+         :- p(X), int2nat(Y, X), q(Y).",
+    );
+    p.check_all().unwrap();
+    let report = p.audit_query(0, Default::default());
+    assert!(report.is_clean());
+    // Only succ(0) flows through: 0 is not a q-fact and pred(0) is filtered.
+    assert_eq!(report.solutions.len(), 1);
+}
+
+#[test]
+fn e8_int2nat_filters_unnats() {
+    let p = program(
+        "PRED int2nat(int, nat).
+         int2nat(0, 0).
+         int2nat(succ(X), succ(X)).
+         :- int2nat(pred(0), X).",
+    );
+    p.check_all().unwrap();
+    assert!(p.run_query(0, 5).is_empty());
+}
+
+// -------------------------------------------------- Definition 15 plumbing
+
+#[test]
+fn pred_type_table_round_trips_through_module() {
+    let p = program("PRED app(list(A), list(A), list(A)). app(nil, L, L).");
+    let table = PredTypeTable::from_module(p.module()).unwrap();
+    let app = p.module().sig.lookup("app").unwrap();
+    assert_eq!(table.get(app).unwrap().args().len(), 3);
+}
+
+// Keep lp_term in scope for Var construction above.
+use subtype_lp::term as lp_term;

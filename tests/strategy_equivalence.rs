@@ -1,0 +1,139 @@
+//! Experiment E2: the deterministic strategy (§3, Theorems 1–2) agrees with
+//! the raw SLD proof system over `H_C` (§2, Definition 3).
+//!
+//! Cross-validation protocol (the naive side is budget-capped because the
+//! SLD tree of `H_C` is infinite):
+//!
+//! * naive `Proved`     ⇒ deterministic must prove;
+//! * naive `Exhausted`  ⇒ deterministic must refute;
+//! * deterministic `Refuted` ⇒ naive must not prove (at any budget);
+//! * naive `DepthLimit` ⇒ no claim (that asymmetry is the paper's point).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use subtype_lp::core::{NaiveOutcome, NaiveProver, Prover};
+use subtype_lp::gen::{terms, worlds};
+use subtype_lp::term::Term;
+
+fn cross_validate(world: &worlds::BuiltWorld, pairs: &[(Term, Term)], naive: &NaiveProver) {
+    let det = Prover::new(&world.sig, &world.checked);
+    for (sup, sub) in pairs {
+        let fast = det.subtype(sup, sub);
+        let slow = naive.prove(sup, sub);
+        match slow {
+            NaiveOutcome::Proved { .. } => {
+                assert!(
+                    fast.is_proved(),
+                    "naive proved but deterministic did not: {sup:?} >= {sub:?} -> {fast:?}"
+                );
+            }
+            NaiveOutcome::Exhausted => {
+                assert!(
+                    fast.is_refuted(),
+                    "naive exhausted but deterministic says {fast:?}: {sup:?} >= {sub:?}"
+                );
+            }
+            NaiveOutcome::DepthLimit => {}
+        }
+        if fast.is_refuted() {
+            assert!(
+                !slow.is_proved(),
+                "deterministic refuted but naive proved: {sup:?} >= {sub:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_world_ground_pairs_agree() {
+    let world = worlds::paper_world();
+    let naive = NaiveProver::new(&world.sig, &world.cs)
+        .with_max_depth(7)
+        .with_step_budget(150_000);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut pairs = Vec::new();
+    // Ground type pairs (types without variables): both constructors and
+    // raw terms can appear on either side.
+    for _ in 0..60 {
+        let sup = terms::random_type(&mut rng, &world, 2, &[]);
+        let sub = terms::random_type(&mut rng, &world, 2, &[]);
+        pairs.push((sup, sub));
+    }
+    cross_validate(&world, &pairs, &naive);
+}
+
+#[test]
+fn paper_world_membership_pairs_agree() {
+    let world = worlds::paper_world();
+    let naive = NaiveProver::new(&world.sig, &world.cs)
+        .with_max_depth(7)
+        .with_step_budget(150_000);
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut pairs = Vec::new();
+    for _ in 0..40 {
+        let ty = terms::random_type(&mut rng, &world, 2, &[]);
+        let t = terms::random_ground_term(&mut rng, &world.sig, &world.funcs, 2);
+        pairs.push((ty, t));
+    }
+    cross_validate(&world, &pairs, &naive);
+}
+
+#[test]
+fn random_worlds_agree_across_seeds() {
+    for seed in 0..8 {
+        let world = worlds::random(seed, worlds::RandomWorldConfig::default());
+        let naive = NaiveProver::new(&world.sig, &world.cs)
+            .with_max_depth(6)
+            .with_step_budget(80_000);
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let mut pairs = Vec::new();
+        for _ in 0..25 {
+            let sup = terms::random_type(&mut rng, &world, 2, &[]);
+            let sub = terms::random_type(&mut rng, &world, 2, &[]);
+            pairs.push((sup, sub));
+        }
+        cross_validate(&world, &pairs, &naive);
+    }
+}
+
+#[test]
+fn chain_world_agreement_and_speed_gap() {
+    // The F1 shape in miniature: on a depth-6 chain the deterministic
+    // prover answers instantly; the naive prover needs increasing depth.
+    let world = worlds::chain(6);
+    let det = Prover::new(&world.sig, &world.checked);
+    let naive = NaiveProver::new(&world.sig, &world.cs)
+        .with_max_depth(8)
+        .with_step_budget(500_000);
+    let t0 = Term::constant(world.sig.lookup("t0").unwrap());
+    let z = Term::constant(world.sig.lookup("z").unwrap());
+    assert!(det.subtype(&t0, &z).is_proved());
+    let slow = naive.prove(&t0, &z);
+    // The chain needs ~2 steps per link; depth 8 may or may not reach it,
+    // but whatever the naive prover concludes must not contradict.
+    assert!(!matches!(slow, NaiveOutcome::Exhausted));
+}
+
+#[test]
+fn sampled_inhabitants_are_derivable_both_ways() {
+    let world = worlds::paper_world();
+    let det = Prover::new(&world.sig, &world.checked);
+    let naive = NaiveProver::new(&world.sig, &world.cs)
+        .with_max_depth(7)
+        .with_step_budget(150_000);
+    let mut rng = StdRng::seed_from_u64(13);
+    let nat = Term::constant(world.sig.lookup("nat").unwrap());
+    let elist = Term::constant(world.sig.lookup("elist").unwrap());
+    for ty in [nat, elist] {
+        for _ in 0..10 {
+            if let Some(t) = terms::sample_inhabitant(&mut rng, &world.sig, &world.checked, &ty, 6)
+            {
+                assert!(det.member(&ty, &t).is_proved());
+                // The naive prover may time out on deep witnesses, but must
+                // never conclusively deny a true membership.
+                assert!(!matches!(naive.prove(&ty, &t), NaiveOutcome::Exhausted));
+            }
+        }
+    }
+}
