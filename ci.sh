@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, format, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test --workspace -q
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -113,12 +113,7 @@ impl FuncSigTable {
     /// # Errors
     ///
     /// [`Mo84Error::Overloaded`] if `f` already has a different signature.
-    pub fn insert(
-        &mut self,
-        sig: &Signature,
-        f: Sym,
-        func_sig: FuncSig,
-    ) -> Result<(), Mo84Error> {
+    pub fn insert(&mut self, sig: &Signature, f: Sym, func_sig: FuncSig) -> Result<(), Mo84Error> {
         match self.sigs.get(&f) {
             Some(prev) if *prev != func_sig => Err(Mo84Error::Overloaded {
                 func: sig.name(f).to_string(),
@@ -312,15 +307,11 @@ impl<'a> Mo84Checker<'a> {
             let expected = self.rename(declared, &mut state, !rigid);
             for (tau, term) in expected.args().iter().zip(atom.args()) {
                 let actual = self.infer(term, &mut state, index)?;
-                self.unify_types(&mut state, tau, &actual).map_err(|()| {
-                    Mo84Error::IllTyped {
+                self.unify_types(&mut state, tau, &actual)
+                    .map_err(|()| Mo84Error::IllTyped {
                         atom: index,
-                        detail: format!(
-                            "argument type mismatch for `{}`",
-                            self.sig.name(p)
-                        ),
-                    }
-                })?;
+                        detail: format!("argument type mismatch for `{}`", self.sig.name(p)),
+                    })?;
             }
         }
         Ok(())
@@ -406,9 +397,7 @@ impl<'a> Mo84Checker<'a> {
     /// Renames a predicate type apart, rigid or flexible.
     fn rename(&self, ty: &Term, state: &mut State, flexible: bool) -> Term {
         let mut map = HashMap::new();
-        ty.map_vars(&mut |v| {
-            Term::Var(*map.entry(v).or_insert_with(|| state.fresh(flexible)))
-        })
+        ty.map_vars(&mut |v| Term::Var(*map.entry(v).or_insert_with(|| state.fresh(flexible))))
     }
 }
 

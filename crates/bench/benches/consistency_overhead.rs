@@ -19,7 +19,11 @@ fn bench_plain_nrev(c: &mut Criterion) {
         let goals = w.module.queries[0].goals.clone();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let mut q = Query::new(&db, std::hint::black_box(goals.clone()), SolveConfig::default());
+                let mut q = Query::new(
+                    &db,
+                    std::hint::black_box(goals.clone()),
+                    SolveConfig::default(),
+                );
                 assert!(q.next_solution().is_some());
             });
         });
@@ -71,7 +75,11 @@ fn bench_fact_scan(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
             b.iter(|| {
-                let mut q = Query::new(&db, std::hint::black_box(goals.clone()), SolveConfig::default());
+                let mut q = Query::new(
+                    &db,
+                    std::hint::black_box(goals.clone()),
+                    SolveConfig::default(),
+                );
                 let mut count = 0;
                 while q.next_solution().is_some() {
                     count += 1;

@@ -19,12 +19,7 @@ fn bench_term_size(c: &mut Criterion) {
         let t = bench::int_list(&w.module, n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let out = match_type(
-                    &w.module.sig,
-                    &w.checked,
-                    std::hint::black_box(&ty),
-                    &t,
-                );
+                let out = match_type(&w.module.sig, &w.checked, std::hint::black_box(&ty), &t);
                 assert!(out.typing().is_some());
             });
         });
@@ -55,12 +50,7 @@ fn bench_constraint_count(c: &mut Criterion) {
         let ty = Term::constant(t_sym);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let out = match_type(
-                    &w.module.sig,
-                    &w.checked,
-                    std::hint::black_box(&ty),
-                    &term,
-                );
+                let out = match_type(&w.module.sig, &w.checked, std::hint::black_box(&ty), &term);
                 assert!(out.typing().is_some());
             });
         });
@@ -87,8 +77,7 @@ fn bench_nested_polymorphism(c: &mut Criterion) {
         }
         group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
             b.iter(|| {
-                let out =
-                    match_type(&w.module.sig, &w.checked, std::hint::black_box(&ty), &t);
+                let out = match_type(&w.module.sig, &w.checked, std::hint::black_box(&ty), &t);
                 assert!(out.typing().is_some());
             });
         });

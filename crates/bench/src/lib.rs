@@ -1,4 +1,4 @@
-//! Shared workload setup for the benchmark harness (experiments F1–F5).
+//! Shared workload setup for the benchmark harness (experiments F1–F6).
 //!
 //! Each `benches/*.rs` target regenerates one experiment from
 //! `EXPERIMENTS.md`; the `report` binary prints all series in one pass with
@@ -80,3 +80,47 @@ pub const F4_SIZES: &[usize] = &[4, 8, 16];
 
 /// The constructor counts used by F5.
 pub const F5_CTORS: &[usize] = &[8, 32, 128];
+
+/// The batch sizes used by F6 (proof-table effectiveness).
+pub const F6_BATCH: &[usize] = &[64, 256, 1024];
+
+/// Distinct judgements per F6 batch; everything beyond the first
+/// `F6_DISTINCT` goals is an alpha-variant repeat, so the expected steady
+/// hit rate of a batch of `n` is `(n - F6_DISTINCT) / n`.
+pub const F6_DISTINCT: usize = 8;
+
+/// Builds `n` independent subtype goals over the paper world cycling `k`
+/// distinct judgements: goal `i` is
+/// `list(listᵈ(A)) >= nelist(listᵈ(B))` with `d = 2(i % k) + 2` and fresh
+/// `A`, `B` per instance — so goals with equal `i % k` are alpha-variants of
+/// each other and share one canonical proof-table entry. The nesting keeps
+/// each derivation well above the cost of a canonical-renaming lookup.
+///
+/// # Panics
+///
+/// Panics if `world` lacks the paper's list symbols.
+pub fn alpha_variant_goals(
+    world: &mut lp_gen::worlds::BuiltWorld,
+    n: usize,
+    k: usize,
+) -> Vec<(Term, Term)> {
+    let list = world.sig.lookup("list").expect("list");
+    let nelist = world.sig.lookup("nelist").expect("nelist");
+    let nest = |mut t: Term, depth: usize| {
+        for _ in 0..depth {
+            t = Term::app(list, vec![t]);
+        }
+        t
+    };
+    (0..n)
+        .map(|i| {
+            let depth = 2 * (i % k) + 2;
+            let a = Term::Var(world.gen.fresh());
+            let b = Term::Var(world.gen.fresh());
+            (
+                Term::app(list, vec![nest(a, depth)]),
+                Term::app(nelist, vec![nest(b, depth)]),
+            )
+        })
+        .collect()
+}

@@ -333,10 +333,7 @@ mod tests {
         let mut fx = Fx::new();
         let f = fx.func("f");
         let c = fx.ctor("c");
-        fx.add(
-            Term::constant(c),
-            Term::app(f, vec![Term::constant(c)]),
-        );
+        fx.add(Term::constant(c), Term::app(f, vec![Term::constant(c)]));
         let g = DependenceGraph::build(&fx.sig, &fx.cs);
         assert!(!g.depends_on(c, c));
         g.check_guarded(&fx.sig).unwrap();
@@ -347,10 +344,7 @@ mod tests {
         let mut fx = Fx::new();
         let c = fx.ctor("c");
         let nat = fx.ctor("nat");
-        fx.add(
-            Term::app(c, vec![Term::constant(nat)]),
-            Term::constant(nat),
-        );
+        fx.add(Term::app(c, vec![Term::constant(nat)]), Term::constant(nat));
         let err = check_uniform(&fx.sig, &fx.cs).unwrap_err();
         assert!(matches!(err, TypeDeclError::NonUniform { index: 0, .. }));
     }

@@ -39,6 +39,11 @@ pub struct AuditReport {
     /// Whether every computed answer substitution left the instantiated
     /// query well-typed (the corollary to Theorem 6).
     pub answers_consistent: bool,
+    /// Generation stamp of the audited database (see
+    /// [`Database::generation`]): records which clause set the verdicts in
+    /// this report — and any proof-table entries populated while producing
+    /// them — were derived from.
+    pub db_generation: u64,
 }
 
 impl AuditReport {
@@ -86,6 +91,7 @@ impl<'a> Auditor<'a> {
         let mut query = Query::new(db, goals.to_vec(), config.solve);
         let mut report = AuditReport {
             answers_consistent: true,
+            db_generation: query.db_generation(),
             ..AuditReport::default()
         };
         let checker = self.checker;

@@ -8,10 +8,27 @@
 //! supports the deterministic derivation strategy and `match`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lp_term::{Signature, Subst, Sym, SymKind, Term, VarGen};
 
 use crate::analysis::{self, TypeDeclError};
+
+/// Process-wide source of generation stamps (see [`next_generation`]).
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Returns a fresh, process-unique, strictly increasing generation stamp.
+///
+/// Every [`ConstraintSet`] carries the stamp of its last mutation; caches
+/// keyed on the theory `H_C` (notably [`ProofTable`](crate::table::ProofTable))
+/// compare stamps to detect that their entries were derived under a different
+/// constraint theory and must be invalidated. Stamps are unique across *all*
+/// sets in the process, so two distinct sets never share a stamp even if they
+/// hold identical constraints — a cache can therefore never confuse one
+/// world's verdicts with another's.
+pub fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed) + 1
+}
 
 /// One subtype constraint `lhs >= rhs` (Definition 2).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,10 +62,21 @@ impl SubtypeConstraint {
 }
 
 /// A set of subtype constraints, indexed by defining constructor.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ConstraintSet {
     constraints: Vec<SubtypeConstraint>,
     by_ctor: HashMap<Sym, Vec<usize>>,
+    generation: u64,
+}
+
+impl Default for ConstraintSet {
+    fn default() -> Self {
+        ConstraintSet {
+            constraints: Vec::new(),
+            by_ctor: HashMap::new(),
+            generation: next_generation(),
+        }
+    }
 }
 
 impl ConstraintSet {
@@ -99,7 +127,15 @@ impl ConstraintSet {
         let c = SubtypeConstraint { lhs, rhs };
         self.by_ctor.entry(c.ctor()).or_default().push(idx);
         self.constraints.push(c);
+        self.generation = next_generation();
         Ok(())
+    }
+
+    /// The set's generation stamp: refreshed by every successful mutation
+    /// ([`ConstraintSet::add`] and everything built on it), unique across all
+    /// sets in the process. See [`next_generation`].
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Declares the predefined polymorphic union `+` in `sig` (if absent) and
@@ -109,7 +145,11 @@ impl ConstraintSet {
     ///
     /// [`TypeDeclError::MalformedConstraint`] never in practice;
     /// [`lp_term::SigError`] kind clashes surface as malformed constraints.
-    pub fn add_union(&mut self, sig: &mut Signature, gen: &mut VarGen) -> Result<Sym, TypeDeclError> {
+    pub fn add_union(
+        &mut self,
+        sig: &mut Signature,
+        gen: &mut VarGen,
+    ) -> Result<Sym, TypeDeclError> {
         let plus = sig
             .declare_with_arity("+", SymKind::TypeCtor, 2)
             .map_err(|e| TypeDeclError::MalformedConstraint {
@@ -185,6 +225,14 @@ impl CheckedConstraints {
         &self.set
     }
 
+    /// The generation stamp inherited from the underlying set at the moment
+    /// it was checked. [`ConstraintSet::checked`] consumes the set, so the
+    /// stamp cannot go stale: any later mutation happens to a different
+    /// (cloned) set with a newer stamp.
+    pub fn generation(&self) -> u64 {
+        self.set.generation()
+    }
+
     /// The constraints defining `c`.
     pub fn for_ctor(&self, c: Sym) -> impl Iterator<Item = &SubtypeConstraint> {
         self.set.for_ctor(c)
@@ -197,6 +245,12 @@ impl CheckedConstraints {
     ///
     /// Returns an empty vector if `ty` is not a type-constructor application
     /// or has no defining constraints.
+    ///
+    /// `ty`'s variables must be standardized apart from the constraint
+    /// parameters (every loader and checker draws goal variables from a
+    /// generator seeded past the declarations, so this holds naturally);
+    /// a capturing argument like `c(α)` for a constraint `c(α) >= τ` would
+    /// make the substitution `{α ↦ c(α)}` cyclic.
     pub fn expansions(&self, ty: &Term) -> Vec<Term> {
         let Some(c) = ty.functor() else {
             return Vec::new();
@@ -324,10 +378,7 @@ mod tests {
             Term::app(list, vec![Term::Var(a)]),
             Term::app(
                 plus,
-                vec![
-                    Term::constant(elist),
-                    Term::app(nelist, vec![Term::Var(a)]),
-                ],
+                vec![Term::constant(elist), Term::app(nelist, vec![Term::Var(a)])],
             ),
         )
         .unwrap();
@@ -348,9 +399,6 @@ mod tests {
         let union_exps = checked.expansions(&exps[0]);
         assert_eq!(union_exps.len(), 2);
         assert_eq!(union_exps[0], Term::constant(elist));
-        assert_eq!(
-            union_exps[1],
-            Term::app(nelist, vec![Term::constant(nat)])
-        );
+        assert_eq!(union_exps[1], Term::app(nelist, vec![Term::constant(nat)]));
     }
 }

@@ -222,10 +222,8 @@ impl Builder<'_> {
         if from == to {
             // Identity filter: the type system guarantees the copy is safe.
             let x = self.gen.fresh();
-            self.clauses.push(Clause::fact(Term::app(
-                p,
-                vec![Term::Var(x), Term::Var(x)],
-            )));
+            self.clauses
+                .push(Clause::fact(Term::app(p, vec![Term::Var(x), Term::Var(x)])));
             return Ok(p);
         }
 
@@ -465,8 +463,8 @@ mod tests {
         let cs = w.cs.clone();
         let a = gen.fresh();
         let open = Term::app(w.list, vec![Term::Var(a)]);
-        let err = build_filter(&mut w.sig, &cs, &open, &Term::constant(w.nat), &mut gen)
-            .unwrap_err();
+        let err =
+            build_filter(&mut w.sig, &cs, &open, &Term::constant(w.nat), &mut gen).unwrap_err();
         assert!(matches!(err, FilterError::OpenType { .. }));
     }
 

@@ -80,10 +80,7 @@ impl HornTheory {
             let betas: Vec<Term> = (0..n).map(|_| Term::Var(gen.fresh())).collect();
             let head = Term::app(
                 geq,
-                vec![
-                    Term::app(s, alphas.clone()),
-                    Term::app(s, betas.clone()),
-                ],
+                vec![Term::app(s, alphas.clone()), Term::app(s, betas.clone())],
             );
             let body: Vec<Term> = alphas
                 .into_iter()

@@ -16,6 +16,7 @@
 //! | §7 — constraint-generating `match` (the effective checker) | [`cmatch`] |
 //! | §5–6 Defs. 14–16 — predicate types and well-typedness | [`welltyped`] |
 //! | §6 Thm. 6 — runtime consistency auditing of every resolvent | [`consistency`] |
+//! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
 //!
 //! # Quick start
 //!
@@ -62,15 +63,17 @@ pub mod matching;
 pub mod naive;
 pub mod prover;
 pub mod semantics;
+pub mod table;
 pub mod typing;
 pub mod welltyped;
 
 pub use analysis::{DependenceGraph, TypeDeclError};
-pub use constraint::{CheckedConstraints, ConstraintSet, SubtypeConstraint};
+pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, SubtypeConstraint};
 pub use filter::{build_filter, FilterError, FilterLibrary};
 pub use horn::HornTheory;
 pub use matching::{match_type, MatchOutcome};
 pub use naive::{NaiveOutcome, NaiveProver};
 pub use prover::{Proof, Prover, ProverConfig};
+pub use table::{ProofTable, TableStats, TabledProver};
 pub use typing::{freeze, freeze_pair, Typing};
 pub use welltyped::{Checker, PredTypeTable, TypeCheckError};

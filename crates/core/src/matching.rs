@@ -224,10 +224,7 @@ mod tests {
             plus,
             vec![
                 Term::app(w.succ, vec![Term::constant(w.int)]),
-                Term::app(
-                    w.succ,
-                    vec![Term::app(w.list, vec![Term::Var(a)])],
-                ),
+                Term::app(w.succ, vec![Term::app(w.list, vec![Term::Var(a)])]),
             ],
         );
         let t = Term::app(w.succ, vec![Term::Var(x)]);
@@ -267,10 +264,7 @@ mod tests {
         // match(f(int, nat), f(X, X)) = ⊥ (§4; f here: cons).
         let mut w = world();
         let x = x_of(&mut w);
-        let ty = Term::app(
-            w.cons,
-            vec![Term::constant(w.int), Term::constant(w.nat)],
-        );
+        let ty = Term::app(w.cons, vec![Term::constant(w.int), Term::constant(w.nat)]);
         let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(x)]);
         assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
     }
@@ -284,10 +278,7 @@ mod tests {
         let x = x_of(&mut w);
         let ty = Term::app(
             w.cons,
-            vec![
-                Term::constant(w.int),
-                Term::app(w.list, vec![Term::Var(a)]),
-            ],
+            vec![Term::constant(w.int), Term::app(w.list, vec![Term::Var(a)])],
         );
         let t = Term::app(w.cons, vec![Term::Var(x), Term::Var(x)]);
         assert!(match_type(&w.sig, &w.cs, &ty, &t).is_bottom());
@@ -297,7 +288,12 @@ mod tests {
     fn constant_matches_through_nullary_clause() {
         // match(nat, 0): expansion nat → 0 + succ(nat) → 0 succeeds with {}.
         let w = world();
-        let out = match_type(&w.sig, &w.cs, &Term::constant(w.nat), &Term::constant(w.zero));
+        let out = match_type(
+            &w.sig,
+            &w.cs,
+            &Term::constant(w.nat),
+            &Term::constant(w.zero),
+        );
         assert_eq!(out.typing().map(Typing::len), Some(0));
     }
 
@@ -305,9 +301,11 @@ mod tests {
     fn ground_numeral_matches_int_but_not_nat_when_negative() {
         let w = world();
         let minus_one = Term::app(w.pred, vec![Term::constant(w.zero)]);
-        assert!(match_type(&w.sig, &w.cs, &Term::constant(w.int), &minus_one)
-            .typing()
-            .is_some());
+        assert!(
+            match_type(&w.sig, &w.cs, &Term::constant(w.int), &minus_one)
+                .typing()
+                .is_some()
+        );
         assert!(match_type(&w.sig, &w.cs, &Term::constant(w.nat), &minus_one).is_fail());
     }
 
@@ -330,10 +328,7 @@ mod tests {
                 (x, Term::constant(w.int)),
                 (y, Term::app(w.list, vec![Term::constant(w.int)])),
             ]),
-            Typing::from_bindings([
-                (x, Term::constant(w.nat)),
-                (y, Term::constant(w.elist)),
-            ]),
+            Typing::from_bindings([(x, Term::constant(w.nat)), (y, Term::constant(w.elist))]),
         ] {
             // Only compare alternatives that are actually typings.
             if is_typing(&mut w.sig, &cs, &la, &t, &alt) {

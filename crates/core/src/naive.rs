@@ -141,7 +141,6 @@ impl NaiveProver {
         };
         (outcome, q.stats())
     }
-
 }
 
 #[cfg(test)]
@@ -157,8 +156,12 @@ mod tests {
         let cons = sig.declare_with_arity("cons", SymKind::Func, 2).unwrap();
         let _foo = sig.declare("foo", SymKind::Func).unwrap();
         let elist = sig.declare("elist", SymKind::TypeCtor).unwrap();
-        let nelist = sig.declare_with_arity("nelist", SymKind::TypeCtor, 1).unwrap();
-        let list = sig.declare_with_arity("list", SymKind::TypeCtor, 1).unwrap();
+        let nelist = sig
+            .declare_with_arity("nelist", SymKind::TypeCtor, 1)
+            .unwrap();
+        let list = sig
+            .declare_with_arity("list", SymKind::TypeCtor, 1)
+            .unwrap();
         let mut gen = VarGen::new();
         let mut cs = ConstraintSet::new();
         let plus = cs.add_union(&mut sig, &mut gen).unwrap();
@@ -305,8 +308,13 @@ mod tests {
             0,               // A+B >= A.
             2,               // elist >= nil.
         ];
-        let resolvent = theory.replay(vec![goal], &sequence).expect("replay succeeds");
-        assert!(resolvent.is_empty(), "expected a refutation, got {resolvent:?}");
+        let resolvent = theory
+            .replay(vec![goal], &sequence)
+            .expect("replay succeeds");
+        assert!(
+            resolvent.is_empty(),
+            "expected a refutation, got {resolvent:?}"
+        );
     }
 
     #[test]

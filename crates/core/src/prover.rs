@@ -117,7 +117,11 @@ impl<'a> Prover<'a> {
     }
 
     /// Creates a prover with explicit limits.
-    pub fn with_config(sig: &'a Signature, cs: &'a CheckedConstraints, config: ProverConfig) -> Self {
+    pub fn with_config(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        config: ProverConfig,
+    ) -> Self {
         Prover { sig, cs, config }
     }
 
@@ -245,8 +249,11 @@ impl<'p, 'a> Search<'p, 'a> {
                     (true, true) => false,
                     (true, false) | (false, true) => {
                         // Bind the bindable one to the rigid one.
-                        let (bindable, other) =
-                            if self.is_rigid(*v) { (*w, *v) } else { (*v, *w) };
+                        let (bindable, other) = if self.is_rigid(*v) {
+                            (*w, *v)
+                        } else {
+                            (*v, *w)
+                        };
                         let mut s2 = subst.clone();
                         s2.bind(bindable, Term::Var(other));
                         if k(self, &s2) {
@@ -309,22 +316,16 @@ impl<'p, 'a> Search<'p, 'a> {
                         if f != g || fargs.len() != gargs.len() {
                             return false;
                         }
-                        let goals: Vec<(Term, Term)> = fargs
-                            .iter()
-                            .cloned()
-                            .zip(gargs.iter().cloned())
-                            .collect();
+                        let goals: Vec<(Term, Term)> =
+                            fargs.iter().cloned().zip(gargs.iter().cloned()).collect();
                         self.prove_seq(&goals, subst, budget, k)
                     }
                     // Theorem 2: substitution axiom (same ctor) and two-step
                     // constraint applications.
                     SymKind::TypeCtor => {
                         if f == g && fargs.len() == gargs.len() {
-                            let goals: Vec<(Term, Term)> = fargs
-                                .iter()
-                                .cloned()
-                                .zip(gargs.iter().cloned())
-                                .collect();
+                            let goals: Vec<(Term, Term)> =
+                                fargs.iter().cloned().zip(gargs.iter().cloned()).collect();
                             if self.prove_seq(&goals, subst, budget, k) {
                                 return true;
                             }
@@ -454,11 +455,19 @@ pub(crate) mod tests {
         let cons = sig.declare_with_arity("cons", SymKind::Func, 2).unwrap();
         let foo = sig.declare_with_arity("foo", SymKind::Func, 0).unwrap();
         let nat = sig.declare_with_arity("nat", SymKind::TypeCtor, 0).unwrap();
-        let unnat = sig.declare_with_arity("unnat", SymKind::TypeCtor, 0).unwrap();
+        let unnat = sig
+            .declare_with_arity("unnat", SymKind::TypeCtor, 0)
+            .unwrap();
         let int = sig.declare_with_arity("int", SymKind::TypeCtor, 0).unwrap();
-        let elist = sig.declare_with_arity("elist", SymKind::TypeCtor, 0).unwrap();
-        let nelist = sig.declare_with_arity("nelist", SymKind::TypeCtor, 1).unwrap();
-        let list = sig.declare_with_arity("list", SymKind::TypeCtor, 1).unwrap();
+        let elist = sig
+            .declare_with_arity("elist", SymKind::TypeCtor, 0)
+            .unwrap();
+        let nelist = sig
+            .declare_with_arity("nelist", SymKind::TypeCtor, 1)
+            .unwrap();
+        let list = sig
+            .declare_with_arity("list", SymKind::TypeCtor, 1)
+            .unwrap();
         let mut gen = VarGen::new();
         let mut cs = ConstraintSet::new();
         let plus = cs.add_union(&mut sig, &mut gen).unwrap();
@@ -622,9 +631,7 @@ pub(crate) mod tests {
         assert!(p.subtype(&list_int, &nelist_int).is_proved());
         assert!(p.subtype(&nelist_int, &list_int).is_refuted());
         // elist is a subtype of any list(τ).
-        assert!(p
-            .subtype(&list_int, &Term::constant(w.elist))
-            .is_proved());
+        assert!(p.subtype(&list_int, &Term::constant(w.elist)).is_proved());
     }
 
     #[test]
@@ -687,10 +694,7 @@ pub(crate) mod tests {
         // cons(cons(0, nil), nil) ∈ M_C⟦list(list(nat))⟧.
         let inner = w.list_of(&[w.num(0)]);
         let t = w.list_of(&[inner]);
-        let ty = Term::app(
-            w.list,
-            vec![Term::app(w.list, vec![Term::constant(w.nat)])],
-        );
+        let ty = Term::app(w.list, vec![Term::app(w.list, vec![Term::constant(w.nat)])]);
         assert!(p.member(&ty, &t).is_proved());
         // But not of list(list(unnat)) — succ(0) is not an unnat… use num(1).
         let t2 = w.list_of(&[w.list_of(&[w.num(1)])]);
@@ -708,15 +712,10 @@ pub(crate) mod tests {
         let mut w = world();
         let p = Prover::new(&w.sig, &w.cs);
         let plus = w.sig.lookup("+").unwrap();
-        let union = Term::app(
-            plus,
-            vec![Term::constant(w.nat), Term::constant(w.elist)],
-        );
+        let union = Term::app(plus, vec![Term::constant(w.nat), Term::constant(w.elist)]);
         assert!(p.member(&union, &w.num(2)).is_proved());
         assert!(p.member(&union, &Term::constant(w.nil)).is_proved());
-        assert!(p
-            .member(&union, &w.list_of(&[w.num(0)]))
-            .is_refuted());
+        assert!(p.member(&union, &w.list_of(&[w.num(0)])).is_refuted());
         let _ = w.gen.fresh();
     }
 

@@ -164,10 +164,7 @@ mod tests {
         let zero = Term::constant(w.zero);
         assert!(inh.contains(&zero));
         assert!(inh.contains(&Term::app(w.succ, vec![zero.clone()])));
-        assert!(inh.contains(&Term::app(
-            w.succ,
-            vec![Term::app(w.succ, vec![zero])]
-        )));
+        assert!(inh.contains(&Term::app(w.succ, vec![Term::app(w.succ, vec![zero])])));
     }
 
     #[test]
@@ -227,11 +224,7 @@ mod tests {
                     !proof.is_unknown(),
                     "prover inconclusive on ground membership {ty:?} ∋ {t:?}"
                 );
-                assert_eq!(
-                    enumerated,
-                    proof.is_proved(),
-                    "mismatch for {ty:?} ∋ {t:?}"
-                );
+                assert_eq!(enumerated, proof.is_proved(), "mismatch for {ty:?} ∋ {t:?}");
             }
         }
     }

@@ -1,0 +1,727 @@
+//! Tabled subtype proving: a generation-invalidated proof memo table.
+//!
+//! The deterministic prover of §3 is already polynomial per query, but the
+//! same judgements recur constantly in practice: checking a program asks
+//! `α ⪰_C τ` once per deferred commitment of every clause, the Theorem 6
+//! auditor re-checks every resolvent of a run, and benchmark workloads
+//! repeat whole goal families. [`ProofTable`] memoizes *conclusive* verdicts
+//! ([`Proof::Proved`] / [`Proof::Refuted`]) so each distinct judgement is
+//! derived once; [`Proof::Unknown`] is a budget artifact, not a judgement,
+//! and is never cached.
+//!
+//! # Canonical keys
+//!
+//! Entries are keyed on the goal conjunction *canonically renamed*: variables
+//! are mapped, in first-occurrence order, onto `_0, _1, …` (via
+//! [`lp_term::rename_term`]), and the rigid set is reduced to the sorted
+//! canonical images of the rigid variables that actually occur in the goals.
+//! Alpha-variant queries — `list(A) ⪰ nelist(B)` and `list(X) ⪰ nelist(Y)` —
+//! therefore share one entry, while structurally different goals can never
+//! collide. Rigid variables not occurring in the goals are dropped: the
+//! search can only ever consult rigidity of variables it reaches, and those
+//! are goal variables or fresh ones past the watermark.
+//!
+//! Cached `Proved` answers are stored in the same canonical variable space.
+//! On a hit the answer is translated back through the inverse renaming; fresh
+//! variables the original derivation allocated (at or past the prover's
+//! effective watermark) are re-based onto the hitting call's own fresh range,
+//! so a translated answer is exactly what a live run would have produced, up
+//! to the numbering of prover-invented variables. On a *miss* the live
+//! proof is returned untouched, so first derivations are byte-identical with
+//! and without tabling.
+//!
+//! # Generation invalidation
+//!
+//! A verdict is only meaningful relative to the constraint theory `H_C` it
+//! was derived under. Every [`ConstraintSet`](crate::ConstraintSet) carries a
+//! process-unique generation stamp refreshed on each mutation (see
+//! [`crate::constraint::next_generation`]); the table remembers the stamp its
+//! entries were derived under and wholesale-clears itself whenever it is used
+//! with a differently-stamped theory. Stamps are unique across sets, so a
+//! table can be shared (sequentially) between worlds without ever serving a
+//! stale verdict. The *signature* is assumed fixed once proving starts —
+//! declaring new symbols mid-stream without touching the constraint set is
+//! not detected (and nothing in this crate does so).
+//!
+//! # Bounded size
+//!
+//! The table holds at most [`ProofTable::capacity`] entries; inserting past
+//! that evicts the oldest entry (FIFO). Hit/miss/insert/evict counts are
+//! available via [`ProofTable::stats`].
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use lp_term::{rename_term, Signature, Subst, Term, Var, VarGen};
+
+use crate::constraint::CheckedConstraints;
+use crate::prover::{Proof, Prover, ProverConfig};
+
+/// Default bound on the number of cached verdicts.
+pub const DEFAULT_TABLE_CAPACITY: usize = 4096;
+
+/// A canonically-renamed goal conjunction plus its rigid-variable footprint.
+///
+/// Two queries produce the same key iff they are alpha-variants with the same
+/// rigidity pattern — see the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct TableKey {
+    /// The goals with variables renamed to `_0, _1, …` in first-occurrence
+    /// order.
+    goals: Vec<(Term, Term)>,
+    /// Sorted canonical images of the rigid variables occurring in `goals`.
+    rigid: Vec<Var>,
+}
+
+/// A cached conclusive verdict, with any answer held in canonical space.
+#[derive(Debug, Clone, PartialEq)]
+enum CachedVerdict {
+    /// Derivable; the answer substitution over canonical variables.
+    Proved(Subst),
+    /// Conclusively not derivable.
+    Refuted,
+}
+
+/// Hit/miss/insert/evict counters for a [`ProofTable`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups answered from the table.
+    pub hits: u64,
+    /// Lookups that fell through to the live prover.
+    pub misses: u64,
+    /// Verdicts stored (Unknown verdicts are never stored).
+    pub inserts: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Wholesale clears triggered by a generation mismatch.
+    pub invalidations: u64,
+}
+
+impl TableStats {
+    /// Fraction of lookups answered from the table, in `[0, 1]` (0 when no
+    /// lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded memo table of subtype verdicts, invalidated by constraint-set
+/// generation. See the module docs for the caching contract.
+///
+/// The table itself is passive storage; [`TabledProver`] drives it. Share one
+/// table per world (e.g. behind a [`RefCell`]) across the checker, the
+/// matcher and the auditor to maximize reuse.
+#[derive(Debug, Clone)]
+pub struct ProofTable {
+    entries: HashMap<TableKey, CachedVerdict>,
+    /// Insertion order of the keys in `entries`, oldest first (FIFO).
+    order: VecDeque<TableKey>,
+    capacity: usize,
+    /// Generation stamp the current entries were derived under; 0 = unset.
+    generation: u64,
+    stats: TableStats,
+}
+
+impl Default for ProofTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProofTable {
+    /// An empty table with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// An empty table holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a proof table needs room for at least one entry"
+        );
+        ProofTable {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            generation: 0,
+            stats: TableStats::default(),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The generation stamp the current entries were derived under (0 until
+    /// the first use).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The lifetime counters (never reset by clears or invalidations).
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Drops all entries, keeping the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+
+    /// Aligns the table with the theory stamped `generation`, clearing every
+    /// entry if it was populated under a different one.
+    pub fn ensure_generation(&mut self, generation: u64) {
+        if self.generation != generation {
+            if !self.entries.is_empty() {
+                self.stats.invalidations += 1;
+            }
+            self.clear();
+            self.generation = generation;
+        }
+    }
+
+    /// Looks up a key, counting a hit or a miss.
+    fn lookup(&mut self, key: &TableKey) -> Option<CachedVerdict> {
+        match self.entries.get(key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a verdict, evicting the oldest entry when at capacity.
+    fn insert(&mut self, key: TableKey, verdict: CachedVerdict) {
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self.order.pop_front() {
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.order.push_back(key.clone());
+        self.entries.insert(key, verdict);
+        self.stats.inserts += 1;
+    }
+}
+
+/// The canonical renaming of one query, with everything needed to translate
+/// answers in both directions.
+struct Canonical {
+    key: TableKey,
+    /// Original variable → canonical variable, for every goal variable.
+    forward: HashMap<Var, Var>,
+    /// Number of distinct goal variables: canonical `_0 .. _key_vars` are
+    /// goal variables, canonical variables at or past `key_vars` are fresh.
+    key_vars: u32,
+    /// First fresh variable the live prover allocates for this call — the
+    /// effective watermark [`Prover::subtype_all_rigid`] computes from
+    /// `var_watermark`, the goal variables and the rigid set.
+    base: u32,
+}
+
+impl Canonical {
+    fn of(goals: &[(Term, Term)], rigid: &BTreeSet<Var>, var_watermark: u32) -> Self {
+        let mut gen = VarGen::new();
+        let mut forward = HashMap::new();
+        let canon_goals = goals
+            .iter()
+            .map(|(sup, sub)| {
+                (
+                    rename_term(sup, &mut gen, &mut forward),
+                    rename_term(sub, &mut gen, &mut forward),
+                )
+            })
+            .collect();
+        let mut canon_rigid: Vec<Var> = rigid
+            .iter()
+            .filter_map(|v| forward.get(v).copied())
+            .collect();
+        canon_rigid.sort_unstable();
+        // Replicate the live prover's fresh-variable base exactly: it starts
+        // at `var_watermark` and reserves every goal and rigid variable.
+        let mut base_gen = VarGen::starting_at(var_watermark);
+        for (sup, sub) in goals {
+            for v in sup.vars().into_iter().chain(sub.vars()) {
+                base_gen.reserve(v);
+            }
+        }
+        for &v in rigid {
+            base_gen.reserve(v);
+        }
+        Canonical {
+            key: TableKey {
+                goals: canon_goals,
+                rigid: canon_rigid,
+            },
+            forward,
+            key_vars: gen.watermark(),
+            base: base_gen.watermark(),
+        }
+    }
+
+    /// Original → canonical, covering prover-fresh variables by offset.
+    /// `None` for a variable that is neither a goal variable nor fresh
+    /// (cannot arise from a well-behaved search; callers skip caching then).
+    fn encode_var(&self, v: Var) -> Option<Var> {
+        if let Some(&c) = self.forward.get(&v) {
+            Some(c)
+        } else if v.0 >= self.base {
+            Some(Var(self.key_vars + (v.0 - self.base)))
+        } else {
+            None
+        }
+    }
+
+    /// Translates a live answer into canonical space for storage.
+    fn encode_answer(&self, answer: &Subst) -> Option<Subst> {
+        let mut bindings = Vec::new();
+        for (v, t) in answer.iter() {
+            let cv = self.encode_var(v)?;
+            let mut complete = true;
+            let ct = t.map_vars(&mut |w| match self.encode_var(w) {
+                Some(cw) => Term::Var(cw),
+                None => {
+                    complete = false;
+                    Term::Var(w)
+                }
+            });
+            if !complete {
+                return None;
+            }
+            bindings.push((cv, ct));
+        }
+        Some(Subst::from_bindings(bindings))
+    }
+
+    /// Canonical → this call's variables, re-basing canonical-fresh
+    /// variables onto this call's fresh range.
+    fn decode_answer(&self, canonical: &Subst) -> Subst {
+        let inverse: HashMap<Var, Var> = self.forward.iter().map(|(&orig, &c)| (c, orig)).collect();
+        let decode = |c: Var| -> Var {
+            match inverse.get(&c) {
+                Some(&orig) => orig,
+                None => Var(self.base + (c.0 - self.key_vars)),
+            }
+        };
+        Subst::from_bindings(
+            canonical
+                .iter()
+                .map(|(cv, ct)| (decode(cv), ct.map_vars(&mut |w| Term::Var(decode(w))))),
+        )
+    }
+}
+
+/// A caching wrapper around the deterministic [`Prover`], mirroring its API.
+///
+/// Every conclusive verdict is recorded in (and, for repeats, served from)
+/// the shared [`ProofTable`]; the table's generation is checked against the
+/// constraint set on every call, so mutating the world — building a new
+/// [`ConstraintSet`](crate::ConstraintSet) — transparently invalidates it.
+///
+/// The `RefCell` borrow is confined to lookup and insert; the live search
+/// itself never touches the table, so the wrapper is re-entrancy safe.
+#[derive(Debug, Clone, Copy)]
+pub struct TabledProver<'a> {
+    prover: Prover<'a>,
+    cs: &'a CheckedConstraints,
+    table: &'a RefCell<ProofTable>,
+}
+
+impl<'a> TabledProver<'a> {
+    /// Creates a tabled prover with default limits over a shared table.
+    pub fn new(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        table: &'a RefCell<ProofTable>,
+    ) -> Self {
+        TabledProver {
+            prover: Prover::new(sig, cs),
+            cs,
+            table,
+        }
+    }
+
+    /// Creates a tabled prover with explicit limits.
+    pub fn with_config(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        config: ProverConfig,
+        table: &'a RefCell<ProofTable>,
+    ) -> Self {
+        TabledProver {
+            prover: Prover::with_config(sig, cs, config),
+            cs,
+            table,
+        }
+    }
+
+    /// The underlying (untabled) prover.
+    pub fn prover(&self) -> Prover<'a> {
+        self.prover
+    }
+
+    /// The shared table.
+    pub fn table(&self) -> &'a RefCell<ProofTable> {
+        self.table
+    }
+
+    /// Tabled [`Prover::subtype`].
+    pub fn subtype(&self, sup: &Term, sub: &Term) -> Proof {
+        self.subtype_all(&[(sup.clone(), sub.clone())])
+    }
+
+    /// Tabled [`Prover::subtype_all`].
+    pub fn subtype_all(&self, goals: &[(Term, Term)]) -> Proof {
+        self.subtype_all_rigid(goals, &BTreeSet::new(), 0)
+    }
+
+    /// Tabled [`Prover::member`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `t` is not ground, like the untabled version.
+    pub fn member(&self, ty: &Term, t: &Term) -> Proof {
+        debug_assert!(t.is_ground(), "membership is defined on ground terms");
+        self.subtype(ty, t)
+    }
+
+    /// Tabled [`Prover::subtype_all_rigid`]. Conclusive verdicts for the
+    /// canonical form of `goals` are served from / recorded in the table;
+    /// [`Proof::Unknown`] always falls through and is never recorded.
+    pub fn subtype_all_rigid(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Proof {
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        {
+            let mut table = self.table.borrow_mut();
+            table.ensure_generation(self.cs.generation());
+            if let Some(verdict) = table.lookup(&canon.key) {
+                return match verdict {
+                    CachedVerdict::Refuted => Proof::Refuted,
+                    CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
+                };
+            }
+        }
+        let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
+        let cached = match &proof {
+            Proof::Proved(answer) => canon.encode_answer(answer).map(CachedVerdict::Proved),
+            Proof::Refuted => Some(CachedVerdict::Refuted),
+            Proof::Unknown => None,
+        };
+        if let Some(verdict) = cached {
+            self.table.borrow_mut().insert(canon.key, verdict);
+        }
+        proof
+    }
+
+    /// Decides a batch of *independent* subtype goals (no shared
+    /// substitution), returning one verdict per goal in input order.
+    ///
+    /// Goals are proved in canonical-key order, so alpha-variant duplicates
+    /// are adjacent and every repeat after the first is a table hit — a batch
+    /// with heavy duplication costs one derivation per distinct judgement
+    /// regardless of input order.
+    pub fn subtype_batch(&self, goals: &[(Term, Term)]) -> Vec<Proof> {
+        let no_rigid = BTreeSet::new();
+        let keys: Vec<TableKey> = goals
+            .iter()
+            .map(|g| Canonical::of(std::slice::from_ref(g), &no_rigid, 0).key)
+            .collect();
+        let mut order: Vec<usize> = (0..goals.len()).collect();
+        order.sort_by(|&i, &j| keys[i].cmp(&keys[j]));
+        let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
+        for i in order {
+            let (sup, sub) = &goals[i];
+            out[i] = Some(self.subtype(sup, sub));
+        }
+        out.into_iter()
+            .map(|p| p.expect("every goal index was visited"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::tests::world;
+
+    /// Counts distinct entries the slow way, for cross-checking.
+    fn table_len(t: &RefCell<ProofTable>) -> usize {
+        t.borrow().len()
+    }
+
+    #[test]
+    fn alpha_variant_queries_share_one_entry() {
+        let mut w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let (a, b) = (w.gen.fresh(), w.gen.fresh());
+        let (x, y) = (w.gen.fresh(), w.gen.fresh());
+        let list_a = Term::app(w.list, vec![Term::Var(a)]);
+        let nelist_b = Term::app(w.nelist, vec![Term::Var(b)]);
+        let list_x = Term::app(w.list, vec![Term::Var(x)]);
+        let nelist_y = Term::app(w.nelist, vec![Term::Var(y)]);
+        assert!(p.subtype(&list_a, &nelist_b).is_proved());
+        assert!(p.subtype(&list_x, &nelist_y).is_proved());
+        let stats = table.borrow().stats();
+        assert_eq!(stats.misses, 1, "first query misses");
+        assert_eq!(stats.hits, 1, "alpha-variant repeat hits");
+        assert_eq!(table_len(&table), 1, "one shared entry");
+    }
+
+    #[test]
+    fn hit_answers_bind_the_callers_own_variables() {
+        let mut w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let item = w.num(2);
+        let a = w.gen.fresh();
+        let first = p.member(
+            &Term::app(w.list, vec![Term::Var(a)]),
+            &w.list_of(std::slice::from_ref(&item)),
+        );
+        let b = w.gen.fresh();
+        let second = p.member(
+            &Term::app(w.list, vec![Term::Var(b)]),
+            &w.list_of(std::slice::from_ref(&item)),
+        );
+        assert_eq!(table.borrow().stats().hits, 1);
+        // The translated answer must speak about b, not a, and witness the
+        // same membership.
+        let answer = second.answer().expect("proved");
+        let witness = answer.resolve(&Term::Var(b));
+        assert!(!witness.is_var(), "b is bound by the translated answer");
+        assert!(p.prover().member(&witness, &item).is_proved());
+        let _ = first;
+    }
+
+    #[test]
+    fn distinct_goals_do_not_collide() {
+        let w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
+            .is_proved());
+        let stats = table.borrow().stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(table_len(&table), 3);
+        // Repeats of each now hit, with unchanged verdicts.
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert_eq!(table.borrow().stats().hits, 1);
+    }
+
+    #[test]
+    fn rigidity_is_part_of_the_key() {
+        // The same goal with a rigid vs flexible variable has different
+        // verdicts — int >= W is provable for flexible W (W := nat) but not
+        // for rigid W — so the two must occupy different entries.
+        let mut w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let v = w.gen.fresh();
+        let goal = [(Term::constant(w.int), Term::Var(v))];
+        let flexible = p.subtype_all_rigid(&goal, &BTreeSet::new(), w.gen.watermark());
+        let rigid: BTreeSet<Var> = [v].into_iter().collect();
+        let inert = p.subtype_all_rigid(&goal, &rigid, w.gen.watermark());
+        assert!(flexible.is_proved());
+        assert!(inert.is_refuted());
+        assert_eq!(table.borrow().stats().hits, 0);
+        assert_eq!(table_len(&table), 2);
+    }
+
+    #[test]
+    fn unknown_is_never_cached() {
+        let mut w = world();
+        let table = RefCell::new(ProofTable::new());
+        let config = ProverConfig {
+            var_expansion_budget: 0,
+            ..ProverConfig::default()
+        };
+        let p = TabledProver::with_config(&w.sig, &w.cs, config, &table);
+        let a = w.gen.fresh();
+        let ty = Term::app(w.list, vec![Term::Var(a)]);
+        let t = w.list_of(&[w.num(0), w.num(-1)]);
+        assert!(p.member(&ty, &t).is_unknown());
+        assert!(p.member(&ty, &t).is_unknown());
+        let stats = table.borrow().stats();
+        assert_eq!(stats.misses, 2, "both calls fall through");
+        assert_eq!(stats.inserts, 0, "Unknown never stored");
+        assert!(table_len(&table) == 0);
+    }
+
+    #[test]
+    fn fifo_eviction_under_tiny_capacity() {
+        let w = world();
+        let table = RefCell::new(ProofTable::with_capacity(2));
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let int = Term::constant(w.int);
+        let nat = Term::constant(w.nat);
+        let unnat = Term::constant(w.unnat);
+        // Three distinct judgements into a 2-entry table.
+        p.subtype(&int, &nat); // entry 1
+        p.subtype(&int, &unnat); // entry 2
+        p.subtype(&nat, &unnat); // entry 3, evicts entry 1
+        let stats = table.borrow().stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(table_len(&table), 2);
+        // Entry 1 was evicted: re-asking misses; entry 3 still hits.
+        p.subtype(&int, &nat);
+        assert_eq!(table.borrow().stats().hits, 0);
+        p.subtype(&nat, &unnat);
+        assert_eq!(table.borrow().stats().hits, 1);
+    }
+
+    #[test]
+    fn counter_accuracy_over_a_mixed_run() {
+        let w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let int = Term::constant(w.int);
+        let nat = Term::constant(w.nat);
+        for _ in 0..5 {
+            assert!(p.subtype(&int, &nat).is_proved());
+        }
+        for _ in 0..3 {
+            assert!(p.subtype(&nat, &int).is_refuted());
+        }
+        let stats = table.borrow().stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates_wholesale() {
+        let w1 = world();
+        let w2 = world(); // identical constraints, different generation
+        assert_ne!(w1.cs.generation(), w2.cs.generation());
+        let table = RefCell::new(ProofTable::new());
+        let int1 = Term::constant(w1.int);
+        let nat1 = Term::constant(w1.nat);
+        {
+            let p = TabledProver::new(&w1.sig, &w1.cs, &table);
+            p.subtype(&int1, &nat1);
+            p.subtype(&int1, &nat1);
+            assert_eq!(table.borrow().stats().hits, 1);
+        }
+        {
+            // Switching worlds clears the table: the same-looking query
+            // misses again instead of reusing w1's verdict.
+            let p = TabledProver::new(&w2.sig, &w2.cs, &table);
+            p.subtype(&Term::constant(w2.int), &Term::constant(w2.nat));
+            let stats = table.borrow().stats();
+            assert_eq!(stats.hits, 1, "no new hit across worlds");
+            assert_eq!(stats.invalidations, 1);
+            assert_eq!(table.borrow().generation(), w2.cs.generation());
+        }
+    }
+
+    #[test]
+    fn batch_sorts_duplicates_into_hits() {
+        let w = world();
+        let table = RefCell::new(ProofTable::new());
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        let int = Term::constant(w.int);
+        let nat = Term::constant(w.nat);
+        let unnat = Term::constant(w.unnat);
+        // Interleaved duplicates, deliberately out of order.
+        let goals = vec![
+            (int.clone(), nat.clone()),
+            (nat.clone(), unnat.clone()),
+            (int.clone(), nat.clone()),
+            (int.clone(), unnat.clone()),
+            (nat.clone(), unnat.clone()),
+            (int.clone(), nat.clone()),
+        ];
+        let proofs = p.subtype_batch(&goals);
+        assert_eq!(proofs.len(), goals.len());
+        assert!(proofs[0].is_proved());
+        assert!(proofs[1].is_refuted());
+        assert!(proofs[2].is_proved());
+        assert!(proofs[3].is_proved());
+        assert!(proofs[4].is_refuted());
+        assert!(proofs[5].is_proved());
+        let stats = table.borrow().stats();
+        assert_eq!(stats.misses, 3, "three distinct judgements");
+        assert_eq!(stats.hits, 3, "every duplicate hits");
+    }
+
+    #[test]
+    fn tabled_and_untabled_agree_on_the_paper_world() {
+        let mut w = world();
+        let table = RefCell::new(ProofTable::new());
+        let tabled = TabledProver::new(&w.sig, &w.cs, &table);
+        let untabled = Prover::new(&w.sig, &w.cs);
+        let a = w.gen.fresh();
+        let cases = vec![
+            (Term::constant(w.int), Term::constant(w.nat)),
+            (Term::constant(w.nat), Term::constant(w.int)),
+            (
+                Term::app(w.list, vec![Term::constant(w.int)]),
+                Term::constant(w.elist),
+            ),
+            (
+                Term::app(w.list, vec![Term::Var(a)]),
+                w.list_of(&[w.num(1)]),
+            ),
+            (Term::constant(w.nat), w.num(3)),
+            (Term::constant(w.nat), w.num(-3)),
+        ];
+        // Two passes: the second is served from the table.
+        for _ in 0..2 {
+            for (sup, sub) in &cases {
+                let t = tabled.subtype(sup, sub);
+                let u = untabled.subtype(sup, sub);
+                assert_eq!(
+                    std::mem::discriminant(&t),
+                    std::mem::discriminant(&u),
+                    "verdicts diverge on {sup:?} >= {sub:?}: {t:?} vs {u:?}"
+                );
+            }
+        }
+    }
+}

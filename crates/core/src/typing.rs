@@ -190,14 +190,8 @@ pub fn typing_more_general(
     t: &Term,
 ) -> bool {
     t.vars().into_iter().all(|x| {
-        let t1 = theta1
-            .get(x)
-            .cloned()
-            .unwrap_or(Term::Var(x));
-        let t2 = theta2
-            .get(x)
-            .cloned()
-            .unwrap_or(Term::Var(x));
+        let t1 = theta1.get(x).cloned().unwrap_or(Term::Var(x));
+        let t2 = theta2.get(x).cloned().unwrap_or(Term::Var(x));
         is_more_general(sig, cs, &t1, &t2).is_proved()
     })
 }
@@ -320,11 +314,14 @@ mod tests {
         let tx = Term::Var(x);
         let general = Typing::from_bindings([(x, Term::app(w.list, vec![Term::Var(a)]))]);
         let nelist = Typing::from_bindings([(x, Term::app(w.nelist, vec![Term::Var(a)]))]);
-        let list_int =
-            Typing::from_bindings([(x, Term::app(w.list, vec![Term::constant(w.int)]))]);
+        let list_int = Typing::from_bindings([(x, Term::app(w.list, vec![Term::constant(w.int)]))]);
         assert!(typing_more_general(&mut w.sig, &cs, &general, &nelist, &tx));
-        assert!(typing_more_general(&mut w.sig, &cs, &general, &list_int, &tx));
-        assert!(!typing_more_general(&mut w.sig, &cs, &list_int, &general, &tx));
+        assert!(typing_more_general(
+            &mut w.sig, &cs, &general, &list_int, &tx
+        ));
+        assert!(!typing_more_general(
+            &mut w.sig, &cs, &list_int, &general, &tx
+        ));
     }
 
     #[test]
@@ -333,7 +330,8 @@ mod tests {
         let x = w.gen.fresh();
         let y = w.gen.fresh();
         let t_int = Typing::from_bindings([(x, Term::constant(w.int))]);
-        let t_int2 = Typing::from_bindings([(x, Term::constant(w.int)), (y, Term::constant(w.nat))]);
+        let t_int2 =
+            Typing::from_bindings([(x, Term::constant(w.int)), (y, Term::constant(w.nat))]);
         let t_nat = Typing::from_bindings([(x, Term::constant(w.nat))]);
         assert!(t_int.agrees_with(&t_int2));
         assert!(!t_int.agrees_with(&t_nat));

@@ -10,6 +10,7 @@
 //! [`PredTypeTable`] is the paper's set `D` of predicate types, one per
 //! predicate symbol (Definitions 14–15).
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
@@ -18,6 +19,7 @@ use lp_term::{Signature, Sym, SymKind, Term, Var};
 
 use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::CheckedConstraints;
+use crate::table::ProofTable;
 
 /// The fixed set `D` of predicate types (Definition 15).
 #[derive(Debug, Clone, Default)]
@@ -170,13 +172,39 @@ pub struct Checker<'a> {
     sig: &'a Signature,
     cs: &'a CheckedConstraints,
     preds: &'a PredTypeTable,
+    /// Optional shared proof table threaded into every clause's
+    /// commitment-solving step (see [`crate::table`]).
+    table: Option<&'a RefCell<ProofTable>>,
 }
 
 impl<'a> Checker<'a> {
     /// Creates a checker for the given signature, checked constraints and
     /// predicate types.
     pub fn new(sig: &'a Signature, cs: &'a CheckedConstraints, preds: &'a PredTypeTable) -> Self {
-        Checker { sig, cs, preds }
+        Checker {
+            sig,
+            cs,
+            preds,
+            table: None,
+        }
+    }
+
+    /// Like [`Checker::new`], but subtype judgements arising while solving
+    /// each clause's `η` commitments go through the shared [`ProofTable`], so
+    /// judgements repeated across clauses (and across whole re-checks, e.g.
+    /// by the Theorem 6 auditor) are derived once.
+    pub fn with_table(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        preds: &'a PredTypeTable,
+        table: &'a RefCell<ProofTable>,
+    ) -> Self {
+        Checker {
+            sig,
+            cs,
+            preds,
+            table: Some(table),
+        }
     }
 
     /// Checks a program clause (Definition 16, first form).
@@ -243,15 +271,19 @@ impl<'a> Checker<'a> {
             }
         }
         let mut state = CState::new(watermark);
-        let cm = CMatcher::new(self.sig, self.cs);
+        let cm = match self.table {
+            Some(table) => CMatcher::with_table(self.sig, self.cs, table),
+            None => CMatcher::new(self.sig, self.cs),
+        };
         let mut atom_types = Vec::with_capacity(atoms.len());
         for (index, atom) in atoms.iter().enumerate() {
             let p = atom.functor().expect("atoms are applications");
-            let declared = self.preds.get(p).ok_or_else(|| {
-                TypeCheckError::MissingPredType {
+            let declared = self
+                .preds
+                .get(p)
+                .ok_or_else(|| TypeCheckError::MissingPredType {
                     pred: self.sig.name(p).to_string(),
-                }
-            })?;
+                })?;
             // Rename the predicate type apart; head variables are rigid,
             // body (and query) variables flexible — they are the ηᵢ.
             let rigid = rigid_head && index == 0;
@@ -355,10 +387,7 @@ mod tests {
         let (m, cs, preds) = setup(&src);
         let checker = Checker::new(&m.sig, &cs, &preds);
         let err = checker.check_query(&m.queries[0].goals).unwrap_err();
-        assert!(matches!(
-            err,
-            TypeCheckError::IllTypedAtom { atom: 0, .. }
-        ));
+        assert!(matches!(err, TypeCheckError::IllTypedAtom { atom: 0, .. }));
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! Differential property tests locking [`TabledProver`] to [`Prover`].
+//!
+//! The tabled prover must be *observationally identical* to the untabled
+//! one: same verdict, same answer substitution, on every query — whether
+//! the table answers from a cached entry (decoded back into the caller's
+//! variables) or falls through to a live derivation. These tests drive both
+//! provers over randomly generated guarded worlds and assert exact
+//! [`Proof`] equality, including runs that interleave queries against
+//! mutated (rebuilt) constraint theories through one shared table.
+//!
+//! Strategy: proptest supplies seeds; worlds and types are drawn from the
+//! deterministic `lp-gen` generators, so every failure is reproducible from
+//! the seed alone.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lp_gen::{terms, worlds};
+use lp_term::{Signature, SymKind, Term, Var};
+use subtype_core::{ConstraintSet, Proof, ProofTable, Prover, ProverConfig, TabledProver};
+
+/// Search budget for both provers. Random refutable goals exhaust whatever
+/// budget they are given, so the default (1M steps) would make 300 cases
+/// take hours; a small budget keeps the suite fast while preserving the
+/// property — both provers run the same deterministic search, so budget
+/// cuts ([`Proof::Unknown`]) must line up exactly too.
+const CONFIG: ProverConfig = ProverConfig {
+    var_expansion_budget: 4,
+    max_steps: 10_000,
+};
+
+/// Draws `n` (sup, sub) goal pairs over `world`: a mix of closed types and
+/// open types sharing two fresh variables (open goals exercise answer
+/// encoding/decoding through the canonical key space). Goal variables are
+/// drawn from the world's own generator so they are standardized apart from
+/// the constraint parameters, as every real caller guarantees.
+fn goal_pairs(
+    rng: &mut StdRng,
+    world: &worlds::BuiltWorld,
+    n: usize,
+) -> (Vec<(Term, Term)>, [Var; 2]) {
+    let mut gen = world.gen.clone();
+    let vars = [gen.fresh(), gen.fresh()];
+    let goals = (0..n)
+        .map(|i| {
+            let scope: &[Var] = if i % 2 == 0 { &[] } else { &vars };
+            let sup = terms::random_type(rng, world, 2, scope);
+            let sub = terms::random_type(rng, world, 2, scope);
+            (sup, sub)
+        })
+        .collect();
+    (goals, vars)
+}
+
+/// Asserts the tabled prover agrees with the untabled one on `goals`, both
+/// on the first (miss) and second (hit) pass.
+fn assert_agreement(
+    world: &worlds::BuiltWorld,
+    tabled: &TabledProver<'_>,
+    goals: &[(Term, Term)],
+) -> Result<(), TestCaseError> {
+    let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+    for (sup, sub) in goals {
+        let reference = plain.subtype(sup, sub);
+        let miss = tabled.subtype(sup, sub);
+        prop_assert_eq!(
+            &reference,
+            &miss,
+            "first (miss) pass diverged on {:?} >= {:?}",
+            sup,
+            sub
+        );
+        let hit = tabled.subtype(sup, sub);
+        prop_assert_eq!(
+            &reference,
+            &hit,
+            "second (hit) pass diverged on {:?} >= {:?}",
+            sup,
+            sub
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The headline differential property: over random guarded worlds, the
+    /// tabled prover returns byte-identical proofs to the untabled prover,
+    /// both when populating the table and when answering from it.
+    #[test]
+    fn tabled_prover_is_observationally_identical(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, _) = goal_pairs(&mut rng, &world, 4);
+        let table = RefCell::new(ProofTable::new());
+        let tabled = TabledProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        assert_agreement(&world, &tabled, &goals)?;
+        // Conclusive verdicts must have produced hits on the repeat pass.
+        let stats = table.borrow().stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * goals.len() as u64);
+    }
+
+    /// Conjunction goals with shared variables and rigid footprints agree
+    /// too (this is the exact entry point the well-typedness checker uses).
+    #[test]
+    fn rigid_conjunctions_agree(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, vars) = goal_pairs(&mut rng, &world, 3);
+        let watermark = vars[1].0 + 1;
+        let rigid: BTreeSet<Var> = [vars[1]].into_iter().collect();
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let table = RefCell::new(ProofTable::new());
+        let tabled = TabledProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        let reference = plain.subtype_all_rigid(&goals, &rigid, watermark);
+        let miss = tabled.subtype_all_rigid(&goals, &rigid, watermark);
+        prop_assert_eq!(&reference, &miss);
+        let hit = tabled.subtype_all_rigid(&goals, &rigid, watermark);
+        prop_assert_eq!(&reference, &hit);
+    }
+
+    /// Interleaving queries against *different* constraint theories through
+    /// one shared table never leaks a verdict across theories: after every
+    /// switch the table is answering for the right world.
+    #[test]
+    fn interleaved_theory_switches_never_serve_stale_verdicts(seed in any::<u64>()) {
+        let world_a = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let world_b = worlds::random((seed % 512) + 1, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = RefCell::new(ProofTable::new());
+        let tabled_a = TabledProver::with_config(&world_a.sig, &world_a.checked, CONFIG, &table);
+        let tabled_b = TabledProver::with_config(&world_b.sig, &world_b.checked, CONFIG, &table);
+        for _ in 0..2 {
+            let (goals_a, _) = goal_pairs(&mut rng, &world_a, 2);
+            assert_agreement(&world_a, &tabled_a, &goals_a)?;
+            let (goals_b, _) = goal_pairs(&mut rng, &world_b, 2);
+            assert_agreement(&world_b, &tabled_b, &goals_b)?;
+        }
+        // Each switch between theories wholesale-invalidated the table.
+        prop_assert!(table.borrow().stats().invalidations >= 3);
+    }
+
+    /// `subtype_batch` returns, per goal, exactly what the untabled prover
+    /// returns — input order in, input order out, whatever the internal
+    /// proving order.
+    #[test]
+    fn batch_verdicts_match_untabled_per_goal(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Duplicate some goals so the batch path actually hits the table.
+        let (mut goals, _) = goal_pairs(&mut rng, &world, 3);
+        goals.push(goals[0].clone());
+        goals.push(goals[1].clone());
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let table = RefCell::new(ProofTable::new());
+        let tabled = TabledProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        let batch = tabled.subtype_batch(&goals);
+        prop_assert_eq!(batch.len(), goals.len());
+        for ((sup, sub), verdict) in goals.iter().zip(&batch) {
+            prop_assert_eq!(&plain.subtype(sup, sub), verdict);
+        }
+    }
+}
+
+/// A true in-place mutation that *flips* a verdict: `a >= c` is refuted
+/// until the link `b >= c` is added, after which it is derivable. A stale
+/// table entry surviving the mutation would wrongly answer `Refuted`.
+#[test]
+fn mutated_theory_flips_a_cached_refutation() {
+    let mut sig = Signature::new();
+    let z = sig.declare_with_arity("z", SymKind::Func, 0).unwrap();
+    let a = sig.declare_with_arity("a", SymKind::TypeCtor, 0).unwrap();
+    let b = sig.declare_with_arity("b", SymKind::TypeCtor, 0).unwrap();
+    let c = sig.declare_with_arity("c", SymKind::TypeCtor, 0).unwrap();
+
+    let mut cs = ConstraintSet::new();
+    cs.add(&sig, Term::constant(a), Term::constant(b)).unwrap();
+    cs.add(&sig, Term::constant(b), Term::constant(z)).unwrap();
+    cs.add(&sig, Term::constant(c), Term::constant(z)).unwrap();
+
+    let table = RefCell::new(ProofTable::new());
+    let goal = (Term::constant(a), Term::constant(c));
+
+    let before = cs.clone().checked(&sig).unwrap();
+    let tabled = TabledProver::new(&sig, &before, &table);
+    assert_eq!(tabled.subtype(&goal.0, &goal.1), Proof::Refuted);
+    assert_eq!(tabled.subtype(&goal.0, &goal.1), Proof::Refuted);
+    assert_eq!(table.borrow().stats().hits, 1, "refutation was cached");
+
+    // Mutate: add the missing link a >= b >= c.
+    cs.add(&sig, Term::constant(b), Term::constant(c)).unwrap();
+    let after = cs.clone().checked(&sig).unwrap();
+    let tabled = TabledProver::new(&sig, &after, &table);
+    assert!(
+        tabled.subtype(&goal.0, &goal.1).is_proved(),
+        "stale Refuted must not survive the mutation"
+    );
+    assert!(table.borrow().stats().invalidations >= 1);
+}

@@ -27,7 +27,10 @@ impl Clause {
     ///
     /// Panics if the head is a variable — clause heads must be atoms.
     pub fn rule(head: Term, body: Vec<Term>) -> Self {
-        assert!(!head.is_var(), "clause head must be an atom, not a variable");
+        assert!(
+            !head.is_var(),
+            "clause head must be an atom, not a variable"
+        );
         Clause { head, body }
     }
 

@@ -1,21 +1,46 @@
 //! Clause storage with first-argument-free functor indexing.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lp_term::{Sym, Var};
 
 use crate::clause::Clause;
+
+/// Process-wide source of database generation stamps.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn next_generation() -> u64 {
+    GENERATION.fetch_add(1, Ordering::Relaxed) + 1
+}
 
 /// A clause database: the program under execution.
 ///
 /// Clauses are kept in insertion order (source order matters for SLD search)
 /// and indexed by `(head functor, arity)` so resolution only scans candidate
 /// clauses for the selected atom's predicate.
-#[derive(Debug, Clone, Default)]
+///
+/// Every database carries a process-unique *generation* stamp, refreshed on
+/// each mutation, so caches and long-running observers keyed on the program
+/// (e.g. tabled consistency audits) can detect that the clause set they were
+/// derived from has changed.
+#[derive(Debug, Clone)]
 pub struct Database {
     clauses: Vec<Clause>,
     index: HashMap<(Sym, usize), Vec<usize>>,
     max_var: Option<Var>,
+    generation: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database {
+            clauses: Vec::new(),
+            index: HashMap::new(),
+            max_var: None,
+            generation: next_generation(),
+        }
+    }
 }
 
 impl Database {
@@ -37,6 +62,15 @@ impl Database {
         }
         self.index.entry(key).or_default().push(self.clauses.len());
         self.clauses.push(clause);
+        self.generation = next_generation();
+    }
+
+    /// The generation stamp of the clause set: process-unique, refreshed by
+    /// every [`Database::add`]. A [`Query`](crate::Query) borrows the
+    /// database immutably, so the stamp it records at start is valid for the
+    /// query's whole lifetime.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Extends the database from an iterator of clauses.

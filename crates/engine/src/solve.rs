@@ -148,6 +148,14 @@ impl<'db> Query<'db> {
         self.stats
     }
 
+    /// The generation stamp of the database this query runs against (stable
+    /// for the query's lifetime — the database is borrowed immutably).
+    /// Observers that cache per-resolvent work (e.g. a tabled consistency
+    /// auditor) key their caches on this.
+    pub fn db_generation(&self) -> u64 {
+        self.db.generation()
+    }
+
     /// Produces the next answer, or `None` when the search space (as limited
     /// by the configuration) is exhausted.
     pub fn next_solution(&mut self) -> Option<Solution> {
@@ -156,10 +164,7 @@ impl<'db> Query<'db> {
 
     /// Like [`Query::next_solution`], invoking `observer` on every successful
     /// resolution step (including steps on branches that later fail).
-    pub fn next_solution_observed(
-        &mut self,
-        observer: &mut dyn FnMut(&Step),
-    ) -> Option<Solution> {
+    pub fn next_solution_observed(&mut self, observer: &mut dyn FnMut(&Step)) -> Option<Solution> {
         self.run(observer)
     }
 
@@ -291,7 +296,10 @@ mod tests {
                     Term::app(cons, vec![Term::Var(x), Term::Var(n)]),
                 ],
             ),
-            vec![Term::app(app, vec![Term::Var(l2), Term::Var(m), Term::Var(n)])],
+            vec![Term::app(
+                app,
+                vec![Term::Var(l2), Term::Var(m), Term::Var(n)],
+            )],
         ));
         (
             Lists {

@@ -94,9 +94,7 @@ pub fn sample_inhabitant(
             if constants.is_empty() {
                 None
             } else {
-                Some(Term::constant(
-                    constants[rng.gen_range(0..constants.len())],
-                ))
+                Some(Term::constant(constants[rng.gen_range(0..constants.len())]))
             }
         }
         Term::App(s, args) => match sig.kind(*s) {

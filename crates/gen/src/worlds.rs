@@ -206,7 +206,17 @@ fn random_rhs(
         let c = ctors[j];
         let n = sig.arity(c).unwrap_or(0);
         let args = (0..n)
-            .map(|_| random_safe_type(rng, sig, funcs, ctors, i + 1, params, fuel.saturating_sub(1)))
+            .map(|_| {
+                random_safe_type(
+                    rng,
+                    sig,
+                    funcs,
+                    ctors,
+                    i + 1,
+                    params,
+                    fuel.saturating_sub(1),
+                )
+            })
             .collect();
         return Term::app(c, args);
     }

@@ -103,9 +103,9 @@ impl Item {
                 .map(|t| t.span())
                 .reduce(Span::merge)
                 .unwrap_or_default(),
-            Item::Constraint { span, .. } | Item::Clause { span, .. } | Item::Query { span, .. } => {
-                *span
-            }
+            Item::Constraint { span, .. }
+            | Item::Clause { span, .. }
+            | Item::Query { span, .. } => *span,
         }
     }
 }

@@ -69,7 +69,7 @@ mod unparse;
 
 pub use error::{ParseError, ParseErrorKind};
 pub use lexer::Lexer;
-pub use loader::{parse_module, Loader, LoaderOptions, LoadedClause, LoadedQuery, Module};
+pub use loader::{parse_module, LoadedClause, LoadedQuery, Loader, LoaderOptions, Module};
 pub use parser::{parse_items, parse_single_term};
-pub use unparse::{unparse, unparse_term};
 pub use token::{Span, Token, TokenKind};
+pub use unparse::{unparse, unparse_term};

@@ -452,9 +452,7 @@ impl Loader {
                     Some(s) => {
                         let kind = self.sig.kind(s);
                         let ok = match pos {
-                            Position::Type => {
-                                kind == SymKind::Func || kind == SymKind::TypeCtor
-                            }
+                            Position::Type => kind == SymKind::Func || kind == SymKind::TypeCtor,
                             Position::ProgramTerm => kind == SymKind::Func,
                         };
                         if !ok {

@@ -355,7 +355,8 @@ mod tests {
 
     #[test]
     fn parses_rule_and_fact_and_query() {
-        let src = "app(nil, L, L).\napp(cons(X,L), M, cons(X,N)) :- app(L, M, N).\n:- app(nil, nil, Z).";
+        let src =
+            "app(nil, L, L).\napp(cons(X,L), M, cons(X,N)) :- app(L, M, N).\n:- app(nil, nil, Z).";
         let items = parse_items(src).unwrap();
         assert!(matches!(&items[0], Item::Clause { body, .. } if body.is_empty()));
         assert!(matches!(&items[1], Item::Clause { body, .. } if body.len() == 1));
@@ -364,7 +365,8 @@ mod tests {
 
     #[test]
     fn parses_pred_decl() {
-        let items = parse_items("PRED app(list(A), list(A), list(A)), member(A, list(A)).").unwrap();
+        let items =
+            parse_items("PRED app(list(A), list(A), list(A)), member(A, list(A)).").unwrap();
         match &items[0] {
             Item::PredDecl(ts) => {
                 assert_eq!(ts.len(), 2);
@@ -378,10 +380,7 @@ mod tests {
     #[test]
     fn error_on_missing_dot() {
         let err = parse_items("FUNC a, b").unwrap_err();
-        assert!(matches!(
-            err.kind,
-            ParseErrorKind::UnexpectedToken { .. }
-        ));
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
         assert!(err.to_string().contains("FUNC"));
     }
 

@@ -49,7 +49,11 @@ pub fn unparse(module: &Module) -> String {
 
     for pt in &module.pred_types {
         let hints = letter_hints(&[pt]);
-        let _ = writeln!(out, "PRED {}.", TermDisplay::new(pt, sig).with_hints(&hints));
+        let _ = writeln!(
+            out,
+            "PRED {}.",
+            TermDisplay::new(pt, sig).with_hints(&hints)
+        );
     }
 
     for lc in &module.clauses {

@@ -1,0 +1,888 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! provides the slice of `proptest` the workspace uses: the [`Strategy`]
+//! trait with `prop_map` / `prop_recursive` / `boxed`, [`Just`], integer
+//! ranges, tuples, `&'static str` regex-subset strategies, `collection::vec`,
+//! `prop_oneof!`, and the `proptest!` test macro with `prop_assert!` /
+//! `prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the case number, the
+//!   deterministic per-test seed, and a `Debug` dump of every input.
+//! * **Deterministic.** The RNG is seeded from the test's module path and
+//!   name, so every run of a given test sees the same case sequence.
+//! * Only the regex subset actually used in this workspace is supported
+//!   (literals, `[..]` classes, `\PC`, and `* + ? {n} {m,n}` quantifiers).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The (much simplified) test runner: config, error type, RNG.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed property; produced by `prop_assert!` and friends.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic per-test RNG (wraps the workspace `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+        seed: u64,
+    }
+
+    impl TestRng {
+        /// An RNG seeded from an explicit value.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                inner: StdRng::seed_from_u64(seed),
+                seed,
+            }
+        }
+
+        /// An RNG seeded from a test's name (FNV-1a), so each test gets a
+        /// distinct but reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        /// The seed this RNG started from (reported on failure).
+        pub fn seed(&self) -> u64 {
+            self.seed
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    /// Runs one generated case; exists so the `proptest!` expansion does not
+    /// immediately invoke a closure literal (which trips clippy).
+    pub fn run_case<F>(f: F) -> Result<(), TestCaseError>
+    where
+        F: FnOnce() -> Result<(), TestCaseError>,
+    {
+        f()
+    }
+
+    /// Clones a generated input for failure reporting. A plain function so
+    /// the `proptest!` expansion never calls `.clone()` on a `Copy` value
+    /// directly (which trips clippy in downstream crates).
+    pub fn clone_input<T: Clone>(value: &T) -> T {
+        value.clone()
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// A strategy generating `f` of whatever `self` generates.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// A recursive strategy: `self` at the leaves, up to `depth` layers
+        /// of `expand` above them. `_size` and `_branch` are accepted for
+        /// upstream signature compatibility but unused — depth alone bounds
+        /// generation here.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            expand: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+        {
+            let base = self.boxed();
+            Recursive {
+                base,
+                depth,
+                expand: Rc::new(move |inner| expand(inner).boxed()),
+            }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_recursive`].
+    pub struct Recursive<T> {
+        pub(crate) base: BoxedStrategy<T>,
+        pub(crate) depth: u32,
+        #[allow(clippy::type_complexity)]
+        pub(crate) expand: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                depth: self.depth,
+                expand: Rc::clone(&self.expand),
+            }
+        }
+    }
+
+    /// With probability 1/4 generate from `base`, else from `rec`; used by
+    /// [`Recursive`] so intermediate layers can still bottom out early.
+    struct MixWithBase<T> {
+        base: BoxedStrategy<T>,
+        rec: BoxedStrategy<T>,
+    }
+
+    impl<T> Strategy for MixWithBase<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            if rng.gen_bool(0.25) {
+                self.base.generate(rng)
+            } else {
+                self.rec.generate(rng)
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let levels = rng.gen_range(0..=self.depth);
+            let mut strat = self.base.clone();
+            for _ in 0..levels {
+                strat = MixWithBase {
+                    base: self.base.clone(),
+                    rec: (self.expand)(strat),
+                }
+                .boxed();
+            }
+            strat.generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive `T`.
+
+    use std::marker::PhantomData;
+
+    use rand::RngCore;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A full-range strategy for primitive `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive length bound for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty vec length range");
+            SizeRange { lo, hi }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from the small regex subset used as `&'static str`
+    //! strategies: literals, `[..]` character classes, `\PC`, and the
+    //! quantifiers `*`, `+`, `?`, `{n}`, `{m,n}`, `{m,}`.
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// One generatable unit: a set of inclusive codepoint ranges.
+    #[derive(Debug, Clone)]
+    struct CharSet(Vec<(char, char)>);
+
+    impl CharSet {
+        fn printable() -> Self {
+            // `\PC` is "not a control character". Weight ASCII heavily but
+            // keep multi-byte ranges in play so byte-span arithmetic in the
+            // code under test gets exercised.
+            CharSet(vec![
+                (' ', '~'),
+                (' ', '~'),
+                (' ', '~'),
+                (' ', '~'),
+                ('\u{a1}', '\u{ff}'),     // Latin-1 supplement
+                ('\u{391}', '\u{3c9}'),   // Greek
+                ('\u{3041}', '\u{3096}'), // Hiragana
+            ])
+        }
+
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let (lo, hi) = self.0[rng.gen_range(0..self.0.len())];
+            char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    /// Default repetition cap for unbounded quantifiers (`*`, `+`, `{m,}`).
+    const UNBOUNDED_CAP: usize = 8;
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < chars.len() {
+            let set = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') | Some('p') => {
+                            // `\PC` / `\p{..}`: generate printable text for
+                            // any unicode-class escape.
+                            if chars.get(i + 1) == Some(&'{') {
+                                while i < chars.len() && chars[i] != '}' {
+                                    i += 1;
+                                }
+                            } else {
+                                i += 1; // single-letter class name
+                            }
+                            i += 1;
+                            CharSet::printable()
+                        }
+                        Some('d') => {
+                            i += 1;
+                            CharSet(vec![('0', '9')])
+                        }
+                        Some('w') => {
+                            i += 1;
+                            CharSet(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            CharSet(vec![(c, c)])
+                        }
+                        None => panic!("dangling backslash in pattern {pattern:?}"),
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) != Some(&']') {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unclosed [ in pattern {pattern:?}");
+                    i += 1; // skip ']'
+                    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                    CharSet(ranges)
+                }
+                c => {
+                    i += 1;
+                    CharSet(vec![(c, c)])
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, UNBOUNDED_CAP)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, UNBOUNDED_CAP)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    i += 1;
+                    let mut lo = 0usize;
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                        lo = lo * 10 + d as usize;
+                        i += 1;
+                    }
+                    let hi = if chars.get(i) == Some(&',') {
+                        i += 1;
+                        let mut h = 0usize;
+                        let mut saw = false;
+                        while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                            h = h * 10 + d as usize;
+                            i += 1;
+                            saw = true;
+                        }
+                        if saw {
+                            h
+                        } else {
+                            lo + UNBOUNDED_CAP
+                        }
+                    } else {
+                        lo
+                    };
+                    assert_eq!(chars.get(i), Some(&'}'), "unclosed {{ in {pattern:?}");
+                    i += 1;
+                    assert!(lo <= hi, "inverted quantifier in {pattern:?}");
+                    (lo, hi)
+                }
+                _ => (1, 1),
+            };
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    /// Generates a string matching `pattern` (within the supported subset).
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn patterns_generate_matching_text() {
+            let mut rng = TestRng::from_seed(11);
+            for _ in 0..200 {
+                let s = generate_from_pattern("[a-z][a-z0-9]{0,3}", &mut rng);
+                assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+                assert!(s.chars().next().unwrap().is_ascii_lowercase());
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+                let d = generate_from_pattern("[0-9]{1,3}", &mut rng);
+                assert!((1..=3).contains(&d.len()));
+                assert!(d.chars().all(|c| c.is_ascii_digit()));
+
+                let p = generate_from_pattern("\\PC*", &mut rng);
+                assert!(p.chars().count() <= UNBOUNDED_CAP);
+                assert!(p.chars().all(|c| !c.is_control()));
+
+                let b = generate_from_pattern("\\PC{0,80}", &mut rng);
+                assert!(b.chars().count() <= 80);
+            }
+        }
+
+        #[test]
+        fn literal_atoms_and_escapes() {
+            let mut rng = TestRng::from_seed(12);
+            assert_eq!(generate_from_pattern("abc", &mut rng), "abc");
+            assert_eq!(generate_from_pattern("a\\.b", &mut rng), "a.b");
+            let d = generate_from_pattern("\\d{2}", &mut rng);
+            assert_eq!(d.len(), 2);
+            assert!(d.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}
+
+/// Everything a `proptest!` test module typically imports.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        let holds: bool = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        let l = &$left;
+        let r = &$right;
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        let l = &$left;
+        let r = &$right;
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::for_test(test_name);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    let inputs = ($($crate::test_runner::clone_input(&$arg),)*);
+                    let result = $crate::test_runner::run_case(move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    if let ::std::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest {}: case {}/{} (seed {:#x}) failed:\n{}\ninputs: {:?}",
+                            test_name,
+                            case + 1,
+                            config.cases,
+                            rng.seed(),
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn union_and_map_compose() {
+        let strat = prop_oneof![Just(1u32), Just(2u32), 10u32..20].prop_map(|n| n * 2);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 2 || v == 4 || (20..40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..4).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(4, 32, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::from_seed(4);
+        let mut seen_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 8, "runaway recursion: {t:?}");
+            if let Tree::Leaf(n) = &t {
+                assert!(*n < 4);
+            } else {
+                seen_node = true;
+            }
+        }
+        assert!(seen_node, "recursion never expanded");
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let strat = crate::collection::vec(0u32..5, 2..6);
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn macro_generates_and_asserts(x in 0u64..100, y in any::<u64>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + (y % 7), (y % 7) + x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn macro_reports_failures() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(5))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

@@ -52,6 +52,6 @@ mod unify;
 pub use display::{NameHints, TermDisplay};
 pub use rename::{rename_all, rename_term, VarGen};
 pub use subst::Subst;
-pub use symbol::{Interner, Signature, SigError, Sym, SymKind};
+pub use symbol::{Interner, SigError, Signature, Sym, SymKind};
 pub use term::{Term, Var};
 pub use unify::{unify, unify_with, OccursCheck, UnifyError};

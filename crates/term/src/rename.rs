@@ -95,7 +95,10 @@ mod tests {
     fn rename_preserves_sharing() {
         let mut sig = Signature::new();
         let f = sig.declare("f", SymKind::Func).unwrap();
-        let t = Term::app(f, vec![Term::Var(Var(0)), Term::Var(Var(0)), Term::Var(Var(1))]);
+        let t = Term::app(
+            f,
+            vec![Term::Var(Var(0)), Term::Var(Var(0)), Term::Var(Var(1))],
+        );
         let mut g = VarGen::starting_at(100);
         let mut map = HashMap::new();
         let r = rename_term(&t, &mut g, &mut map);

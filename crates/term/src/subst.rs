@@ -73,10 +73,22 @@ impl Subst {
     /// Walks a *variable* to its final representative: follows bindings while
     /// they lead to variables, returning the last term reached (which may
     /// still be an unresolved application containing bound variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics after a million hops, which can only mean a cyclic binding
+    /// chain (e.g. built by unchecked [`Subst::bind`] calls on variables
+    /// that were not standardized apart). A loud panic here beats the
+    /// silent infinite loop it replaces.
     pub fn walk<'a>(&'a self, mut t: &'a Term) -> &'a Term {
+        let mut hops = 0usize;
         while let Term::Var(v) = t {
             match self.map.get(v) {
-                Some(next) => t = next,
+                Some(next) => {
+                    t = next;
+                    hops += 1;
+                    assert!(hops <= 1_000_000, "cyclic substitution chain at {v:?}");
+                }
                 None => break,
             }
         }
@@ -202,10 +214,7 @@ mod tests {
         // Idempotent: resolving twice equals resolving once.
         let t = Term::Var(Var(0));
         assert_eq!(n.resolve(&n.resolve(&t)), n.resolve(&t));
-        assert_eq!(
-            n.get(Var(0)),
-            Some(&Term::app(f, vec![Term::constant(a)]))
-        );
+        assert_eq!(n.get(Var(0)), Some(&Term::app(f, vec![Term::constant(a)])));
     }
 
     #[test]

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.resolvents_checked,
         report.violations.len()
     );
-    assert!(report.is_clean(), "Theorem 6: every resolvent is well-typed");
+    assert!(
+        report.is_clean(),
+        "Theorem 6: every resolvent is well-typed"
+    );
 
     // ---- Fault injection --------------------------------------------------
     // An ill-typed fact (a bare number where a list belongs) sneaks past if
@@ -37,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let module = subtype_lp::parser::parse_module(&bad)?;
     let cs = subtype_lp::core::ConstraintSet::from_module(&module)?.checked(&module.sig)?;
-    let preds = subtype_lp::core::PredTypeTable::from_module(&module)
-        .map_err(|e| e.to_string())?;
+    let preds = subtype_lp::core::PredTypeTable::from_module(&module).map_err(|e| e.to_string())?;
     let checker = subtype_lp::core::Checker::new(&module.sig, &cs, &preds);
 
     // Statically: rejected.

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --example filter_generation`
 
 use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::core::consistency::Auditor;
 use subtype_lp::core::filter::build_filter;
 use subtype_lp::core::{Checker, ConstraintSet, PredTypeTable};
-use subtype_lp::core::consistency::Auditor;
 use subtype_lp::term::{Term, TermDisplay};
 
 const SOURCE: &str = "
@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // whole thing, including the §7 query through the filter.
     let mut preds = PredTypeTable::from_module(&module)?;
     for pt in &lib.pred_types {
-        preds.insert(&module.sig, pt.clone()).map_err(|e| e.to_string())?;
+        preds
+            .insert(&module.sig, pt.clone())
+            .map_err(|e| e.to_string())?;
     }
     let mut db = module.database();
     for c in &lib.clauses {

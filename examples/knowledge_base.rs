@@ -103,9 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Facts: 0/1 = union, 2 = nat, 3 = id(males), 4 = id(females),
     // 5 = person, 6 = id(person).
     println!("\ndeep memberships by replaying their SLD derivations:");
-    let m_case = [
-        trans, 6, trans, 0, trans, 3, axiom_for(m), trans, 2, 0,
-    ];
+    let m_case = [trans, 6, trans, 0, trans, 3, axiom_for(m), trans, 2, 0];
     let resolvent = theory
         .replay(vec![theory.goal(&id_person, &m0)], &m_case)
         .expect("derivation applies");
@@ -118,8 +116,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let f_case = [
-        trans, 6, trans, 1, trans, 4, axiom_for(f), trans, 2, trans, 1,
-        axiom_for(succ), trans, 2, 0,
+        trans,
+        6,
+        trans,
+        1,
+        trans,
+        4,
+        axiom_for(f),
+        trans,
+        2,
+        trans,
+        1,
+        axiom_for(succ),
+        trans,
+        2,
+        0,
     ];
     let resolvent = theory
         .replay(vec![theory.goal(&id_person, &f1)], &f_case)

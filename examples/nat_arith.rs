@@ -82,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     program.check_all()?;
     // …it simply has no solutions.
     let solutions = program.run_query(0, 10);
-    println!("\nint2nat(pred(0), X): {} solutions (filtered out)", solutions.len());
+    println!(
+        "\nint2nat(pred(0), X): {} solutions (filtered out)",
+        solutions.len()
+    );
     assert!(solutions.is_empty());
 
     // ---- Typed Peano addition over nat ----------------------------------
@@ -108,7 +111,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("all splits of 2:");
     let report = program.audit_query(1, AuditConfig::default());
     assert!(report.is_clean());
-    println!("  {} solutions, every resolvent well-typed", report.solutions.len());
+    println!(
+        "  {} solutions, every resolvent well-typed",
+        report.solutions.len()
+    );
 
     // Subtyping lets nat evidence flow where ints are expected, but not the
     // reverse: storing pred(0) in plus would be rejected.

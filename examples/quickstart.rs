@@ -44,14 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sig = &program.module().sig;
     let int = Term::constant(sig.lookup("int").unwrap());
     let nat = Term::constant(sig.lookup("nat").unwrap());
-    println!(
-        "int >= nat : {}",
-        prover.subtype(&int, &nat).is_proved()
-    );
-    println!(
-        "nat >= int : {}",
-        prover.subtype(&nat, &int).is_proved()
-    );
+    println!("int >= nat : {}", prover.subtype(&int, &nat).is_proved());
+    println!("nat >= int : {}", prover.subtype(&nat, &int).is_proved());
 
     // 3. Execution with consistency auditing (Theorem 6): every resolvent
     //    produced by the SLD engine is re-checked against the types.

@@ -45,7 +45,10 @@ const LIBRARY: &str = "
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = TypedProgram::from_source(LIBRARY)?;
     program.check_all()?;
-    println!("library is well-typed: {} clauses", program.module().clauses.len());
+    println!(
+        "library is well-typed: {} clauses",
+        program.module().clauses.len()
+    );
 
     for (qi, query) in program.module().queries.iter().enumerate() {
         println!("\nquery #{qi}:");

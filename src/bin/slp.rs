@@ -11,10 +11,13 @@
 //! slp info    FILE                 summarize declarations
 //! ```
 
+use std::cell::RefCell;
 use std::process::ExitCode;
 
 use subtype_lp::core::consistency::AuditConfig;
-use subtype_lp::core::{match_type, ConstraintSet, MatchOutcome, NaiveProver, Prover};
+use subtype_lp::core::{
+    match_type, ConstraintSet, MatchOutcome, NaiveProver, ProofTable, Prover, TabledProver,
+};
 use subtype_lp::term::TermDisplay;
 use subtype_lp::TypedProgram;
 
@@ -30,7 +33,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE"
+    "usage:\n  slp check FILE\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling."
         .to_string()
 }
 
@@ -40,7 +43,10 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     let file = args.get(1).ok_or_else(usage)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let program = TypedProgram::from_source(&src).map_err(|e| pretty(&src, e))?;
+    let no_table = args.iter().any(|a| a == "--no-table");
+    let program = TypedProgram::from_source(&src)
+        .map_err(|e| pretty(&src, e))?
+        .with_tabling(!no_table);
 
     match command.as_str() {
         "check" => check(&program),
@@ -132,11 +138,7 @@ fn execute(program: &TypedProgram, args: &[String], auditing: bool) -> Result<()
     Ok(())
 }
 
-fn print_solution(
-    program: &TypedProgram,
-    query: usize,
-    sol: &subtype_lp::engine::Solution,
-) {
+fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine::Solution) {
     let q = &program.module().queries[query];
     let mut parts = Vec::new();
     for (v, name) in q.hints.iter() {
@@ -158,6 +160,7 @@ fn subtype(program: TypedProgram, src: &str, args: &[String]) -> Result<(), Stri
     let sup_src = args.get(2).ok_or_else(usage)?;
     let sub_src = args.get(3).ok_or_else(usage)?;
     let naive = args.iter().any(|a| a == "--naive");
+    let tabled = args.iter().all(|a| a != "--no-table");
     let mut loader = program.into_loader();
     let (sup, _) = loader
         .parse_type(sup_src)
@@ -174,15 +177,17 @@ fn subtype(program: TypedProgram, src: &str, args: &[String]) -> Result<(), Stri
         return Ok(());
     }
     let checked = cs.checked(&module.sig).map_err(|e| e.to_string())?;
-    let prover = Prover::new(&module.sig, &checked);
-    let proof = prover.subtype(&sup, &sub);
+    let table = RefCell::new(ProofTable::new());
+    let proof = if tabled {
+        TabledProver::new(&module.sig, &checked, &table).subtype(&sup, &sub)
+    } else {
+        Prover::new(&module.sig, &checked).subtype(&sup, &sub)
+    };
     let verdict = match &proof {
         subtype_lp::core::Proof::Proved(answer) => {
             let witness: Vec<String> = answer
                 .iter()
-                .map(|(v, t)| {
-                    format!("_G{} = {}", v.0, TermDisplay::new(t, &module.sig))
-                })
+                .map(|(v, t)| format!("_G{} = {}", v.0, TermDisplay::new(t, &module.sig)))
                 .collect();
             if witness.is_empty() {
                 "derivable".to_string()
@@ -206,7 +211,9 @@ fn match_cmd(program: TypedProgram, _src: &str, args: &[String]) -> Result<(), S
     let ty_src = args.get(2).ok_or_else(usage)?;
     let term_src = args.get(3).ok_or_else(usage)?;
     let mut loader = program.into_loader();
-    let (ty, ty_hints) = loader.parse_type(ty_src).map_err(|e| format!("type: {e}"))?;
+    let (ty, ty_hints) = loader
+        .parse_type(ty_src)
+        .map_err(|e| format!("type: {e}"))?;
     let (term, mut hints) = loader
         .parse_program_term(term_src)
         .map_err(|e| format!("term: {e}"))?;

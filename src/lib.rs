@@ -54,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::cell::RefCell;
 use std::fmt;
 
 pub use lp_baseline as baseline;
@@ -69,8 +70,8 @@ use lp_term::{NameHints, Term, TermDisplay};
 use subtype_core::consistency::{AuditConfig, AuditReport, Auditor};
 use subtype_core::welltyped::ClauseTyping;
 use subtype_core::{
-    CheckedConstraints, Checker, ConstraintSet, PredTypeTable, Prover, TypeCheckError,
-    TypeDeclError,
+    CheckedConstraints, Checker, ConstraintSet, PredTypeTable, ProofTable, Prover, TableStats,
+    TabledProver, TypeCheckError, TypeDeclError,
 };
 
 /// Any error surfaced by the high-level API.
@@ -115,11 +116,20 @@ impl From<TypeDeclError> for Error {
 }
 
 /// A parsed, validated, ready-to-check-and-run typed logic program.
+///
+/// The program owns a [`ProofTable`] shared by every checker, matcher and
+/// auditor it hands out, so subtype judgements repeated across clauses,
+/// queries and audited resolvents are derived once. Tabling is on by default
+/// and can be toggled with [`TypedProgram::set_tabling`]; the table is
+/// generation-keyed, so it can never serve verdicts from a different
+/// constraint theory (see [`subtype_core::table`]).
 #[derive(Debug, Clone)]
 pub struct TypedProgram {
     module: Module,
     constraints: CheckedConstraints,
     pred_types: PredTypeTable,
+    table: RefCell<ProofTable>,
+    tabling: bool,
 }
 
 impl TypedProgram {
@@ -148,7 +158,37 @@ impl TypedProgram {
             module,
             constraints,
             pred_types,
+            table: RefCell::new(ProofTable::new()),
+            tabling: true,
         })
+    }
+
+    /// Enables or disables proof tabling for the checkers and provers this
+    /// program hands out. Disabling does not clear the table, so re-enabling
+    /// picks the cache back up.
+    pub fn set_tabling(&mut self, enabled: bool) {
+        self.tabling = enabled;
+    }
+
+    /// Builder-style [`TypedProgram::set_tabling`].
+    pub fn with_tabling(mut self, enabled: bool) -> Self {
+        self.tabling = enabled;
+        self
+    }
+
+    /// Whether proof tabling is currently enabled.
+    pub fn tabling(&self) -> bool {
+        self.tabling
+    }
+
+    /// The shared proof table (populated lazily by checking and proving).
+    pub fn proof_table(&self) -> &RefCell<ProofTable> {
+        &self.table
+    }
+
+    /// Lifetime hit/miss/insert/evict counters of the shared proof table.
+    pub fn table_stats(&self) -> TableStats {
+        self.table.borrow().stats()
     }
 
     /// The underlying module (signature, clauses, queries, hints).
@@ -166,14 +206,31 @@ impl TypedProgram {
         &self.pred_types
     }
 
-    /// A well-typedness checker borrowing this program.
+    /// A well-typedness checker borrowing this program (tabled unless
+    /// disabled via [`TypedProgram::set_tabling`]).
     pub fn checker(&self) -> Checker<'_> {
-        Checker::new(&self.module.sig, &self.constraints, &self.pred_types)
+        if self.tabling {
+            Checker::with_table(
+                &self.module.sig,
+                &self.constraints,
+                &self.pred_types,
+                &self.table,
+            )
+        } else {
+            Checker::new(&self.module.sig, &self.constraints, &self.pred_types)
+        }
     }
 
     /// A deterministic subtype prover borrowing this program.
     pub fn prover(&self) -> Prover<'_> {
         Prover::new(&self.module.sig, &self.constraints)
+    }
+
+    /// A caching subtype prover over this program's shared proof table
+    /// (regardless of the [`TypedProgram::tabling`] toggle, which only
+    /// governs the provers created implicitly by [`TypedProgram::checker`]).
+    pub fn tabled_prover(&self) -> TabledProver<'_> {
+        TabledProver::new(&self.module.sig, &self.constraints, &self.table)
     }
 
     /// Checks every program clause (Definition 16).
@@ -325,6 +382,37 @@ mod tests {
         };
         assert_eq!(errors.len(), 1);
         assert_eq!(errors[0].0, 1);
+    }
+
+    #[test]
+    fn tabling_caches_repeat_checks_and_matches_untabled_verdicts() {
+        let p = TypedProgram::from_source(APP).unwrap();
+        p.check_all().unwrap();
+        let first = p.table_stats();
+        assert!(
+            first.misses > 0,
+            "checking APP consults the prover at least once"
+        );
+        p.check_all().unwrap();
+        let second = p.table_stats();
+        assert!(second.hits > first.hits, "re-check is served from cache");
+        assert_eq!(second.misses, first.misses, "no new derivations needed");
+        // The untabled checker reaches the same verdicts.
+        let plain = TypedProgram::from_source(APP).unwrap().with_tabling(false);
+        plain.check_all().unwrap();
+        assert_eq!(plain.table_stats(), Default::default());
+    }
+
+    #[test]
+    fn audited_runs_reuse_the_table_across_resolvents() {
+        let p = TypedProgram::from_source(APP).unwrap();
+        let report = p.audit_query(0, AuditConfig::default());
+        assert!(report.is_clean());
+        let stats = p.table_stats();
+        assert!(
+            stats.hits > 0,
+            "resolvents repeat judgements; expected table hits, got {stats:?}"
+        );
     }
 
     #[test]

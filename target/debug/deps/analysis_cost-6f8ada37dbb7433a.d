@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis_cost-6f8ada37dbb7433a.d: crates/bench/benches/analysis_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_cost-6f8ada37dbb7433a.rmeta: crates/bench/benches/analysis_cost.rs Cargo.toml
+
+crates/bench/benches/analysis_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

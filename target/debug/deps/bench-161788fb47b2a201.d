@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench-161788fb47b2a201.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/bench-161788fb47b2a201: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

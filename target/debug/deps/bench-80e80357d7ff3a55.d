@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-80e80357d7ff3a55.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-80e80357d7ff3a55.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbench-80e80357d7ff3a55.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

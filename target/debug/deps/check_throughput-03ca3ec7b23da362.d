@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_throughput-03ca3ec7b23da362.d: crates/bench/benches/check_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_throughput-03ca3ec7b23da362.rmeta: crates/bench/benches/check_throughput.rs Cargo.toml
+
+crates/bench/benches/check_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

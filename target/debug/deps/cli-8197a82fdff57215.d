@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-8197a82fdff57215.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-8197a82fdff57215: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_slp=/root/repo/target/debug/slp
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

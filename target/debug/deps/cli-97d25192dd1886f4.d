@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-97d25192dd1886f4.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-97d25192dd1886f4.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_slp=placeholder:slp
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-ae234a770004b56f.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-ae234a770004b56f.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-bd938ad7c4861e41.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-bd938ad7c4861e41: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency_overhead-fffa23b2f5cebdab.d: crates/bench/benches/consistency_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency_overhead-fffa23b2f5cebdab.rmeta: crates/bench/benches/consistency_overhead.rs Cargo.toml
+
+crates/bench/benches/consistency_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_semantics-3672e924b2409f08.d: tests/engine_semantics.rs
+
+/root/repo/target/debug/deps/engine_semantics-3672e924b2409f08: tests/engine_semantics.rs
+
+tests/engine_semantics.rs:

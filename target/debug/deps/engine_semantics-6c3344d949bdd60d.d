@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_semantics-6c3344d949bdd60d.d: tests/engine_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_semantics-6c3344d949bdd60d.rmeta: tests/engine_semantics.rs Cargo.toml
+
+tests/engine_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/filters-38745b7c94c47e1d.d: tests/filters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfilters-38745b7c94c47e1d.rmeta: tests/filters.rs Cargo.toml
+
+tests/filters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

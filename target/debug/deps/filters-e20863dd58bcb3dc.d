@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/filters-e20863dd58bcb3dc.d: tests/filters.rs
+
+/root/repo/target/debug/deps/filters-e20863dd58bcb3dc: tests/filters.rs
+
+tests/filters.rs:

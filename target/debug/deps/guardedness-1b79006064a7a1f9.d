@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/guardedness-1b79006064a7a1f9.d: tests/guardedness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libguardedness-1b79006064a7a1f9.rmeta: tests/guardedness.rs Cargo.toml
+
+tests/guardedness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

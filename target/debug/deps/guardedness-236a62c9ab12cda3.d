@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/guardedness-236a62c9ab12cda3.d: tests/guardedness.rs
+
+/root/repo/target/debug/deps/guardedness-236a62c9ab12cda3: tests/guardedness.rs
+
+tests/guardedness.rs:

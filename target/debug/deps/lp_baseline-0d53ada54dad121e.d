@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lp_baseline-0d53ada54dad121e.d: crates/baseline/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_baseline-0d53ada54dad121e.rmeta: crates/baseline/src/lib.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

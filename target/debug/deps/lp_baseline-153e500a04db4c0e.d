@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lp_baseline-153e500a04db4c0e.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/liblp_baseline-153e500a04db4c0e.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/liblp_baseline-153e500a04db4c0e.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

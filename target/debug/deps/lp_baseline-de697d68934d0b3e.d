@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lp_baseline-de697d68934d0b3e.d: crates/baseline/src/lib.rs
+
+/root/repo/target/debug/deps/lp_baseline-de697d68934d0b3e: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

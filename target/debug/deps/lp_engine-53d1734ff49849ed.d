@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lp_engine-53d1734ff49849ed.d: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+/root/repo/target/debug/deps/lp_engine-53d1734ff49849ed: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/clause.rs:
+crates/engine/src/database.rs:
+crates/engine/src/solve.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lp_engine-c5eaee8f57d71fff.d: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+/root/repo/target/debug/deps/liblp_engine-c5eaee8f57d71fff.rlib: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+/root/repo/target/debug/deps/liblp_engine-c5eaee8f57d71fff.rmeta: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/clause.rs:
+crates/engine/src/database.rs:
+crates/engine/src/solve.rs:

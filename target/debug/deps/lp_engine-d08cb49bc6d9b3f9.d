@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lp_engine-d08cb49bc6d9b3f9.d: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_engine-d08cb49bc6d9b3f9.rmeta: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/clause.rs:
+crates/engine/src/database.rs:
+crates/engine/src/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

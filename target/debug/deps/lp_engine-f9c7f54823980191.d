@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lp_engine-f9c7f54823980191.d: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_engine-f9c7f54823980191.rmeta: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/clause.rs:
+crates/engine/src/database.rs:
+crates/engine/src/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

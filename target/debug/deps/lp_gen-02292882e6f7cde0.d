@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lp_gen-02292882e6f7cde0.d: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+/root/repo/target/debug/deps/lp_gen-02292882e6f7cde0: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/programs.rs:
+crates/gen/src/terms.rs:
+crates/gen/src/worlds.rs:

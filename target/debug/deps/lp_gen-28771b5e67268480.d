@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lp_gen-28771b5e67268480.d: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_gen-28771b5e67268480.rmeta: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/programs.rs:
+crates/gen/src/terms.rs:
+crates/gen/src/worlds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

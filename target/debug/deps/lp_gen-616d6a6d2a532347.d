@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lp_gen-616d6a6d2a532347.d: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+/root/repo/target/debug/deps/liblp_gen-616d6a6d2a532347.rlib: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+/root/repo/target/debug/deps/liblp_gen-616d6a6d2a532347.rmeta: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/programs.rs:
+crates/gen/src/terms.rs:
+crates/gen/src/worlds.rs:

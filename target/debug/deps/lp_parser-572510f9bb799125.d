@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lp_parser-572510f9bb799125.d: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+/root/repo/target/debug/deps/lp_parser-572510f9bb799125: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+crates/parser/src/lib.rs:
+crates/parser/src/ast.rs:
+crates/parser/src/error.rs:
+crates/parser/src/lexer.rs:
+crates/parser/src/loader.rs:
+crates/parser/src/parser.rs:
+crates/parser/src/token.rs:
+crates/parser/src/unparse.rs:

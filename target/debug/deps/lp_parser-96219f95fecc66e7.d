@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/lp_parser-96219f95fecc66e7.d: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_parser-96219f95fecc66e7.rmeta: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs Cargo.toml
+
+crates/parser/src/lib.rs:
+crates/parser/src/ast.rs:
+crates/parser/src/error.rs:
+crates/parser/src/lexer.rs:
+crates/parser/src/loader.rs:
+crates/parser/src/parser.rs:
+crates/parser/src/token.rs:
+crates/parser/src/unparse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lp_parser-a5fdc7771a390899.d: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+/root/repo/target/debug/deps/liblp_parser-a5fdc7771a390899.rlib: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+/root/repo/target/debug/deps/liblp_parser-a5fdc7771a390899.rmeta: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+crates/parser/src/lib.rs:
+crates/parser/src/ast.rs:
+crates/parser/src/error.rs:
+crates/parser/src/lexer.rs:
+crates/parser/src/loader.rs:
+crates/parser/src/parser.rs:
+crates/parser/src/token.rs:
+crates/parser/src/unparse.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lp_term-0b8d894820bebcd4.d: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblp_term-0b8d894820bebcd4.rmeta: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs Cargo.toml
+
+crates/term/src/lib.rs:
+crates/term/src/display.rs:
+crates/term/src/rename.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:
+crates/term/src/unify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lp_term-44dc413f69a37fa0.d: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+/root/repo/target/debug/deps/lp_term-44dc413f69a37fa0: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+crates/term/src/lib.rs:
+crates/term/src/display.rs:
+crates/term/src/rename.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:
+crates/term/src/unify.rs:

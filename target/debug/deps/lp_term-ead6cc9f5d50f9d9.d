@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lp_term-ead6cc9f5d50f9d9.d: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+/root/repo/target/debug/deps/liblp_term-ead6cc9f5d50f9d9.rlib: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+/root/repo/target/debug/deps/liblp_term-ead6cc9f5d50f9d9.rmeta: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+crates/term/src/lib.rs:
+crates/term/src/display.rs:
+crates/term/src/rename.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:
+crates/term/src/unify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/match_correctness-2f6777180531288e.d: tests/match_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatch_correctness-2f6777180531288e.rmeta: tests/match_correctness.rs Cargo.toml
+
+tests/match_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

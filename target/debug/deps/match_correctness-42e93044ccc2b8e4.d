@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/match_correctness-42e93044ccc2b8e4.d: tests/match_correctness.rs
+
+/root/repo/target/debug/deps/match_correctness-42e93044ccc2b8e4: tests/match_correctness.rs
+
+tests/match_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/match_scaling-dc4c844a68ff0636.d: crates/bench/benches/match_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatch_scaling-dc4c844a68ff0636.rmeta: crates/bench/benches/match_scaling.rs Cargo.toml
+
+crates/bench/benches/match_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-b37b60757ab3ea88.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-b37b60757ab3ea88: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_parser-686f6ad91358e77c.d: crates/parser/tests/prop_parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_parser-686f6ad91358e77c.rmeta: crates/parser/tests/prop_parser.rs Cargo.toml
+
+crates/parser/tests/prop_parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_parser-97cf5f32b4ceacf4.d: crates/parser/tests/prop_parser.rs
+
+/root/repo/target/debug/deps/prop_parser-97cf5f32b4ceacf4: crates/parser/tests/prop_parser.rs
+
+crates/parser/tests/prop_parser.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_subtype-08d5019db9245fe0.d: crates/core/tests/prop_subtype.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_subtype-08d5019db9245fe0.rmeta: crates/core/tests/prop_subtype.rs Cargo.toml
+
+crates/core/tests/prop_subtype.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_subtype-a1196f0796070552.d: crates/core/tests/prop_subtype.rs
+
+/root/repo/target/debug/deps/prop_subtype-a1196f0796070552: crates/core/tests/prop_subtype.rs
+
+crates/core/tests/prop_subtype.rs:

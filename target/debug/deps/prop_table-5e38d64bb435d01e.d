@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_table-5e38d64bb435d01e.d: crates/core/tests/prop_table.rs
+
+/root/repo/target/debug/deps/prop_table-5e38d64bb435d01e: crates/core/tests/prop_table.rs
+
+crates/core/tests/prop_table.rs:

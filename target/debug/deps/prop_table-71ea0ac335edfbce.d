@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_table-71ea0ac335edfbce.d: crates/core/tests/prop_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_table-71ea0ac335edfbce.rmeta: crates/core/tests/prop_table.rs Cargo.toml
+
+crates/core/tests/prop_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

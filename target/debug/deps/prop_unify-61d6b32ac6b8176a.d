@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_unify-61d6b32ac6b8176a.d: crates/term/tests/prop_unify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_unify-61d6b32ac6b8176a.rmeta: crates/term/tests/prop_unify.rs Cargo.toml
+
+crates/term/tests/prop_unify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_unify-701a00ce284df81c.d: crates/term/tests/prop_unify.rs
+
+/root/repo/target/debug/deps/prop_unify-701a00ce284df81c: crates/term/tests/prop_unify.rs
+
+crates/term/tests/prop_unify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-734c4888ea552f46.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-734c4888ea552f46: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-b3a385289403f6c5.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-b3a385289403f6c5: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slp-8f0bd4c795858a81.d: src/bin/slp.rs
+
+/root/repo/target/debug/deps/slp-8f0bd4c795858a81: src/bin/slp.rs
+
+src/bin/slp.rs:

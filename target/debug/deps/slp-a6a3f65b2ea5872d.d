@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/slp-a6a3f65b2ea5872d.d: src/bin/slp.rs
+
+/root/repo/target/debug/deps/slp-a6a3f65b2ea5872d: src/bin/slp.rs
+
+src/bin/slp.rs:

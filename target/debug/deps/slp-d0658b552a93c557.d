@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slp-d0658b552a93c557.d: src/bin/slp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslp-d0658b552a93c557.rmeta: src/bin/slp.rs Cargo.toml
+
+src/bin/slp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/slp-ef441d7c02091274.d: src/bin/slp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libslp-ef441d7c02091274.rmeta: src/bin/slp.rs Cargo.toml
+
+src/bin/slp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

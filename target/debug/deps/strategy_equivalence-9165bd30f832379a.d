@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategy_equivalence-9165bd30f832379a.d: tests/strategy_equivalence.rs
+
+/root/repo/target/debug/deps/strategy_equivalence-9165bd30f832379a: tests/strategy_equivalence.rs
+
+tests/strategy_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategy_equivalence-ce41fd7ad0a0cf6e.d: tests/strategy_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategy_equivalence-ce41fd7ad0a0cf6e.rmeta: tests/strategy_equivalence.rs Cargo.toml
+
+tests/strategy_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

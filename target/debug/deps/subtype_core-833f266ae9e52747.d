@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/subtype_core-833f266ae9e52747.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs
+
+/root/repo/target/debug/deps/subtype_core-833f266ae9e52747: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cmatch.rs:
+crates/core/src/consistency.rs:
+crates/core/src/constraint.rs:
+crates/core/src/filter.rs:
+crates/core/src/horn.rs:
+crates/core/src/matching.rs:
+crates/core/src/naive.rs:
+crates/core/src/prover.rs:
+crates/core/src/semantics.rs:
+crates/core/src/table.rs:
+crates/core/src/typing.rs:
+crates/core/src/welltyped.rs:

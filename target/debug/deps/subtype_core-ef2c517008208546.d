@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/subtype_core-ef2c517008208546.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubtype_core-ef2c517008208546.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cmatch.rs:
+crates/core/src/consistency.rs:
+crates/core/src/constraint.rs:
+crates/core/src/filter.rs:
+crates/core/src/horn.rs:
+crates/core/src/matching.rs:
+crates/core/src/naive.rs:
+crates/core/src/prover.rs:
+crates/core/src/semantics.rs:
+crates/core/src/table.rs:
+crates/core/src/typing.rs:
+crates/core/src/welltyped.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

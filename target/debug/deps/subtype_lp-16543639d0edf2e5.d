@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/subtype_lp-16543639d0edf2e5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsubtype_lp-16543639d0edf2e5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsubtype_lp-16543639d0edf2e5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/subtype_lp-dddb220093284a06.d: src/lib.rs
+
+/root/repo/target/debug/deps/subtype_lp-dddb220093284a06: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/subtype_lp-e52e3d9d8facf2bb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubtype_lp-e52e3d9d8facf2bb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

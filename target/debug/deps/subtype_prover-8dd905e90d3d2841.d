@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/subtype_prover-8dd905e90d3d2841.d: crates/bench/benches/subtype_prover.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsubtype_prover-8dd905e90d3d2841.rmeta: crates/bench/benches/subtype_prover.rs Cargo.toml
+
+crates/bench/benches/subtype_prover.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

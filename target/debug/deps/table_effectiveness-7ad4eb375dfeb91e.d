@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_effectiveness-7ad4eb375dfeb91e.d: crates/bench/benches/table_effectiveness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_effectiveness-7ad4eb375dfeb91e.rmeta: crates/bench/benches/table_effectiveness.rs Cargo.toml
+
+crates/bench/benches/table_effectiveness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/consistency_audit-4663489c8ca1c310.d: examples/consistency_audit.rs
+
+/root/repo/target/debug/examples/consistency_audit-4663489c8ca1c310: examples/consistency_audit.rs
+
+examples/consistency_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/filter_generation-1c0d7aba9ceca5ee.d: examples/filter_generation.rs
+
+/root/repo/target/debug/examples/filter_generation-1c0d7aba9ceca5ee: examples/filter_generation.rs
+
+examples/filter_generation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/filter_generation-c47f00f75155d344.d: examples/filter_generation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfilter_generation-c47f00f75155d344.rmeta: examples/filter_generation.rs Cargo.toml
+
+examples/filter_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ill_typed_gallery-68ba09fed9cc2a30.d: examples/ill_typed_gallery.rs
+
+/root/repo/target/debug/examples/ill_typed_gallery-68ba09fed9cc2a30: examples/ill_typed_gallery.rs
+
+examples/ill_typed_gallery.rs:

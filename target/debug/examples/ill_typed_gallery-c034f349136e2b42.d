@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ill_typed_gallery-c034f349136e2b42.d: examples/ill_typed_gallery.rs Cargo.toml
+
+/root/repo/target/debug/examples/libill_typed_gallery-c034f349136e2b42.rmeta: examples/ill_typed_gallery.rs Cargo.toml
+
+examples/ill_typed_gallery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/knowledge_base-5e97df9873629262.d: examples/knowledge_base.rs
+
+/root/repo/target/debug/examples/knowledge_base-5e97df9873629262: examples/knowledge_base.rs
+
+examples/knowledge_base.rs:

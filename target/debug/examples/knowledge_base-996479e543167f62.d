@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/knowledge_base-996479e543167f62.d: examples/knowledge_base.rs Cargo.toml
+
+/root/repo/target/debug/examples/libknowledge_base-996479e543167f62.rmeta: examples/knowledge_base.rs Cargo.toml
+
+examples/knowledge_base.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_arith-39b408da9f0b44cc.d: examples/nat_arith.rs
+
+/root/repo/target/debug/examples/nat_arith-39b408da9f0b44cc: examples/nat_arith.rs
+
+examples/nat_arith.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nat_arith-d9821c76225c3c72.d: examples/nat_arith.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnat_arith-d9821c76225c3c72.rmeta: examples/nat_arith.rs Cargo.toml
+
+examples/nat_arith.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7bb030ebbd702c52.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7bb030ebbd702c52: examples/quickstart.rs
+
+examples/quickstart.rs:

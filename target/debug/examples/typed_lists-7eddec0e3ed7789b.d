@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/typed_lists-7eddec0e3ed7789b.d: examples/typed_lists.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtyped_lists-7eddec0e3ed7789b.rmeta: examples/typed_lists.rs Cargo.toml
+
+examples/typed_lists.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

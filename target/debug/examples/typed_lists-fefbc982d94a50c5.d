@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/typed_lists-fefbc982d94a50c5.d: examples/typed_lists.rs
+
+/root/repo/target/debug/examples/typed_lists-fefbc982d94a50c5: examples/typed_lists.rs
+
+examples/typed_lists.rs:

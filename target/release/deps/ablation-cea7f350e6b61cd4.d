@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-cea7f350e6b61cd4.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/release/deps/ablation-cea7f350e6b61cd4: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

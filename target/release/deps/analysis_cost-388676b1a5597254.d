@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_cost-388676b1a5597254.d: crates/bench/benches/analysis_cost.rs
+
+/root/repo/target/release/deps/analysis_cost-388676b1a5597254: crates/bench/benches/analysis_cost.rs
+
+crates/bench/benches/analysis_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench-0b9a2d833c32cb8e.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/bench-0b9a2d833c32cb8e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

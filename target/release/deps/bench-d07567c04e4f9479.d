@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench-d07567c04e4f9479.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-d07567c04e4f9479.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbench-d07567c04e4f9479.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_throughput-a14b3501dceae807.d: crates/bench/benches/check_throughput.rs
+
+/root/repo/target/release/deps/check_throughput-a14b3501dceae807: crates/bench/benches/check_throughput.rs
+
+crates/bench/benches/check_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consistency_overhead-e12a70d77f3f73b1.d: crates/bench/benches/consistency_overhead.rs
+
+/root/repo/target/release/deps/consistency_overhead-e12a70d77f3f73b1: crates/bench/benches/consistency_overhead.rs
+
+crates/bench/benches/consistency_overhead.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lp_baseline-721fb900fd8c882b.d: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/liblp_baseline-721fb900fd8c882b.rlib: crates/baseline/src/lib.rs
+
+/root/repo/target/release/deps/liblp_baseline-721fb900fd8c882b.rmeta: crates/baseline/src/lib.rs
+
+crates/baseline/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lp_engine-f7afefad058924c2.d: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+/root/repo/target/release/deps/liblp_engine-f7afefad058924c2.rlib: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+/root/repo/target/release/deps/liblp_engine-f7afefad058924c2.rmeta: crates/engine/src/lib.rs crates/engine/src/clause.rs crates/engine/src/database.rs crates/engine/src/solve.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/clause.rs:
+crates/engine/src/database.rs:
+crates/engine/src/solve.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lp_gen-e768494c3f76394d.d: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+/root/repo/target/release/deps/liblp_gen-e768494c3f76394d.rlib: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+/root/repo/target/release/deps/liblp_gen-e768494c3f76394d.rmeta: crates/gen/src/lib.rs crates/gen/src/programs.rs crates/gen/src/terms.rs crates/gen/src/worlds.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/programs.rs:
+crates/gen/src/terms.rs:
+crates/gen/src/worlds.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lp_parser-3ad16daa72cf6aee.d: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+/root/repo/target/release/deps/liblp_parser-3ad16daa72cf6aee.rlib: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+/root/repo/target/release/deps/liblp_parser-3ad16daa72cf6aee.rmeta: crates/parser/src/lib.rs crates/parser/src/ast.rs crates/parser/src/error.rs crates/parser/src/lexer.rs crates/parser/src/loader.rs crates/parser/src/parser.rs crates/parser/src/token.rs crates/parser/src/unparse.rs
+
+crates/parser/src/lib.rs:
+crates/parser/src/ast.rs:
+crates/parser/src/error.rs:
+crates/parser/src/lexer.rs:
+crates/parser/src/loader.rs:
+crates/parser/src/parser.rs:
+crates/parser/src/token.rs:
+crates/parser/src/unparse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lp_term-9fc9b28e36c82e2b.d: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+/root/repo/target/release/deps/liblp_term-9fc9b28e36c82e2b.rlib: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+/root/repo/target/release/deps/liblp_term-9fc9b28e36c82e2b.rmeta: crates/term/src/lib.rs crates/term/src/display.rs crates/term/src/rename.rs crates/term/src/subst.rs crates/term/src/symbol.rs crates/term/src/term.rs crates/term/src/unify.rs
+
+crates/term/src/lib.rs:
+crates/term/src/display.rs:
+crates/term/src/rename.rs:
+crates/term/src/subst.rs:
+crates/term/src/symbol.rs:
+crates/term/src/term.rs:
+crates/term/src/unify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/match_scaling-64dd2c3e62f16ded.d: crates/bench/benches/match_scaling.rs
+
+/root/repo/target/release/deps/match_scaling-64dd2c3e62f16ded: crates/bench/benches/match_scaling.rs
+
+crates/bench/benches/match_scaling.rs:

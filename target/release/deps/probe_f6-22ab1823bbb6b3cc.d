@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe_f6-22ab1823bbb6b3cc.d: crates/bench/src/bin/probe_f6.rs
+
+/root/repo/target/release/deps/probe_f6-22ab1823bbb6b3cc: crates/bench/src/bin/probe_f6.rs
+
+crates/bench/src/bin/probe_f6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_subtype-7f52dfa50b7d9754.d: crates/core/tests/prop_subtype.rs
+
+/root/repo/target/release/deps/prop_subtype-7f52dfa50b7d9754: crates/core/tests/prop_subtype.rs
+
+crates/core/tests/prop_subtype.rs:

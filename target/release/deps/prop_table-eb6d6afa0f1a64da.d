@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_table-eb6d6afa0f1a64da.d: crates/core/tests/prop_table.rs
+
+/root/repo/target/release/deps/prop_table-eb6d6afa0f1a64da: crates/core/tests/prop_table.rs
+
+crates/core/tests/prop_table.rs:

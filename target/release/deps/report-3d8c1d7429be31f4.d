@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-3d8c1d7429be31f4.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-3d8c1d7429be31f4: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-a2af25f8d17afbcb.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-a2af25f8d17afbcb: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/slp-709ebd878a2a1d1b.d: src/bin/slp.rs
+
+/root/repo/target/release/deps/slp-709ebd878a2a1d1b: src/bin/slp.rs
+
+src/bin/slp.rs:

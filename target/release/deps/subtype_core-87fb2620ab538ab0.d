@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/subtype_core-87fb2620ab538ab0.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs
+
+/root/repo/target/release/deps/libsubtype_core-87fb2620ab538ab0.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs
+
+/root/repo/target/release/deps/libsubtype_core-87fb2620ab538ab0.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cmatch.rs crates/core/src/consistency.rs crates/core/src/constraint.rs crates/core/src/filter.rs crates/core/src/horn.rs crates/core/src/matching.rs crates/core/src/naive.rs crates/core/src/prover.rs crates/core/src/semantics.rs crates/core/src/table.rs crates/core/src/typing.rs crates/core/src/welltyped.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cmatch.rs:
+crates/core/src/consistency.rs:
+crates/core/src/constraint.rs:
+crates/core/src/filter.rs:
+crates/core/src/horn.rs:
+crates/core/src/matching.rs:
+crates/core/src/naive.rs:
+crates/core/src/prover.rs:
+crates/core/src/semantics.rs:
+crates/core/src/table.rs:
+crates/core/src/typing.rs:
+crates/core/src/welltyped.rs:

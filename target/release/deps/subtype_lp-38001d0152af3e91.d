@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/subtype_lp-38001d0152af3e91.d: src/lib.rs
+
+/root/repo/target/release/deps/libsubtype_lp-38001d0152af3e91.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsubtype_lp-38001d0152af3e91.rmeta: src/lib.rs
+
+src/lib.rs:

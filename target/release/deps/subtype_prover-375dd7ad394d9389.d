@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/subtype_prover-375dd7ad394d9389.d: crates/bench/benches/subtype_prover.rs
+
+/root/repo/target/release/deps/subtype_prover-375dd7ad394d9389: crates/bench/benches/subtype_prover.rs
+
+crates/bench/benches/subtype_prover.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_effectiveness-7aa6168ab19c6621.d: crates/bench/benches/table_effectiveness.rs
+
+/root/repo/target/release/deps/table_effectiveness-7aa6168ab19c6621: crates/bench/benches/table_effectiveness.rs
+
+crates/bench/benches/table_effectiveness.rs:

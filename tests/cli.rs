@@ -60,7 +60,10 @@ fn run_prints_answer() {
     let f = write_fixture("run.slp", APP);
     let (ok, stdout, _) = slp(&["run", f.to_str().unwrap()]);
     assert!(ok, "stdout: {stdout}");
-    assert!(stdout.contains("Z = cons(0, cons(succ(0), nil))"), "{stdout}");
+    assert!(
+        stdout.contains("Z = cons(0, cons(succ(0), nil))"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -124,6 +127,57 @@ fn export_round_trips_through_check() {
     let f2 = write_fixture("export2.slp", &stdout);
     let (ok2, stdout2, stderr2) = slp(&["check", f2.to_str().unwrap()]);
     assert!(ok2, "exported program fails: {stdout2} {stderr2}\n{stdout}");
+}
+
+/// Path of a committed paper-world example program.
+fn example(name: &str) -> String {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+/// Runs `slp` with and without `--no-table` and requires byte-identical
+/// status, stdout and stderr — tabling must be observationally inert.
+fn golden(args: &[&str]) -> (bool, String, String) {
+    let tabled = slp(args);
+    let mut untabled_args = args.to_vec();
+    untabled_args.push("--no-table");
+    let untabled = slp(&untabled_args);
+    assert_eq!(
+        tabled, untabled,
+        "`--no-table` changed observable output for {args:?}"
+    );
+    tabled
+}
+
+#[test]
+fn no_table_is_byte_identical_on_paper_examples() {
+    for name in ["app.slp", "naturals.slp"] {
+        let f = example(name);
+        let (ok, stdout, _) = golden(&["check", &f]);
+        assert!(ok, "{name} should be well-typed: {stdout}");
+        let (ok, _, _) = golden(&["run", &f]);
+        assert!(ok);
+        let (ok, _, _) = golden(&["audit", &f]);
+        assert!(ok);
+        golden(&["info", &f]);
+        golden(&["export", &f]);
+    }
+}
+
+#[test]
+fn no_table_is_byte_identical_on_judgement_commands() {
+    let f = example("app.slp");
+    let (_, stdout, _) = golden(&["subtype", &f, "int", "nat"]);
+    assert!(stdout.contains("derivable"), "{stdout}");
+    let (_, stdout, _) = golden(&["subtype", &f, "nat", "int"]);
+    assert!(stdout.contains("not derivable"), "{stdout}");
+    golden(&["subtype", &f, "list(nat)", "nelist(nat)"]);
+    golden(&["match", &f, "list(A)", "cons(X, Y)"]);
+    golden(&["filter", &f, "int", "nat"]);
 }
 
 #[test]

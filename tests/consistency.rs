@@ -15,7 +15,11 @@ fn pipelines_execute_consistently() {
         let p = TypedProgram::from_source(&src).unwrap();
         p.check_all().unwrap();
         let report = p.audit_query(0, AuditConfig::default());
-        assert!(report.is_clean(), "pipeline({n},{k}): {:?}", report.violations);
+        assert!(
+            report.is_clean(),
+            "pipeline({n},{k}): {:?}",
+            report.violations
+        );
         assert!(!report.solutions.is_empty());
     }
 }
@@ -86,8 +90,7 @@ fn fault_injection_surfaces_at_runtime() {
     assert!(checker.check_program(clauses.iter()).is_err());
 
     let db = module.database();
-    let report =
-        Auditor::new(checker).run(&db, &module.queries[0].goals, AuditConfig::default());
+    let report = Auditor::new(checker).run(&db, &module.queries[0].goals, AuditConfig::default());
     assert!(
         !report.is_clean(),
         "the auditor must catch consequences of the ill-typed fact"

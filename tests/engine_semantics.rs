@@ -59,9 +59,12 @@ impl Fx {
     }
 
     fn list(&self, items: &[i64]) -> Term {
-        items.iter().rev().fold(Term::constant(self.nil), |acc, &n| {
-            Term::app(self.cons, vec![self.num(n), acc])
-        })
+        items
+            .iter()
+            .rev()
+            .fold(Term::constant(self.nil), |acc, &n| {
+                Term::app(self.cons, vec![self.num(n), acc])
+            })
     }
 
     fn solve_one(&self, goal: Term, out: Var) -> Option<Term> {
@@ -77,8 +80,12 @@ fn append_matches_rust_concatenation() {
     let app = f.program.module().sig.lookup("app").unwrap();
     let mut rng = StdRng::seed_from_u64(7);
     for _ in 0..40 {
-        let a: Vec<i64> = (0..rng.gen_range(0..5)).map(|_| rng.gen_range(-2..3)).collect();
-        let b: Vec<i64> = (0..rng.gen_range(0..5)).map(|_| rng.gen_range(-2..3)).collect();
+        let a: Vec<i64> = (0..rng.gen_range(0..5))
+            .map(|_| rng.gen_range(-2..3))
+            .collect();
+        let b: Vec<i64> = (0..rng.gen_range(0..5))
+            .map(|_| rng.gen_range(-2..3))
+            .collect();
         let expected: Vec<i64> = a.iter().chain(&b).copied().collect();
         let out = Var(1_000_000);
         let goal = Term::app(app, vec![f.list(&a), f.list(&b), Term::Var(out)]);
@@ -93,7 +100,9 @@ fn reverse_matches_rust_reverse() {
     let rev = f.program.module().sig.lookup("rev").unwrap();
     let mut rng = StdRng::seed_from_u64(8);
     for _ in 0..25 {
-        let a: Vec<i64> = (0..rng.gen_range(0..6)).map(|_| rng.gen_range(-2..3)).collect();
+        let a: Vec<i64> = (0..rng.gen_range(0..6))
+            .map(|_| rng.gen_range(-2..3))
+            .collect();
         let mut expected = a.clone();
         expected.reverse();
         let out = Var(1_000_000);
@@ -134,15 +143,9 @@ fn append_is_reversible_mode() {
     let f = fx();
     let app = f.program.module().sig.lookup("app").unwrap();
     let out = Var(1_000_000);
-    let goal = Term::app(
-        app,
-        vec![Term::Var(out), f.list(&[1]), f.list(&[0, 1])],
-    );
+    let goal = Term::app(app, vec![Term::Var(out), f.list(&[1]), f.list(&[0, 1])]);
     assert_eq!(f.solve_one(goal, out), Some(f.list(&[0])));
     // And an impossible suffix fails finitely.
-    let goal = Term::app(
-        app,
-        vec![Term::Var(out), f.list(&[2]), f.list(&[0, 1])],
-    );
+    let goal = Term::app(app, vec![Term::Var(out), f.list(&[2]), f.list(&[0, 1])]);
     assert_eq!(f.solve_one(goal, out), None);
 }

@@ -72,11 +72,7 @@ fn filters_compute_exact_denotation_intersections() {
         for t in &from_inh {
             let expected = to_inh.contains(t);
             let got = run_filter(&db, lib.entry, t, out_var);
-            assert_eq!(
-                got.is_some(),
-                expected,
-                "{from_name}->{to_name} on {t:?}"
-            );
+            assert_eq!(got.is_some(), expected, "{from_name}->{to_name} on {t:?}");
             if let Some(result) = got {
                 assert_eq!(&result, t, "filters must copy values through");
             }
@@ -109,10 +105,7 @@ fn generated_filters_type_check_and_audit_clean() {
     let cons = w.module.sig.lookup("cons").unwrap();
     let nil = w.module.sig.lookup("nil").unwrap();
     let zero = w.module.sig.lookup("0").unwrap();
-    let input = Term::app(
-        cons,
-        vec![Term::constant(zero), Term::constant(nil)],
-    );
+    let input = Term::app(cons, vec![Term::constant(zero), Term::constant(nil)]);
     let out = Term::Var(w.module.gen.fresh());
     let goals = vec![Term::app(lib.entry, vec![input, out])];
     let report = Auditor::new(checker).run(&db, &goals, AuditConfig::default());
@@ -126,11 +119,7 @@ fn shapes_enumeration_matches_declarations() {
     let int_shapes = shapes(&w.module.sig, &w.cs, &ty(&w, "int"));
     assert_eq!(int_shapes.len(), 3); // 0, succ(nat), pred(unnat)
     let list = w.module.sig.lookup("list").unwrap();
-    let list_shapes = shapes(
-        &w.module.sig,
-        &w.cs,
-        &Term::app(list, vec![ty(&w, "nat")]),
-    );
+    let list_shapes = shapes(&w.module.sig, &w.cs, &Term::app(list, vec![ty(&w, "nat")]));
     assert_eq!(list_shapes.len(), 2); // nil, cons(nat, list(nat))
 }
 

@@ -34,8 +34,8 @@ fn paper_acceptable_example() {
 
 #[test]
 fn non_uniform_rejected_with_index() {
-    let err = TypedProgram::from_source("FUNC m. TYPE id, males. id(males) >= m(males).")
-        .unwrap_err();
+    let err =
+        TypedProgram::from_source("FUNC m. TYPE id, males. id(males) >= m(males).").unwrap_err();
     let subtype_lp::Error::Declarations(TypeDeclError::NonUniform { ctor, .. }) = err else {
         panic!("expected NonUniform, got {err:?}");
     };
@@ -44,8 +44,7 @@ fn non_uniform_rejected_with_index() {
 
 #[test]
 fn repeated_parameter_rejected() {
-    let err =
-        TypedProgram::from_source("FUNC f. TYPE c. c(A, A) >= f(A).").unwrap_err();
+    let err = TypedProgram::from_source("FUNC f. TYPE c. c(A, A) >= f(A).").unwrap_err();
     assert!(matches!(
         err,
         subtype_lp::Error::Declarations(TypeDeclError::NonUniform { .. })

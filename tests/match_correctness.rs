@@ -92,7 +92,10 @@ fn theorem4_part1_generality_against_sampled_alternatives() {
             }
         }
     }
-    assert!(compared > 20, "workload too degenerate: {compared} comparisons");
+    assert!(
+        compared > 20,
+        "workload too degenerate: {compared} comparisons"
+    );
 }
 
 #[test]
@@ -110,10 +113,7 @@ fn theorem4_part2_fail_means_no_typing_ground_case() {
         if out.is_fail() {
             fails += 1;
             let proof = prover.member(&ty, &t);
-            assert!(
-                !proof.is_proved(),
-                "match said fail but {t:?} ∈ M⟦{ty:?}⟧"
-            );
+            assert!(!proof.is_proved(), "match said fail but {t:?} ∈ M⟦{ty:?}⟧");
             // Independent oracle: enumeration up to this term's depth.
             let inh = semantics::inhabitants(&world.sig, &world.checked, &ty, t.depth());
             assert!(!inh.contains(&t));
@@ -174,10 +174,7 @@ fn punch_holes(rng: &mut StdRng, t: &Term, gen: &mut subtype_lp::term::VarGen) -
             if args.is_empty() && rng.gen_bool(0.3) {
                 return Term::Var(gen.fresh());
             }
-            Term::app(
-                *s,
-                args.iter().map(|a| punch_holes(rng, a, gen)).collect(),
-            )
+            Term::app(*s, args.iter().map(|a| punch_holes(rng, a, gen)).collect())
         }
     }
 }
