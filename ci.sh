@@ -7,3 +7,18 @@ cargo build --release --workspace
 cargo test --workspace -q
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Shipped examples must stay lint-clean (exit 0 even under --deny warnings).
+target/release/slp lint --deny warnings examples/app.slp
+target/release/slp lint --deny warnings examples/naturals.slp
+
+# Lint output is pinned byte-for-byte against the committed goldens, in both
+# human and JSON formats. lint_demo.slp is intentionally dirty (exit 2).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for stem in app naturals lint_demo; do
+  target/release/slp lint "examples/$stem.slp" > "$tmp/$stem.txt" || true
+  target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
+  diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
+  diff -u "tests/golden/$stem.json" "$tmp/$stem.json"
+done

@@ -95,8 +95,8 @@ impl ConstraintSet {
     /// hand-built modules).
     pub fn from_module(module: &lp_parser::Module) -> Result<Self, TypeDeclError> {
         let mut set = ConstraintSet::new();
-        for (lhs, rhs) in &module.constraints {
-            set.add(&module.sig, lhs.clone(), rhs.clone())?;
+        for c in &module.constraints {
+            set.add(&module.sig, c.lhs.clone(), c.rhs.clone())?;
         }
         Ok(set)
     }

@@ -1,0 +1,355 @@
+//! Span-carrying structured diagnostics with terminal and JSON renderers.
+//!
+//! The paper's §3 restrictions (uniformity, guardedness) and the §6
+//! well-typedness conditions are *rejections*: to be useful as a tool they
+//! must point at source. A [`Diagnostic`] pairs a stable code (`E…`/`W…`)
+//! with a [`Span`] from the parser, free-form notes, and related spans
+//! (e.g. the `PRED` declaration a clause head violates). Two renderers are
+//! provided:
+//!
+//! * [`render_human`] — a rustc-style excerpt with a caret underline;
+//! * [`render_json`] — a machine-readable array for editors and CI.
+//!
+//! Both renderers are deterministic: [`sort`] orders findings by source
+//! position, severity and code, never by hash-map iteration order.
+
+use std::fmt;
+
+use lp_parser::{ParseError, Span};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The program is rejected (exit code 2).
+    Error,
+    /// Suspicious but accepted (exit code 1 under `--deny warnings`).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// One structured finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `E0102` (non-uniform) or `W0301` (dead clause).
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Primary source location, when one is known.
+    pub span: Option<Span>,
+    /// The one-line message.
+    pub message: String,
+    /// Free-form elaborations rendered as `= note:` lines.
+    pub notes: Vec<String>,
+    /// Secondary locations with their own captions.
+    pub related: Vec<(Span, String)>,
+}
+
+impl Diagnostic {
+    /// A new error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+            related: Vec::new(),
+        }
+    }
+
+    /// A new warning diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attaches the primary span.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches the primary span when one is known.
+    #[must_use]
+    pub fn with_opt_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Appends a note line.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Appends a related span with a caption.
+    #[must_use]
+    pub fn related(mut self, span: Span, message: impl Into<String>) -> Self {
+        self.related.push((span, message.into()));
+        self
+    }
+
+    /// Whether this is an error (as opposed to a warning).
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// Converts a parser error into a `E0001` diagnostic.
+impl From<&ParseError> for Diagnostic {
+    fn from(e: &ParseError) -> Self {
+        Diagnostic::error("E0001", e.to_string()).with_span(e.span)
+    }
+}
+
+/// Sorts findings deterministically: by start offset (unspanned findings
+/// last), then errors before warnings, then code, then message.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        let ka = (a.span.map_or(usize::MAX, |s| s.start), a.severity);
+        let kb = (b.span.map_or(usize::MAX, |s| s.start), b.severity);
+        ka.cmp(&kb)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+/// Counts `(errors, warnings)`.
+pub fn counts(diags: &[Diagnostic]) -> (usize, usize) {
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    (errors, diags.len() - errors)
+}
+
+/// Renders one diagnostic in the terminal (rustc-like) format.
+pub fn render_human(d: &Diagnostic, source: &str, filename: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}[{}]: {}\n", d.severity, d.code, d.message));
+    if let Some(span) = d.span {
+        out.push_str(&excerpt(source, filename, span, '^'));
+    }
+    for (span, caption) in &d.related {
+        out.push_str(&format!("note: {caption}\n"));
+        out.push_str(&excerpt(source, filename, *span, '-'));
+    }
+    for note in &d.notes {
+        out.push_str(&format!("  = note: {note}\n"));
+    }
+    out
+}
+
+/// Renders a whole report in the terminal format, one blank line between
+/// findings, with a final summary line.
+pub fn render_human_all(diags: &[Diagnostic], source: &str, filename: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&render_human(d, source, filename));
+        out.push('\n');
+    }
+    let (errors, warnings) = counts(diags);
+    out.push_str(&format!(
+        "{filename}: {errors} error(s), {warnings} warning(s)\n"
+    ));
+    out
+}
+
+/// Renders a whole report as a JSON array (machine-readable mode).
+///
+/// Each element carries the code, severity, message, resolved
+/// line/column positions for the primary and related spans, and notes.
+pub fn render_json_all(diags: &[Diagnostic], source: &str, filename: &str) -> String {
+    if diags.is_empty() {
+        return "[]\n".to_string();
+    }
+    let body: Vec<String> = diags
+        .iter()
+        .map(|d| render_json_one(d, source, filename))
+        .collect();
+    format!("[\n  {}\n]\n", body.join(",\n  "))
+}
+
+fn render_json_one(d: &Diagnostic, source: &str, filename: &str) -> String {
+    let mut fields = vec![
+        format!("\"code\":{}", json_str(d.code)),
+        format!("\"severity\":{}", json_str(&d.severity.to_string())),
+        format!("\"message\":{}", json_str(&d.message)),
+        format!("\"file\":{}", json_str(filename)),
+    ];
+    match d.span {
+        Some(span) => fields.push(format!("\"span\":{}", json_span(source, span))),
+        None => fields.push("\"span\":null".to_string()),
+    }
+    let notes: Vec<String> = d.notes.iter().map(|n| json_str(n)).collect();
+    fields.push(format!("\"notes\":[{}]", notes.join(",")));
+    let related: Vec<String> = d
+        .related
+        .iter()
+        .map(|(span, caption)| {
+            format!(
+                "{{\"span\":{},\"message\":{}}}",
+                json_span(source, *span),
+                json_str(caption)
+            )
+        })
+        .collect();
+    fields.push(format!("\"related\":[{}]", related.join(",")));
+    format!("{{{}}}", fields.join(","))
+}
+
+fn json_span(source: &str, span: Span) -> String {
+    let (line, column) = span.line_col(source);
+    format!(
+        "{{\"start\":{},\"end\":{},\"line\":{line},\"column\":{column}}}",
+        span.start, span.end
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A source excerpt: location line, the source line, and an underline.
+///
+/// ```text
+///   --> file.slp:12:1
+///    |
+/// 12 | q(pred(0)).
+///    | ^^^^^^^^^^
+/// ```
+fn excerpt(source: &str, filename: &str, span: Span, marker: char) -> String {
+    let start = span.start.min(source.len());
+    let (line, col) = Span::new(start, start).line_col(source);
+    let line_start = source[..start].rfind('\n').map_or(0, |i| i + 1);
+    let line_end = source[line_start..]
+        .find('\n')
+        .map_or(source.len(), |i| line_start + i);
+    let text = &source[line_start..line_end];
+    let gutter = " ".repeat(line.to_string().len());
+    let pad: String = source[line_start..start]
+        .chars()
+        .map(|c| if c == '\t' { '\t' } else { ' ' })
+        .collect();
+    // Underline the span, clamped to its first line, at least one marker.
+    let underline_chars = source[start..span.end.min(line_end).max(start)]
+        .chars()
+        .count()
+        .max(1);
+    let underline: String = std::iter::repeat_n(marker, underline_chars).collect();
+    format!(
+        "{gutter}--> {filename}:{line}:{col}\n\
+         {gutter} |\n\
+         {line} | {text}\n\
+         {gutter} | {pad}{underline}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_has_caret_under_span() {
+        let src = "TYPE t.\nt >= t.\n";
+        // Span of the second `t` on line 2 (offset 13..14).
+        let d = Diagnostic::error("E0103", "not guarded").with_span(Span::new(13, 14));
+        let text = render_human(&d, src, "x.slp");
+        assert!(text.contains("error[E0103]: not guarded"), "{text}");
+        assert!(text.contains("--> x.slp:2:6"), "{text}");
+        assert!(text.contains("2 | t >= t."), "{text}");
+        let caret_line = text
+            .lines()
+            .find(|l| l.contains('^'))
+            .expect("caret line present");
+        assert_eq!(caret_line.find('^'), caret_line.rfind('^'));
+        // The caret column matches the span column within `2 | t >= t.`.
+        assert_eq!(caret_line, "  |      ^");
+    }
+
+    #[test]
+    fn related_spans_render_with_dashes() {
+        let src = "PRED p(t).\np(a).\n";
+        let d = Diagnostic::warning("W0501", "overlap")
+            .with_span(Span::new(11, 15))
+            .related(Span::new(0, 10), "declared here");
+        let text = render_human(&d, src, "x.slp");
+        assert!(text.contains("note: declared here"), "{text}");
+        assert!(text.contains("----"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let src = "p(\"a\").\n";
+        let d = Diagnostic::error("E0001", "bad \"quote\"\n")
+            .with_span(Span::new(0, 1))
+            .note("see\tdocs");
+        let json = render_json_all(&[d], src, "x.slp");
+        assert!(json.contains("\"bad \\\"quote\\\"\\n\""), "{json}");
+        assert!(json.contains("\"see\\tdocs\""), "{json}");
+        assert!(json.contains("\"line\":1,\"column\":1"), "{json}");
+        assert!(json.starts_with("[\n"), "{json}");
+    }
+
+    #[test]
+    fn empty_report_is_empty_array() {
+        assert_eq!(render_json_all(&[], "", "x.slp"), "[]\n");
+    }
+
+    #[test]
+    fn sort_orders_by_span_then_severity() {
+        let mut diags = vec![
+            Diagnostic::warning("W0401", "later").with_span(Span::new(20, 21)),
+            Diagnostic::warning("W0402", "no span"),
+            Diagnostic::error("E0201", "early").with_span(Span::new(5, 6)),
+            Diagnostic::error("E0202", "same pos").with_span(Span::new(20, 21)),
+        ];
+        sort(&mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["E0201", "E0202", "W0401", "W0402"]);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let diags = vec![
+            Diagnostic::error("E0201", "e"),
+            Diagnostic::warning("W0401", "w"),
+            Diagnostic::warning("W0402", "w"),
+        ];
+        assert_eq!(counts(&diags), (1, 2));
+        let all = render_human_all(&diags, "", "x.slp");
+        assert!(all.ends_with("x.slp: 1 error(s), 2 warning(s)\n"), "{all}");
+    }
+
+    #[test]
+    fn parse_error_converts_with_span() {
+        let e = lp_parser::parse_module("p(foo).").unwrap_err();
+        let d = Diagnostic::from(&e);
+        assert_eq!(d.code, "E0001");
+        assert!(d.span.is_some());
+        assert!(d.message.contains("foo"));
+    }
+}

@@ -57,8 +57,10 @@ pub mod analysis;
 pub mod cmatch;
 pub mod consistency;
 pub mod constraint;
+pub mod diag;
 pub mod filter;
 pub mod horn;
+pub mod lint;
 pub mod matching;
 pub mod naive;
 pub mod prover;
@@ -69,8 +71,10 @@ pub mod welltyped;
 
 pub use analysis::{DependenceGraph, TypeDeclError};
 pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, SubtypeConstraint};
+pub use diag::{Diagnostic, Severity};
 pub use filter::{build_filter, FilterError, FilterLibrary};
 pub use horn::HornTheory;
+pub use lint::{lint_module, LintOptions};
 pub use matching::{match_type, MatchOutcome};
 pub use naive::{NaiveOutcome, NaiveProver};
 pub use prover::{Proof, Prover, ProverConfig};

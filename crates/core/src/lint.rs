@@ -1,0 +1,1004 @@
+//! A multi-pass static analyzer over a loaded [`Module`].
+//!
+//! [`lint_module`] runs independent passes and returns a deterministically
+//! ordered list of [`Diagnostic`]s:
+//!
+//! 1. **Dead clauses** (`W0301`) — a clause whose head fails the flexible
+//!    constrained match ([`cmatch`](crate::cmatch)) against its `PRED`
+//!    declaration, or whose head variables are forced into an uninhabited
+//!    type, can never fire: no well-typed invocation resolves against it.
+//! 2. **Empty types** (`W0302`) — a declared type constructor none of whose
+//!    constraint chains produces a ground inhabitant. Reuses the grammar
+//!    view behind [`filter::shapes`](crate::filter::shapes).
+//! 3. **Head condition** (`E0202`) — definitional genericity (§5): a
+//!    defining clause must keep the declared argument types fully general,
+//!    detected as a rigid-variable commitment in a head-only match.
+//! 4. **Singletons and unused symbols** (`W0401`–`W0405`) — variables
+//!    occurring once, and function symbols / type constructors / predicates
+//!    / constraint type parameters that are never used.
+//! 5. **Overlap and subsumption** (`W0501`/`W0502`) — clause heads of the
+//!    same predicate that unify, or are instances of an earlier head.
+//!
+//! The §3 declaration checks ([`TypeDeclError`]) and §6 well-typedness
+//! checks ([`TypeCheckError`]) are reported through the same machinery —
+//! [`decl_diagnostic`], [`clause_check_diagnostic`] and
+//! [`query_check_diagnostic`] attach source spans recorded by the loader —
+//! so `slp check` and `slp lint` render rejections identically.
+//!
+//! Determinism: every pass iterates declaration or source order (or a
+//! `BTreeMap`), and the final report is [`diag::sort`]ed; two runs over the
+//! same module produce byte-identical output, tabled or not.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use lp_parser::{LoadedClause, Module, Span};
+use lp_term::{rename_term, unify, Signature, Subst, Sym, SymKind, Term, TermDisplay, Var};
+
+use crate::analysis::TypeDeclError;
+use crate::cmatch::{CMatchFailure, CMatcher, CState};
+use crate::constraint::{CheckedConstraints, ConstraintSet};
+use crate::diag::{self, Diagnostic};
+use crate::filter;
+use crate::table::ProofTable;
+use crate::welltyped::{Checker, PredTypeTable, TypeCheckError};
+
+/// Knobs for [`lint_module`].
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Share a [`ProofTable`] across the type-level passes (the default;
+    /// disable to mirror `slp --no-table`). The findings are identical
+    /// either way — only the proof strategy differs.
+    pub tabling: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions { tabling: true }
+    }
+}
+
+/// Runs every lint pass over `module` and returns the sorted findings.
+///
+/// Purely syntactic passes (singletons, unused symbols, overlap) always
+/// run. Passes that need the §3 analyses stop at the first layer that
+/// fails: a non-uniform or unguarded declaration set yields its own
+/// diagnostic instead of the downstream type-level findings.
+pub fn lint_module(module: &Module, options: &LintOptions) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    singleton_variables(module, &mut diags);
+    unused_symbols(module, &mut diags);
+    unused_type_params(module, &mut diags);
+    overlap_report(module, &mut diags);
+
+    match checked_constraints(module) {
+        Err(e) => diags.push(decl_diagnostic(module, &e)),
+        Ok(checked) => {
+            let mut inh = Inhabitation::new(&module.sig, &checked);
+            empty_types(module, &checked, &mut inh, &mut diags);
+            match PredTypeTable::from_module(module) {
+                Err(e) => diags.push(
+                    Diagnostic::error("E0204", e.to_string()).with_opt_span(match &e {
+                        TypeCheckError::DuplicatePredType { pred }
+                        | TypeCheckError::MissingPredType { pred } => module
+                            .sig
+                            .lookup(pred)
+                            .and_then(|p| module.pred_type_span(p)),
+                        _ => None,
+                    }),
+                ),
+                Ok(preds) => {
+                    program_passes(module, &checked, &preds, options, &mut inh, &mut diags)
+                }
+            }
+        }
+    }
+
+    finish(diags)
+}
+
+/// Builds the checked (uniform + guarded) constraint set for a module.
+fn checked_constraints(module: &Module) -> Result<CheckedConstraints, TypeDeclError> {
+    ConstraintSet::from_module(module)?.checked(&module.sig)
+}
+
+/// Sorts and deduplicates the report.
+fn finish(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diag::sort(&mut diags);
+    diags.dedup();
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// §3 declaration errors and §6 well-typedness errors as diagnostics
+// ---------------------------------------------------------------------------
+
+/// Converts a §3 declaration rejection into a span-carrying diagnostic:
+/// `E0101` malformed, `E0102` non-uniform (Definition 6), `E0103`
+/// unguarded (Definition 9).
+pub fn decl_diagnostic(module: &Module, e: &TypeDeclError) -> Diagnostic {
+    match e {
+        TypeDeclError::MalformedConstraint { .. } => Diagnostic::error("E0101", e.to_string()),
+        TypeDeclError::NonUniform { index, .. } => Diagnostic::error("E0102", e.to_string())
+            .with_opt_span(module.constraints.get(*index).and_then(|c| c.span))
+            .note(
+                "uniform polymorphism (Definition 6) requires every left-hand side to apply \
+                 its constructor to distinct variables, the same ones in every constraint",
+            ),
+        TypeDeclError::Unguarded { cycle } => {
+            let span = cycle.first().and_then(|name| {
+                let ctor = module.sig.lookup(name)?;
+                module
+                    .constraints
+                    .iter()
+                    .find(|c| c.lhs.functor() == Some(ctor) && c.span.is_some())
+                    .and_then(|c| c.span)
+            });
+            Diagnostic::error("E0103", e.to_string())
+                .with_opt_span(span)
+                .note(format!(
+                    "guardedness (Definition 9) forbids a type from depending directly on \
+                     itself; dependence cycle: {}",
+                    cycle.join(" -> ")
+                ))
+        }
+    }
+}
+
+/// Converts a clause's well-typedness failure into a diagnostic anchored at
+/// the offending atom.
+pub fn clause_check_diagnostic(module: &Module, index: usize, e: &TypeCheckError) -> Diagnostic {
+    let lc = module.clauses.get(index);
+    let span = match e {
+        TypeCheckError::IllTypedAtom { atom, .. } => lc
+            .and_then(|c| c.atom_spans.get(*atom).copied())
+            .or(lc.map(|c| c.span)),
+        _ => lc.map(|c| c.span),
+    };
+    let d = check_diagnostic(module, e);
+    if d.span.is_some() {
+        d
+    } else {
+        d.with_opt_span(span)
+    }
+}
+
+/// Converts a query's well-typedness failure into a diagnostic anchored at
+/// the offending goal.
+pub fn query_check_diagnostic(module: &Module, index: usize, e: &TypeCheckError) -> Diagnostic {
+    let q = module.queries.get(index);
+    let span = match e {
+        TypeCheckError::IllTypedAtom { atom, .. } => q
+            .and_then(|q| q.atom_spans.get(*atom).copied())
+            .or(q.map(|q| q.span)),
+        _ => q.map(|q| q.span),
+    };
+    let d = check_diagnostic(module, e);
+    if d.span.is_some() {
+        d
+    } else {
+        d.with_opt_span(span)
+    }
+}
+
+fn check_diagnostic(module: &Module, e: &TypeCheckError) -> Diagnostic {
+    let code = match e {
+        TypeCheckError::MissingPredType { .. } => "E0203",
+        TypeCheckError::DuplicatePredType { .. } | TypeCheckError::NotAPredicate { .. } => "E0204",
+        TypeCheckError::IllTypedAtom { .. } | TypeCheckError::UnsatisfiableCommitments { .. } => {
+            "E0201"
+        }
+    };
+    let mut d = Diagnostic::error(code, e.to_string());
+    match e {
+        TypeCheckError::IllTypedAtom { pred, .. } => {
+            if let Some(span) = module
+                .sig
+                .lookup(pred)
+                .and_then(|p| module.pred_type_span(p))
+            {
+                d = d.related(span, format!("`{pred}` declared here"));
+            }
+        }
+        // A duplicate declaration points at the (first) `PRED` line, not
+        // at whichever clause the checker happened to be visiting.
+        TypeCheckError::DuplicatePredType { pred } => {
+            d = d.with_opt_span(
+                module
+                    .sig
+                    .lookup(pred)
+                    .and_then(|p| module.pred_type_span(p)),
+            );
+        }
+        _ => {}
+    }
+    if code == "E0201" {
+        d = d.note("well-typedness is Definition 16: every atom must match its declared type");
+    }
+    d
+}
+
+// ---------------------------------------------------------------------------
+// Pass: singleton variables (W0401)
+// ---------------------------------------------------------------------------
+
+/// A named variable occurring exactly once in a clause is usually a typo.
+/// Queries are exempt: a single-occurrence answer variable is idiomatic.
+fn singleton_variables(module: &Module, diags: &mut Vec<Diagnostic>) {
+    for lc in &module.clauses {
+        let mut counts: BTreeMap<Var, usize> = BTreeMap::new();
+        for (v, _) in &lc.var_spans {
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+        for (v, span) in &lc.var_spans {
+            if counts[v] == 1 {
+                let name = lc.hints.get(*v).unwrap_or("_");
+                diags.push(
+                    Diagnostic::warning(
+                        "W0401",
+                        format!("singleton variable `{name}` occurs only here"),
+                    )
+                    .with_span(*span)
+                    .note("use `_` if the variable is intentionally unused"),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: unused symbols (W0402 functions, W0403 type ctors, W0404 predicates)
+// ---------------------------------------------------------------------------
+
+fn collect_syms(t: &Term, out: &mut BTreeSet<Sym>) {
+    for sub in t.subterms() {
+        if let Term::App(s, _) = sub {
+            out.insert(*s);
+        }
+    }
+}
+
+fn unused_symbols(module: &Module, diags: &mut Vec<Diagnostic>) {
+    let sig = &module.sig;
+    let mut used: BTreeSet<Sym> = BTreeSet::new();
+    let mut defined_preds: BTreeSet<Sym> = BTreeSet::new();
+    let mut called_preds: BTreeSet<Sym> = BTreeSet::new();
+
+    for c in &module.constraints {
+        collect_syms(&c.lhs, &mut used);
+        collect_syms(&c.rhs, &mut used);
+    }
+    for pt in &module.pred_types {
+        for arg in pt.args() {
+            collect_syms(arg, &mut used);
+        }
+    }
+    for lc in &module.clauses {
+        if let Some(p) = lc.clause.head.functor() {
+            defined_preds.insert(p);
+        }
+        for arg in lc.clause.head.args() {
+            collect_syms(arg, &mut used);
+        }
+        for b in &lc.clause.body {
+            if let Some(p) = b.functor() {
+                called_preds.insert(p);
+            }
+            for arg in b.args() {
+                collect_syms(arg, &mut used);
+            }
+        }
+    }
+    for q in &module.queries {
+        for g in &q.goals {
+            if let Some(p) = g.functor() {
+                called_preds.insert(p);
+            }
+            for arg in g.args() {
+                collect_syms(arg, &mut used);
+            }
+        }
+    }
+
+    for s in sig.symbols_of_kind(SymKind::Func) {
+        if !used.contains(&s) {
+            diags.push(
+                Diagnostic::warning(
+                    "W0402",
+                    format!("function symbol `{}` is never used", sig.name(s)),
+                )
+                .with_opt_span(module.sym_span(s)),
+            );
+        }
+    }
+    for s in sig.symbols_of_kind(SymKind::TypeCtor) {
+        if Some(s) == module.union_sym {
+            continue;
+        }
+        if !used.contains(&s) {
+            diags.push(
+                Diagnostic::warning(
+                    "W0403",
+                    format!(
+                        "type constructor `{}` is never used (no constraint, predicate type, \
+                         or program term mentions it)",
+                        sig.name(s)
+                    ),
+                )
+                .with_opt_span(module.sym_span(s)),
+            );
+        }
+    }
+    // A predicate declared via `PRED` but never given a clause nor called
+    // anywhere is dead weight. Defined-but-uncalled predicates are fine:
+    // they are the program's entry points.
+    for pt in &module.pred_types {
+        let Some(p) = pt.functor() else { continue };
+        if !defined_preds.contains(&p) && !called_preds.contains(&p) {
+            diags.push(
+                Diagnostic::warning(
+                    "W0404",
+                    format!(
+                        "predicate `{}` is declared but never defined or called",
+                        sig.name(p)
+                    ),
+                )
+                .with_opt_span(module.pred_type_span(p)),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: unused constraint type parameters (W0405)
+// ---------------------------------------------------------------------------
+
+/// A parameter position of a type constructor whose variable appears in no
+/// right-hand side of any of that constructor's constraints has no effect
+/// on the denoted type — `tag(A) >= nil` means `tag(τ)` is `{nil}` for
+/// every `τ`.
+fn unused_type_params(module: &Module, diags: &mut Vec<Diagnostic>) {
+    let sig = &module.sig;
+    let mut by_ctor: BTreeMap<Sym, Vec<&lp_parser::LoadedConstraint>> = BTreeMap::new();
+    for c in &module.constraints {
+        let Some(ctor) = c.lhs.functor() else {
+            continue;
+        };
+        if Some(ctor) == module.union_sym {
+            continue;
+        }
+        by_ctor.entry(ctor).or_default().push(c);
+    }
+    for (ctor, cons) in &by_ctor {
+        let arity = cons.iter().map(|c| c.lhs.args().len()).max().unwrap_or(0);
+        for k in 0..arity {
+            let mut any_used = false;
+            let mut name: Option<String> = None;
+            let mut span: Option<Span> = None;
+            for c in cons {
+                match c.lhs.args().get(k) {
+                    Some(Term::Var(v)) => {
+                        if c.rhs.vars().contains(v) {
+                            any_used = true;
+                        } else {
+                            if name.is_none() {
+                                name = c.hints.get(*v).map(str::to_owned);
+                            }
+                            if span.is_none() {
+                                span = c.span;
+                            }
+                        }
+                    }
+                    // A non-variable argument (only possible in hand-built
+                    // modules; the uniformity check rejects it later) is
+                    // conservatively treated as a use.
+                    _ => any_used = true,
+                }
+            }
+            if !any_used {
+                let pname = name.unwrap_or_else(|| format!("#{}", k + 1));
+                diags.push(
+                    Diagnostic::warning(
+                        "W0405",
+                        format!(
+                            "type parameter `{pname}` of `{}` is not used by any of its \
+                             constraints",
+                            sig.name(*ctor)
+                        ),
+                    )
+                    .with_opt_span(span)
+                    .note(format!(
+                        "`{0}(τ)` denotes the same set of terms for every argument τ",
+                        sig.name(*ctor)
+                    )),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: clause-head overlap / subsumption (W0501 / W0502)
+// ---------------------------------------------------------------------------
+
+/// One-way matching: does `general` subsume `specific` (i.e. `generalθ =
+/// specific` for some substitution over `general`'s variables)? The two
+/// clauses' variable scopes are disjoint, so `specific`'s variables act as
+/// constants.
+fn subsumes(general: &Term, specific: &Term) -> bool {
+    fn go<'a>(g: &'a Term, s: &'a Term, map: &mut HashMap<Var, &'a Term>) -> bool {
+        match g {
+            Term::Var(v) => match map.get(v) {
+                Some(bound) => *bound == s,
+                None => {
+                    map.insert(*v, s);
+                    true
+                }
+            },
+            Term::App(f, args) => match s {
+                Term::App(f2, args2) if f == f2 && args.len() == args2.len() => {
+                    args.iter().zip(args2).all(|(a, b)| go(a, b, map))
+                }
+                _ => false,
+            },
+        }
+    }
+    go(general, specific, &mut HashMap::new())
+}
+
+fn head_span(lc: &LoadedClause) -> Span {
+    lc.atom_spans.first().copied().unwrap_or(lc.span)
+}
+
+fn overlap_report(module: &Module, diags: &mut Vec<Diagnostic>) {
+    let sig = &module.sig;
+    let mut by_pred: BTreeMap<(Sym, usize), Vec<usize>> = BTreeMap::new();
+    for (i, lc) in module.clauses.iter().enumerate() {
+        if let Some(p) = lc.clause.head.functor() {
+            by_pred
+                .entry((p, lc.clause.head.args().len()))
+                .or_default()
+                .push(i);
+        }
+    }
+    let mut gen = module.gen.clone();
+    for ((p, _), idxs) in &by_pred {
+        for (a, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[a + 1..] {
+                let hi = &module.clauses[i].clause.head;
+                let hj = &module.clauses[j].clause.head;
+                let hj_apart = rename_term(hj, &mut gen, &mut HashMap::new());
+                if unify(hi, &hj_apart, &mut Subst::new()).is_err() {
+                    continue;
+                }
+                let earlier = head_span(&module.clauses[i]);
+                let later = head_span(&module.clauses[j]);
+                if subsumes(hi, hj) {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W0502",
+                            format!(
+                                "clause head for `{}` is subsumed by an earlier, more general \
+                                 clause",
+                                sig.name(*p)
+                            ),
+                        )
+                        .with_span(later)
+                        .related(earlier, "the more general head is here")
+                        .note("every invocation this clause resolves also resolves earlier"),
+                    );
+                } else {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W0501",
+                            format!("clause heads for `{}` overlap", sig.name(*p)),
+                        )
+                        .with_span(later)
+                        .related(earlier, "unifies with the head of this earlier clause")
+                        .note(
+                            "some invocations resolve against both clauses; if that is not \
+                             intended, make the heads mutually exclusive",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: empty types (W0302) — grammar emptiness over the shape view
+// ---------------------------------------------------------------------------
+
+/// Memoized ground-inhabitation verdicts for type terms.
+///
+/// A type term is inhabited iff the regular-tree grammar rooted at it
+/// produces a ground term: a variable always is (instantiate it to an
+/// inhabited type), a function-symbol shape `f(τ…)` is when every argument
+/// is, and a constructor application is when some expansion
+/// ([`CheckedConstraints::expansions`]) is. The closure of a term under
+/// expansion and subterms is usually finite (guardedness bounds the ctor
+/// chains); a node budget guards the degenerate cases, answering
+/// "inhabited" optimistically so no spurious warning is emitted.
+struct Inhabitation<'a> {
+    sig: &'a Signature,
+    cs: &'a CheckedConstraints,
+    verdict: BTreeMap<Term, bool>,
+}
+
+const INHABITATION_NODE_BUDGET: usize = 4096;
+
+impl<'a> Inhabitation<'a> {
+    fn new(sig: &'a Signature, cs: &'a CheckedConstraints) -> Self {
+        Inhabitation {
+            sig,
+            cs,
+            verdict: BTreeMap::new(),
+        }
+    }
+
+    /// Whether `ty` admits a ground inhabitant.
+    fn inhabited(&mut self, ty: &Term) -> bool {
+        if matches!(ty, Term::Var(_)) {
+            return true;
+        }
+        if let Some(&v) = self.verdict.get(ty) {
+            return v;
+        }
+        // Closure under expansion (ctor applications) and subterms (shapes).
+        let mut nodes: BTreeSet<Term> = BTreeSet::new();
+        let mut stack = vec![ty.clone()];
+        while let Some(t) = stack.pop() {
+            if nodes.len() > INHABITATION_NODE_BUDGET {
+                return true; // pathological growth: stay silent
+            }
+            if matches!(t, Term::Var(_))
+                || self.verdict.contains_key(&t)
+                || !nodes.insert(t.clone())
+            {
+                continue;
+            }
+            if let Term::App(s, args) = &t {
+                match self.sig.kind(*s) {
+                    SymKind::Func | SymKind::Skolem | SymKind::Pred => {
+                        stack.extend(args.iter().cloned());
+                    }
+                    SymKind::TypeCtor => stack.extend(self.cs.expansions(&t)),
+                }
+            }
+        }
+        // Least fixpoint: mark nodes known inhabited until stable.
+        let mut marked: BTreeSet<Term> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for t in &nodes {
+                if !marked.contains(t) && self.satisfied(t, &marked) {
+                    marked.insert(t.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for t in nodes {
+            let v = marked.contains(&t);
+            self.verdict.insert(t, v);
+        }
+        self.verdict.get(ty).copied().unwrap_or(false)
+    }
+
+    fn satisfied(&self, t: &Term, marked: &BTreeSet<Term>) -> bool {
+        match t {
+            Term::Var(_) => true,
+            Term::App(s, args) => match self.sig.kind(*s) {
+                SymKind::Func | SymKind::Skolem | SymKind::Pred => {
+                    args.iter().all(|a| self.known(a, marked))
+                }
+                SymKind::TypeCtor => self.cs.expansions(t).iter().any(|e| self.known(e, marked)),
+            },
+        }
+    }
+
+    fn known(&self, t: &Term, marked: &BTreeSet<Term>) -> bool {
+        matches!(t, Term::Var(_))
+            || marked.contains(t)
+            || self.verdict.get(t).copied().unwrap_or(false)
+    }
+}
+
+fn empty_types(
+    module: &Module,
+    checked: &CheckedConstraints,
+    inh: &mut Inhabitation<'_>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let sig = &module.sig;
+    let mut gen = module.gen.clone();
+    for c in sig.symbols_of_kind(SymKind::TypeCtor) {
+        if Some(c) == module.union_sym {
+            continue;
+        }
+        let arity = sig.arity(c).unwrap_or(0);
+        let ty = Term::app(c, (0..arity).map(|_| Term::Var(gen.fresh())).collect());
+        if inh.inhabited(&ty) {
+            continue;
+        }
+        let shapes = filter::shapes(sig, checked, &ty);
+        let mut d = Diagnostic::warning(
+            "W0302",
+            format!("type `{}` has no ground inhabitant", sig.name(c)),
+        )
+        .with_opt_span(module.sym_span(c));
+        d = if shapes.is_empty() {
+            d.note(
+                "its shape set is empty: no chain of constraints produces a function-symbol shape",
+            )
+        } else {
+            let rendered: Vec<String> = shapes
+                .iter()
+                .take(3)
+                .map(|s| TermDisplay::new(s, sig).to_string())
+                .collect();
+            let ellipsis = if shapes.len() > 3 { ", …" } else { "" };
+            d.note(format!(
+                "every shape in its shape set ({}{ellipsis}) has an argument with no \
+                 ground inhabitant",
+                rendered.join(", ")
+            ))
+        };
+        diags.push(d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Passes over clauses and queries: head condition (E0202), dead clauses
+// (W0301), and full well-typedness (E0201/E0203)
+// ---------------------------------------------------------------------------
+
+/// Matches a clause head against its declared predicate type in isolation.
+///
+/// With `rigid`, the declared type's variables are rigid: a commitment
+/// means the clause head is *less general* than the declaration — the head
+/// condition / definitional genericity violation of §5. With flexible
+/// variables, failure means *no* invocation type can match the head at all:
+/// the clause is dead.
+fn match_head(
+    module: &Module,
+    checked: &CheckedConstraints,
+    preds: &PredTypeTable,
+    table: Option<&RefCell<ProofTable>>,
+    atom: &Term,
+    rigid: bool,
+) -> Result<CState, CMatchFailure> {
+    let sig = &module.sig;
+    let p = atom.functor().expect("head is an application");
+    let declared = preds.get(p).expect("caller checked the declaration");
+    let mut watermark = module.gen.watermark();
+    for v in atom.vars().into_iter().chain(declared.vars()) {
+        watermark = watermark.max(v.0 + 1);
+    }
+    let mut state = CState::new(watermark);
+    let cm = match table {
+        Some(t) => CMatcher::with_table(sig, checked, t),
+        None => CMatcher::new(sig, checked),
+    };
+    let mut map: HashMap<Var, Var> = HashMap::new();
+    let renamed = declared.map_vars(&mut |v| {
+        Term::Var(*map.entry(v).or_insert_with(|| {
+            if rigid {
+                state.fresh_rigid()
+            } else {
+                state.fresh_flexible()
+            }
+        }))
+    });
+    for (tau, t) in renamed.args().iter().zip(atom.args()) {
+        cm.cmatch(&mut state, tau, t)?;
+    }
+    cm.finalize(&mut state)?;
+    Ok(state)
+}
+
+fn program_passes(
+    module: &Module,
+    checked: &CheckedConstraints,
+    preds: &PredTypeTable,
+    options: &LintOptions,
+    inh: &mut Inhabitation<'_>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let sig = &module.sig;
+    let table = RefCell::new(ProofTable::new());
+    let table_ref = options.tabling.then_some(&table);
+    let checker = match table_ref {
+        Some(t) => Checker::with_table(sig, checked, preds, t),
+        None => Checker::new(sig, checked, preds),
+    };
+
+    for (idx, lc) in module.clauses.iter().enumerate() {
+        let head = &lc.clause.head;
+        let span = head_span(lc);
+        let mut head_condition_violated = false;
+        if let Some(p) = head.functor() {
+            if preds.get(p).is_some() {
+                // (1) Dead clauses: flexible head-only match.
+                match match_head(module, checked, preds, table_ref, head, false) {
+                    Err(f @ (CMatchFailure::NoTyping | CMatchFailure::VariableClash { .. })) => {
+                        let mut d = Diagnostic::warning(
+                            "W0301",
+                            format!(
+                                "clause for `{}` can never fire: no invocation matches its \
+                                 head under the declared type",
+                                sig.name(p)
+                            ),
+                        )
+                        .with_span(span)
+                        .note(format!("constrained match of the head fails: {f}"));
+                        if let Some(ps) = module.pred_type_span(p) {
+                            d = d.related(ps, format!("`{}` declared here", sig.name(p)));
+                        }
+                        diags.push(d);
+                    }
+                    Ok(state) => {
+                        // (3) Head condition: the head is typeable under
+                        // *some* invocation (the flexible match above
+                        // succeeded), so a rigid commitment in the
+                        // rigid-variable match pins a genericity violation
+                        // rather than plain ill-typedness.
+                        if let Err(CMatchFailure::RigidCommitment { .. }) =
+                            match_head(module, checked, preds, table_ref, head, true)
+                        {
+                            head_condition_violated = true;
+                            let mut d = Diagnostic::error(
+                                "E0202",
+                                format!(
+                                    "clause head for `{}` violates the head condition \
+                                     (definitional genericity)",
+                                    sig.name(p)
+                                ),
+                            )
+                            .with_span(span)
+                            .note(
+                                "a defining clause must keep the declared argument types \
+                                 fully general; only invocations may instantiate predicate \
+                                 type variables (§5)",
+                            );
+                            if let Some(ps) = module.pred_type_span(p) {
+                                d = d.related(ps, format!("`{}` declared here", sig.name(p)));
+                            }
+                            diags.push(d);
+                        }
+                        // The head matches, but a head variable may be
+                        // forced into a type with no ground inhabitant.
+                        for (v, ty) in state.all_types() {
+                            if matches!(ty, Term::App(..)) && !inh.inhabited(&ty) {
+                                let name = lc.hints.get(v).unwrap_or("_").to_owned();
+                                let vspan = lc
+                                    .var_spans
+                                    .iter()
+                                    .find(|(w, _)| *w == v)
+                                    .map(|(_, s)| *s)
+                                    .unwrap_or(span);
+                                diags.push(
+                                    Diagnostic::warning(
+                                        "W0301",
+                                        format!(
+                                            "clause for `{}` can never fire: `{name}` must \
+                                             inhabit the empty type `{}`",
+                                            sig.name(p),
+                                            TermDisplay::new(&ty, sig)
+                                        ),
+                                    )
+                                    .with_span(vspan)
+                                    .note(
+                                        "no ground term has this type, so no well-typed \
+                                         invocation can bind the variable",
+                                    ),
+                                );
+                                break; // one dead-clause report per clause
+                            }
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        // Full well-typedness (Definition 16). A head-condition violation
+        // already reports the rigid commitment on atom 0; skip the
+        // duplicate.
+        if let Err(e) = checker.check_clause(&lc.clause) {
+            let duplicate = head_condition_violated
+                && matches!(
+                    &e,
+                    TypeCheckError::IllTypedAtom {
+                        atom: 0,
+                        failure: CMatchFailure::RigidCommitment { .. },
+                        ..
+                    }
+                );
+            if !duplicate {
+                diags.push(clause_check_diagnostic(module, idx, &e));
+            }
+        }
+    }
+
+    for (qi, q) in module.queries.iter().enumerate() {
+        if let Err(e) = checker.check_query(&q.goals) {
+            diags.push(query_check_diagnostic(module, qi, &e));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_parser::parse_module;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let m = parse_module(src).unwrap();
+        lint_module(&m, &LintOptions::default())
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const NAT: &str = "FUNC 0, succ. TYPE nat. nat >= 0 + succ(nat).";
+
+    #[test]
+    fn clean_module_yields_no_findings() {
+        let diags = lint_src(&format!(
+            "{NAT} PRED double(nat, nat). double(0, 0). \
+             double(succ(X), succ(succ(Y))) :- double(X, Y). :- double(succ(0), N)."
+        ));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dead_clause_is_detected_with_span() {
+        // pred(0) is not a nat, so q's only clause can never fire.
+        let src = format!("FUNC pred. {NAT} PRED q(nat). q(pred(0)). :- q(0).");
+        let diags = lint_src(&src);
+        assert!(codes(&diags).contains(&"W0301"), "{diags:?}");
+        let dead = diags.iter().find(|d| d.code == "W0301").unwrap();
+        let span = dead.span.expect("dead clause has a span");
+        assert_eq!(&src[span.start..span.end], "q(pred(0))");
+        // The ill-typed head is also an E0201 (distinct finding).
+        assert!(codes(&diags).contains(&"E0201"), "{diags:?}");
+    }
+
+    #[test]
+    fn empty_type_is_detected() {
+        let src = "FUNC cons. TYPE bottom. bottom >= cons(bottom, bottom). \
+                   PRED p(bottom). p(X) :- p(X). :- p(X).";
+        let diags = lint_src(src);
+        let empty = diags.iter().find(|d| d.code == "W0302").expect("W0302");
+        assert!(empty.message.contains("bottom"), "{empty:?}");
+        // The clause head variable is forced into `bottom`: dead clause too.
+        assert!(codes(&diags).contains(&"W0301"), "{diags:?}");
+    }
+
+    #[test]
+    fn parameterized_emptiness_is_per_instance() {
+        // list(A) is inhabited (nil); nelist(bottom) is not, but nelist(A)
+        // itself is fine — no W0302 for nelist.
+        let src = "FUNC nil, cons. TYPE elist, nelist, list, bottom. \
+                   elist >= nil. nelist(A) >= cons(A, list(A)). \
+                   list(A) >= elist + nelist(A). bottom >= cons(bottom, bottom). \
+                   PRED p(list(A)). p(nil). :- p(nil).";
+        let diags = lint_src(src);
+        let empties: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "W0302").collect();
+        assert_eq!(empties.len(), 1, "{diags:?}");
+        assert!(empties[0].message.contains("bottom"));
+    }
+
+    #[test]
+    fn head_condition_violation_is_e0202_not_duplicated() {
+        // generic's declaration promises full generality in A; the clause
+        // head commits A = elist.
+        let src = "FUNC nil, cons. TYPE elist, nelist, list. elist >= nil. \
+                   nelist(A) >= cons(A, list(A)). list(A) >= elist + nelist(A). \
+                   PRED generic(list(A)). generic(cons(nil, nil)). :- generic(nil).";
+        let diags = lint_src(src);
+        let e0202: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "E0202").collect();
+        assert_eq!(e0202.len(), 1, "{diags:?}");
+        assert!(e0202[0].related.iter().any(|(_, c)| c.contains("declared")));
+        // The rigid commitment is not double-reported as E0201.
+        assert!(!codes(&diags).contains(&"E0201"), "{diags:?}");
+    }
+
+    #[test]
+    fn singleton_and_unused_warnings() {
+        let src = format!(
+            "FUNC orphan. TYPE ghost. {NAT} PRED p(nat). PRED q(nat). \
+             p(X) :- p(Y), p(Y). :- p(0)."
+        );
+        let diags = lint_src(&src);
+        let got = codes(&diags);
+        assert!(got.contains(&"W0401"), "singleton X: {diags:?}");
+        assert!(got.contains(&"W0402"), "unused orphan: {diags:?}");
+        assert!(got.contains(&"W0403"), "unused ghost: {diags:?}");
+        assert!(got.contains(&"W0404"), "unused pred q: {diags:?}");
+        let singles: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "W0401").collect();
+        assert_eq!(singles.len(), 1, "only X is a singleton: {diags:?}");
+        assert!(singles[0].message.contains("`X`"));
+    }
+
+    #[test]
+    fn unused_type_parameter_is_w0405() {
+        let src = "FUNC nil. TYPE tag. tag(A) >= nil. PRED p(tag(A)). p(nil). :- p(nil).";
+        let diags = lint_src(src);
+        let w = diags.iter().find(|d| d.code == "W0405").expect("W0405");
+        assert!(w.message.contains("`A`"), "{w:?}");
+        assert!(w.message.contains("tag"), "{w:?}");
+    }
+
+    #[test]
+    fn overlap_and_subsumption_are_distinguished() {
+        let src = format!(
+            "{NAT} PRED pair(nat, nat). pair(X, 0) :- pair(X, X). \
+             pair(0, Y) :- pair(Y, Y). pair(0, 0). :- pair(0, 0)."
+        );
+        let diags = lint_src(&src);
+        let overlaps: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code.starts_with("W05"))
+            .map(|d| d.code)
+            .collect();
+        // pair(X,0) vs pair(0,Y) overlap; pair(0,0) is subsumed by both.
+        assert_eq!(overlaps, vec!["W0501", "W0502", "W0502"], "{diags:?}");
+    }
+
+    #[test]
+    fn nonuniform_declarations_stop_at_e0102_with_span() {
+        let src = "FUNC a. TYPE t. t(A, A) >= a.";
+        let diags = lint_src(src);
+        let e = diags.iter().find(|d| d.code == "E0102").expect("E0102");
+        let span = e.span.expect("spanned");
+        assert!(src[span.start..span.end].starts_with("t(A, A)"), "{e:?}");
+    }
+
+    #[test]
+    fn unguarded_declarations_stop_at_e0103_with_span() {
+        let src = "TYPE t, u. t >= u. u >= t.";
+        let diags = lint_src(src);
+        let e = diags.iter().find(|d| d.code == "E0103").expect("E0103");
+        assert!(e.span.is_some(), "{e:?}");
+        assert!(e.notes.iter().any(|n| n.contains("->")), "{e:?}");
+    }
+
+    #[test]
+    fn missing_pred_type_is_e0203() {
+        let diags = lint_src(&format!("{NAT} p(0)."));
+        assert!(codes(&diags).contains(&"E0203"), "{diags:?}");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_tabling_invariant() {
+        let src = "FUNC 0, succ, pred, nil, cons, orphan. \
+                   TYPE nat, list, bottom. nat >= 0 + succ(nat). \
+                   list(A) >= nil + cons(A, list(A)). bottom >= cons(bottom, bottom). \
+                   PRED q(nat). q(pred(0)). PRED s(bottom). s(X). :- q(0).";
+        let m = parse_module(src).unwrap();
+        let a = lint_module(&m, &LintOptions { tabling: true });
+        let b = lint_module(&m, &LintOptions { tabling: true });
+        let c = lint_module(&m, &LintOptions { tabling: false });
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn paper_example_is_clean() {
+        let src = "FUNC 0, succ, nil, cons. TYPE nat, elist, nelist, list. \
+                   nat >= 0 + succ(nat). elist >= nil. \
+                   nelist(A) >= cons(A, list(A)). list(A) >= elist + nelist(A). \
+                   PRED app(list(A), list(A), list(A)). \
+                   app(nil, L, L). \
+                   app(cons(X, L), M, cons(X, N)) :- app(L, M, N). \
+                   :- app(nil, cons(0, nil), Z).";
+        let diags = lint_src(src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

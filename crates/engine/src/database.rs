@@ -14,6 +14,19 @@ fn next_generation() -> u64 {
     GENERATION.fetch_add(1, Ordering::Relaxed) + 1
 }
 
+/// Where a stored clause came from, for diagnostics and trace reporting.
+///
+/// The engine is independent of any concrete surface syntax, so the origin
+/// records the *loader's* view: the clause's index in the source module and,
+/// when the clause was parsed from text, its byte range in that text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClauseOrigin {
+    /// Index of the clause in the source module (source order).
+    pub source_index: usize,
+    /// Byte range `(start, end)` of the clause in the source text, if known.
+    pub span: Option<(usize, usize)>,
+}
+
 /// A clause database: the program under execution.
 ///
 /// Clauses are kept in insertion order (source order matters for SLD search)
@@ -27,6 +40,7 @@ fn next_generation() -> u64 {
 #[derive(Debug, Clone)]
 pub struct Database {
     clauses: Vec<Clause>,
+    origins: Vec<Option<ClauseOrigin>>,
     index: HashMap<(Sym, usize), Vec<usize>>,
     max_var: Option<Var>,
     generation: u64,
@@ -36,6 +50,7 @@ impl Default for Database {
     fn default() -> Self {
         Database {
             clauses: Vec::new(),
+            origins: Vec::new(),
             index: HashMap::new(),
             max_var: None,
             generation: next_generation(),
@@ -51,6 +66,15 @@ impl Database {
 
     /// Appends a clause, keeping source order within its predicate.
     pub fn add(&mut self, clause: Clause) {
+        self.insert(clause, None);
+    }
+
+    /// Appends a clause together with its provenance.
+    pub fn add_with_origin(&mut self, clause: Clause, origin: ClauseOrigin) {
+        self.insert(clause, Some(origin));
+    }
+
+    fn insert(&mut self, clause: Clause, origin: Option<ClauseOrigin>) {
         let key = (
             clause.head.functor().expect("clause head is an atom"),
             clause.head.args().len(),
@@ -62,7 +86,13 @@ impl Database {
         }
         self.index.entry(key).or_default().push(self.clauses.len());
         self.clauses.push(clause);
+        self.origins.push(origin);
         self.generation = next_generation();
+    }
+
+    /// Provenance of the clause at `index`, if it was recorded.
+    pub fn origin(&self, index: usize) -> Option<&ClauseOrigin> {
+        self.origins.get(index).and_then(Option::as_ref)
     }
 
     /// The generation stamp of the clause set: process-unique, refreshed by
@@ -150,6 +180,30 @@ mod tests {
         assert_eq!(db.candidates(q, 0), &[1]);
         assert_eq!(db.candidates(p, 2), &[] as &[usize]);
         assert_eq!(db.len(), 3);
+    }
+
+    #[test]
+    fn origins_survive_indexing() {
+        let mut sig = Signature::new();
+        let p = sig.declare("p", SymKind::Pred).unwrap();
+        let mut db = Database::new();
+        db.add(Clause::fact(Term::constant(p)));
+        db.add_with_origin(
+            Clause::fact(Term::constant(p)),
+            ClauseOrigin {
+                source_index: 1,
+                span: Some((10, 14)),
+            },
+        );
+        assert_eq!(db.origin(0), None);
+        assert_eq!(
+            db.origin(1),
+            Some(&ClauseOrigin {
+                source_index: 1,
+                span: Some((10, 14)),
+            })
+        );
+        assert_eq!(db.origin(7), None);
     }
 
     #[test]

@@ -64,5 +64,5 @@ mod database;
 mod solve;
 
 pub use clause::Clause;
-pub use database::Database;
+pub use database::{ClauseOrigin, Database};
 pub use solve::{Query, Solution, SolveConfig, Stats, Step};

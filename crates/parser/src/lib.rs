@@ -69,7 +69,9 @@ mod unparse;
 
 pub use error::{ParseError, ParseErrorKind};
 pub use lexer::Lexer;
-pub use loader::{parse_module, LoadedClause, LoadedQuery, Loader, LoaderOptions, Module};
+pub use loader::{
+    parse_module, LoadedClause, LoadedConstraint, LoadedQuery, Loader, LoaderOptions, Module,
+};
 pub use parser::{parse_items, parse_single_term};
 pub use token::{Span, Token, TokenKind};
 pub use unparse::{unparse, unparse_term};

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use lp_engine::Clause;
+use lp_engine::{Clause, ClauseOrigin};
 use lp_term::{NameHints, Signature, Sym, SymKind, Term, Var, VarGen};
 
 use crate::ast::{Item, TermAst};
@@ -46,6 +46,19 @@ impl Default for LoaderOptions {
     }
 }
 
+/// A loaded subtype constraint `lhs >= rhs` with presentation metadata.
+#[derive(Debug, Clone)]
+pub struct LoadedConstraint {
+    /// The left-hand side `c(τ₁…τₙ)` (a type-constructor application).
+    pub lhs: Term,
+    /// The right-hand side type.
+    pub rhs: Term,
+    /// Source names for the constraint's parameter variables.
+    pub hints: NameHints,
+    /// Source location; `None` for predefined (builtin) constraints.
+    pub span: Option<Span>,
+}
+
 /// A loaded program clause with presentation metadata.
 #[derive(Debug, Clone)]
 pub struct LoadedClause {
@@ -55,6 +68,10 @@ pub struct LoadedClause {
     pub hints: NameHints,
     /// Source location.
     pub span: Span,
+    /// Source locations of the atoms: head first, then each body atom.
+    pub atom_spans: Vec<Span>,
+    /// Every occurrence of a *named* variable, in source order.
+    pub var_spans: Vec<(Var, Span)>,
 }
 
 /// A loaded query with presentation metadata.
@@ -66,6 +83,10 @@ pub struct LoadedQuery {
     pub hints: NameHints,
     /// Source location.
     pub span: Span,
+    /// Source locations of the goal atoms.
+    pub atom_spans: Vec<Span>,
+    /// Every occurrence of a *named* variable, in source order.
+    pub var_spans: Vec<(Var, Span)>,
 }
 
 /// A fully loaded module: signature plus everything declared in the source.
@@ -75,11 +96,17 @@ pub struct Module {
     pub sig: Signature,
     /// A variable generator positioned past every variable in the module.
     pub gen: VarGen,
-    /// Raw subtype constraints `(lhs, rhs)` in declaration order, including
-    /// the predefined union constraints when enabled.
-    pub constraints: Vec<(Term, Term)>,
+    /// Raw subtype constraints in declaration order, including the
+    /// predefined union constraints when enabled.
+    pub constraints: Vec<LoadedConstraint>,
     /// Declared predicate types `p(τ₁, …, τₙ)`, one per predicate.
     pub pred_types: Vec<Term>,
+    /// Source location of each `PRED` declaration, parallel to
+    /// [`Module::pred_types`].
+    pub pred_type_spans: Vec<Span>,
+    /// Declaration sites of explicitly declared symbols (`FUNC`/`TYPE`
+    /// names), in declaration order.
+    pub sym_spans: Vec<(Sym, Span)>,
     /// Program clauses in source order.
     pub clauses: Vec<LoadedClause>,
     /// Queries in source order.
@@ -89,9 +116,37 @@ pub struct Module {
 }
 
 impl Module {
-    /// Builds an engine [`Database`](lp_engine::Database) from the clauses.
+    /// Builds an engine [`Database`](lp_engine::Database) from the clauses,
+    /// recording each clause's source index and span as its provenance.
     pub fn database(&self) -> lp_engine::Database {
-        self.clauses.iter().map(|c| c.clause.clone()).collect()
+        let mut db = lp_engine::Database::new();
+        for (i, c) in self.clauses.iter().enumerate() {
+            db.add_with_origin(
+                c.clause.clone(),
+                ClauseOrigin {
+                    source_index: i,
+                    span: Some((c.span.start, c.span.end)),
+                },
+            );
+        }
+        db
+    }
+
+    /// Declaration site of a `FUNC`/`TYPE` symbol, if it was declared in
+    /// source (predefined and implicitly declared symbols have none).
+    pub fn sym_span(&self, sym: Sym) -> Option<Span> {
+        self.sym_spans
+            .iter()
+            .find(|(s, _)| *s == sym)
+            .map(|&(_, span)| span)
+    }
+
+    /// Source location of the `PRED` declaration for `pred`, if any.
+    pub fn pred_type_span(&self, pred: Sym) -> Option<Span> {
+        self.pred_types
+            .iter()
+            .position(|pt| pt.functor() == Some(pred))
+            .and_then(|i| self.pred_type_spans.get(i).copied())
     }
 }
 
@@ -123,9 +178,11 @@ pub struct Loader {
     options: LoaderOptions,
     sig: Signature,
     gen: VarGen,
-    constraints: Vec<(Term, Term)>,
+    constraints: Vec<LoadedConstraint>,
     pred_types: Vec<Term>,
+    pred_type_spans: Vec<Span>,
     pred_type_owner: HashMap<Sym, Span>,
+    sym_spans: Vec<(Sym, Span)>,
     clauses: Vec<LoadedClause>,
     queries: Vec<LoadedQuery>,
     union_sym: Option<Sym>,
@@ -144,10 +201,20 @@ impl Loader {
             // A+B >= A.   A+B >= B.
             let (a, b) = (gen.fresh(), gen.fresh());
             let lhs = Term::app(plus, vec![Term::Var(a), Term::Var(b)]);
-            constraints.push((lhs.clone(), Term::Var(a)));
+            constraints.push(LoadedConstraint {
+                lhs: lhs.clone(),
+                rhs: Term::Var(a),
+                hints: NameHints::new(),
+                span: None,
+            });
             let (a2, b2) = (gen.fresh(), gen.fresh());
             let lhs2 = Term::app(plus, vec![Term::Var(a2), Term::Var(b2)]);
-            constraints.push((lhs2, Term::Var(b2)));
+            constraints.push(LoadedConstraint {
+                lhs: lhs2,
+                rhs: Term::Var(b2),
+                hints: NameHints::new(),
+                span: None,
+            });
             Some(plus)
         } else {
             None
@@ -158,7 +225,9 @@ impl Loader {
             gen,
             constraints,
             pred_types: Vec::new(),
+            pred_type_spans: Vec::new(),
             pred_type_owner: HashMap::new(),
+            sym_spans: Vec::new(),
             clauses: Vec::new(),
             queries: Vec::new(),
             union_sym,
@@ -174,9 +243,10 @@ impl Loader {
     /// additional terms against its signature (e.g. command-line queries).
     pub fn resume(module: Module, options: LoaderOptions) -> Self {
         let mut pred_type_owner = HashMap::new();
-        for pt in &module.pred_types {
+        for (i, pt) in module.pred_types.iter().enumerate() {
             if let Some(p) = pt.functor() {
-                pred_type_owner.insert(p, Span::default());
+                let span = module.pred_type_spans.get(i).copied().unwrap_or_default();
+                pred_type_owner.insert(p, span);
             }
         }
         Loader {
@@ -185,7 +255,9 @@ impl Loader {
             gen: module.gen,
             constraints: module.constraints,
             pred_types: module.pred_types,
+            pred_type_spans: module.pred_type_spans,
             pred_type_owner,
+            sym_spans: module.sym_spans,
             clauses: module.clauses,
             queries: module.queries,
             union_sym: module.union_sym,
@@ -268,17 +340,21 @@ impl Loader {
         match item {
             Item::FuncDecl(names) => {
                 for n in names {
-                    self.sig
+                    let sym = self
+                        .sig
                         .declare(&n.name, SymKind::Func)
                         .map_err(|e| ParseError::from((e, n.span)))?;
+                    self.record_sym_span(sym, n.span);
                 }
                 Ok(())
             }
             Item::TypeDecl(names) => {
                 for n in names {
-                    self.sig
+                    let sym = self
+                        .sig
                         .declare(&n.name, SymKind::TypeCtor)
                         .map_err(|e| ParseError::from((e, n.span)))?;
+                    self.record_sym_span(sym, n.span);
                 }
                 Ok(())
             }
@@ -301,9 +377,18 @@ impl Loader {
             gen: self.gen,
             constraints: self.constraints,
             pred_types: self.pred_types,
+            pred_type_spans: self.pred_type_spans,
+            sym_spans: self.sym_spans,
             clauses: self.clauses,
             queries: self.queries,
             union_sym: self.union_sym,
+        }
+    }
+
+    /// Remembers the *first* declaration site of a symbol.
+    fn record_sym_span(&mut self, sym: Sym, span: Span) {
+        if !self.sym_spans.iter().any(|(s, _)| *s == sym) {
+            self.sym_spans.push((sym, span));
         }
     }
 
@@ -335,6 +420,7 @@ impl Loader {
             resolved.push(self.resolve(a, Position::Type, &mut scope)?);
         }
         self.pred_types.push(Term::app(pred, resolved));
+        self.pred_type_spans.push(*span);
         Ok(())
     }
 
@@ -377,7 +463,12 @@ impl Loader {
                 span,
             ));
         }
-        self.constraints.push((lhs_t, rhs_t));
+        self.constraints.push(LoadedConstraint {
+            lhs: lhs_t,
+            rhs: rhs_t,
+            hints: scope.hints,
+            span: Some(span),
+        });
         Ok(())
     }
 
@@ -388,15 +479,20 @@ impl Loader {
         span: Span,
     ) -> Result<(), ParseError> {
         let mut scope = Scope::new();
+        let mut atom_spans = Vec::with_capacity(body.len() + 1);
+        atom_spans.push(head.span());
         let head_t = self.resolve_atom(head, &mut scope)?;
         let mut body_t = Vec::with_capacity(body.len());
         for b in body {
+            atom_spans.push(b.span());
             body_t.push(self.resolve_atom(b, &mut scope)?);
         }
         self.clauses.push(LoadedClause {
             clause: Clause::rule(head_t, body_t),
             hints: scope.hints,
             span,
+            atom_spans,
+            var_spans: scope.occurrences,
         });
         Ok(())
     }
@@ -404,13 +500,17 @@ impl Loader {
     fn load_query(&mut self, body: &[TermAst], span: Span) -> Result<(), ParseError> {
         let mut scope = Scope::new();
         let mut goals = Vec::with_capacity(body.len());
+        let mut atom_spans = Vec::with_capacity(body.len());
         for b in body {
+            atom_spans.push(b.span());
             goals.push(self.resolve_atom(b, &mut scope)?);
         }
         self.queries.push(LoadedQuery {
             goals,
             hints: scope.hints,
             span,
+            atom_spans,
+            var_spans: scope.occurrences,
         });
         Ok(())
     }
@@ -446,7 +546,7 @@ impl Loader {
         scope: &mut Scope,
     ) -> Result<Term, ParseError> {
         match t {
-            TermAst::Var { name, .. } => Ok(Term::Var(scope.var(&mut self.gen, name))),
+            TermAst::Var { name, span } => Ok(Term::Var(scope.var(&mut self.gen, name, *span))),
             TermAst::App { name, args, span } => {
                 let sym = match self.sig.lookup(name) {
                     Some(s) => {
@@ -499,6 +599,8 @@ impl Loader {
 struct Scope {
     by_name: HashMap<String, Var>,
     hints: NameHints,
+    /// Occurrences of named (non-`_`) variables, in source order.
+    occurrences: Vec<(Var, Span)>,
 }
 
 impl Scope {
@@ -506,17 +608,19 @@ impl Scope {
         Self::default()
     }
 
-    fn var(&mut self, gen: &mut VarGen, name: &str) -> Var {
+    fn var(&mut self, gen: &mut VarGen, name: &str, span: Span) -> Var {
         if name == "_" {
-            // Anonymous: every occurrence is fresh.
+            // Anonymous: every occurrence is fresh and never reported.
             return gen.fresh();
         }
         if let Some(&v) = self.by_name.get(name) {
+            self.occurrences.push((v, span));
             return v;
         }
         let v = gen.fresh();
         self.by_name.insert(name.to_string(), v);
         self.hints.insert(v, name);
+        self.occurrences.push((v, span));
         v
     }
 }
@@ -655,9 +759,59 @@ mod tests {
         let plus = m.union_sym.expect("predefined +");
         assert_eq!(m.sig.kind(plus), SymKind::TypeCtor);
         assert_eq!(m.constraints.len(), 2);
-        // Both constraints have `+` on the left.
-        for (lhs, _) in &m.constraints {
-            assert_eq!(lhs.functor(), Some(plus));
+        // Both constraints have `+` on the left, and neither has a span.
+        for c in &m.constraints {
+            assert_eq!(c.lhs.functor(), Some(plus));
+            assert_eq!(c.span, None);
+        }
+    }
+
+    #[test]
+    fn spans_survive_lowering() {
+        let m = parse_module(LISTS).unwrap();
+        let src = LISTS;
+        // Declared constraints carry their source spans.
+        for c in &m.constraints[2..] {
+            let span = c.span.expect("declared constraint has a span");
+            assert!(src[span.start..span.end].contains(">="));
+        }
+        // The PRED declaration span covers the predicate type.
+        assert_eq!(m.pred_type_spans.len(), 1);
+        let ps = m.pred_type_spans[0];
+        assert!(src[ps.start..ps.end].starts_with("app"));
+        // Symbol declaration sites point at the declared names.
+        let nil = m.sig.lookup("nil").unwrap();
+        let span = m.sym_span(nil).expect("nil declared in source");
+        assert_eq!(&src[span.start..span.end], "nil");
+        // Clause atom spans: head first, then body atoms.
+        let rule = &m.clauses[1];
+        assert_eq!(rule.atom_spans.len(), 2);
+        assert!(src[rule.atom_spans[0].start..].starts_with("app(cons"));
+        assert!(src[rule.atom_spans[1].start..].starts_with("app(L"));
+        // Named-variable occurrences: X, L, M, X, N in the head, L, M, N in
+        // the body — 8 occurrences of 4 distinct variables.
+        assert_eq!(rule.var_spans.len(), 8);
+        let distinct: std::collections::HashSet<_> =
+            rule.var_spans.iter().map(|(v, _)| *v).collect();
+        assert_eq!(distinct.len(), 4);
+        for (v, span) in &rule.var_spans {
+            let name = rule.hints.get(*v).expect("named var has a hint");
+            assert_eq!(&src[span.start..span.end], name);
+        }
+    }
+
+    #[test]
+    fn database_records_provenance() {
+        let m = parse_module(LISTS).unwrap();
+        let db = m.database();
+        for i in 0..db.len() {
+            let origin = db.origin(i).expect("loaded clause has an origin");
+            assert_eq!(origin.source_index, i);
+            let (start, end) = origin.span.expect("loaded clause has a span");
+            assert_eq!(
+                (start, end),
+                (m.clauses[i].span.start, m.clauses[i].span.end)
+            );
         }
     }
 

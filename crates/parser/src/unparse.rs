@@ -34,16 +34,16 @@ pub fn unparse(module: &Module) -> String {
         let _ = writeln!(out, "TYPE {}.", ctors.join(", "));
     }
 
-    for (lhs, rhs) in &module.constraints {
-        if lhs.functor() == module.union_sym {
+    for c in &module.constraints {
+        if c.lhs.functor() == module.union_sym {
             continue; // predefined
         }
-        let hints = letter_hints(&[lhs, rhs]);
+        let hints = letter_hints(&[&c.lhs, &c.rhs]);
         let _ = writeln!(
             out,
             "{} >= {}.",
-            TermDisplay::new(lhs, sig).with_hints(&hints),
-            TermDisplay::new(rhs, sig).with_hints(&hints)
+            TermDisplay::new(&c.lhs, sig).with_hints(&hints),
+            TermDisplay::new(&c.rhs, sig).with_hints(&hints)
         );
     }
 
@@ -203,8 +203,6 @@ mod tests {
         let text = unparse(&m1);
         let m2 = parse_module(&text).unwrap();
         // The reparsed constraint keeps right-nesting.
-        let (_, rhs1) = &m1.constraints[2];
-        let (_, rhs2) = &m2.constraints[2];
-        assert_eq!(rhs1, rhs2);
+        assert_eq!(m1.constraints[2].rhs, m2.constraints[2].rhs);
     }
 }

@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! slp check   FILE                 type-check every clause and query
+//! slp lint    FILE [--deny warnings] [--format json]
+//!                                  run the static analyzer (dead clauses,
+//!                                  empty types, head condition, unused
+//!                                  symbols, overlapping heads, …)
 //! slp run     FILE [-q N] [-n N]   run a query (after checking)
 //! slp audit   FILE [-q N] [-n N]   run with Theorem 6 consistency auditing
 //! slp subtype FILE SUP SUB         decide SUP >= SUB (deterministic prover)
@@ -10,73 +14,197 @@
 //! slp export  FILE                 print the module in canonical syntax
 //! slp info    FILE                 summarize declarations
 //! ```
+//!
+//! Every rejection — parse error, §3 declaration error, §6 well-typedness
+//! failure, lint finding — is rendered through the same span-carrying
+//! [`Diagnostic`] machinery. Exit codes: 0 clean, 1 for warnings under
+//! `lint --deny warnings`, 2 for errors.
 
 use std::cell::RefCell;
 use std::process::ExitCode;
 
 use subtype_lp::core::consistency::AuditConfig;
+use subtype_lp::core::diag::{self, Diagnostic};
+use subtype_lp::core::lint::{
+    clause_check_diagnostic, decl_diagnostic, lint_module, query_check_diagnostic, LintOptions,
+};
 use subtype_lp::core::{
     match_type, ConstraintSet, MatchOutcome, NaiveProver, ProofTable, Prover, TabledProver,
 };
+use subtype_lp::parser::{parse_module, Module};
 use subtype_lp::term::TermDisplay;
 use subtype_lp::TypedProgram;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("slp: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling."
+    "usage:\n  slp check FILE\n  slp lint FILE [--deny warnings] [--format json|human]\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    let file = args.get(1).ok_or_else(usage)?;
+    // The FILE operand is the first argument that is neither a flag nor the
+    // value of a value-taking flag, so `slp lint --deny warnings f.slp` and
+    // `slp lint f.slp --deny warnings` both work.
+    let mut rest = args[1..].iter();
+    let mut file = None;
+    while let Some(a) = rest.next() {
+        if a == "--format" || a == "--deny" {
+            rest.next();
+        } else if !a.starts_with("--") {
+            file = Some(a);
+            break;
+        }
+    }
+    let file = file.ok_or_else(usage)?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let no_table = args.iter().any(|a| a == "--no-table");
-    let program = TypedProgram::from_source(&src)
-        .map_err(|e| pretty(&src, e))?
-        .with_tabling(!no_table);
+
+    if command == "lint" {
+        return lint_cmd(file, &src, args, no_table);
+    }
+
+    let module = match parse_module(&src) {
+        Ok(m) => m,
+        Err(e) => return Ok(report_errors(&[Diagnostic::from(&e)], &src, file)),
+    };
+    let program = match TypedProgram::from_module(module.clone()) {
+        Ok(p) => p.with_tabling(!no_table),
+        Err(e) => return Ok(report_errors(&program_diagnostics(&module, &e), &src, file)),
+    };
 
     match command.as_str() {
-        "check" => check(&program),
-        "run" => execute(&program, args, false),
-        "audit" => execute(&program, args, true),
-        "subtype" => subtype(program, &src, args),
-        "match" => match_cmd(program, &src, args),
-        "filter" => filter_cmd(program, args),
+        "check" => check(&program, &src, file),
+        "run" => execute(&program, &src, file, args, false),
+        "audit" => execute(&program, &src, file, args, true),
+        "subtype" => subtype(program, args).map(|()| ExitCode::SUCCESS),
+        "match" => match_cmd(program, args).map(|()| ExitCode::SUCCESS),
+        "filter" => filter_cmd(program, args).map(|()| ExitCode::SUCCESS),
         "export" => {
             print!("{}", subtype_lp::parser::unparse(program.module()));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        "info" => info(&program),
+        "info" => info(&program).map(|()| ExitCode::SUCCESS),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
 
-fn pretty(src: &str, e: subtype_lp::Error) -> String {
+/// Renders error diagnostics to stderr and yields exit code 2.
+fn report_errors(diags: &[Diagnostic], src: &str, file: &str) -> ExitCode {
+    let mut ds = diags.to_vec();
+    diag::sort(&mut ds);
+    eprint!("{}", diag::render_human_all(&ds, src, file));
+    ExitCode::from(2)
+}
+
+/// Maps a program-construction failure onto span-carrying diagnostics.
+fn program_diagnostics(module: &Module, e: &subtype_lp::Error) -> Vec<Diagnostic> {
     match e {
-        subtype_lp::Error::Parse(p) => p.render(src),
-        other => other.to_string(),
+        subtype_lp::Error::Parse(p) => vec![Diagnostic::from(p)],
+        subtype_lp::Error::Declarations(d) => vec![decl_diagnostic(module, d)],
+        // `from_module` only produces `Check` for predicate-type-table
+        // errors (duplicate declarations etc.), whose spans the diagnostic
+        // constructor resolves itself; the index is not a clause index.
+        subtype_lp::Error::Check(errors) => errors
+            .iter()
+            .map(|(i, e)| clause_check_diagnostic(module, *i, e))
+            .collect(),
     }
 }
 
-fn check(program: &TypedProgram) -> Result<(), String> {
-    let n_clauses = program.module().clauses.len();
-    let n_queries = program.module().queries.len();
-    program.check_all().map_err(|e| e.to_string())?;
-    println!("well-typed: {n_clauses} clause(s), {n_queries} query(ies)");
-    Ok(())
+/// Diagnostics for every ill-typed clause and query, or empty when the
+/// program is well-typed.
+fn check_program_diags(program: &TypedProgram) -> Vec<Diagnostic> {
+    let module = program.module();
+    let mut diags = Vec::new();
+    if let Err(subtype_lp::Error::Check(errs)) = program.check_clauses() {
+        diags.extend(
+            errs.iter()
+                .map(|(i, e)| clause_check_diagnostic(module, *i, e)),
+        );
+    }
+    if let Err(subtype_lp::Error::Check(errs)) = program.check_queries() {
+        diags.extend(
+            errs.iter()
+                .map(|(i, e)| query_check_diagnostic(module, *i, e)),
+        );
+    }
+    diags
+}
+
+fn lint_cmd(file: &str, src: &str, args: &[String], no_table: bool) -> Result<ExitCode, String> {
+    let json = match args
+        .iter()
+        .position(|a| a == "--format")
+        .map(|i| args.get(i + 1).map(String::as_str))
+    {
+        Some(Some("json")) => true,
+        Some(Some("human")) | None => false,
+        Some(other) => {
+            return Err(format!(
+                "--format expects `json` or `human`, got {}\n{}",
+                other.unwrap_or("nothing"),
+                usage()
+            ))
+        }
+    };
+    let deny_warnings = match args
+        .iter()
+        .position(|a| a == "--deny")
+        .map(|i| args.get(i + 1).map(String::as_str))
+    {
+        Some(Some("warnings")) => true,
+        None => false,
+        Some(other) => {
+            return Err(format!(
+                "--deny expects `warnings`, got {}\n{}",
+                other.unwrap_or("nothing"),
+                usage()
+            ))
+        }
+    };
+    let diags = match parse_module(src) {
+        Err(e) => vec![Diagnostic::from(&e)],
+        Ok(m) => lint_module(&m, &LintOptions { tabling: !no_table }),
+    };
+    if json {
+        print!("{}", diag::render_json_all(&diags, src, file));
+    } else {
+        print!("{}", diag::render_human_all(&diags, src, file));
+    }
+    let (errors, warnings) = diag::counts(&diags);
+    Ok(if errors > 0 {
+        ExitCode::from(2)
+    } else if warnings > 0 && deny_warnings {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn check(program: &TypedProgram, src: &str, file: &str) -> Result<ExitCode, String> {
+    let diags = check_program_diags(program);
+    if !diags.is_empty() {
+        return Ok(report_errors(&diags, src, file));
+    }
+    println!(
+        "well-typed: {} clause(s), {} query(ies)",
+        program.module().clauses.len(),
+        program.module().queries.len()
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<usize> {
@@ -86,8 +214,17 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
         .and_then(|v| v.parse().ok())
 }
 
-fn execute(program: &TypedProgram, args: &[String], auditing: bool) -> Result<(), String> {
-    program.check_all().map_err(|e| e.to_string())?;
+fn execute(
+    program: &TypedProgram,
+    src: &str,
+    file: &str,
+    args: &[String],
+    auditing: bool,
+) -> Result<ExitCode, String> {
+    let diags = check_program_diags(program);
+    if !diags.is_empty() {
+        return Ok(report_errors(&diags, src, file));
+    }
     let query = flag_value(args, "-q").unwrap_or(0);
     let max = flag_value(args, "-n").unwrap_or(10);
     let queries = &program.module().queries;
@@ -100,7 +237,6 @@ fn execute(program: &TypedProgram, args: &[String], auditing: bool) -> Result<()
             queries.len()
         ));
     }
-    let hints = &queries[query].hints;
     if auditing {
         let report = program.audit_query(
             query,
@@ -134,8 +270,7 @@ fn execute(program: &TypedProgram, args: &[String], auditing: bool) -> Result<()
             print_solution(program, query, sol);
         }
     }
-    let _ = hints;
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine::Solution) {
@@ -156,7 +291,7 @@ fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine
     }
 }
 
-fn subtype(program: TypedProgram, src: &str, args: &[String]) -> Result<(), String> {
+fn subtype(program: TypedProgram, args: &[String]) -> Result<(), String> {
     let sup_src = args.get(2).ok_or_else(usage)?;
     let sub_src = args.get(3).ok_or_else(usage)?;
     let naive = args.iter().any(|a| a == "--naive");
@@ -203,11 +338,10 @@ fn subtype(program: TypedProgram, src: &str, args: &[String]) -> Result<(), Stri
         TermDisplay::new(&sup, &module.sig),
         TermDisplay::new(&sub, &module.sig)
     );
-    let _ = src;
     Ok(())
 }
 
-fn match_cmd(program: TypedProgram, _src: &str, args: &[String]) -> Result<(), String> {
+fn match_cmd(program: TypedProgram, args: &[String]) -> Result<(), String> {
     let ty_src = args.get(2).ok_or_else(usage)?;
     let term_src = args.get(3).ok_or_else(usage)?;
     let mut loader = program.into_loader();
