@@ -5,6 +5,7 @@ cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test --workspace -q
+cargo test --workspace -q --release
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -21,4 +22,25 @@ for stem in app naturals lint_demo; do
   target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
   diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
   diff -u "tests/golden/$stem.json" "$tmp/$stem.json"
+done
+
+# The parallel batch pipeline must be byte-identical to the serial run: a
+# multi-file `--jobs 4` lint is the concatenation (in input order) of the
+# committed per-file goldens.
+for fmt in txt json; do
+  flag=""
+  [ "$fmt" = json ] && flag="--format json"
+  # shellcheck disable=SC2086
+  target/release/slp lint examples/app.slp examples/naturals.slp \
+    examples/lint_demo.slp --jobs 4 $flag > "$tmp/batch.$fmt" || true
+  cat "tests/golden/app.$fmt" "tests/golden/naturals.$fmt" \
+    "tests/golden/lint_demo.$fmt" > "$tmp/expected.$fmt"
+  diff -u "$tmp/expected.$fmt" "$tmp/batch.$fmt"
+done
+
+# check under --jobs 4 (clause-level parallelism) agrees with serial too.
+for stem in app naturals; do
+  target/release/slp check "examples/$stem.slp" --jobs 1 > "$tmp/c1.txt"
+  target/release/slp check "examples/$stem.slp" --jobs 4 > "$tmp/c4.txt"
+  diff -u "$tmp/c1.txt" "$tmp/c4.txt"
 done

@@ -38,6 +38,7 @@ fn main() {
     f4();
     f5();
     f6();
+    f7();
 }
 
 /// F1: deterministic strategy vs raw SLD over H_C, on subtype chains.
@@ -269,6 +270,113 @@ fn f6() {
         let speedup = untabled.as_secs_f64() / tabled.as_secs_f64().max(1e-12);
         println!(
             "{n:2} | {resolvents:10} | {untabled:>14.2?} | {tabled:>12.2?} | {speedup:6.1}x | {:7.1}%",
+            100.0 * hit_rate
+        );
+    }
+    println!();
+}
+
+/// F7: parallel scaling of the batch pipeline over the sharded table.
+fn f7() {
+    use lp_engine::Clause;
+    use subtype_core::{par, ParallelChecker, ShardedProofTable, ShardedProver};
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("## F7 — parallel scaling (sharded proof table, worker pool)\n");
+    println!("host: {cores} core(s) available — speedup is bounded by this\n");
+
+    // (a) File-level batch: the `slp check f1 f2 … --jobs N` shape. Each
+    // worker checks whole programs; sizes are staggered so the pool has to
+    // balance an uneven batch.
+    let workloads: Vec<bench::CheckWorkload> = bench::f7_corpus()
+        .iter()
+        .map(|s| bench::workload(s))
+        .collect();
+    println!(
+        "file batch ({} pipeline programs): jobs | wall | speedup",
+        workloads.len()
+    );
+    println!("jobs | wall     | speedup");
+    println!("-----|----------|--------");
+    let mut base = Duration::ZERO;
+    for &jobs in bench::F7_JOBS {
+        let wall = time_n(5, || {
+            let oks = par::run_indexed(jobs, &workloads, |_, w| {
+                let table = ShardedProofTable::new();
+                let checker =
+                    ParallelChecker::with_table(&w.module.sig, &w.checked, &w.preds, &table, 1);
+                let clauses: Vec<&Clause> = w.module.clauses.iter().map(|c| &c.clause).collect();
+                checker.check_program(&clauses).is_ok()
+            });
+            assert!(oks.into_iter().all(|ok| ok));
+        });
+        if jobs == 1 {
+            base = wall;
+        }
+        let speedup = base.as_secs_f64() / wall.as_secs_f64().max(1e-12);
+        println!("{jobs:4} | {wall:>8.2?} | {speedup:6.2}x");
+    }
+
+    // (b) Clause-level parallel check of one large program, all workers
+    // sharing one sharded table (the single-file `--jobs N` shape).
+    let w = bench::workload(&programs::pipeline(64, 3));
+    let clauses: Vec<&Clause> = w.module.clauses.iter().map(|c| &c.clause).collect();
+    println!("\nclause-parallel check (pipeline(64, 3), shared sharded table):\n");
+    println!("jobs | wall     | speedup | hit rate");
+    println!("-----|----------|---------|---------");
+    let mut base = Duration::ZERO;
+    for &jobs in bench::F7_JOBS {
+        let mut hit_rate = 0.0;
+        let wall = time_n(5, || {
+            let table = ShardedProofTable::new();
+            let checker =
+                ParallelChecker::with_table(&w.module.sig, &w.checked, &w.preds, &table, jobs);
+            assert!(checker.check_program(&clauses).is_ok());
+            hit_rate = table.stats().hit_rate();
+        });
+        if jobs == 1 {
+            base = wall;
+        }
+        let speedup = base.as_secs_f64() / wall.as_secs_f64().max(1e-12);
+        println!(
+            "{jobs:4} | {wall:>8.2?} | {speedup:6.2}x | {:7.1}%",
+            100.0 * hit_rate
+        );
+    }
+
+    // (c) Concurrent alpha-variant subtype batch: a judgement derived on
+    // one thread is a cache hit for every other thread, so the steady hit
+    // rate should stay near the F6 single-thread rate at every job count.
+    let mut world = worlds::paper_world();
+    let goals = bench::alpha_variant_goals(&mut world, 256, bench::F7_DISTINCT);
+    println!(
+        "\nconcurrent subtype batch (256 goals, {} distinct):\n",
+        bench::F7_DISTINCT
+    );
+    println!("jobs | wall     | speedup | hit rate");
+    println!("-----|----------|---------|---------");
+    let mut base = Duration::ZERO;
+    for &jobs in bench::F7_JOBS {
+        let mut hit_rate = 0.0;
+        let wall = time_n(5, || {
+            let table = ShardedProofTable::new();
+            let world = &world;
+            let oks = par::run_indexed(jobs, &goals, |_, (sup, sub)| {
+                ShardedProver::new(&world.sig, &world.checked, &table)
+                    .subtype(sup, sub)
+                    .is_proved()
+            });
+            assert!(oks.into_iter().all(|ok| ok));
+            hit_rate = table.stats().hit_rate();
+        });
+        if jobs == 1 {
+            base = wall;
+        }
+        let speedup = base.as_secs_f64() / wall.as_secs_f64().max(1e-12);
+        println!(
+            "{jobs:4} | {wall:>8.2?} | {speedup:6.2}x | {:7.1}%",
             100.0 * hit_rate
         );
     }

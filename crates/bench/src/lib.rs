@@ -1,4 +1,4 @@
-//! Shared workload setup for the benchmark harness (experiments F1–F6).
+//! Shared workload setup for the benchmark harness (experiments F1–F7).
 //!
 //! Each `benches/*.rs` target regenerates one experiment from
 //! `EXPERIMENTS.md`; the `report` binary prints all series in one pass with
@@ -88,6 +88,25 @@ pub const F6_BATCH: &[usize] = &[64, 256, 1024];
 /// `F6_DISTINCT` goals is an alpha-variant repeat, so the expected steady
 /// hit rate of a batch of `n` is `(n - F6_DISTINCT) / n`.
 pub const F6_DISTINCT: usize = 8;
+
+/// The worker counts swept by F7 (parallel scaling).
+pub const F7_JOBS: &[usize] = &[1, 2, 4, 8];
+
+/// Number of generated programs in the F7 batch corpus.
+pub const F7_CORPUS: usize = 8;
+
+/// Distinct judgements cycled by the F7 concurrent subtype batch (same
+/// alpha-variant shape as F6, so the expected steady hit rate is high).
+pub const F7_DISTINCT: usize = 8;
+
+/// The F7 corpus: pipeline programs of varied width and arity from
+/// `lp_gen::programs`, parsed per batch run. Sizes are staggered so the
+/// batch is imbalanced — the work-stealing pool has to even it out.
+pub fn f7_corpus() -> Vec<String> {
+    (0..F7_CORPUS)
+        .map(|i| lp_gen::programs::pipeline(12 + 6 * (i % 4), 2 + i % 3))
+        .collect()
+}
 
 /// Builds `n` independent subtype goals over the paper world cycling `k`
 /// distinct judgements: goal `i` is

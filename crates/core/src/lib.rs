@@ -17,6 +17,8 @@
 //! | §5–6 Defs. 14–16 — predicate types and well-typedness | [`welltyped`] |
 //! | §6 Thm. 6 — runtime consistency auditing of every resolvent | [`consistency`] |
 //! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
+//! | (beyond the paper) lock-striped concurrent proof table | [`shard`] |
+//! | (beyond the paper) the worker pool behind `--jobs N` | [`par`] |
 //!
 //! # Quick start
 //!
@@ -63,8 +65,10 @@ pub mod horn;
 pub mod lint;
 pub mod matching;
 pub mod naive;
+pub mod par;
 pub mod prover;
 pub mod semantics;
+pub mod shard;
 pub mod table;
 pub mod typing;
 pub mod welltyped;
@@ -78,6 +82,7 @@ pub use lint::{lint_module, LintOptions};
 pub use matching::{match_type, MatchOutcome};
 pub use naive::{NaiveOutcome, NaiveProver};
 pub use prover::{Proof, Prover, ProverConfig};
+pub use shard::{ShardedProofTable, ShardedProver, TableHandle, DEFAULT_SHARD_COUNT};
 pub use table::{ProofTable, TableStats, TabledProver};
 pub use typing::{freeze, freeze_pair, Typing};
-pub use welltyped::{Checker, PredTypeTable, TypeCheckError};
+pub use welltyped::{Checker, ParallelChecker, PredTypeTable, TypeCheckError};

@@ -225,6 +225,8 @@ fn check_diagnostic(module: &Module, e: &TypeCheckError) -> Diagnostic {
 
 /// A named variable occurring exactly once in a clause is usually a typo.
 /// Queries are exempt: a single-occurrence answer variable is idiomatic.
+/// Names beginning with `_` (`_Acc`, `_Rest`, …) are the conventional
+/// "intentionally unused" marker and are exempt like the bare `_`.
 fn singleton_variables(module: &Module, diags: &mut Vec<Diagnostic>) {
     for lc in &module.clauses {
         let mut counts: BTreeMap<Var, usize> = BTreeMap::new();
@@ -234,13 +236,18 @@ fn singleton_variables(module: &Module, diags: &mut Vec<Diagnostic>) {
         for (v, span) in &lc.var_spans {
             if counts[v] == 1 {
                 let name = lc.hints.get(*v).unwrap_or("_");
+                if name.starts_with('_') {
+                    continue;
+                }
                 diags.push(
                     Diagnostic::warning(
                         "W0401",
                         format!("singleton variable `{name}` occurs only here"),
                     )
                     .with_span(*span)
-                    .note("use `_` if the variable is intentionally unused"),
+                    .note(
+                        "use `_` or an `_`-prefixed name if the variable is intentionally unused",
+                    ),
                 );
             }
         }
@@ -924,6 +931,22 @@ mod tests {
         let singles: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "W0401").collect();
         assert_eq!(singles.len(), 1, "only X is a singleton: {diags:?}");
         assert!(singles[0].message.contains("`X`"));
+    }
+
+    #[test]
+    fn underscore_prefixed_singletons_are_exempt() {
+        // `_Once` is the conventional intentionally-unused marker: no W0401.
+        // A bare `X` singleton in the same clause still fires, pinning that
+        // the exemption is per-name, not per-clause.
+        let src = format!("{NAT} PRED p(nat, nat). p(_Once, 0). p(X, 0) :- p(0, 0).");
+        let diags = lint_src(&src);
+        let singles: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "W0401").collect();
+        assert_eq!(singles.len(), 1, "only X fires: {diags:?}");
+        assert!(singles[0].message.contains("`X`"), "{diags:?}");
+        assert!(
+            !diags.iter().any(|d| d.message.contains("_Once")),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! A minimal scoped worker pool for embarrassingly parallel, index-ordered
+//! work.
+//!
+//! Every parallel surface of this workspace — clause-level checking in
+//! [`crate::welltyped::ParallelChecker`], and file-level batching in the
+//! `slp` CLI — funnels through [`run_indexed`], so there is exactly one
+//! dispatch discipline to reason about: a fixed number of `std::thread`
+//! workers pull item indices from a shared atomic counter (work stealing at
+//! the granularity of one item), and results are reassembled **in input
+//! order** before being returned. Callers therefore observe output that is
+//! byte-identical to a serial left-to-right run, regardless of how the
+//! scheduler interleaved the workers.
+//!
+//! No third-party runtime is involved (the build environment is offline by
+//! policy); `std::thread::scope` gives us borrow-friendly workers and
+//! propagates worker panics to the caller, exactly like a serial panic.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a requested job count: `0` means "one worker per available
+/// core"; any other value is taken as-is.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Applies `f` to every item of `items`, on up to `jobs` worker threads
+/// (`0` = available cores), returning the results in input order.
+///
+/// With `jobs <= 1` (or fewer than two items) the work runs inline on the
+/// calling thread with no pool at all, so the serial path is exactly the
+/// pre-parallelism code path. A panic in `f` on any worker propagates to
+/// the caller when the scope joins.
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .expect("no poisoned result sink")
+                        .extend(local);
+                }
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("workers joined");
+    debug_assert_eq!(pairs.len(), items.len(), "every index produced a result");
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [0, 1, 2, 4, 7] {
+            let out = run_indexed(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_indexed(4, &none, |_, &x| x).is_empty());
+        assert_eq!(run_indexed(4, &[9u8], |_, &x| x), vec![9]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_cores() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        let r = std::panic::catch_unwind(|| {
+            run_indexed(4, &items, |_, &x| {
+                assert!(x != 7, "boom");
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,505 @@
+//! A thread-safe, lock-striped proof table for concurrent checking.
+//!
+//! [`ProofTable`](crate::ProofTable) is deliberately single-threaded (it
+//! lives behind a `RefCell`). Parallel clause- and file-level checking
+//! needs many workers sharing one memo space, so [`ShardedProofTable`]
+//! splits the key space across `N` independent shards, each a plain
+//! `Mutex<ProofTable>`:
+//!
+//! * a canonical [`TableKey`] is routed to `hash(key) % N`, so alpha-variant
+//!   queries from *different* threads still land on the same shard and share
+//!   one cached derivation;
+//! * lock striping means contention only arises when two workers touch the
+//!   same shard at the same instant — with the default 16 shards and the
+//!   short critical sections (one hash-map probe or insert; the live proof
+//!   search itself never holds a lock), waiting is negligible;
+//! * each shard keeps its own FIFO bound (total capacity is divided evenly)
+//!   and its own counters; [`ShardedProofTable::stats`] merges them on read;
+//! * generation invalidation (see [`crate::table`]) is preserved *per
+//!   shard*: every lookup/insert aligns the touched shard with the caller's
+//!   constraint-set generation before proceeding, so a shard never serves a
+//!   verdict derived under a different theory — untouched shards are simply
+//!   cleared lazily on their next access.
+//!
+//! [`ShardedProver`] mirrors [`TabledProver`](crate::TabledProver) over a
+//! shared sharded table, and [`TableHandle`] lets the matcher and checker
+//! accept either backend (or none) through one plumbing point.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+use lp_term::{Signature, Subst, Term, Var};
+
+use crate::constraint::CheckedConstraints;
+use crate::prover::{Proof, Prover, ProverConfig};
+use crate::table::{
+    CachedVerdict, Canonical, ProofTable, TableKey, TableStats, TabledProver,
+    DEFAULT_TABLE_CAPACITY,
+};
+
+/// Default number of lock stripes.
+pub const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// A bounded, generation-invalidated proof table shared across threads via
+/// lock striping. See the module docs for the concurrency contract.
+#[derive(Debug)]
+pub struct ShardedProofTable {
+    shards: Box<[Mutex<ProofTable>]>,
+}
+
+impl Default for ShardedProofTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedProofTable {
+    /// A table with [`DEFAULT_SHARD_COUNT`] shards and the default total
+    /// capacity.
+    pub fn new() -> Self {
+        Self::with_config(DEFAULT_SHARD_COUNT, DEFAULT_TABLE_CAPACITY)
+    }
+
+    /// A table with `shards` stripes holding at most ~`capacity` entries in
+    /// total (divided evenly; every shard holds at least one entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or `capacity` is 0.
+    pub fn with_config(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "a sharded table needs at least one shard");
+        assert!(capacity > 0, "a sharded table needs room for one entry");
+        let per_shard = capacity.div_ceil(shards).max(1);
+        let shards = (0..shards)
+            .map(|_| Mutex::new(ProofTable::with_capacity(per_shard)))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        ShardedProofTable { shards }
+    }
+
+    /// Number of lock stripes.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity bound (sum over shards).
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).capacity()).sum()
+    }
+
+    /// Number of cached verdicts across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.lock(s).len()).sum()
+    }
+
+    /// Whether no shard holds a verdict.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| self.lock(s).is_empty())
+    }
+
+    /// Lifetime counters, merged across shards. The merge is not a snapshot
+    /// of one instant — concurrent writers may land between shard reads —
+    /// but once the workers have joined it is exact.
+    pub fn stats(&self) -> TableStats {
+        let mut total = TableStats::default();
+        for s in self.shards.iter() {
+            let st = self.lock(s).stats();
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.inserts += st.inserts;
+            total.evictions += st.evictions;
+            total.invalidations += st.invalidations;
+        }
+        total
+    }
+
+    /// Drops all entries in every shard, keeping the counters.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            self.lock(s).clear();
+        }
+    }
+
+    /// Locks one shard, treating poisoning as fatal: a panic inside the
+    /// table's short critical sections means the memo state is arbitrary,
+    /// and serving from it could change verdicts.
+    #[allow(clippy::unused_self)]
+    fn lock<'t>(&self, shard: &'t Mutex<ProofTable>) -> std::sync::MutexGuard<'t, ProofTable> {
+        shard.lock().expect("proof-table shard poisoned")
+    }
+
+    /// The shard a key routes to.
+    fn shard_for(&self, key: &TableKey) -> &Mutex<ProofTable> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up a key under the given constraint-set generation, aligning
+    /// the touched shard first. Counts a hit or a miss on that shard.
+    pub(crate) fn lookup(&self, generation: u64, key: &TableKey) -> Option<CachedVerdict> {
+        let mut shard = self.lock(self.shard_for(key));
+        shard.ensure_generation(generation);
+        shard.lookup(key)
+    }
+
+    /// Stores a verdict under the given generation, aligning the touched
+    /// shard first (so the stamp recorded with the entry is always the
+    /// deriving theory's).
+    pub(crate) fn insert(&self, generation: u64, key: TableKey, verdict: CachedVerdict) {
+        let mut shard = self.lock(self.shard_for(&key));
+        shard.ensure_generation(generation);
+        shard.insert(key, verdict);
+    }
+}
+
+/// A caching wrapper around the deterministic [`Prover`] over a shared
+/// [`ShardedProofTable`] — the thread-safe sibling of
+/// [`TabledProver`](crate::TabledProver), with the identical caching
+/// contract (conclusive verdicts only, canonical keys, per-shard generation
+/// invalidation; `Unknown` always falls through).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedProver<'a> {
+    prover: Prover<'a>,
+    cs: &'a CheckedConstraints,
+    table: &'a ShardedProofTable,
+}
+
+impl<'a> ShardedProver<'a> {
+    /// Creates a sharded prover with default limits over a shared table.
+    pub fn new(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        table: &'a ShardedProofTable,
+    ) -> Self {
+        ShardedProver {
+            prover: Prover::new(sig, cs),
+            cs,
+            table,
+        }
+    }
+
+    /// Creates a sharded prover with explicit limits.
+    pub fn with_config(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        config: ProverConfig,
+        table: &'a ShardedProofTable,
+    ) -> Self {
+        ShardedProver {
+            prover: Prover::with_config(sig, cs, config),
+            cs,
+            table,
+        }
+    }
+
+    /// The underlying (untabled) prover.
+    pub fn prover(&self) -> Prover<'a> {
+        self.prover
+    }
+
+    /// The shared table.
+    pub fn table(&self) -> &'a ShardedProofTable {
+        self.table
+    }
+
+    /// Sharded [`Prover::subtype`].
+    pub fn subtype(&self, sup: &Term, sub: &Term) -> Proof {
+        self.subtype_all(&[(sup.clone(), sub.clone())])
+    }
+
+    /// Sharded [`Prover::subtype_all`].
+    pub fn subtype_all(&self, goals: &[(Term, Term)]) -> Proof {
+        self.subtype_all_rigid(goals, &BTreeSet::new(), 0)
+    }
+
+    /// Sharded [`Prover::member`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `t` is not ground, like the untabled version.
+    pub fn member(&self, ty: &Term, t: &Term) -> Proof {
+        debug_assert!(t.is_ground(), "membership is defined on ground terms");
+        self.subtype(ty, t)
+    }
+
+    /// Sharded [`Prover::subtype_all_rigid`]: conclusive verdicts for the
+    /// canonical form of `goals` are served from / recorded in the shared
+    /// table; [`Proof::Unknown`] always falls through and is never recorded.
+    ///
+    /// No lock is held during the live proof search, so two workers missing
+    /// on the same key concurrently both derive it and both insert; the
+    /// second insert overwrites the first with an equal verdict (the prover
+    /// is deterministic in canonical space), which is harmless.
+    pub fn subtype_all_rigid(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Proof {
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        let generation = self.cs.generation();
+        if let Some(verdict) = self.table.lookup(generation, &canon.key) {
+            return match verdict {
+                CachedVerdict::Refuted => Proof::Refuted,
+                CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
+            };
+        }
+        let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
+        let cached = match &proof {
+            Proof::Proved(answer) => canon.encode_answer(answer).map(CachedVerdict::Proved),
+            Proof::Refuted => Some(CachedVerdict::Refuted),
+            Proof::Unknown => None,
+        };
+        if let Some(verdict) = cached {
+            self.table.insert(generation, canon.key, verdict);
+        }
+        proof
+    }
+
+    /// Decides a batch of *independent* subtype goals, one verdict per goal
+    /// in input order, proving in canonical-key order so alpha-variant
+    /// repeats hit (see [`TabledProver::subtype_batch`]).
+    pub fn subtype_batch(&self, goals: &[(Term, Term)]) -> Vec<Proof> {
+        let no_rigid = BTreeSet::new();
+        let keys: Vec<TableKey> = goals
+            .iter()
+            .map(|g| Canonical::of(std::slice::from_ref(g), &no_rigid, 0).key)
+            .collect();
+        let mut order: Vec<usize> = (0..goals.len()).collect();
+        order.sort_by(|&i, &j| keys[i].cmp(&keys[j]));
+        let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
+        for i in order {
+            let (sup, sub) = &goals[i];
+            out[i] = Some(self.subtype(sup, sub));
+        }
+        out.into_iter()
+            .map(|p| p.expect("every goal index was visited"))
+            .collect()
+    }
+}
+
+/// Which proof-table backend (if any) a matcher or checker proves through.
+///
+/// This is the single plumbing point for tabling: the constraint-generating
+/// matcher ([`crate::cmatch::CMatcher`]) and the well-typedness checker
+/// ([`crate::welltyped::Checker`]) hold a `TableHandle` and dispatch every
+/// deferred-commitment conjunction through it. `Local` wraps the
+/// single-threaded [`ProofTable`]; `Sharded` is safe to use from many
+/// threads at once.
+#[derive(Debug, Clone, Copy)]
+pub enum TableHandle<'a> {
+    /// No memoization: every conjunction is derived live.
+    Untabled,
+    /// The single-threaded table (not `Sync`; one thread only).
+    Local(&'a RefCell<ProofTable>),
+    /// The lock-striped concurrent table.
+    Sharded(&'a ShardedProofTable),
+}
+
+impl<'a> TableHandle<'a> {
+    /// Proves a subtype conjunction through the selected backend.
+    pub fn subtype_all_rigid(
+        &self,
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Proof {
+        match self {
+            TableHandle::Untabled => {
+                Prover::new(sig, cs).subtype_all_rigid(goals, rigid, var_watermark)
+            }
+            TableHandle::Local(table) => {
+                TabledProver::new(sig, cs, table).subtype_all_rigid(goals, rigid, var_watermark)
+            }
+            TableHandle::Sharded(table) => {
+                ShardedProver::new(sig, cs, table).subtype_all_rigid(goals, rigid, var_watermark)
+            }
+        }
+    }
+}
+
+/// A `Subst` for answers is `Send`; sanity-pin the auto traits the parallel
+/// checker relies on.
+#[allow(dead_code)]
+fn assert_auto_traits() {
+    fn is_send_sync<T: Send + Sync>() {}
+    is_send_sync::<ShardedProofTable>();
+    let _ = is_send_sync::<Subst>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::tests::world;
+
+    #[test]
+    fn alpha_variant_queries_share_one_entry_across_threads() {
+        let mut w = world();
+        let table = ShardedProofTable::new();
+        let (a, b) = (w.gen.fresh(), w.gen.fresh());
+        let list_a = Term::app(w.list, vec![Term::Var(a)]);
+        let nelist_b = Term::app(w.nelist, vec![Term::Var(b)]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let p = ShardedProver::new(&w.sig, &w.cs, &table);
+                    assert!(p.subtype(&list_a, &nelist_b).is_proved());
+                });
+            }
+        });
+        let stats = table.stats();
+        assert_eq!(stats.hits + stats.misses, 4, "every call counted");
+        assert!(stats.hits >= 1, "repeats hit: {stats:?}");
+        assert_eq!(table.len(), 1, "one shared entry across all shards");
+    }
+
+    #[test]
+    fn distinct_goals_spread_without_collisions() {
+        let w = world();
+        let table = ShardedProofTable::with_config(4, 64);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
+            .is_proved());
+        assert_eq!(table.len(), 3);
+        // Repeats hit regardless of which shard each verdict landed on.
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert_eq!(table.stats().hits, 1);
+    }
+
+    #[test]
+    fn generation_mismatch_invalidates_every_touched_shard() {
+        let w1 = world();
+        let w2 = world();
+        assert_ne!(w1.cs.generation(), w2.cs.generation());
+        let table = ShardedProofTable::with_config(4, 64);
+        {
+            let p = ShardedProver::new(&w1.sig, &w1.cs, &table);
+            p.subtype(&Term::constant(w1.int), &Term::constant(w1.nat));
+            p.subtype(&Term::constant(w1.int), &Term::constant(w1.unnat));
+            p.subtype(&Term::constant(w1.nat), &Term::constant(w1.unnat));
+            assert_eq!(table.len(), 3);
+        }
+        {
+            // The same-looking queries under the new theory must all miss:
+            // each shard is realigned on first touch.
+            let p = ShardedProver::new(&w2.sig, &w2.cs, &table);
+            assert!(p
+                .subtype(&Term::constant(w2.int), &Term::constant(w2.nat))
+                .is_proved());
+            assert!(p
+                .subtype(&Term::constant(w2.int), &Term::constant(w2.unnat))
+                .is_proved());
+            assert!(p
+                .subtype(&Term::constant(w2.nat), &Term::constant(w2.unnat))
+                .is_refuted());
+            let stats = table.stats();
+            assert_eq!(stats.hits, 0, "no stale verdict served: {stats:?}");
+            assert!(stats.invalidations >= 1);
+        }
+    }
+
+    #[test]
+    fn per_shard_capacity_bounds_the_total() {
+        let w = world();
+        // 2 shards × 1 entry each.
+        let table = ShardedProofTable::with_config(2, 2);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        let syms = [w.int, w.nat, w.unnat, w.elist];
+        for sup in syms {
+            for sub in syms {
+                if sup != sub {
+                    p.subtype(&Term::constant(sup), &Term::constant(sub));
+                }
+            }
+        }
+        assert!(
+            table.len() <= table.capacity(),
+            "{} entries in a {}-entry table",
+            table.len(),
+            table.capacity()
+        );
+        assert!(table.stats().evictions > 0, "tiny table evicted");
+    }
+
+    #[test]
+    fn sharded_and_untabled_agree_on_the_paper_world() {
+        let mut w = world();
+        let table = ShardedProofTable::new();
+        let sharded = ShardedProver::new(&w.sig, &w.cs, &table);
+        let untabled = Prover::new(&w.sig, &w.cs);
+        let a = w.gen.fresh();
+        let cases = vec![
+            (Term::constant(w.int), Term::constant(w.nat)),
+            (Term::constant(w.nat), Term::constant(w.int)),
+            (
+                Term::app(w.list, vec![Term::constant(w.int)]),
+                Term::constant(w.elist),
+            ),
+            (
+                Term::app(w.list, vec![Term::Var(a)]),
+                w.list_of(&[w.num(1)]),
+            ),
+            (Term::constant(w.nat), w.num(3)),
+            (Term::constant(w.nat), w.num(-3)),
+        ];
+        // Two passes: the second is served from the table.
+        for _ in 0..2 {
+            for (sup, sub) in &cases {
+                let t = sharded.subtype(sup, sub);
+                let u = untabled.subtype(sup, sub);
+                assert_eq!(
+                    std::mem::discriminant(&t),
+                    std::mem::discriminant(&u),
+                    "verdicts diverge on {sup:?} >= {sub:?}: {t:?} vs {u:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_stays_consistent() {
+        let w = world();
+        let table = ShardedProofTable::with_config(4, 128);
+        let syms = [w.int, w.nat, w.unnat, w.elist];
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let table = &table;
+                let w = &w;
+                scope.spawn(move || {
+                    let p = ShardedProver::new(&w.sig, &w.cs, table);
+                    // Each worker walks the judgement square from a
+                    // different offset, so workers race on the same keys.
+                    for step in 0..32usize {
+                        let sup = syms[(t + step) % syms.len()];
+                        let sub = syms[step % syms.len()];
+                        let proof = p.subtype(&Term::constant(sup), &Term::constant(sub));
+                        let expected = Prover::new(&w.sig, &w.cs)
+                            .subtype(&Term::constant(sup), &Term::constant(sub));
+                        assert_eq!(
+                            std::mem::discriminant(&proof),
+                            std::mem::discriminant(&expected),
+                        );
+                    }
+                });
+            }
+        });
+        let stats = table.stats();
+        assert_eq!(stats.hits + stats.misses, 4 * 32, "every call counted");
+        assert!(table.len() <= table.capacity());
+    }
+}

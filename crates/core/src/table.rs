@@ -65,7 +65,7 @@ pub const DEFAULT_TABLE_CAPACITY: usize = 4096;
 /// Two queries produce the same key iff they are alpha-variants with the same
 /// rigidity pattern — see the module docs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct TableKey {
+pub(crate) struct TableKey {
     /// The goals with variables renamed to `_0, _1, …` in first-occurrence
     /// order.
     goals: Vec<(Term, Term)>,
@@ -75,7 +75,7 @@ struct TableKey {
 
 /// A cached conclusive verdict, with any answer held in canonical space.
 #[derive(Debug, Clone, PartialEq)]
-enum CachedVerdict {
+pub(crate) enum CachedVerdict {
     /// Derivable; the answer substitution over canonical variables.
     Proved(Subst),
     /// Conclusively not derivable.
@@ -203,7 +203,7 @@ impl ProofTable {
     }
 
     /// Looks up a key, counting a hit or a miss.
-    fn lookup(&mut self, key: &TableKey) -> Option<CachedVerdict> {
+    pub(crate) fn lookup(&mut self, key: &TableKey) -> Option<CachedVerdict> {
         match self.entries.get(key) {
             Some(v) => {
                 self.stats.hits += 1;
@@ -217,26 +217,41 @@ impl ProofTable {
     }
 
     /// Stores a verdict, evicting the oldest entry when at capacity.
-    fn insert(&mut self, key: TableKey, verdict: CachedVerdict) {
-        if self.entries.contains_key(&key) {
+    ///
+    /// Re-inserting a key that is already present *updates the verdict in
+    /// place* and leaves the FIFO order queue untouched. The membership test
+    /// goes through `entries` (O(1)), which keeps `order` duplicate-free:
+    /// pushing a second copy of a live key would make the queue grow past the
+    /// entry count, charge `evictions` for queue slots whose key was already
+    /// gone, and — because each insert pops at most one slot — let the table
+    /// overshoot its capacity while evicting live entries early.
+    pub(crate) fn insert(&mut self, key: TableKey, verdict: CachedVerdict) {
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = verdict;
             return;
         }
         if self.entries.len() >= self.capacity {
             if let Some(oldest) = self.order.pop_front() {
-                self.entries.remove(&oldest);
+                let evicted = self.entries.remove(&oldest);
+                debug_assert!(evicted.is_some(), "order queue held a dead key");
                 self.stats.evictions += 1;
             }
         }
         self.order.push_back(key.clone());
         self.entries.insert(key, verdict);
         self.stats.inserts += 1;
+        debug_assert_eq!(
+            self.order.len(),
+            self.entries.len(),
+            "order queue and entry map out of sync"
+        );
     }
 }
 
 /// The canonical renaming of one query, with everything needed to translate
 /// answers in both directions.
-struct Canonical {
-    key: TableKey,
+pub(crate) struct Canonical {
+    pub(crate) key: TableKey,
     /// Original variable → canonical variable, for every goal variable.
     forward: HashMap<Var, Var>,
     /// Number of distinct goal variables: canonical `_0 .. _key_vars` are
@@ -249,7 +264,7 @@ struct Canonical {
 }
 
 impl Canonical {
-    fn of(goals: &[(Term, Term)], rigid: &BTreeSet<Var>, var_watermark: u32) -> Self {
+    pub(crate) fn of(goals: &[(Term, Term)], rigid: &BTreeSet<Var>, var_watermark: u32) -> Self {
         let mut gen = VarGen::new();
         let mut forward = HashMap::new();
         let canon_goals = goals
@@ -302,7 +317,7 @@ impl Canonical {
     }
 
     /// Translates a live answer into canonical space for storage.
-    fn encode_answer(&self, answer: &Subst) -> Option<Subst> {
+    pub(crate) fn encode_answer(&self, answer: &Subst) -> Option<Subst> {
         let mut bindings = Vec::new();
         for (v, t) in answer.iter() {
             let cv = self.encode_var(v)?;
@@ -324,7 +339,7 @@ impl Canonical {
 
     /// Canonical → this call's variables, re-basing canonical-fresh
     /// variables onto this call's fresh range.
-    fn decode_answer(&self, canonical: &Subst) -> Subst {
+    pub(crate) fn decode_answer(&self, canonical: &Subst) -> Subst {
         let inverse: HashMap<Var, Var> = self.forward.iter().map(|(&orig, &c)| (c, orig)).collect();
         let decode = |c: Var| -> Var {
             match inverse.get(&c) {
@@ -611,6 +626,66 @@ mod tests {
         assert_eq!(table.borrow().stats().hits, 0);
         p.subtype(&nat, &unnat);
         assert_eq!(table.borrow().stats().hits, 1);
+    }
+
+    /// Builds a distinct canonical key without running the prover, so the
+    /// eviction tests can drive `insert` directly.
+    fn key_of(sup: lp_term::Sym, sub: lp_term::Sym) -> TableKey {
+        Canonical::of(
+            &[(Term::constant(sup), Term::constant(sub))],
+            &BTreeSet::new(),
+            0,
+        )
+        .key
+    }
+
+    /// Regression test for the eviction double-count: re-inserting a key
+    /// that is already cached must not push a second copy onto the FIFO
+    /// order queue. With the duplicate push, the queue grows past the entry
+    /// map, a later insert pops a stale slot (charging `evictions` for a key
+    /// that is already gone), and — since each insert evicts at most one
+    /// queue slot — the table overshoots its capacity bound.
+    #[test]
+    fn reinsert_under_capacity_pressure_does_not_double_count() {
+        let w = world();
+        let mut table = ProofTable::with_capacity(2);
+        let a = key_of(w.int, w.nat);
+        let b = key_of(w.int, w.unnat);
+        let c = key_of(w.nat, w.unnat);
+        let d = key_of(w.nat, w.int);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+
+        table.insert(a.clone(), CachedVerdict::Refuted);
+        // Overwrite: same key again, now with an answer. Must not enqueue a
+        // second FIFO slot for `a`.
+        table.insert(a.clone(), CachedVerdict::Proved(Subst::new()));
+        assert_eq!(table.len(), 1, "re-insert did not add an entry");
+        assert!(
+            matches!(table.lookup(&a), Some(CachedVerdict::Proved(_))),
+            "re-insert updated the verdict in place"
+        );
+
+        table.insert(b.clone(), CachedVerdict::Refuted); // fills the table
+        table.insert(c.clone(), CachedVerdict::Refuted); // evicts a (oldest)
+        table.insert(d.clone(), CachedVerdict::Refuted); // evicts b
+
+        let stats = table.stats();
+        assert!(
+            table.len() <= table.capacity(),
+            "capacity bound violated: {} entries in a {}-entry table",
+            table.len(),
+            table.capacity()
+        );
+        assert_eq!(stats.evictions, 2, "exactly one eviction per overflow");
+        assert_eq!(stats.inserts, 4, "four distinct keys stored");
+        // FIFO order survived the overwrite: the live entries are the two
+        // most recent keys, and the overwritten key really is gone.
+        assert!(table.lookup(&c).is_some(), "c is live");
+        assert!(table.lookup(&d).is_some(), "d is live");
+        assert!(table.lookup(&a).is_none(), "a was evicted first");
+        assert!(table.lookup(&b).is_none(), "b was evicted second");
     }
 
     #[test]

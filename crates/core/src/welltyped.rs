@@ -19,6 +19,8 @@ use lp_term::{Signature, Sym, SymKind, Term, Var};
 
 use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::CheckedConstraints;
+use crate::par;
+use crate::shard::{ShardedProofTable, TableHandle};
 use crate::table::ProofTable;
 
 /// The fixed set `D` of predicate types (Definition 15).
@@ -172,21 +174,16 @@ pub struct Checker<'a> {
     sig: &'a Signature,
     cs: &'a CheckedConstraints,
     preds: &'a PredTypeTable,
-    /// Optional shared proof table threaded into every clause's
-    /// commitment-solving step (see [`crate::table`]).
-    table: Option<&'a RefCell<ProofTable>>,
+    /// Which proof-table backend every clause's commitment-solving step
+    /// proves through (see [`crate::table`] and [`crate::shard`]).
+    table: TableHandle<'a>,
 }
 
 impl<'a> Checker<'a> {
     /// Creates a checker for the given signature, checked constraints and
     /// predicate types.
     pub fn new(sig: &'a Signature, cs: &'a CheckedConstraints, preds: &'a PredTypeTable) -> Self {
-        Checker {
-            sig,
-            cs,
-            preds,
-            table: None,
-        }
+        Self::with_handle(sig, cs, preds, TableHandle::Untabled)
     }
 
     /// Like [`Checker::new`], but subtype judgements arising while solving
@@ -199,11 +196,22 @@ impl<'a> Checker<'a> {
         preds: &'a PredTypeTable,
         table: &'a RefCell<ProofTable>,
     ) -> Self {
+        Self::with_handle(sig, cs, preds, TableHandle::Local(table))
+    }
+
+    /// Like [`Checker::new`], but with an explicit proof-table backend
+    /// (possibly the thread-safe sharded table).
+    pub fn with_handle(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        preds: &'a PredTypeTable,
+        table: TableHandle<'a>,
+    ) -> Self {
         Checker {
             sig,
             cs,
             preds,
-            table: Some(table),
+            table,
         }
     }
 
@@ -271,10 +279,7 @@ impl<'a> Checker<'a> {
             }
         }
         let mut state = CState::new(watermark);
-        let cm = match self.table {
-            Some(table) => CMatcher::with_table(self.sig, self.cs, table),
-            None => CMatcher::new(self.sig, self.cs),
-        };
+        let cm = CMatcher::with_handle(self.sig, self.cs, self.table);
         let mut atom_types = Vec::with_capacity(atoms.len());
         for (index, atom) in atoms.iter().enumerate() {
             let p = atom.functor().expect("atoms are applications");
@@ -306,6 +311,130 @@ impl<'a> Checker<'a> {
             var_types: state.all_types(),
             atom_types: atom_types.iter().map(|t| state.resolve(t)).collect(),
         })
+    }
+}
+
+/// A clause-level parallel front end for [`Checker`].
+///
+/// Definition 16 checks each clause (and each query) in isolation — no
+/// state flows between them — so the program-wide check is embarrassingly
+/// parallel. `ParallelChecker` dispatches clauses across the workspace
+/// worker pool ([`crate::par::run_indexed`]); workers share one
+/// [`ShardedProofTable`] (when tabling is on), so a judgement derived for
+/// one clause is a cache hit for every other clause on any thread.
+///
+/// Results are reassembled in clause order, so the error list (and the
+/// typings) are **identical** to a serial [`Checker::check_program`] run:
+/// cached answers are translated back into each call's own variables
+/// exactly as a live derivation would have produced them (see
+/// [`crate::table`]), and eviction or scheduling differences can only move
+/// work between hit and miss, never change a verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelChecker<'a> {
+    sig: &'a Signature,
+    cs: &'a CheckedConstraints,
+    preds: &'a PredTypeTable,
+    /// `None` = untabled workers; `Some` = all workers share this table.
+    table: Option<&'a ShardedProofTable>,
+    jobs: usize,
+}
+
+impl<'a> ParallelChecker<'a> {
+    /// An untabled parallel checker with up to `jobs` workers (0 = one per
+    /// available core).
+    pub fn new(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        preds: &'a PredTypeTable,
+        jobs: usize,
+    ) -> Self {
+        ParallelChecker {
+            sig,
+            cs,
+            preds,
+            table: None,
+            jobs,
+        }
+    }
+
+    /// Like [`ParallelChecker::new`], but every worker proves through the
+    /// shared sharded table.
+    pub fn with_table(
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        preds: &'a PredTypeTable,
+        table: &'a ShardedProofTable,
+        jobs: usize,
+    ) -> Self {
+        ParallelChecker {
+            sig,
+            cs,
+            preds,
+            table: Some(table),
+            jobs,
+        }
+    }
+
+    /// The per-worker serial checker.
+    fn checker(&self) -> Checker<'a> {
+        let handle = match self.table {
+            Some(t) => TableHandle::Sharded(t),
+            None => TableHandle::Untabled,
+        };
+        Checker::with_handle(self.sig, self.cs, self.preds, handle)
+    }
+
+    /// Checks every clause of a program across the worker pool, collecting
+    /// all errors in clause order (the same contract as
+    /// [`Checker::check_program`]).
+    ///
+    /// # Errors
+    ///
+    /// One `(clause index, error)` pair per ill-typed clause, ascending.
+    pub fn check_program(
+        &self,
+        clauses: &[&Clause],
+    ) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
+        let results = par::run_indexed(self.jobs, clauses, |_, clause| {
+            self.checker().check_clause(clause)
+        });
+        collect_indexed(results)
+    }
+
+    /// Checks every query across the worker pool, collecting all errors in
+    /// query order.
+    ///
+    /// # Errors
+    ///
+    /// One `(query index, error)` pair per ill-typed query, ascending.
+    pub fn check_queries(
+        &self,
+        queries: &[&[Term]],
+    ) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
+        let results = par::run_indexed(self.jobs, queries, |_, goals| {
+            self.checker().check_query(goals)
+        });
+        collect_indexed(results)
+    }
+}
+
+/// Splits per-item results into all-typings or the indexed error list —
+/// byte-compatible with the serial checker's accumulation order.
+fn collect_indexed(
+    results: Vec<Result<ClauseTyping, TypeCheckError>>,
+) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
+    let mut typings = Vec::new();
+    let mut errors = Vec::new();
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(t) => typings.push(t),
+            Err(e) => errors.push((i, e)),
+        }
+    }
+    if errors.is_empty() {
+        Ok(typings)
+    } else {
+        Err(errors)
     }
 }
 
@@ -570,5 +699,65 @@ mod tests {
         assert_eq!(errors.len(), 2);
         assert_eq!(errors[0].0, 0);
         assert_eq!(errors[1].0, 2);
+    }
+
+    #[test]
+    fn parallel_checker_matches_serial_verdicts_and_order() {
+        let src = format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             PRED p(nat).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             p(pred(0)).
+             p(0).
+             p(cons(nil, nil)).
+             :- app(nil, 0, 0).
+             :- app(X, Y, cons(0, nil)).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let serial = Checker::new(&m.sig, &cs, &preds);
+        let clauses: Vec<&lp_engine::Clause> = m.clauses.iter().map(|c| &c.clause).collect();
+        let queries: Vec<&[Term]> = m.queries.iter().map(|q| q.goals.as_slice()).collect();
+        let serial_errs = serial.check_program(clauses.iter().copied()).unwrap_err();
+
+        for jobs in [1usize, 4] {
+            let table = ShardedProofTable::new();
+            let par = ParallelChecker::with_table(&m.sig, &cs, &preds, &table, jobs);
+            let par_errs = par.check_program(&clauses).unwrap_err();
+            assert_eq!(
+                serial_errs, par_errs,
+                "clause errors diverge at jobs={jobs}"
+            );
+            let q_serial: Vec<_> = queries
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| serial.check_query(g).err().map(|e| (i, e)))
+                .collect();
+            let q_par = par.check_queries(&queries).unwrap_err();
+            assert_eq!(q_serial, q_par, "query errors diverge at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_checker_accepts_and_types_identically() {
+        let src = format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+            "
+        );
+        let (m, cs, preds) = setup(&src);
+        let clauses: Vec<&lp_engine::Clause> = m.clauses.iter().map(|c| &c.clause).collect();
+        let serial = Checker::new(&m.sig, &cs, &preds)
+            .check_program(clauses.iter().copied())
+            .expect("well-typed");
+        let table = ShardedProofTable::new();
+        let par = ParallelChecker::with_table(&m.sig, &cs, &preds, &table, 4)
+            .check_program(&clauses)
+            .expect("well-typed");
+        assert_eq!(serial, par, "typings must be identical, hit or miss");
     }
 }

@@ -1,0 +1,173 @@
+//! Differential property tests locking [`ShardedProver`] to [`Prover`]
+//! and [`TabledProver`].
+//!
+//! The sharded table is the concurrent counterpart of the single
+//! [`ProofTable`]: same canonical keys, same generation invalidation, just
+//! lock-striped. These tests assert it is *observationally identical* —
+//! exact [`Proof`] equality, answers included — to both the untabled
+//! prover and the `RefCell`-backed tabled prover, on miss passes, hit
+//! passes, and under genuinely concurrent access from several threads.
+//!
+//! Strategy mirrors `prop_table.rs`: proptest supplies seeds; worlds and
+//! goals come from the deterministic `lp-gen` generators, so every failure
+//! reproduces from the seed alone.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use lp_gen::{terms, worlds};
+use lp_term::{Term, Var};
+use subtype_core::{
+    Proof, ProofTable, Prover, ProverConfig, ShardedProofTable, ShardedProver, TabledProver,
+};
+
+/// Same tight search budget as `prop_table.rs` — both provers run the same
+/// deterministic search, so budget cuts ([`Proof::Unknown`]) must line up
+/// exactly too.
+const CONFIG: ProverConfig = ProverConfig {
+    var_expansion_budget: 4,
+    max_steps: 10_000,
+};
+
+/// Draws `n` (sup, sub) goal pairs over `world`, alternating closed and
+/// open goals (open goals exercise answer encoding/decoding through the
+/// canonical key space shared by all shards).
+fn goal_pairs(
+    rng: &mut StdRng,
+    world: &worlds::BuiltWorld,
+    n: usize,
+) -> (Vec<(Term, Term)>, [Var; 2]) {
+    let mut gen = world.gen.clone();
+    let vars = [gen.fresh(), gen.fresh()];
+    let goals = (0..n)
+        .map(|i| {
+            let scope: &[Var] = if i % 2 == 0 { &[] } else { &vars };
+            let sup = terms::random_type(rng, world, 2, scope);
+            let sub = terms::random_type(rng, world, 2, scope);
+            (sup, sub)
+        })
+        .collect();
+    (goals, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The headline differential property: over random guarded worlds, the
+    /// sharded prover returns byte-identical proofs to the untabled
+    /// prover, both when populating the shards and when answering from
+    /// them.
+    #[test]
+    fn sharded_prover_is_observationally_identical(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, _) = goal_pairs(&mut rng, &world, 4);
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let table = ShardedProofTable::new();
+        let sharded = ShardedProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        for (sup, sub) in &goals {
+            let reference = plain.subtype(sup, sub);
+            let miss = sharded.subtype(sup, sub);
+            prop_assert_eq!(&reference, &miss, "miss pass diverged on {:?} >= {:?}", sup, sub);
+            let hit = sharded.subtype(sup, sub);
+            prop_assert_eq!(&reference, &hit, "hit pass diverged on {:?} >= {:?}", sup, sub);
+        }
+        let stats = table.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 2 * goals.len() as u64);
+    }
+
+    /// The sharded table and the single `RefCell` table agree entry for
+    /// entry: same verdicts, same answers, same hit behaviour — so the CLI
+    /// may freely pick one per `--jobs` without changing output.
+    #[test]
+    fn sharded_and_local_tables_agree(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Duplicates force hit-path answering in both backends.
+        let (mut goals, _) = goal_pairs(&mut rng, &world, 3);
+        goals.push(goals[0].clone());
+        goals.push(goals[2].clone());
+        let local = RefCell::new(ProofTable::new());
+        let tabled = TabledProver::with_config(&world.sig, &world.checked, CONFIG, &local);
+        let table = ShardedProofTable::new();
+        let sharded = ShardedProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        for (sup, sub) in &goals {
+            prop_assert_eq!(tabled.subtype(sup, sub), sharded.subtype(sup, sub));
+        }
+        prop_assert_eq!(tabled.subtype_batch(&goals), sharded.subtype_batch(&goals));
+    }
+
+    /// Rigid conjunction goals — the exact entry point the well-typedness
+    /// checker uses — agree with the untabled prover through the shards.
+    #[test]
+    fn rigid_conjunctions_agree_through_shards(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, vars) = goal_pairs(&mut rng, &world, 3);
+        let watermark = vars[1].0 + 1;
+        let rigid: BTreeSet<Var> = [vars[1]].into_iter().collect();
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let table = ShardedProofTable::new();
+        let sharded = ShardedProver::with_config(&world.sig, &world.checked, CONFIG, &table);
+        let reference = plain.subtype_all_rigid(&goals, &rigid, watermark);
+        let miss = sharded.subtype_all_rigid(&goals, &rigid, watermark);
+        prop_assert_eq!(&reference, &miss);
+        let hit = sharded.subtype_all_rigid(&goals, &rigid, watermark);
+        prop_assert_eq!(&reference, &hit);
+    }
+}
+
+proptest! {
+    // Thread spawning per case is comparatively expensive; fewer cases
+    // still cover many worlds while keeping the suite quick.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Four threads hammering one sharded table — mixing repeated and
+    /// distinct goals, so the same key is raced, hit, and overwritten —
+    /// each observe exactly the untabled prover's verdicts.
+    #[test]
+    fn concurrent_queries_match_untabled_verdicts(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, _) = goal_pairs(&mut rng, &world, 4);
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let expected: Vec<Proof> = goals.iter().map(|(a, b)| plain.subtype(a, b)).collect();
+        let table = ShardedProofTable::new();
+        let world_ref = &world;
+        let goals_ref = &goals;
+        let expected_ref = &expected;
+        let table_ref = &table;
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                scope.spawn(move || {
+                    let sharded = ShardedProver::with_config(
+                        &world_ref.sig,
+                        &world_ref.checked,
+                        CONFIG,
+                        table_ref,
+                    );
+                    // Each thread walks the goals from a different offset so
+                    // misses and hits interleave across threads.
+                    for i in 0..goals_ref.len() {
+                        let j = (i + t) % goals_ref.len();
+                        let (sup, sub) = &goals_ref[j];
+                        assert_eq!(
+                            sharded.subtype(sup, sub),
+                            expected_ref[j],
+                            "thread {t} diverged on goal {j}"
+                        );
+                    }
+                });
+            }
+        });
+        // Every conclusive verdict is answered from the table eventually:
+        // 16 queries total, at most one live derivation per distinct key
+        // per racing thread.
+        let stats = table.stats();
+        prop_assert_eq!(stats.hits + stats.misses, 16);
+    }
+}

@@ -1,8 +1,8 @@
 //! `slp` — the subtype-lp command-line interface.
 //!
 //! ```text
-//! slp check   FILE                 type-check every clause and query
-//! slp lint    FILE [--deny warnings] [--format json]
+//! slp check   FILE... [--jobs N]   type-check every clause and query
+//! slp lint    FILE... [--jobs N] [--deny warnings] [--format json]
 //!                                  run the static analyzer (dead clauses,
 //!                                  empty types, head condition, unused
 //!                                  symbols, overlapping heads, …)
@@ -15,12 +15,21 @@
 //! slp info    FILE                 summarize declarations
 //! ```
 //!
-//! Every rejection — parse error, §3 declaration error, §6 well-typedness
-//! failure, lint finding — is rendered through the same span-carrying
-//! [`Diagnostic`] machinery. Exit codes: 0 clean, 1 for warnings under
-//! `lint --deny warnings`, 2 for errors.
+//! `check` and `lint` accept many files (and `*`/`?` globs, for shells that
+//! do not expand them) and fan the batch out across `--jobs N` worker
+//! threads (default: one per core). Output is collected per file and
+//! emitted in input order, so a parallel run is byte-identical to the
+//! serial one. With a single file, `check` parallelizes across *clauses*
+//! instead, its workers sharing one lock-striped proof table.
+//!
+//! Stream discipline: results (well-typed summaries, lint findings, JSON)
+//! go to **stdout**; every error — usage mistakes, unreadable files, parse
+//! and type errors — is rendered to **stderr**. Unknown or malformed flags
+//! exit with code 2 and a usage hint instead of being ignored. Exit codes:
+//! 0 clean, 1 for warnings under `lint --deny warnings`, 2 for errors; a
+//! multi-file batch exits with the worst per-file code.
 
-use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use subtype_lp::core::consistency::AuditConfig;
@@ -29,11 +38,14 @@ use subtype_lp::core::lint::{
     clause_check_diagnostic, decl_diagnostic, lint_module, query_check_diagnostic, LintOptions,
 };
 use subtype_lp::core::{
-    match_type, ConstraintSet, MatchOutcome, NaiveProver, ProofTable, Prover, TabledProver,
+    match_type, par, ConstraintSet, MatchOutcome, NaiveProver, ProofTable, Prover,
+    ShardedProofTable, TabledProver,
 };
 use subtype_lp::parser::{parse_module, Module};
 use subtype_lp::term::TermDisplay;
 use subtype_lp::TypedProgram;
+
+use std::cell::RefCell;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,35 +59,357 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE\n  slp lint FILE [--deny warnings] [--format json|human]\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
+    "usage:\n  slp check FILE... [--jobs N]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
-fn run(args: &[String]) -> Result<ExitCode, String> {
+// ---------------------------------------------------------------------------
+// Strict argument parsing
+// ---------------------------------------------------------------------------
+
+/// Parsed command line: the command, its positional operands in order, and
+/// its flags. Unknown flags are rejected up front — a typo like
+/// `--deny-warnings` or `--job` must not silently run without the option.
+struct ParsedArgs {
+    command: String,
+    operands: Vec<String>,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+impl ParsedArgs {
+    fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).and_then(|v| v.as_deref())
+    }
+}
+
+/// Per-command flag table: `(flag, takes_value)`.
+fn flag_spec(command: &str) -> Option<&'static [(&'static str, bool)]> {
+    Some(match command {
+        "check" => &[("--jobs", true), ("--no-table", false)],
+        "lint" => &[
+            ("--jobs", true),
+            ("--deny", true),
+            ("--format", true),
+            ("--no-table", false),
+        ],
+        "run" | "audit" => &[("-q", true), ("-n", true), ("--no-table", false)],
+        "subtype" => &[("--naive", false), ("--no-table", false)],
+        "match" | "filter" | "export" | "info" => &[("--no-table", false)],
+        _ => return None,
+    })
+}
+
+fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
     let Some(command) = args.first() else {
         return Err(usage());
     };
-    // The FILE operand is the first argument that is neither a flag nor the
-    // value of a value-taking flag, so `slp lint --deny warnings f.slp` and
-    // `slp lint f.slp --deny warnings` both work.
+    let Some(spec) = flag_spec(command) else {
+        return Err(format!("unknown command `{command}`\n{}", usage()));
+    };
+    let mut operands = Vec::new();
+    let mut flags = BTreeMap::new();
     let mut rest = args[1..].iter();
-    let mut file = None;
     while let Some(a) = rest.next() {
-        if a == "--format" || a == "--deny" {
-            rest.next();
-        } else if !a.starts_with("--") {
-            file = Some(a);
-            break;
+        if a.starts_with('-') && a.len() > 1 {
+            match spec.iter().find(|(name, _)| name == a) {
+                Some((name, true)) => {
+                    let value = rest
+                        .next()
+                        .ok_or_else(|| format!("flag `{name}` expects a value\n{}", usage()))?;
+                    flags.insert(name.to_string(), Some(value.clone()));
+                }
+                Some((name, false)) => {
+                    flags.insert(name.to_string(), None);
+                }
+                None => {
+                    return Err(format!(
+                        "unknown flag `{a}` for `slp {command}`\n{}",
+                        usage()
+                    ));
+                }
+            }
+        } else {
+            operands.push(a.clone());
         }
     }
-    let file = file.ok_or_else(usage)?;
-    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let no_table = args.iter().any(|a| a == "--no-table");
+    Ok(ParsedArgs {
+        command: command.clone(),
+        operands,
+        flags,
+    })
+}
 
-    if command == "lint" {
-        return lint_cmd(file, &src, args, no_table);
+/// `--jobs N`: 0 (or the flag missing) means one worker per available core.
+fn jobs_of(parsed: &ParsedArgs) -> Result<usize, String> {
+    match parsed.value("--jobs") {
+        None => Ok(par::effective_jobs(0)),
+        Some(v) => v
+            .parse::<usize>()
+            .map(par::effective_jobs)
+            .map_err(|_| format!("--jobs expects a number, got `{v}`\n{}", usage())),
     }
+}
 
+// ---------------------------------------------------------------------------
+// Glob expansion (for shells that hand patterns through verbatim)
+// ---------------------------------------------------------------------------
+
+/// Matches `pattern` (with `*` and `?`) against a whole file name.
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let n: Vec<char> = name.chars().collect();
+    fn go(p: &[char], n: &[char]) -> bool {
+        match p.first() {
+            None => n.is_empty(),
+            Some('*') => go(&p[1..], n) || (!n.is_empty() && go(p, &n[1..])),
+            Some('?') => !n.is_empty() && go(&p[1..], &n[1..]),
+            Some(c) => n.first() == Some(c) && go(&p[1..], &n[1..]),
+        }
+    }
+    go(&p, &n)
+}
+
+/// Expands one operand: a literal path passes through; a basename pattern
+/// containing `*`/`?` is matched against its directory's entries (sorted,
+/// so batches are deterministic).
+fn expand_operand(op: &str) -> Result<Vec<String>, String> {
+    if !op.contains('*') && !op.contains('?') {
+        return Ok(vec![op.to_string()]);
+    }
+    let (dir, pattern) = match op.rsplit_once('/') {
+        Some((d, p)) => (d.to_string(), p),
+        None => (".".to_string(), op),
+    };
+    if dir.contains('*') || dir.contains('?') {
+        return Err(format!(
+            "glob `{op}`: wildcards are only supported in the file name"
+        ));
+    }
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("glob `{op}`: cannot read {dir}: {e}"))?;
+    let mut matches = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("glob `{op}`: {e}"))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if glob_match(pattern, &name) {
+            matches.push(if dir == "." {
+                name.into_owned()
+            } else {
+                format!("{dir}/{name}")
+            });
+        }
+    }
+    if matches.is_empty() {
+        return Err(format!("glob `{op}` matches no files"));
+    }
+    matches.sort();
+    Ok(matches)
+}
+
+fn expand_files(operands: &[String]) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    for op in operands {
+        files.extend(expand_operand(op)?);
+    }
+    Ok(files)
+}
+
+// ---------------------------------------------------------------------------
+// The batch pipeline
+// ---------------------------------------------------------------------------
+
+/// One file's collected output: emitted (stdout then stderr) strictly in
+/// input order after the parallel workers have finished.
+struct FileReport {
+    stdout: String,
+    stderr: String,
+    code: u8,
+}
+
+/// Runs `worker` over `files` on up to `jobs` threads and emits the reports
+/// in input order. The overall exit code is the worst per-file code.
+fn run_batch(
+    files: &[String],
+    jobs: usize,
+    worker: impl Fn(&str) -> FileReport + Sync,
+) -> ExitCode {
+    let reports = par::run_indexed(jobs, files, |_, f| worker(f));
+    let mut worst = 0u8;
+    for r in &reports {
+        print!("{}", r.stdout);
+        eprint!("{}", r.stderr);
+        worst = worst.max(r.code);
+    }
+    ExitCode::from(worst)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let parsed = parse_args(args)?;
+    let no_table = parsed.has("--no-table");
+
+    match parsed.command.as_str() {
+        "check" => {
+            let files = expand_files(require_files(&parsed)?)?;
+            let jobs = jobs_of(&parsed)?;
+            // Files are the unit of parallelism for a batch; a single file
+            // parallelizes across its clauses instead (sharing one sharded
+            // proof table between the workers).
+            let (file_jobs, clause_jobs) = if files.len() > 1 {
+                (jobs, 1)
+            } else {
+                (1, jobs)
+            };
+            let multi = files.len() > 1;
+            Ok(run_batch(&files, file_jobs, |file| {
+                check_file(file, clause_jobs, no_table, multi)
+            }))
+        }
+        "lint" => {
+            let files = expand_files(require_files(&parsed)?)?;
+            let jobs = jobs_of(&parsed)?;
+            let json = match parsed.value("--format") {
+                Some("json") => true,
+                Some("human") | None => false,
+                Some(other) => {
+                    return Err(format!(
+                        "--format expects `json` or `human`, got {other}\n{}",
+                        usage()
+                    ))
+                }
+            };
+            let deny_warnings = match parsed.value("--deny") {
+                Some("warnings") => true,
+                None => false,
+                Some(other) => {
+                    return Err(format!(
+                        "--deny expects `warnings`, got {other}\n{}",
+                        usage()
+                    ))
+                }
+            };
+            Ok(run_batch(&files, jobs, |file| {
+                lint_file(file, no_table, json, deny_warnings)
+            }))
+        }
+        _ => run_single(&parsed, no_table),
+    }
+}
+
+fn require_files(parsed: &ParsedArgs) -> Result<&[String], String> {
+    if parsed.operands.is_empty() {
+        return Err(format!(
+            "`slp {}` needs at least one FILE\n{}",
+            parsed.command,
+            usage()
+        ));
+    }
+    Ok(&parsed.operands)
+}
+
+/// Type-checks one file into a report (never prints directly: reports are
+/// emitted in input order by the batch driver).
+fn check_file(file: &str, clause_jobs: usize, no_table: bool, multi: bool) -> FileReport {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            return FileReport {
+                stdout: String::new(),
+                stderr: format!("slp: cannot read {file}: {e}\n"),
+                code: 2,
+            }
+        }
+    };
+    let module = match parse_module(&src) {
+        Ok(m) => m,
+        Err(e) => return error_report(&[Diagnostic::from(&e)], &src, file),
+    };
+    let program = match TypedProgram::from_module(module.clone()) {
+        Ok(p) => p.with_tabling(!no_table),
+        Err(e) => return error_report(&program_diagnostics(&module, &e), &src, file),
+    };
+    let diags = check_program_diags(&program, clause_jobs, no_table);
+    if !diags.is_empty() {
+        return error_report(&diags, &src, file);
+    }
+    let prefix = if multi {
+        format!("{file}: ")
+    } else {
+        String::new()
+    };
+    FileReport {
+        stdout: format!(
+            "{prefix}well-typed: {} clause(s), {} query(ies)\n",
+            program.module().clauses.len(),
+            program.module().queries.len()
+        ),
+        stderr: String::new(),
+        code: 0,
+    }
+}
+
+/// Lints one file into a report. Findings are the command's *results* and
+/// stay on stdout (in both formats); only I/O failures go to stderr.
+fn lint_file(file: &str, no_table: bool, json: bool, deny_warnings: bool) -> FileReport {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            return FileReport {
+                stdout: String::new(),
+                stderr: format!("slp: cannot read {file}: {e}\n"),
+                code: 2,
+            }
+        }
+    };
+    let diags = match parse_module(&src) {
+        Err(e) => vec![Diagnostic::from(&e)],
+        Ok(m) => lint_module(&m, &LintOptions { tabling: !no_table }),
+    };
+    let stdout = if json {
+        diag::render_json_all(&diags, &src, file)
+    } else {
+        diag::render_human_all(&diags, &src, file)
+    };
+    let (errors, warnings) = diag::counts(&diags);
+    let code = if errors > 0 {
+        2
+    } else if warnings > 0 && deny_warnings {
+        1
+    } else {
+        0
+    };
+    FileReport {
+        stdout,
+        stderr: String::new(),
+        code,
+    }
+}
+
+/// Renders error diagnostics into a stderr report with exit code 2.
+fn error_report(diags: &[Diagnostic], src: &str, file: &str) -> FileReport {
+    let mut ds = diags.to_vec();
+    diag::sort(&mut ds);
+    FileReport {
+        stdout: String::new(),
+        stderr: diag::render_human_all(&ds, src, file),
+        code: 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-file commands (run/audit/subtype/match/filter/export/info)
+// ---------------------------------------------------------------------------
+
+fn run_single(parsed: &ParsedArgs, no_table: bool) -> Result<ExitCode, String> {
+    let file = parsed
+        .operands
+        .first()
+        .ok_or_else(|| format!("`slp {}` needs a FILE\n{}", parsed.command, usage()))?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let module = match parse_module(&src) {
         Ok(m) => m,
         Err(e) => return Ok(report_errors(&[Diagnostic::from(&e)], &src, file)),
@@ -85,13 +419,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Err(e) => return Ok(report_errors(&program_diagnostics(&module, &e), &src, file)),
     };
 
-    match command.as_str() {
-        "check" => check(&program, &src, file),
-        "run" => execute(&program, &src, file, args, false),
-        "audit" => execute(&program, &src, file, args, true),
-        "subtype" => subtype(program, args).map(|()| ExitCode::SUCCESS),
-        "match" => match_cmd(program, args).map(|()| ExitCode::SUCCESS),
-        "filter" => filter_cmd(program, args).map(|()| ExitCode::SUCCESS),
+    match parsed.command.as_str() {
+        "run" => execute(&program, &src, file, parsed, false),
+        "audit" => execute(&program, &src, file, parsed, true),
+        "subtype" => subtype(program, parsed).map(|()| ExitCode::SUCCESS),
+        "match" => match_cmd(program, parsed).map(|()| ExitCode::SUCCESS),
+        "filter" => filter_cmd(program, parsed).map(|()| ExitCode::SUCCESS),
         "export" => {
             print!("{}", subtype_lp::parser::unparse(program.module()));
             Ok(ExitCode::SUCCESS)
@@ -103,10 +436,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 /// Renders error diagnostics to stderr and yields exit code 2.
 fn report_errors(diags: &[Diagnostic], src: &str, file: &str) -> ExitCode {
-    let mut ds = diags.to_vec();
-    diag::sort(&mut ds);
-    eprint!("{}", diag::render_human_all(&ds, src, file));
-    ExitCode::from(2)
+    let r = error_report(diags, src, file);
+    eprint!("{}", r.stderr);
+    ExitCode::from(r.code)
 }
 
 /// Maps a program-construction failure onto span-carrying diagnostics.
@@ -125,10 +457,38 @@ fn program_diagnostics(module: &Module, e: &subtype_lp::Error) -> Vec<Diagnostic
 }
 
 /// Diagnostics for every ill-typed clause and query, or empty when the
-/// program is well-typed.
-fn check_program_diags(program: &TypedProgram) -> Vec<Diagnostic> {
+/// program is well-typed. With `clause_jobs > 1` the clauses (and queries)
+/// are checked across the worker pool, sharing one sharded proof table;
+/// the diagnostics come back in clause order either way, so the rendered
+/// output is byte-identical to the serial run.
+fn check_program_diags(
+    program: &TypedProgram,
+    clause_jobs: usize,
+    no_table: bool,
+) -> Vec<Diagnostic> {
     let module = program.module();
     let mut diags = Vec::new();
+    if clause_jobs > 1 {
+        let shared = ShardedProofTable::new();
+        let table = (!no_table).then_some(&shared);
+        if let Err(subtype_lp::Error::Check(errs)) =
+            program.check_clauses_parallel(table, clause_jobs)
+        {
+            diags.extend(
+                errs.iter()
+                    .map(|(i, e)| clause_check_diagnostic(module, *i, e)),
+            );
+        }
+        if let Err(subtype_lp::Error::Check(errs)) =
+            program.check_queries_parallel(table, clause_jobs)
+        {
+            diags.extend(
+                errs.iter()
+                    .map(|(i, e)| query_check_diagnostic(module, *i, e)),
+            );
+        }
+        return diags;
+    }
     if let Err(subtype_lp::Error::Check(errs)) = program.check_clauses() {
         diags.extend(
             errs.iter()
@@ -144,89 +504,29 @@ fn check_program_diags(program: &TypedProgram) -> Vec<Diagnostic> {
     diags
 }
 
-fn lint_cmd(file: &str, src: &str, args: &[String], no_table: bool) -> Result<ExitCode, String> {
-    let json = match args
-        .iter()
-        .position(|a| a == "--format")
-        .map(|i| args.get(i + 1).map(String::as_str))
-    {
-        Some(Some("json")) => true,
-        Some(Some("human")) | None => false,
-        Some(other) => {
-            return Err(format!(
-                "--format expects `json` or `human`, got {}\n{}",
-                other.unwrap_or("nothing"),
-                usage()
-            ))
-        }
-    };
-    let deny_warnings = match args
-        .iter()
-        .position(|a| a == "--deny")
-        .map(|i| args.get(i + 1).map(String::as_str))
-    {
-        Some(Some("warnings")) => true,
-        None => false,
-        Some(other) => {
-            return Err(format!(
-                "--deny expects `warnings`, got {}\n{}",
-                other.unwrap_or("nothing"),
-                usage()
-            ))
-        }
-    };
-    let diags = match parse_module(src) {
-        Err(e) => vec![Diagnostic::from(&e)],
-        Ok(m) => lint_module(&m, &LintOptions { tabling: !no_table }),
-    };
-    if json {
-        print!("{}", diag::render_json_all(&diags, src, file));
-    } else {
-        print!("{}", diag::render_human_all(&diags, src, file));
+fn flag_usize(parsed: &ParsedArgs, flag: &str) -> Result<Option<usize>, String> {
+    match parsed.value(flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{flag} expects a number, got `{v}`\n{}", usage())),
     }
-    let (errors, warnings) = diag::counts(&diags);
-    Ok(if errors > 0 {
-        ExitCode::from(2)
-    } else if warnings > 0 && deny_warnings {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    })
-}
-
-fn check(program: &TypedProgram, src: &str, file: &str) -> Result<ExitCode, String> {
-    let diags = check_program_diags(program);
-    if !diags.is_empty() {
-        return Ok(report_errors(&diags, src, file));
-    }
-    println!(
-        "well-typed: {} clause(s), {} query(ies)",
-        program.module().clauses.len(),
-        program.module().queries.len()
-    );
-    Ok(ExitCode::SUCCESS)
-}
-
-fn flag_value(args: &[String], flag: &str) -> Option<usize> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
 }
 
 fn execute(
     program: &TypedProgram,
     src: &str,
     file: &str,
-    args: &[String],
+    parsed: &ParsedArgs,
     auditing: bool,
 ) -> Result<ExitCode, String> {
-    let diags = check_program_diags(program);
+    let diags = check_program_diags(program, 1, !program.tabling());
     if !diags.is_empty() {
         return Ok(report_errors(&diags, src, file));
     }
-    let query = flag_value(args, "-q").unwrap_or(0);
-    let max = flag_value(args, "-n").unwrap_or(10);
+    let query = flag_usize(parsed, "-q")?.unwrap_or(0);
+    let max = flag_usize(parsed, "-n")?.unwrap_or(10);
     let queries = &program.module().queries;
     if queries.is_empty() {
         return Err("the program contains no queries".into());
@@ -291,11 +591,18 @@ fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine
     }
 }
 
-fn subtype(program: TypedProgram, args: &[String]) -> Result<(), String> {
-    let sup_src = args.get(2).ok_or_else(usage)?;
-    let sub_src = args.get(3).ok_or_else(usage)?;
-    let naive = args.iter().any(|a| a == "--naive");
-    let tabled = args.iter().all(|a| a != "--no-table");
+fn operand<'a>(parsed: &'a ParsedArgs, index: usize, what: &str) -> Result<&'a String, String> {
+    parsed
+        .operands
+        .get(index)
+        .ok_or_else(|| format!("`slp {}` needs {what}\n{}", parsed.command, usage()))
+}
+
+fn subtype(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> {
+    let sup_src = operand(parsed, 1, "a SUPERTYPE")?;
+    let sub_src = operand(parsed, 2, "a SUBTYPE")?;
+    let naive = parsed.has("--naive");
+    let tabled = !parsed.has("--no-table");
     let mut loader = program.into_loader();
     let (sup, _) = loader
         .parse_type(sup_src)
@@ -341,9 +648,9 @@ fn subtype(program: TypedProgram, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn match_cmd(program: TypedProgram, args: &[String]) -> Result<(), String> {
-    let ty_src = args.get(2).ok_or_else(usage)?;
-    let term_src = args.get(3).ok_or_else(usage)?;
+fn match_cmd(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> {
+    let ty_src = operand(parsed, 1, "a TYPE")?;
+    let term_src = operand(parsed, 2, "a TERM")?;
     let mut loader = program.into_loader();
     let (ty, ty_hints) = loader
         .parse_type(ty_src)
@@ -388,9 +695,9 @@ fn match_cmd(program: TypedProgram, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn filter_cmd(program: TypedProgram, args: &[String]) -> Result<(), String> {
-    let from_src = args.get(2).ok_or_else(usage)?;
-    let to_src = args.get(3).ok_or_else(usage)?;
+fn filter_cmd(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> {
+    let from_src = operand(parsed, 1, "a FROM_TYPE")?;
+    let to_src = operand(parsed, 2, "a TO_TYPE")?;
     let mut loader = program.into_loader();
     let (from, _) = loader
         .parse_type(from_src)

@@ -70,8 +70,8 @@ use lp_term::{NameHints, Term, TermDisplay};
 use subtype_core::consistency::{AuditConfig, AuditReport, Auditor};
 use subtype_core::welltyped::ClauseTyping;
 use subtype_core::{
-    CheckedConstraints, Checker, ConstraintSet, PredTypeTable, ProofTable, Prover, TableStats,
-    TabledProver, TypeCheckError, TypeDeclError,
+    CheckedConstraints, Checker, ConstraintSet, ParallelChecker, PredTypeTable, ProofTable, Prover,
+    ShardedProofTable, TableStats, TabledProver, TypeCheckError, TypeDeclError,
 };
 
 /// Any error surfaced by the high-level API.
@@ -277,6 +277,72 @@ impl TypedProgram {
         self.check_clauses()?;
         self.check_queries()?;
         Ok(())
+    }
+
+    /// A clause-level parallel checker over `jobs` workers (0 = one per
+    /// core) sharing `table` when tabling is wanted.
+    ///
+    /// This deliberately takes the sharded table by reference instead of
+    /// using the program's own single-threaded [`ProofTable`]: the
+    /// `RefCell`-wrapped table cannot cross threads, and keeping the two
+    /// backends separate means serial callers pay no locking.
+    pub fn parallel_checker<'a>(
+        &'a self,
+        table: Option<&'a ShardedProofTable>,
+        jobs: usize,
+    ) -> ParallelChecker<'a> {
+        match table {
+            Some(t) => ParallelChecker::with_table(
+                &self.module.sig,
+                &self.constraints,
+                &self.pred_types,
+                t,
+                jobs,
+            ),
+            None => {
+                ParallelChecker::new(&self.module.sig, &self.constraints, &self.pred_types, jobs)
+            }
+        }
+    }
+
+    /// Checks every program clause across `jobs` worker threads, sharing
+    /// subtype derivations through `table`. Error order (and typings) are
+    /// identical to [`Self::check_clauses`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] with one entry per ill-typed clause, ascending.
+    pub fn check_clauses_parallel(
+        &self,
+        table: Option<&ShardedProofTable>,
+        jobs: usize,
+    ) -> Result<Vec<ClauseTyping>, Error> {
+        let clauses: Vec<_> = self.module.clauses.iter().map(|c| &c.clause).collect();
+        self.parallel_checker(table, jobs)
+            .check_program(&clauses)
+            .map_err(Error::Check)
+    }
+
+    /// Checks every query across `jobs` worker threads. Error order is
+    /// identical to [`Self::check_queries`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] with one entry per ill-typed query, ascending.
+    pub fn check_queries_parallel(
+        &self,
+        table: Option<&ShardedProofTable>,
+        jobs: usize,
+    ) -> Result<Vec<ClauseTyping>, Error> {
+        let queries: Vec<&[Term]> = self
+            .module
+            .queries
+            .iter()
+            .map(|q| q.goals.as_slice())
+            .collect();
+        self.parallel_checker(table, jobs)
+            .check_queries(&queries)
+            .map_err(Error::Check)
     }
 
     /// Builds the engine database for the program's clauses.

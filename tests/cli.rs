@@ -187,3 +187,128 @@ fn parse_errors_have_positions() {
     assert!(!ok);
     assert!(stderr.contains("1:"), "{stderr}");
 }
+
+/// Like [`slp`], but returns the raw exit code.
+fn slp_code(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_slp"))
+        .args(args)
+        .output()
+        .expect("slp runs");
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn unknown_flags_exit_2_with_usage_on_stderr() {
+    let f = example("app.slp");
+    for args in [
+        &["check", &f, "--frobnicate"] as &[&str],
+        &["lint", &f, "--deny-warnings"],
+        &["run", &f, "--jobs", "2"],
+        &["--jobs", "2"],
+    ] {
+        let (code, stdout, stderr) = slp_code(args);
+        assert_eq!(code, 2, "{args:?} must be rejected");
+        assert!(stdout.is_empty(), "{args:?} printed to stdout: {stdout}");
+        assert!(stderr.contains("usage:"), "{args:?} stderr: {stderr}");
+    }
+    let (code, _, stderr) = slp_code(&["check", &f, "--jobs"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("expects a value"), "{stderr}");
+    let (code, _, stderr) = slp_code(&["check", &f, "--jobs", "many"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("expects a number"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let (code, stdout, stderr) = slp_code(&["chek", "x.slp"]);
+    assert_eq!(code, 2);
+    assert!(stdout.is_empty());
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn multi_file_check_prefixes_and_orders_output() {
+    let app = example("app.slp");
+    let nat = example("naturals.slp");
+    let (code, stdout, stderr) = slp_code(&["check", &app, &nat]);
+    assert_eq!(code, 0, "{stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].starts_with(&app), "{stdout}");
+    assert!(lines[1].starts_with(&nat), "{stdout}");
+    assert!(lines[0].contains("well-typed"), "{stdout}");
+}
+
+#[test]
+fn multi_file_exit_code_is_worst_per_file() {
+    let good = example("app.slp");
+    let bad = write_fixture("worst.slp", &format!("{APP}\n:- app(nil, 0, 0)."));
+    let bad = bad.to_str().unwrap();
+    let (code, stdout, stderr) = slp_code(&["check", &good, bad]);
+    assert_eq!(code, 2);
+    // The clean file's summary still reaches stdout; the errors go to
+    // stderr.
+    assert!(stdout.contains("well-typed"), "{stdout}");
+    assert!(stderr.contains("ill-typed"), "{stderr}");
+}
+
+#[test]
+fn missing_file_in_batch_reports_on_stderr() {
+    let good = example("app.slp");
+    let (code, stdout, stderr) = slp_code(&["check", &good, "no-such-file.slp"]);
+    assert_eq!(code, 2);
+    assert!(stdout.contains("well-typed"), "{stdout}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn glob_expands_in_sorted_order() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let pattern = format!("{}/natural?.slp", dir.to_str().unwrap());
+    let (code, stdout, _) = slp_code(&["check", &pattern]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("well-typed"), "{stdout}");
+    let (code, _, stderr) = slp_code(&["check", &format!("{}/zzz*.slp", dir.to_str().unwrap())]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("matches no files"), "{stderr}");
+}
+
+#[test]
+fn jobs_one_and_four_are_byte_identical() {
+    let files = [
+        example("app.slp"),
+        example("naturals.slp"),
+        example("lint_demo.slp"),
+    ];
+    let files: Vec<&str> = files.iter().map(String::as_str).collect();
+    for cmd in [
+        &["check"] as &[&str],
+        &["lint"],
+        &["lint", "--format", "json"],
+    ] {
+        let mut serial: Vec<&str> = cmd.to_vec();
+        serial.extend(&files);
+        serial.extend(["--jobs", "1"]);
+        let mut parallel: Vec<&str> = cmd.to_vec();
+        parallel.extend(&files);
+        parallel.extend(["--jobs", "4"]);
+        assert_eq!(
+            slp_code(&serial),
+            slp_code(&parallel),
+            "--jobs changed observable output for {cmd:?}"
+        );
+    }
+    // Single file: `check --jobs 4` takes the clause-parallel path.
+    for file in &files {
+        assert_eq!(
+            slp_code(&["check", file, "--jobs", "1"]),
+            slp_code(&["check", file, "--jobs", "4"]),
+            "clause-level parallelism changed output for {file}"
+        );
+    }
+}
