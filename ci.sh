@@ -1,46 +1,116 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, format, lint. Run from the repo root.
+# Tier-1 gate: build, test, format, lint, goldens, perf smoke.
+# Run from the repo root.
+#
+#   ci.sh           full gate (release build, all checks, perf smoke)
+#   ci.sh --quick   debug build + `cargo test -q` only — the fast inner loop
+#
+# Every step prints a `ci: <name>: <seconds>s` timing line on stderr, so a
+# slow step is visible without re-running under `time`.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --workspace
-cargo test --workspace -q
-cargo test --workspace -q --release
-cargo fmt --all --check
-cargo clippy --workspace --all-targets -- -D warnings
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *)
+      echo "ci.sh: unknown argument \`$arg\` (only --quick is supported)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Runs a named step, timing it to stderr: `step NAME CMD...`.
+step() {
+  local name="$1"
+  shift
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$@"
+  t1=$(date +%s.%N)
+  printf 'ci: %s: %.1fs\n' "$name" "$(echo "$t1 $t0" | awk '{print $1 - $2}')" >&2
+}
+
+if [ "$quick" = 1 ]; then
+  step build-debug cargo build --workspace
+  step test-debug cargo test --workspace -q
+  echo "ci: quick gate passed" >&2
+  exit 0
+fi
+
+step build-release cargo build --release --workspace
+step test-debug cargo test --workspace -q
+step test-release cargo test --workspace -q --release
+step fmt cargo fmt --all --check
+step clippy cargo clippy --workspace --all-targets -- -D warnings
 
 # Shipped examples must stay lint-clean (exit 0 even under --deny warnings).
-target/release/slp lint --deny warnings examples/app.slp
-target/release/slp lint --deny warnings examples/naturals.slp
+step lint-examples target/release/slp lint --deny warnings \
+  examples/app.slp examples/naturals.slp
 
 # Lint output is pinned byte-for-byte against the committed goldens, in both
 # human and JSON formats. lint_demo.slp is intentionally dirty (exit 2).
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-for stem in app naturals lint_demo; do
-  target/release/slp lint "examples/$stem.slp" > "$tmp/$stem.txt" || true
-  target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
-  diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
-  diff -u "tests/golden/$stem.json" "$tmp/$stem.json"
-done
+golden_lint() {
+  local stem
+  for stem in app naturals lint_demo; do
+    target/release/slp lint "examples/$stem.slp" > "$tmp/$stem.txt" || true
+    target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
+    diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
+    diff -u "tests/golden/$stem.json" "$tmp/$stem.json"
+  done
+}
+step golden-lint golden_lint
 
 # The parallel batch pipeline must be byte-identical to the serial run: a
 # multi-file `--jobs 4` lint is the concatenation (in input order) of the
 # committed per-file goldens.
-for fmt in txt json; do
-  flag=""
-  [ "$fmt" = json ] && flag="--format json"
-  # shellcheck disable=SC2086
-  target/release/slp lint examples/app.slp examples/naturals.slp \
-    examples/lint_demo.slp --jobs 4 $flag > "$tmp/batch.$fmt" || true
-  cat "tests/golden/app.$fmt" "tests/golden/naturals.$fmt" \
-    "tests/golden/lint_demo.$fmt" > "$tmp/expected.$fmt"
-  diff -u "$tmp/expected.$fmt" "$tmp/batch.$fmt"
-done
+golden_batch() {
+  local fmt flag
+  for fmt in txt json; do
+    flag=""
+    [ "$fmt" = json ] && flag="--format json"
+    # shellcheck disable=SC2086
+    target/release/slp lint examples/app.slp examples/naturals.slp \
+      examples/lint_demo.slp --jobs 4 $flag > "$tmp/batch.$fmt" || true
+    cat "tests/golden/app.$fmt" "tests/golden/naturals.$fmt" \
+      "tests/golden/lint_demo.$fmt" > "$tmp/expected.$fmt"
+    diff -u "$tmp/expected.$fmt" "$tmp/batch.$fmt"
+  done
+}
+step golden-batch golden_batch
 
 # check under --jobs 4 (clause-level parallelism) agrees with serial too.
-for stem in app naturals; do
-  target/release/slp check "examples/$stem.slp" --jobs 1 > "$tmp/c1.txt"
-  target/release/slp check "examples/$stem.slp" --jobs 4 > "$tmp/c4.txt"
-  diff -u "$tmp/c1.txt" "$tmp/c4.txt"
-done
+jobs_agree() {
+  local stem
+  for stem in app naturals; do
+    target/release/slp check "examples/$stem.slp" --jobs 1 > "$tmp/c1.txt"
+    target/release/slp check "examples/$stem.slp" --jobs 4 > "$tmp/c4.txt"
+    diff -u "$tmp/c1.txt" "$tmp/c4.txt"
+  done
+}
+step check-jobs-agree jobs_agree
+
+# `--stats` must leave stdout byte-identical, and the JSON document must
+# match the committed schema golden (key order is part of the contract).
+stats_golden() {
+  target/release/slp check examples/app.slp > "$tmp/plain.out"
+  target/release/slp check examples/app.slp --stats --format json \
+    > "$tmp/stats.out" 2> "$tmp/stats.err"
+  diff -u "$tmp/plain.out" "$tmp/stats.out"
+  # Mask numeric values (timers vary run to run); field names and their
+  # order are the stable part of the slp-metrics/1 contract.
+  sed -E 's/:[0-9]+(\.[0-9]+)?/:N/g' "$tmp/stats.err" > "$tmp/schema.txt"
+  diff -u tests/golden/stats_schema.txt "$tmp/schema.txt"
+}
+step stats-golden stats_golden
+
+# Perf smoke gate: the deterministic BENCH_5 counter signature of the
+# F6/F7 workload family must match the committed baseline exactly (counts,
+# never wall time — the gate is load-independent). Re-bless intentional
+# changes with scripts/bless.sh.
+step perf-smoke target/release/report --smoke --baseline BENCH_5.json
+
+echo "ci: full gate passed" >&2

@@ -1,0 +1,258 @@
+//! The `BENCH_5` machine-readable baseline: deterministic counter
+//! signatures of the F6/F7 workload family, emitted as one versioned JSON
+//! document and compared (counters only, never wall time) by the CI perf
+//! smoke gate.
+//!
+//! Every workload here runs **serially** on purpose: the counters of a
+//! serial run are a pure function of the code, so the committed
+//! `BENCH_5.json` stays byte-meaningful across machines and loads. Wall
+//! time is deliberately absent from the document — the gate catches
+//! behavioural drift (a tabling regression, an eviction-policy change, a
+//! checker doing more subtype work than it used to), not slow hardware.
+
+use std::cell::RefCell;
+
+use lp_gen::{programs, worlds};
+use subtype_core::consistency::{AuditConfig, Auditor};
+use subtype_core::obs::json::JsonValue;
+use subtype_core::{
+    lint_module_obs, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot, ProofTable,
+    TabledProver,
+};
+
+/// Version tag of the document; bump on any structural change.
+pub const SCHEMA: &str = "slp-bench/5";
+
+/// Runs every BENCH_5 workload (serially, in a fixed order) and returns
+/// the per-workload metric snapshots.
+pub fn workloads() -> Vec<(&'static str, MetricsSnapshot)> {
+    vec![
+        ("f6_alpha_batch", f6_alpha_batch()),
+        ("f6_audit_nrev", f6_audit_nrev()),
+        ("table_eviction", table_eviction()),
+        ("pipeline_check", pipeline_check()),
+        ("lint_pipeline", lint_pipeline()),
+    ]
+}
+
+/// The F6 alpha-variant subtype batch (256 goals, 8 distinct) through a
+/// tabled prover: pins the steady hit rate via raw hit/miss/insert counts.
+fn f6_alpha_batch() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let mut world = worlds::paper_world();
+    let goals = crate::alpha_variant_goals(&mut world, 256, crate::F6_DISTINCT);
+    let table = RefCell::new(ProofTable::with_metrics(obs.clone()));
+    let prover = TabledProver::new(&world.sig, &world.checked, &table);
+    for verdict in prover.subtype_batch(&goals) {
+        assert!(verdict.is_proved());
+    }
+    obs.snapshot()
+}
+
+/// The F6 Theorem 6 audit of `nrev(8)` sharing one table across resolvent
+/// checks: pins resolvent count, clause/query checks and table traffic.
+fn f6_audit_nrev() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let w = crate::workload(&programs::nrev(8));
+    let db = w.module.database();
+    let goals = w.module.queries[0].goals.clone();
+    let table = RefCell::new(ProofTable::with_metrics(obs.clone()));
+    let checker =
+        Checker::with_table(&w.module.sig, &w.checked, &w.preds, &table).with_obs(Some(&obs));
+    let report = Auditor::new(checker).run(
+        &db,
+        &goals,
+        AuditConfig {
+            max_solutions: 1,
+            ..AuditConfig::default()
+        },
+    );
+    assert!(report.is_clean());
+    obs.add(Counter::AuditResolvents, report.resolvents_checked);
+    obs.add(Counter::EngineAttempts, report.engine.attempts);
+    obs.add(Counter::EngineSteps, report.engine.steps);
+    obs.add(Counter::EngineDepthCutoffs, report.engine.depth_cutoffs);
+    obs.snapshot()
+}
+
+/// FIFO-eviction churn: 32 goals cycling 16 distinct judgements through a
+/// capacity-4 local table. The batch proves in canonical-key order, so
+/// each duplicate hits right after its original, while the 16 distinct
+/// inserts overflow capacity 4 and evict exactly 12 entries. Pins the
+/// eviction counter exactly.
+fn table_eviction() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let mut world = worlds::paper_world();
+    let goals = crate::alpha_variant_goals(&mut world, 32, 16);
+    let table = RefCell::new(ProofTable::with_capacity_and_metrics(4, obs.clone()));
+    let prover = TabledProver::new(&world.sig, &world.checked, &table);
+    for verdict in prover.subtype_batch(&goals) {
+        assert!(verdict.is_proved());
+    }
+    obs.snapshot()
+}
+
+/// Serial clause-check of `pipeline(16, 2)`: pins clause checks, cmatch
+/// expansions and the subtype-goal volume of the checking pipeline.
+fn pipeline_check() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let w = crate::workload(&programs::pipeline(16, 2));
+    let table = RefCell::new(ProofTable::with_metrics(obs.clone()));
+    let checker =
+        Checker::with_table(&w.module.sig, &w.checked, &w.preds, &table).with_obs(Some(&obs));
+    let clauses: Vec<_> = w.module.clauses.iter().map(|c| c.clause.clone()).collect();
+    checker.check_program(clauses.iter()).expect("well-typed");
+    obs.snapshot()
+}
+
+/// A full lint pass over `pipeline(8, 2)`: pins the lint pass/diagnostic
+/// counters and the table traffic of lint's internal checking.
+fn lint_pipeline() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let module = lp_parser::parse_module(&programs::pipeline(8, 2)).expect("fixture parses");
+    let diags = lint_module_obs(&module, &LintOptions { tabling: true }, Some(&obs));
+    std::hint::black_box(diags);
+    obs.snapshot()
+}
+
+/// Assembles the versioned BENCH_5 document: `schema`, then one ordered
+/// counter object per workload. Counters only — no wall time.
+pub fn document() -> JsonValue {
+    let entries = workloads()
+        .into_iter()
+        .map(|(name, snap)| {
+            let counters = Counter::ALL
+                .iter()
+                .map(|c| (c.name().to_string(), JsonValue::num(snap.counter(*c))))
+                .collect();
+            (
+                name.to_string(),
+                JsonValue::Obj(vec![("counters".to_string(), JsonValue::Obj(counters))]),
+            )
+        })
+        .collect();
+    JsonValue::Obj(vec![
+        ("schema".to_string(), JsonValue::Str(SCHEMA.to_string())),
+        ("workloads".to_string(), JsonValue::Obj(entries)),
+    ])
+}
+
+/// Compares a freshly measured document against the committed baseline.
+///
+/// Every counter of every workload present in *either* document is
+/// compared; a counter drifts when its relative difference against the
+/// baseline exceeds `tolerance` (`0.0` = exact). Returns one human-readable
+/// line per drifted (or missing) entry — empty means the gate passes.
+pub fn compare(baseline: &JsonValue, fresh: &JsonValue, tolerance: f64) -> Vec<String> {
+    let mut diffs = Vec::new();
+    match (baseline.get("schema"), fresh.get("schema")) {
+        (Some(b), Some(f)) if b.as_str() == f.as_str() => {}
+        (b, f) => {
+            diffs.push(format!(
+                "schema mismatch: baseline {:?}, fresh {:?}",
+                b.and_then(JsonValue::as_str),
+                f.and_then(JsonValue::as_str)
+            ));
+            return diffs;
+        }
+    }
+    let (Some(JsonValue::Obj(base_wl)), Some(JsonValue::Obj(fresh_wl))) =
+        (baseline.get("workloads"), fresh.get("workloads"))
+    else {
+        diffs.push("malformed document: missing `workloads` object".to_string());
+        return diffs;
+    };
+    for (name, fresh_entry) in fresh_wl {
+        let Some(base_entry) = base_wl.iter().find(|(n, _)| n == name).map(|(_, v)| v) else {
+            diffs.push(format!(
+                "{name}: missing from baseline (re-bless BENCH_5.json)"
+            ));
+            continue;
+        };
+        for counter in Counter::ALL {
+            let key = counter.name();
+            let got = fresh_entry
+                .get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(JsonValue::as_u64);
+            let want = base_entry
+                .get("counters")
+                .and_then(|c| c.get(key))
+                .and_then(JsonValue::as_u64);
+            match (want, got) {
+                (Some(w), Some(g)) => {
+                    let drift = (g as f64 - w as f64).abs() / (w as f64).max(1.0);
+                    if drift > tolerance {
+                        diffs.push(format!(
+                            "{name}.{key}: baseline {w}, got {g} ({:+.1}% vs {:.1}% allowed)",
+                            100.0 * (g as f64 - w as f64) / (w as f64).max(1.0),
+                            100.0 * tolerance
+                        ));
+                    }
+                }
+                (None, Some(g)) if g != 0 => {
+                    diffs.push(format!("{name}.{key}: baseline absent, got {g}"));
+                }
+                _ => {}
+            }
+        }
+    }
+    for (name, _) in base_wl {
+        if !fresh_wl.iter().any(|(n, _)| n == name) {
+            diffs.push(format!("{name}: in baseline but no longer measured"));
+        }
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_is_deterministic_across_runs() {
+        assert_eq!(document().render(), document().render());
+    }
+
+    #[test]
+    fn document_round_trips_and_matches_itself() {
+        let doc = document();
+        let text = doc.render();
+        let parsed = JsonValue::parse(&text).expect("renders valid JSON");
+        assert_eq!(parsed.render(), text);
+        assert!(compare(&parsed, &doc, 0.0).is_empty());
+    }
+
+    #[test]
+    fn drift_is_reported_per_counter() {
+        let doc = document();
+        let mut text = doc.render();
+        // Corrupt one counter value in the parsed baseline.
+        text = text.replacen("\"subtype_goals\":256", "\"subtype_goals\":255", 1);
+        let tampered = JsonValue::parse(&text).unwrap();
+        let diffs = compare(&tampered, &doc, 0.0);
+        assert_eq!(diffs.len(), 1, "{diffs:?}");
+        assert!(diffs[0].contains("subtype_goals"), "{diffs:?}");
+        // A generous tolerance forgives the same drift.
+        assert!(compare(&tampered, &doc, 0.05).is_empty());
+    }
+
+    #[test]
+    fn alpha_batch_hit_rate_is_pinned() {
+        let (_, snap) = workloads().remove(0);
+        assert_eq!(snap.counter(Counter::SubtypeGoals), 256);
+        assert_eq!(snap.counter(Counter::TableMisses), 8);
+        assert_eq!(snap.counter(Counter::TableHits), 248);
+    }
+
+    #[test]
+    fn eviction_workload_overflows_the_fifo() {
+        let snap = table_eviction();
+        assert_eq!(snap.counter(Counter::TableInserts), 16);
+        assert_eq!(
+            snap.counter(Counter::TableEvictions),
+            12,
+            "16 distinct inserts into capacity 4"
+        );
+    }
+}

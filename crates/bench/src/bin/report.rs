@@ -3,6 +3,15 @@
 //! counters that Criterion cannot show.
 //!
 //! Run with: `cargo run --release -p bench --bin report`
+//!
+//! Two additional modes serve the machine-readable baseline:
+//!
+//! * `report --bench5 [--out FILE]` — run the deterministic BENCH_5
+//!   workloads and write the versioned counter document (stdout default).
+//! * `report --smoke [--baseline FILE] [--tolerance F]` — re-measure and
+//!   compare against the committed baseline (default `BENCH_5.json`,
+//!   exact match); exits 1 with a per-counter diff on drift. Wall time is
+//!   never compared, so the gate is load-independent.
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -31,14 +40,100 @@ fn time_n<R>(n: usize, mut f: impl FnMut() -> R) -> Duration {
 }
 
 fn main() {
-    println!("# subtype-lp experiment report\n");
-    f1();
-    f2();
-    f3();
-    f4();
-    f5();
-    f6();
-    f7();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--bench5") => bench5_mode(&args),
+        Some("--smoke") => smoke_mode(&args),
+        Some(other) => {
+            eprintln!(
+                "report: unknown flag `{other}`\nusage: report [--bench5 [--out FILE]] \
+                 [--smoke [--baseline FILE] [--tolerance F]]"
+            );
+            std::process::exit(2);
+        }
+        None => {
+            println!("# subtype-lp experiment report\n");
+            f1();
+            f2();
+            f3();
+            f4();
+            f5();
+            f6();
+            f7();
+        }
+    }
+}
+
+/// The value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// `report --bench5 [--out FILE]`: measure and emit the BENCH_5 document.
+fn bench5_mode(args: &[String]) {
+    let doc = bench::bench5::document().render();
+    match flag_value(args, "--out") {
+        Some(path) => {
+            let mut text = doc;
+            text.push('\n');
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("report: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {path}");
+        }
+        None => println!("{doc}"),
+    }
+}
+
+/// `report --smoke [--baseline FILE] [--tolerance F]`: the CI perf gate.
+fn smoke_mode(args: &[String]) {
+    let path = flag_value(args, "--baseline").unwrap_or("BENCH_5.json");
+    let tolerance: f64 = match flag_value(args, "--tolerance") {
+        None => 0.0,
+        Some(v) => match v.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("report: --tolerance expects a number, got `{v}`");
+                std::process::exit(2);
+            }
+        },
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("report: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = match subtype_core::obs::json::JsonValue::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("report: baseline {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = bench::bench5::document();
+    let diffs = bench::bench5::compare(&baseline, &fresh, tolerance);
+    if diffs.is_empty() {
+        eprintln!(
+            "smoke: counters match {path} ({} workloads, tolerance {tolerance})",
+            bench::bench5::workloads().len()
+        );
+    } else {
+        eprintln!("smoke: counter drift against {path}:");
+        for d in &diffs {
+            eprintln!("  {d}");
+        }
+        eprintln!(
+            "({} drifted; if intentional, re-bless with scripts/bless.sh)",
+            diffs.len()
+        );
+        std::process::exit(1);
+    }
 }
 
 /// F1: deterministic strategy vs raw SLD over H_C, on subtype chains.

@@ -8,6 +8,8 @@ use lp_parser::Module;
 use lp_term::Term;
 use subtype_core::{CheckedConstraints, ConstraintSet, PredTypeTable};
 
+pub mod bench5;
+
 /// A fully prepared checking workload: module + checked constraints +
 /// predicate types.
 pub struct CheckWorkload {

@@ -11,7 +11,7 @@
 //! ill-typed programs the auditor demonstrates how type errors surface at
 //! runtime (fault injection).
 
-use lp_engine::{Database, Query, Solution, SolveConfig, Step};
+use lp_engine::{Database, Query, Solution, SolveConfig, Stats, Step};
 use lp_term::Term;
 
 use crate::welltyped::{Checker, TypeCheckError};
@@ -44,6 +44,10 @@ pub struct AuditReport {
     /// this report — and any proof-table entries populated while producing
     /// them — were derived from.
     pub db_generation: u64,
+    /// Resolution counters of the underlying SLD search (attempts, steps,
+    /// depth cutoffs) — the audit's own engine traffic, so observability
+    /// can account for it the same way as an unaudited run.
+    pub engine: Stats,
 }
 
 impl AuditReport {
@@ -123,10 +127,14 @@ impl<'a> Auditor<'a> {
                     }
                     report.solutions.push(sol);
                     if report.solutions.len() >= config.max_solutions {
+                        report.engine = query.stats();
                         return report;
                     }
                 }
-                None => return report,
+                None => {
+                    report.engine = query.stats();
+                    return report;
+                }
             }
         }
     }

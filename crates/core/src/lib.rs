@@ -19,6 +19,7 @@
 //! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
 //! | (beyond the paper) lock-striped concurrent proof table | [`shard`] |
 //! | (beyond the paper) the worker pool behind `--jobs N` | [`par`] |
+//! | (beyond the paper) metrics, timers, and span tracing | [`obs`] |
 //!
 //! # Quick start
 //!
@@ -65,6 +66,7 @@ pub mod horn;
 pub mod lint;
 pub mod matching;
 pub mod naive;
+pub mod obs;
 pub mod par;
 pub mod prover;
 pub mod semantics;
@@ -78,9 +80,10 @@ pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, Subtype
 pub use diag::{Diagnostic, Severity};
 pub use filter::{build_filter, FilterError, FilterLibrary};
 pub use horn::HornTheory;
-pub use lint::{lint_module, LintOptions};
+pub use lint::{lint_module, lint_module_obs, LintOptions};
 pub use matching::{match_type, MatchOutcome};
 pub use naive::{NaiveOutcome, NaiveProver};
+pub use obs::{Counter, MetricsRegistry, MetricsSnapshot, Timer, TraceEvent};
 pub use prover::{Proof, Prover, ProverConfig};
 pub use shard::{ShardedProofTable, ShardedProver, TableHandle, DEFAULT_SHARD_COUNT};
 pub use table::{ProofTable, TableStats, TabledProver};

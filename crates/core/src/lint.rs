@@ -31,6 +31,7 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use lp_parser::{LoadedClause, Module, Span};
 use lp_term::{rename_term, unify, Signature, Subst, Sym, SymKind, Term, TermDisplay, Var};
@@ -40,6 +41,7 @@ use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::{CheckedConstraints, ConstraintSet};
 use crate::diag::{self, Diagnostic};
 use crate::filter;
+use crate::obs::{Counter, MetricsRegistry, Timer};
 use crate::table::ProofTable;
 use crate::welltyped::{Checker, PredTypeTable, TypeCheckError};
 
@@ -65,6 +67,24 @@ impl Default for LintOptions {
 /// fails: a non-uniform or unguarded declaration set yields its own
 /// diagnostic instead of the downstream type-level findings.
 pub fn lint_module(module: &Module, options: &LintOptions) -> Vec<Diagnostic> {
+    lint_module_obs(module, options, None)
+}
+
+/// [`lint_module`] with observability: the run is counted (`lint_runs`) and
+/// timed ([`Timer::Lint`]), the finding count lands in `lint_diagnostics`,
+/// and the type-level passes share a proof table wired to `obs`, so cache
+/// traffic and subtype goals aggregate into the same registry the CLI
+/// reports from.
+pub fn lint_module_obs(
+    module: &Module,
+    options: &LintOptions,
+    obs: Option<&Arc<MetricsRegistry>>,
+) -> Vec<Diagnostic> {
+    let reg = obs.map(Arc::as_ref);
+    let _span = reg.map(|o| o.start(Timer::Lint));
+    if let Some(o) = reg {
+        o.incr(Counter::LintRuns);
+    }
     let mut diags = Vec::new();
 
     singleton_variables(module, &mut diags);
@@ -89,13 +109,17 @@ pub fn lint_module(module: &Module, options: &LintOptions) -> Vec<Diagnostic> {
                     }),
                 ),
                 Ok(preds) => {
-                    program_passes(module, &checked, &preds, options, &mut inh, &mut diags)
+                    program_passes(module, &checked, &preds, options, obs, &mut inh, &mut diags)
                 }
             }
         }
     }
 
-    finish(diags)
+    let diags = finish(diags);
+    if let Some(o) = reg {
+        o.add(Counter::LintDiagnostics, diags.len() as u64);
+    }
+    diags
 }
 
 /// Builds the checked (uniform + guarded) constraint set for a module.
@@ -676,6 +700,7 @@ fn match_head(
     checked: &CheckedConstraints,
     preds: &PredTypeTable,
     table: Option<&RefCell<ProofTable>>,
+    obs: Option<&MetricsRegistry>,
     atom: &Term,
     rigid: bool,
 ) -> Result<CState, CMatchFailure> {
@@ -690,7 +715,8 @@ fn match_head(
     let cm = match table {
         Some(t) => CMatcher::with_table(sig, checked, t),
         None => CMatcher::new(sig, checked),
-    };
+    }
+    .with_obs(obs);
     let mut map: HashMap<Var, Var> = HashMap::new();
     let renamed = declared.map_vars(&mut |v| {
         Term::Var(*map.entry(v).or_insert_with(|| {
@@ -708,21 +734,30 @@ fn match_head(
     Ok(state)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn program_passes(
     module: &Module,
     checked: &CheckedConstraints,
     preds: &PredTypeTable,
     options: &LintOptions,
+    obs: Option<&Arc<MetricsRegistry>>,
     inh: &mut Inhabitation<'_>,
     diags: &mut Vec<Diagnostic>,
 ) {
     let sig = &module.sig;
-    let table = RefCell::new(ProofTable::new());
+    let reg = obs.map(Arc::as_ref);
+    // The internal table reports into the caller's registry (when given),
+    // so lint cache traffic shows up in the CLI-wide `--stats` document.
+    let table = RefCell::new(match obs {
+        Some(o) => ProofTable::with_metrics(o.clone()),
+        None => ProofTable::new(),
+    });
     let table_ref = options.tabling.then_some(&table);
     let checker = match table_ref {
         Some(t) => Checker::with_table(sig, checked, preds, t),
         None => Checker::new(sig, checked, preds),
-    };
+    }
+    .with_obs(reg);
 
     for (idx, lc) in module.clauses.iter().enumerate() {
         let head = &lc.clause.head;
@@ -731,7 +766,7 @@ fn program_passes(
         if let Some(p) = head.functor() {
             if preds.get(p).is_some() {
                 // (1) Dead clauses: flexible head-only match.
-                match match_head(module, checked, preds, table_ref, head, false) {
+                match match_head(module, checked, preds, table_ref, reg, head, false) {
                     Err(f @ (CMatchFailure::NoTyping | CMatchFailure::VariableClash { .. })) => {
                         let mut d = Diagnostic::warning(
                             "W0301",
@@ -755,7 +790,7 @@ fn program_passes(
                         // rigid-variable match pins a genericity violation
                         // rather than plain ill-typedness.
                         if let Err(CMatchFailure::RigidCommitment { .. }) =
-                            match_head(module, checked, preds, table_ref, head, true)
+                            match_head(module, checked, preds, table_ref, reg, head, true)
                         {
                             head_condition_violated = true;
                             let mut d = Diagnostic::error(

@@ -18,6 +18,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use crate::obs::{Counter, MetricsRegistry};
+
 /// Resolves a requested job count: `0` means "one worker per available
 /// core"; any other value is taken as-is.
 pub fn effective_jobs(requested: usize) -> usize {
@@ -28,6 +30,27 @@ pub fn effective_jobs(requested: usize) -> usize {
     } else {
         requested
     }
+}
+
+/// [`run_indexed`] with pool accounting: when `obs` is present, the batch
+/// and its item count are recorded (`pool_batches` / `pool_items`) before
+/// dispatch, whether the work ends up inline or on the pool.
+pub fn run_indexed_obs<T, R, F>(
+    jobs: usize,
+    items: &[T],
+    obs: Option<&MetricsRegistry>,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if let Some(o) = obs {
+        o.incr(Counter::PoolBatches);
+        o.add(Counter::PoolItems, items.len() as u64);
+    }
+    run_indexed(jobs, items, f)
 }
 
 /// Applies `f` to every item of `items`, on up to `jobs` worker threads

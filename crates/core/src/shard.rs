@@ -14,7 +14,11 @@
 //!   short critical sections (one hash-map probe or insert; the live proof
 //!   search itself never holds a lock), waiting is negligible;
 //! * each shard keeps its own FIFO bound (total capacity is divided evenly)
-//!   and its own counters; [`ShardedProofTable::stats`] merges them on read;
+//!   but all shards report into **one** shared [`MetricsRegistry`], so
+//!   [`ShardedProofTable::stats`] is a lock-free read of a handful of
+//!   atomics — it never touches a shard mutex (it used to lock every shard
+//!   and merge per-shard structs on each read, which serialized stats polls
+//!   against the workers);
 //! * generation invalidation (see [`crate::table`]) is preserved *per
 //!   shard*: every lookup/insert aligns the touched shard with the caller's
 //!   constraint-set generation before proceeding, so a shard never serves a
@@ -28,14 +32,16 @@
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, TryLockError};
+use std::time::Instant;
 
 use lp_term::{Signature, Subst, Term, Var};
 
 use crate::constraint::CheckedConstraints;
+use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
 use crate::table::{
-    CachedVerdict, Canonical, ProofTable, TableKey, TableStats, TabledProver,
+    verdict_name, CachedVerdict, Canonical, ProofTable, TableKey, TableStats, TabledProver,
     DEFAULT_TABLE_CAPACITY,
 };
 
@@ -47,6 +53,9 @@ pub const DEFAULT_SHARD_COUNT: usize = 16;
 #[derive(Debug)]
 pub struct ShardedProofTable {
     shards: Box<[Mutex<ProofTable>]>,
+    /// The one registry every shard reports into (also handed to callers
+    /// via [`Self::metrics`], so a whole invocation can aggregate).
+    obs: Arc<MetricsRegistry>,
 }
 
 impl Default for ShardedProofTable {
@@ -62,6 +71,11 @@ impl ShardedProofTable {
         Self::with_config(DEFAULT_SHARD_COUNT, DEFAULT_TABLE_CAPACITY)
     }
 
+    /// A default-sized table reporting into a caller-supplied registry.
+    pub fn with_metrics(obs: Arc<MetricsRegistry>) -> Self {
+        Self::with_config_and_metrics(DEFAULT_SHARD_COUNT, DEFAULT_TABLE_CAPACITY, obs)
+    }
+
     /// A table with `shards` stripes holding at most ~`capacity` entries in
     /// total (divided evenly; every shard holds at least one entry).
     ///
@@ -69,14 +83,37 @@ impl ShardedProofTable {
     ///
     /// Panics if `shards` is 0 or `capacity` is 0.
     pub fn with_config(shards: usize, capacity: usize) -> Self {
+        Self::with_config_and_metrics(shards, capacity, MetricsRegistry::shared())
+    }
+
+    /// Explicit geometry *and* registry; every shard shares `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or `capacity` is 0.
+    pub fn with_config_and_metrics(
+        shards: usize,
+        capacity: usize,
+        obs: Arc<MetricsRegistry>,
+    ) -> Self {
         assert!(shards > 0, "a sharded table needs at least one shard");
         assert!(capacity > 0, "a sharded table needs room for one entry");
         let per_shard = capacity.div_ceil(shards).max(1);
         let shards = (0..shards)
-            .map(|_| Mutex::new(ProofTable::with_capacity(per_shard)))
+            .map(|_| {
+                Mutex::new(ProofTable::with_capacity_and_metrics(
+                    per_shard,
+                    obs.clone(),
+                ))
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        ShardedProofTable { shards }
+        ShardedProofTable { shards, obs }
+    }
+
+    /// The shared metrics registry all shards report into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// Number of lock stripes.
@@ -86,56 +123,67 @@ impl ShardedProofTable {
 
     /// Total capacity bound (sum over shards).
     pub fn capacity(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).capacity()).sum()
+        (0..self.shards.len())
+            .map(|i| self.lock(i).capacity())
+            .sum()
     }
 
     /// Number of cached verdicts across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| self.lock(s).len()).sum()
+        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
     }
 
     /// Whether no shard holds a verdict.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| self.lock(s).is_empty())
+        (0..self.shards.len()).all(|i| self.lock(i).is_empty())
     }
 
-    /// Lifetime counters, merged across shards. The merge is not a snapshot
-    /// of one instant — concurrent writers may land between shard reads —
-    /// but once the workers have joined it is exact.
+    /// Lifetime counters — a lock-free read of the shared registry's
+    /// atomics. Takes **no** shard lock, so a stats poll never serializes
+    /// against working threads (the old implementation locked and merged
+    /// every shard on each read). Concurrent writers may land between the
+    /// individual counter loads; once the workers have joined it is exact.
     pub fn stats(&self) -> TableStats {
-        let mut total = TableStats::default();
-        for s in self.shards.iter() {
-            let st = self.lock(s).stats();
-            total.hits += st.hits;
-            total.misses += st.misses;
-            total.inserts += st.inserts;
-            total.evictions += st.evictions;
-            total.invalidations += st.invalidations;
+        TableStats {
+            hits: self.obs.get(Counter::TableHits),
+            misses: self.obs.get(Counter::TableMisses),
+            inserts: self.obs.get(Counter::TableInserts),
+            evictions: self.obs.get(Counter::TableEvictions),
+            invalidations: self.obs.get(Counter::TableInvalidations),
         }
-        total
     }
 
     /// Drops all entries in every shard, keeping the counters.
     pub fn clear(&self) {
-        for s in self.shards.iter() {
-            self.lock(s).clear();
+        for i in 0..self.shards.len() {
+            self.lock(i).clear();
         }
     }
 
-    /// Locks one shard, treating poisoning as fatal: a panic inside the
+    /// Locks shard `index`, counting (and tracing) contention when the
+    /// lock is busy on first try. Poisoning is fatal: a panic inside the
     /// table's short critical sections means the memo state is arbitrary,
     /// and serving from it could change verdicts.
-    #[allow(clippy::unused_self)]
-    fn lock<'t>(&self, shard: &'t Mutex<ProofTable>) -> std::sync::MutexGuard<'t, ProofTable> {
-        shard.lock().expect("proof-table shard poisoned")
+    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, ProofTable> {
+        match self.shards[index].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.obs.incr(Counter::ShardContention);
+                self.obs
+                    .trace(&TraceEvent::ShardContention { shard: index });
+                self.shards[index]
+                    .lock()
+                    .expect("proof-table shard poisoned")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("proof-table shard poisoned"),
+        }
     }
 
-    /// The shard a key routes to.
-    fn shard_for(&self, key: &TableKey) -> &Mutex<ProofTable> {
+    /// The shard index a key routes to.
+    fn shard_for(&self, key: &TableKey) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
-        let index = (hasher.finish() as usize) % self.shards.len();
-        &self.shards[index]
+        (hasher.finish() as usize) % self.shards.len()
     }
 
     /// Looks up a key under the given constraint-set generation, aligning
@@ -240,13 +288,32 @@ impl<'a> ShardedProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        let started = Instant::now();
         let canon = Canonical::of(goals, rigid, var_watermark);
+        let obs = self.table.metrics();
+        obs.incr(Counter::SubtypeGoals);
+        let fingerprint = obs.tracing().then(|| canon.key.fingerprint());
+        if let Some(fp) = &fingerprint {
+            obs.trace(&TraceEvent::SubtypeStart { key: fp });
+        }
+        let finish = |proof: Proof| -> Proof {
+            let elapsed = started.elapsed();
+            obs.observe(Timer::SubtypeProve, elapsed);
+            if let Some(fp) = &fingerprint {
+                obs.trace(&TraceEvent::SubtypeEnd {
+                    key: fp,
+                    verdict: verdict_name(&proof),
+                    nanos: elapsed.as_nanos() as u64,
+                });
+            }
+            proof
+        };
         let generation = self.cs.generation();
         if let Some(verdict) = self.table.lookup(generation, &canon.key) {
-            return match verdict {
+            return finish(match verdict {
                 CachedVerdict::Refuted => Proof::Refuted,
                 CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
-            };
+            });
         }
         let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
         let cached = match &proof {
@@ -257,7 +324,7 @@ impl<'a> ShardedProver<'a> {
         if let Some(verdict) = cached {
             self.table.insert(generation, canon.key, verdict);
         }
-        proof
+        finish(proof)
     }
 
     /// Decides a batch of *independent* subtype goals, one verdict per goal
@@ -310,9 +377,50 @@ impl<'a> TableHandle<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        self.subtype_all_rigid_obs(sig, cs, goals, rigid, var_watermark, None)
+    }
+
+    /// [`Self::subtype_all_rigid`] with explicit observability for the
+    /// untabled path.
+    ///
+    /// The `Local` and `Sharded` backends account into *their table's*
+    /// registry (wire the table to the invocation-wide registry and the
+    /// numbers aggregate there — see [`ProofTable::with_metrics`]); `obs`
+    /// is consulted only by the `Untabled` arm, which otherwise has no
+    /// registry to report the goal into.
+    pub fn subtype_all_rigid_obs(
+        &self,
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+        obs: Option<&MetricsRegistry>,
+    ) -> Proof {
         match self {
             TableHandle::Untabled => {
-                Prover::new(sig, cs).subtype_all_rigid(goals, rigid, var_watermark)
+                let started = Instant::now();
+                if let Some(o) = obs {
+                    o.incr(Counter::SubtypeGoals);
+                }
+                let fingerprint = obs.filter(|o| o.tracing()).map(|o| {
+                    let fp = Canonical::of(goals, rigid, var_watermark).key.fingerprint();
+                    o.trace(&TraceEvent::SubtypeStart { key: &fp });
+                    fp
+                });
+                let proof = Prover::new(sig, cs).subtype_all_rigid(goals, rigid, var_watermark);
+                if let Some(o) = obs {
+                    let elapsed = started.elapsed();
+                    o.observe(Timer::SubtypeProve, elapsed);
+                    if let Some(fp) = &fingerprint {
+                        o.trace(&TraceEvent::SubtypeEnd {
+                            key: fp,
+                            verdict: verdict_name(&proof),
+                            nanos: elapsed.as_nanos() as u64,
+                        });
+                    }
+                }
+                proof
             }
             TableHandle::Local(table) => {
                 TabledProver::new(sig, cs, table).subtype_all_rigid(goals, rigid, var_watermark)
@@ -469,6 +577,60 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Regression test for the stats-merge bug: `stats()` used to lock and
+    /// merge every shard on each read, so a poll while a worker held any
+    /// shard lock would block (and a poll loop would serialize the pool).
+    /// Now it must complete even while **all** shard locks are held.
+    #[test]
+    fn stats_reads_take_no_shard_locks() {
+        let w = world();
+        let table = ShardedProofTable::with_config(4, 64);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        p.subtype(&Term::constant(w.int), &Term::constant(w.nat));
+        let before = table.stats();
+        assert_eq!(before.misses, 1);
+
+        // Hold every shard lock on this thread, then read stats from
+        // another; with any lock acquisition in stats() this would deadlock
+        // and the recv below would time out.
+        let guards: Vec<_> = (0..table.shard_count()).map(|i| table.lock(i)).collect();
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                tx.send(table.stats()).expect("receiver alive");
+            });
+            let polled = rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("stats() completed without any shard lock");
+            assert_eq!(polled, before);
+        });
+        drop(guards);
+    }
+
+    #[test]
+    fn contended_locks_are_counted() {
+        let w = world();
+        let table = ShardedProofTable::with_config(1, 64);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        p.subtype(&Term::constant(w.int), &Term::constant(w.nat));
+        assert_eq!(table.metrics().get(Counter::ShardContention), 0);
+        // Hold the single shard's lock while another thread looks up: its
+        // try_lock must fail once and be counted before it blocks.
+        let guard = table.lock(0);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let p = ShardedProver::new(&w.sig, &w.cs, &table);
+                p.subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            });
+            while table.metrics().get(Counter::ShardContention) == 0 {
+                std::thread::yield_now();
+            }
+            drop(guard);
+            assert!(handle.join().expect("prover thread").is_proved());
+        });
+        assert!(table.metrics().get(Counter::ShardContention) >= 1);
     }
 
     #[test]

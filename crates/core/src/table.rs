@@ -48,13 +48,26 @@
 //! The table holds at most [`ProofTable::capacity`] entries; inserting past
 //! that evicts the oldest entry (FIFO). Hit/miss/insert/evict counts are
 //! available via [`ProofTable::stats`].
+//!
+//! # Accounting
+//!
+//! Since PR 5 the counters live in a shared [`MetricsRegistry`]
+//! (see [`crate::obs`]): every table is constructed over a registry (its own
+//! by default, a caller-supplied `Arc` for CLI-wide aggregation), and
+//! [`ProofTable::stats`] is a *view* over the registry's counters rather
+//! than a separately maintained struct. When tracing is enabled the table
+//! also emits `table.hit` / `table.miss` / `table.evict` /
+//! `table.invalidate` span events keyed by the canonical fingerprint.
 
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
 
 use lp_term::{rename_term, Signature, Subst, Term, Var, VarGen};
 
 use crate::constraint::CheckedConstraints;
+use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
 
 /// Default bound on the number of cached verdicts.
@@ -73,6 +86,55 @@ pub(crate) struct TableKey {
     rigid: Vec<Var>,
 }
 
+impl TableKey {
+    /// A compact, human-scannable rendering for trace logs: symbols print
+    /// as `s<index>` (the signature is not in scope here), canonical
+    /// variables as `_<n>`, goals as `sup>=sub` joined with `&`, followed
+    /// by the rigid set — e.g. `s3(_0)>=s5(_1)|r:_1`.
+    pub(crate) fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        fn term(out: &mut String, t: &Term) {
+            match t {
+                Term::Var(v) => {
+                    let _ = write!(out, "_{}", v.0);
+                }
+                Term::App(sym, args) => {
+                    let _ = write!(out, "s{}", sym.index());
+                    if !args.is_empty() {
+                        out.push('(');
+                        for (i, a) in args.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            term(out, a);
+                        }
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, (sup, sub)) in self.goals.iter().enumerate() {
+            if i > 0 {
+                out.push('&');
+            }
+            term(&mut out, sup);
+            out.push_str(">=");
+            term(&mut out, sub);
+        }
+        if !self.rigid.is_empty() {
+            out.push_str("|r:");
+            for (i, v) in self.rigid.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "_{}", v.0);
+            }
+        }
+        out
+    }
+}
+
 /// A cached conclusive verdict, with any answer held in canonical space.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum CachedVerdict {
@@ -83,6 +145,12 @@ pub(crate) enum CachedVerdict {
 }
 
 /// Hit/miss/insert/evict counters for a [`ProofTable`].
+///
+/// Since PR 5 this is a read-only *view*: the live tallies are atomic
+/// counters in the table's [`MetricsRegistry`], and [`ProofTable::stats`]
+/// snapshots them into this struct. Tables sharing one registry (e.g. the
+/// shards of a [`crate::ShardedProofTable`]) therefore report one merged
+/// set of numbers with no per-read locking or merging.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TableStats {
     /// Lookups answered from the table.
@@ -116,7 +184,7 @@ impl TableStats {
 /// The table itself is passive storage; [`TabledProver`] drives it. Share one
 /// table per world (e.g. behind a [`RefCell`]) across the checker, the
 /// matcher and the auditor to maximize reuse.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ProofTable {
     entries: HashMap<TableKey, CachedVerdict>,
     /// Insertion order of the keys in `entries`, oldest first (FIFO).
@@ -124,7 +192,26 @@ pub struct ProofTable {
     capacity: usize,
     /// Generation stamp the current entries were derived under; 0 = unset.
     generation: u64,
-    stats: TableStats,
+    /// Shared metrics registry the table reports into.
+    obs: Arc<MetricsRegistry>,
+}
+
+impl Clone for ProofTable {
+    /// Clones the cached entries and the *values* of the counters: the
+    /// clone gets its own fresh registry seeded from a snapshot, so the two
+    /// tables account independently from the moment of the clone (the
+    /// semantics the old by-value `stats` field had).
+    fn clone(&self) -> Self {
+        let obs = MetricsRegistry::shared();
+        obs.seed(&self.obs.snapshot());
+        ProofTable {
+            entries: self.entries.clone(),
+            order: self.order.clone(),
+            capacity: self.capacity,
+            generation: self.generation,
+            obs,
+        }
+    }
 }
 
 impl Default for ProofTable {
@@ -145,6 +232,22 @@ impl ProofTable {
     ///
     /// Panics if `capacity` is 0.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_metrics(capacity, MetricsRegistry::shared())
+    }
+
+    /// An empty table with the default capacity, reporting into `obs`.
+    pub fn with_metrics(obs: Arc<MetricsRegistry>) -> Self {
+        Self::with_capacity_and_metrics(DEFAULT_TABLE_CAPACITY, obs)
+    }
+
+    /// An empty table holding at most `capacity` entries, reporting into
+    /// `obs` — the constructor the CLI uses to aggregate every table of an
+    /// invocation into one registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn with_capacity_and_metrics(capacity: usize, obs: Arc<MetricsRegistry>) -> Self {
         assert!(
             capacity > 0,
             "a proof table needs room for at least one entry"
@@ -154,8 +257,13 @@ impl ProofTable {
             order: VecDeque::new(),
             capacity,
             generation: 0,
-            stats: TableStats::default(),
+            obs,
         }
+    }
+
+    /// The metrics registry this table reports into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// The capacity bound.
@@ -179,9 +287,16 @@ impl ProofTable {
         self.generation
     }
 
-    /// The lifetime counters (never reset by clears or invalidations).
+    /// The lifetime counters (never reset by clears or invalidations) — a
+    /// lock-free view over the table's [`MetricsRegistry`].
     pub fn stats(&self) -> TableStats {
-        self.stats
+        TableStats {
+            hits: self.obs.get(Counter::TableHits),
+            misses: self.obs.get(Counter::TableMisses),
+            inserts: self.obs.get(Counter::TableInserts),
+            evictions: self.obs.get(Counter::TableEvictions),
+            invalidations: self.obs.get(Counter::TableInvalidations),
+        }
     }
 
     /// Drops all entries, keeping the counters.
@@ -195,7 +310,8 @@ impl ProofTable {
     pub fn ensure_generation(&mut self, generation: u64) {
         if self.generation != generation {
             if !self.entries.is_empty() {
-                self.stats.invalidations += 1;
+                self.obs.incr(Counter::TableInvalidations);
+                self.obs.trace(&TraceEvent::TableInvalidate { generation });
             }
             self.clear();
             self.generation = generation;
@@ -206,11 +322,21 @@ impl ProofTable {
     pub(crate) fn lookup(&mut self, key: &TableKey) -> Option<CachedVerdict> {
         match self.entries.get(key) {
             Some(v) => {
-                self.stats.hits += 1;
+                self.obs.incr(Counter::TableHits);
+                if self.obs.tracing() {
+                    self.obs.trace(&TraceEvent::TableHit {
+                        key: &key.fingerprint(),
+                    });
+                }
                 Some(v.clone())
             }
             None => {
-                self.stats.misses += 1;
+                self.obs.incr(Counter::TableMisses);
+                if self.obs.tracing() {
+                    self.obs.trace(&TraceEvent::TableMiss {
+                        key: &key.fingerprint(),
+                    });
+                }
                 None
             }
         }
@@ -234,17 +360,31 @@ impl ProofTable {
             if let Some(oldest) = self.order.pop_front() {
                 let evicted = self.entries.remove(&oldest);
                 debug_assert!(evicted.is_some(), "order queue held a dead key");
-                self.stats.evictions += 1;
+                self.obs.incr(Counter::TableEvictions);
+                if self.obs.tracing() {
+                    self.obs.trace(&TraceEvent::TableEvict {
+                        key: &oldest.fingerprint(),
+                    });
+                }
             }
         }
         self.order.push_back(key.clone());
         self.entries.insert(key, verdict);
-        self.stats.inserts += 1;
+        self.obs.incr(Counter::TableInserts);
         debug_assert_eq!(
             self.order.len(),
             self.entries.len(),
             "order queue and entry map out of sync"
         );
+    }
+}
+
+/// The stable verdict name used in `subtype.end` trace events.
+pub(crate) fn verdict_name(proof: &Proof) -> &'static str {
+    match proof {
+        Proof::Proved(_) => "proved",
+        Proof::Refuted => "refuted",
+        Proof::Unknown => "unknown",
     }
 }
 
@@ -438,15 +578,42 @@ impl<'a> TabledProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        let started = Instant::now();
         let canon = Canonical::of(goals, rigid, var_watermark);
+        // Fingerprint rendering is skipped entirely when nobody traces.
+        let fingerprint = {
+            let table = self.table.borrow();
+            table.obs.incr(Counter::SubtypeGoals);
+            table.obs.tracing().then(|| canon.key.fingerprint())
+        };
+        if let Some(fp) = &fingerprint {
+            self.table
+                .borrow()
+                .obs
+                .trace(&TraceEvent::SubtypeStart { key: fp });
+        }
+        let finish = |proof: Proof| -> Proof {
+            let obs = &self.table.borrow().obs;
+            let elapsed = started.elapsed();
+            obs.observe(Timer::SubtypeProve, elapsed);
+            if let Some(fp) = &fingerprint {
+                obs.trace(&TraceEvent::SubtypeEnd {
+                    key: fp,
+                    verdict: verdict_name(&proof),
+                    nanos: elapsed.as_nanos() as u64,
+                });
+            }
+            proof
+        };
         {
             let mut table = self.table.borrow_mut();
             table.ensure_generation(self.cs.generation());
             if let Some(verdict) = table.lookup(&canon.key) {
-                return match verdict {
+                drop(table);
+                return finish(match verdict {
                     CachedVerdict::Refuted => Proof::Refuted,
                     CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
-                };
+                });
             }
         }
         let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
@@ -458,7 +625,7 @@ impl<'a> TabledProver<'a> {
         if let Some(verdict) = cached {
             self.table.borrow_mut().insert(canon.key, verdict);
         }
-        proof
+        finish(proof)
     }
 
     /// Decides a batch of *independent* subtype goals (no shared

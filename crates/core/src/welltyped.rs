@@ -13,12 +13,14 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 use lp_engine::Clause;
 use lp_term::{Signature, Sym, SymKind, Term, Var};
 
 use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::CheckedConstraints;
+use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::par;
 use crate::shard::{ShardedProofTable, TableHandle};
 use crate::table::ProofTable;
@@ -177,6 +179,9 @@ pub struct Checker<'a> {
     /// Which proof-table backend every clause's commitment-solving step
     /// proves through (see [`crate::table`] and [`crate::shard`]).
     table: TableHandle<'a>,
+    /// Observability: clause/query counters, phase timers and check
+    /// begin/end spans. `None` costs nothing.
+    obs: Option<&'a MetricsRegistry>,
 }
 
 impl<'a> Checker<'a> {
@@ -212,7 +217,16 @@ impl<'a> Checker<'a> {
             cs,
             preds,
             table,
+            obs: None,
         }
+    }
+
+    /// Attaches a metrics registry (builder style): clause/query checks are
+    /// counted, timed, and span-traced through it, and the constraint
+    /// matcher inherits it for expansion counting.
+    pub fn with_obs(mut self, obs: Option<&'a MetricsRegistry>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Checks a program clause (Definition 16, first form).
@@ -222,7 +236,10 @@ impl<'a> Checker<'a> {
     /// A [`TypeCheckError`] naming the offending atom.
     pub fn check_clause(&self, clause: &Clause) -> Result<ClauseTyping, TypeCheckError> {
         let atoms: Vec<&Term> = clause.atoms().collect();
-        self.check_atoms(&atoms, true)
+        let started = self.begin_check("clause", Counter::ClauseChecks, Timer::CheckClause);
+        let result = self.check_atoms(&atoms, true);
+        self.end_check("clause", Timer::CheckClause, started, result.is_ok());
+        result
     }
 
     /// Checks a negative clause / query (Definition 16, second form).
@@ -232,7 +249,37 @@ impl<'a> Checker<'a> {
     /// A [`TypeCheckError`] naming the offending goal.
     pub fn check_query(&self, goals: &[Term]) -> Result<ClauseTyping, TypeCheckError> {
         let atoms: Vec<&Term> = goals.iter().collect();
-        self.check_atoms(&atoms, false)
+        let started = self.begin_check("query", Counter::QueryChecks, Timer::CheckQuery);
+        let result = self.check_atoms(&atoms, false);
+        self.end_check("query", Timer::CheckQuery, started, result.is_ok());
+        result
+    }
+
+    /// Counts + traces the start of one clause/query check; returns the
+    /// span start instant when observability is on.
+    fn begin_check(&self, kind: &str, counter: Counter, _timer: Timer) -> Option<Instant> {
+        let o = self.obs?;
+        o.incr(counter);
+        if o.tracing() {
+            o.trace(&TraceEvent::CheckBegin { kind });
+        }
+        Some(Instant::now())
+    }
+
+    /// Records the timer span and the `check.end` trace event.
+    fn end_check(&self, kind: &str, timer: Timer, started: Option<Instant>, ok: bool) {
+        let (Some(o), Some(started)) = (self.obs, started) else {
+            return;
+        };
+        let elapsed = started.elapsed();
+        o.observe(timer, elapsed);
+        if o.tracing() {
+            o.trace(&TraceEvent::CheckEnd {
+                kind,
+                ok,
+                nanos: elapsed.as_nanos() as u64,
+            });
+        }
     }
 
     /// Checks every clause of a program, collecting all errors.
@@ -279,7 +326,7 @@ impl<'a> Checker<'a> {
             }
         }
         let mut state = CState::new(watermark);
-        let cm = CMatcher::with_handle(self.sig, self.cs, self.table);
+        let cm = CMatcher::with_handle(self.sig, self.cs, self.table).with_obs(self.obs);
         let mut atom_types = Vec::with_capacity(atoms.len());
         for (index, atom) in atoms.iter().enumerate() {
             let p = atom.functor().expect("atoms are applications");
@@ -337,6 +384,8 @@ pub struct ParallelChecker<'a> {
     /// `None` = untabled workers; `Some` = all workers share this table.
     table: Option<&'a ShardedProofTable>,
     jobs: usize,
+    /// Observability shared by every worker's serial checker.
+    obs: Option<&'a MetricsRegistry>,
 }
 
 impl<'a> ParallelChecker<'a> {
@@ -354,6 +403,7 @@ impl<'a> ParallelChecker<'a> {
             preds,
             table: None,
             jobs,
+            obs: None,
         }
     }
 
@@ -372,7 +422,16 @@ impl<'a> ParallelChecker<'a> {
             preds,
             table: Some(table),
             jobs,
+            obs: None,
         }
+    }
+
+    /// Attaches a metrics registry (builder style) shared by every worker.
+    /// The registry's atomics are `Sync`, so workers report concurrently
+    /// without coordination.
+    pub fn with_obs(mut self, obs: Option<&'a MetricsRegistry>) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The per-worker serial checker.
@@ -381,7 +440,7 @@ impl<'a> ParallelChecker<'a> {
             Some(t) => TableHandle::Sharded(t),
             None => TableHandle::Untabled,
         };
-        Checker::with_handle(self.sig, self.cs, self.preds, handle)
+        Checker::with_handle(self.sig, self.cs, self.preds, handle).with_obs(self.obs)
     }
 
     /// Checks every clause of a program across the worker pool, collecting
@@ -395,7 +454,7 @@ impl<'a> ParallelChecker<'a> {
         &self,
         clauses: &[&Clause],
     ) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
-        let results = par::run_indexed(self.jobs, clauses, |_, clause| {
+        let results = par::run_indexed_obs(self.jobs, clauses, self.obs, |_, clause| {
             self.checker().check_clause(clause)
         });
         collect_indexed(results)
@@ -411,7 +470,7 @@ impl<'a> ParallelChecker<'a> {
         &self,
         queries: &[&[Term]],
     ) -> Result<Vec<ClauseTyping>, Vec<(usize, TypeCheckError)>> {
-        let results = par::run_indexed(self.jobs, queries, |_, goals| {
+        let results = par::run_indexed_obs(self.jobs, queries, self.obs, |_, goals| {
             self.checker().check_query(goals)
         });
         collect_indexed(results)

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every committed golden artifact deterministically:
+#
+#   tests/golden/{app,naturals,lint_demo}.{txt,json}   lint output goldens
+#   tests/golden/stats_schema.txt                      --stats JSON schema
+#   BENCH_5.json                                       perf smoke baseline
+#
+# Run from anywhere; operates on the repo that contains this script. Review
+# the diff before committing — a bless turns current behaviour into the
+# contract that ci.sh enforces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p subtype-lp -p bench
+
+# Lint goldens, human and JSON (lint_demo is intentionally dirty: exit 2).
+for stem in app naturals lint_demo; do
+  target/release/slp lint "examples/$stem.slp" > "tests/golden/$stem.txt" || true
+  target/release/slp lint "examples/$stem.slp" --format json \
+    > "tests/golden/$stem.json" || true
+  echo "blessed tests/golden/$stem.{txt,json}" >&2
+done
+
+# The --stats schema golden: the slp-metrics/1 document with every numeric
+# value masked to N, pinning field names and order byte-for-byte.
+target/release/slp check examples/app.slp --stats --format json \
+  2>&1 >/dev/null |
+  sed -E 's/:[0-9]+(\.[0-9]+)?/:N/g' > tests/golden/stats_schema.txt
+echo "blessed tests/golden/stats_schema.txt" >&2
+
+# The perf smoke baseline: deterministic BENCH_5 counters (serial
+# workloads, so the same on every machine).
+target/release/report --bench5 --out BENCH_5.json
+
+echo "bless: done — review with \`git diff\` before committing" >&2

@@ -28,6 +28,15 @@
 //! exit with code 2 and a usage hint instead of being ignored. Exit codes:
 //! 0 clean, 1 for warnings under `lint --deny warnings`, 2 for errors; a
 //! multi-file batch exits with the worst per-file code.
+//!
+//! Observability: `check`, `lint`, `run` and `audit` accept `--stats`
+//! (emit one metrics document — human-readable, or the stable
+//! `slp-metrics/1` JSON schema under `--format json` — on **stderr** after
+//! the results; stdout is byte-identical to a run without the flag) and
+//! `--trace FILE` (append-free JSONL span log of subtype proofs, table
+//! traffic, cmatch expansions and clause checks). One registry serves the
+//! whole invocation, shared by every file in a batch and every worker
+//! thread.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -35,17 +44,19 @@ use std::process::ExitCode;
 use subtype_lp::core::consistency::AuditConfig;
 use subtype_lp::core::diag::{self, Diagnostic};
 use subtype_lp::core::lint::{
-    clause_check_diagnostic, decl_diagnostic, lint_module, query_check_diagnostic, LintOptions,
+    clause_check_diagnostic, decl_diagnostic, lint_module_obs, query_check_diagnostic, LintOptions,
 };
 use subtype_lp::core::{
-    match_type, par, ConstraintSet, MatchOutcome, NaiveProver, ProofTable, Prover,
-    ShardedProofTable, TabledProver,
+    match_type, par, ConstraintSet, Counter, MatchOutcome, MetricsRegistry, NaiveProver,
+    ProofTable, Prover, ShardedProofTable, TabledProver, Timer,
 };
 use subtype_lp::parser::{parse_module, Module};
 use subtype_lp::term::TermDisplay;
 use subtype_lp::TypedProgram;
 
 use std::cell::RefCell;
+use std::io::Write as _;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +70,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE... [--jobs N]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n  slp run FILE [-q QUERY] [-n MAX]\n  slp audit FILE [-q QUERY] [-n MAX]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
+    "usage:\n  slp check FILE... [--jobs N] [--stats] [--format json|human] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
@@ -89,14 +100,29 @@ impl ParsedArgs {
 /// Per-command flag table: `(flag, takes_value)`.
 fn flag_spec(command: &str) -> Option<&'static [(&'static str, bool)]> {
     Some(match command {
-        "check" => &[("--jobs", true), ("--no-table", false)],
+        "check" => &[
+            ("--jobs", true),
+            ("--no-table", false),
+            ("--stats", false),
+            ("--format", true),
+            ("--trace", true),
+        ],
         "lint" => &[
             ("--jobs", true),
             ("--deny", true),
             ("--format", true),
             ("--no-table", false),
+            ("--stats", false),
+            ("--trace", true),
         ],
-        "run" | "audit" => &[("-q", true), ("-n", true), ("--no-table", false)],
+        "run" | "audit" => &[
+            ("-q", true),
+            ("-n", true),
+            ("--no-table", false),
+            ("--stats", false),
+            ("--format", true),
+            ("--trace", true),
+        ],
         "subtype" => &[("--naive", false), ("--no-table", false)],
         "match" | "filter" | "export" | "info" => &[("--no-table", false)],
         _ => return None,
@@ -248,14 +274,62 @@ fn run_batch(
     ExitCode::from(worst)
 }
 
+/// `--format json|human` (shared by lint findings and `--stats` output).
+fn json_format(parsed: &ParsedArgs) -> Result<bool, String> {
+    match parsed.value("--format") {
+        Some("json") => Ok(true),
+        Some("human") | None => Ok(false),
+        Some(other) => Err(format!(
+            "--format expects `json` or `human`, got {other}\n{}",
+            usage()
+        )),
+    }
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let parsed = parse_args(args)?;
     let no_table = parsed.has("--no-table");
 
+    // One registry per invocation: every file in a batch, every worker
+    // thread, and every table backend counts into it, so `--stats` is a
+    // single coherent document rather than a merge of per-table views.
+    let obs = MetricsRegistry::shared();
+    if let Some(path) = parsed.value("--trace") {
+        let sink = std::fs::File::create(path)
+            .map_err(|e| format!("--trace: cannot create {path}: {e}"))?;
+        obs.set_trace(Box::new(std::io::BufWriter::new(sink)));
+    }
+
+    let code = dispatch(&parsed, no_table, &obs)?;
+
+    // Results are already on stdout; the stats document goes to stderr so
+    // stdout stays byte-identical to a run without `--stats`.
+    if let Some(mut sink) = obs.take_trace() {
+        let _ = sink.flush();
+    }
+    if parsed.has("--stats") {
+        let snapshot = obs.snapshot();
+        if json_format(&parsed)? {
+            eprintln!("{}", snapshot.render_json());
+        } else {
+            eprint!("{}", snapshot.render_human());
+        }
+    }
+    Ok(code)
+}
+
+fn dispatch(
+    parsed: &ParsedArgs,
+    no_table: bool,
+    obs: &Arc<MetricsRegistry>,
+) -> Result<ExitCode, String> {
     match parsed.command.as_str() {
         "check" => {
-            let files = expand_files(require_files(&parsed)?)?;
-            let jobs = jobs_of(&parsed)?;
+            // Validate `--format` up front even though check results ignore
+            // it; a typo must fail loudly, not silently drop the stats doc.
+            json_format(parsed)?;
+            let files = expand_files(require_files(parsed)?)?;
+            let jobs = jobs_of(parsed)?;
             // Files are the unit of parallelism for a batch; a single file
             // parallelizes across its clauses instead (sharing one sharded
             // proof table between the workers).
@@ -266,22 +340,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             };
             let multi = files.len() > 1;
             Ok(run_batch(&files, file_jobs, |file| {
-                check_file(file, clause_jobs, no_table, multi)
+                check_file(file, clause_jobs, no_table, multi, obs)
             }))
         }
         "lint" => {
-            let files = expand_files(require_files(&parsed)?)?;
-            let jobs = jobs_of(&parsed)?;
-            let json = match parsed.value("--format") {
-                Some("json") => true,
-                Some("human") | None => false,
-                Some(other) => {
-                    return Err(format!(
-                        "--format expects `json` or `human`, got {other}\n{}",
-                        usage()
-                    ))
-                }
-            };
+            let files = expand_files(require_files(parsed)?)?;
+            let jobs = jobs_of(parsed)?;
+            let json = json_format(parsed)?;
             let deny_warnings = match parsed.value("--deny") {
                 Some("warnings") => true,
                 None => false,
@@ -293,10 +358,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 }
             };
             Ok(run_batch(&files, jobs, |file| {
-                lint_file(file, no_table, json, deny_warnings)
+                lint_file(file, no_table, json, deny_warnings, obs)
             }))
         }
-        _ => run_single(&parsed, no_table),
+        _ => run_single(parsed, no_table, obs),
     }
 }
 
@@ -313,7 +378,13 @@ fn require_files(parsed: &ParsedArgs) -> Result<&[String], String> {
 
 /// Type-checks one file into a report (never prints directly: reports are
 /// emitted in input order by the batch driver).
-fn check_file(file: &str, clause_jobs: usize, no_table: bool, multi: bool) -> FileReport {
+fn check_file(
+    file: &str,
+    clause_jobs: usize,
+    no_table: bool,
+    multi: bool,
+    obs: &Arc<MetricsRegistry>,
+) -> FileReport {
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -324,11 +395,18 @@ fn check_file(file: &str, clause_jobs: usize, no_table: bool, multi: bool) -> Fi
             }
         }
     };
-    let module = match parse_module(&src) {
+    obs.incr(Counter::FilesProcessed);
+    let parse_span = obs.start(Timer::Parse);
+    let parsed = parse_module(&src);
+    drop(parse_span);
+    let module = match parsed {
         Ok(m) => m,
         Err(e) => return error_report(&[Diagnostic::from(&e)], &src, file),
     };
-    let program = match TypedProgram::from_module(module.clone()) {
+    let validate_span = obs.start(Timer::Validate);
+    let built = TypedProgram::from_module_with_metrics(module.clone(), obs.clone());
+    drop(validate_span);
+    let program = match built {
         Ok(p) => p.with_tabling(!no_table),
         Err(e) => return error_report(&program_diagnostics(&module, &e), &src, file),
     };
@@ -354,7 +432,13 @@ fn check_file(file: &str, clause_jobs: usize, no_table: bool, multi: bool) -> Fi
 
 /// Lints one file into a report. Findings are the command's *results* and
 /// stay on stdout (in both formats); only I/O failures go to stderr.
-fn lint_file(file: &str, no_table: bool, json: bool, deny_warnings: bool) -> FileReport {
+fn lint_file(
+    file: &str,
+    no_table: bool,
+    json: bool,
+    deny_warnings: bool,
+    obs: &Arc<MetricsRegistry>,
+) -> FileReport {
     let src = match std::fs::read_to_string(file) {
         Ok(s) => s,
         Err(e) => {
@@ -365,9 +449,13 @@ fn lint_file(file: &str, no_table: bool, json: bool, deny_warnings: bool) -> Fil
             }
         }
     };
-    let diags = match parse_module(&src) {
+    obs.incr(Counter::FilesProcessed);
+    let parse_span = obs.start(Timer::Parse);
+    let parsed = parse_module(&src);
+    drop(parse_span);
+    let diags = match parsed {
         Err(e) => vec![Diagnostic::from(&e)],
-        Ok(m) => lint_module(&m, &LintOptions { tabling: !no_table }),
+        Ok(m) => lint_module_obs(&m, &LintOptions { tabling: !no_table }, Some(obs)),
     };
     let stdout = if json {
         diag::render_json_all(&diags, &src, file)
@@ -404,17 +492,28 @@ fn error_report(diags: &[Diagnostic], src: &str, file: &str) -> FileReport {
 // Single-file commands (run/audit/subtype/match/filter/export/info)
 // ---------------------------------------------------------------------------
 
-fn run_single(parsed: &ParsedArgs, no_table: bool) -> Result<ExitCode, String> {
+fn run_single(
+    parsed: &ParsedArgs,
+    no_table: bool,
+    obs: &Arc<MetricsRegistry>,
+) -> Result<ExitCode, String> {
     let file = parsed
         .operands
         .first()
         .ok_or_else(|| format!("`slp {}` needs a FILE\n{}", parsed.command, usage()))?;
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let module = match parse_module(&src) {
+    obs.incr(Counter::FilesProcessed);
+    let parse_span = obs.start(Timer::Parse);
+    let parse_result = parse_module(&src);
+    drop(parse_span);
+    let module = match parse_result {
         Ok(m) => m,
         Err(e) => return Ok(report_errors(&[Diagnostic::from(&e)], &src, file)),
     };
-    let program = match TypedProgram::from_module(module.clone()) {
+    let validate_span = obs.start(Timer::Validate);
+    let built = TypedProgram::from_module_with_metrics(module.clone(), obs.clone());
+    drop(validate_span);
+    let program = match built {
         Ok(p) => p.with_tabling(!no_table),
         Err(e) => return Ok(report_errors(&program_diagnostics(&module, &e), &src, file)),
     };
@@ -469,7 +568,9 @@ fn check_program_diags(
     let module = program.module();
     let mut diags = Vec::new();
     if clause_jobs > 1 {
-        let shared = ShardedProofTable::new();
+        // The sharded table counts into the program's registry, so serial
+        // and clause-parallel runs report through the same document.
+        let shared = ShardedProofTable::with_metrics(program.metrics().clone());
         let table = (!no_table).then_some(&shared);
         if let Err(subtype_lp::Error::Check(errs)) =
             program.check_clauses_parallel(table, clause_jobs)
@@ -603,6 +704,7 @@ fn subtype(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> {
     let sub_src = operand(parsed, 2, "a SUBTYPE")?;
     let naive = parsed.has("--naive");
     let tabled = !parsed.has("--no-table");
+    let obs = program.metrics().clone();
     let mut loader = program.into_loader();
     let (sup, _) = loader
         .parse_type(sup_src)
@@ -619,7 +721,7 @@ fn subtype(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> {
         return Ok(());
     }
     let checked = cs.checked(&module.sig).map_err(|e| e.to_string())?;
-    let table = RefCell::new(ProofTable::new());
+    let table = RefCell::new(ProofTable::with_metrics(obs));
     let proof = if tabled {
         TabledProver::new(&module.sig, &checked, &table).subtype(&sup, &sub)
     } else {

@@ -56,6 +56,8 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 pub use lp_baseline as baseline;
 pub use lp_engine as engine;
@@ -70,8 +72,9 @@ use lp_term::{NameHints, Term, TermDisplay};
 use subtype_core::consistency::{AuditConfig, AuditReport, Auditor};
 use subtype_core::welltyped::ClauseTyping;
 use subtype_core::{
-    CheckedConstraints, Checker, ConstraintSet, ParallelChecker, PredTypeTable, ProofTable, Prover,
-    ShardedProofTable, TableStats, TabledProver, TypeCheckError, TypeDeclError,
+    CheckedConstraints, Checker, ConstraintSet, Counter, MetricsRegistry, MetricsSnapshot,
+    ParallelChecker, PredTypeTable, ProofTable, Prover, ShardedProofTable, TableStats,
+    TabledProver, Timer, TypeCheckError, TypeDeclError,
 };
 
 /// Any error surfaced by the high-level API.
@@ -123,13 +126,34 @@ impl From<TypeDeclError> for Error {
 /// and can be toggled with [`TypedProgram::set_tabling`]; the table is
 /// generation-keyed, so it can never serve verdicts from a different
 /// constraint theory (see [`subtype_core::table`]).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct TypedProgram {
     module: Module,
     constraints: CheckedConstraints,
     pred_types: PredTypeTable,
     table: RefCell<ProofTable>,
+    /// The registry the shared [`ProofTable`] counts into; also receives
+    /// checker, engine and audit accounting from this program's methods.
+    obs: Arc<MetricsRegistry>,
     tabling: bool,
+}
+
+impl Clone for TypedProgram {
+    fn clone(&self) -> Self {
+        // `ProofTable::clone` seeds a *fresh* registry from a snapshot so the
+        // clone accounts independently; keep `obs` pointing at that same
+        // fresh registry rather than the original's.
+        let table = self.table.clone();
+        let obs = table.borrow().metrics().clone();
+        TypedProgram {
+            module: self.module.clone(),
+            constraints: self.constraints.clone(),
+            pred_types: self.pred_types.clone(),
+            table,
+            obs,
+            tabling: self.tabling,
+        }
+    }
 }
 
 impl TypedProgram {
@@ -151,6 +175,21 @@ impl TypedProgram {
     /// [`Error::Declarations`] if the constraints are malformed, non-uniform
     /// or unguarded.
     pub fn from_module(module: Module) -> Result<Self, Error> {
+        Self::from_module_with_metrics(module, MetricsRegistry::shared())
+    }
+
+    /// [`TypedProgram::from_module`], counting into a caller-supplied
+    /// registry (shared, for instance, with a [`ShardedProofTable`] or with
+    /// other programs in the same batch).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Declarations`] if the constraints are malformed, non-uniform
+    /// or unguarded.
+    pub fn from_module_with_metrics(
+        module: Module,
+        obs: Arc<MetricsRegistry>,
+    ) -> Result<Self, Error> {
         let constraints = ConstraintSet::from_module(&module)?.checked(&module.sig)?;
         let pred_types =
             PredTypeTable::from_module(&module).map_err(|e| Error::Check(vec![(0, e)]))?;
@@ -158,9 +197,21 @@ impl TypedProgram {
             module,
             constraints,
             pred_types,
-            table: RefCell::new(ProofTable::new()),
+            table: RefCell::new(ProofTable::with_metrics(obs.clone())),
+            obs,
             tabling: true,
         })
+    }
+
+    /// The metrics registry this program (and its shared proof table) counts
+    /// into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every counter and timer recorded so far.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
     }
 
     /// Enables or disables proof tabling for the checkers and provers this
@@ -209,7 +260,7 @@ impl TypedProgram {
     /// A well-typedness checker borrowing this program (tabled unless
     /// disabled via [`TypedProgram::set_tabling`]).
     pub fn checker(&self) -> Checker<'_> {
-        if self.tabling {
+        let checker = if self.tabling {
             Checker::with_table(
                 &self.module.sig,
                 &self.constraints,
@@ -218,7 +269,8 @@ impl TypedProgram {
             )
         } else {
             Checker::new(&self.module.sig, &self.constraints, &self.pred_types)
-        }
+        };
+        checker.with_obs(Some(&self.obs))
     }
 
     /// A deterministic subtype prover borrowing this program.
@@ -291,7 +343,7 @@ impl TypedProgram {
         table: Option<&'a ShardedProofTable>,
         jobs: usize,
     ) -> ParallelChecker<'a> {
-        match table {
+        let checker = match table {
             Some(t) => ParallelChecker::with_table(
                 &self.module.sig,
                 &self.constraints,
@@ -302,7 +354,8 @@ impl TypedProgram {
             None => {
                 ParallelChecker::new(&self.module.sig, &self.constraints, &self.pred_types, jobs)
             }
-        }
+        };
+        checker.with_obs(Some(&self.obs))
     }
 
     /// Checks every program clause across `jobs` worker threads, sharing
@@ -358,6 +411,7 @@ impl TypedProgram {
     pub fn run_query(&self, index: usize, max_solutions: usize) -> Vec<Solution> {
         let db = self.database();
         let goals = self.module.queries[index].goals.clone();
+        let started = Instant::now();
         let mut q = Query::new(&db, goals, SolveConfig::default());
         let mut out = Vec::new();
         while out.len() < max_solutions {
@@ -366,7 +420,17 @@ impl TypedProgram {
                 None => break,
             }
         }
+        self.record_solve(started, q.stats());
         out
+    }
+
+    /// Folds one finished (or abandoned) search into the registry.
+    fn record_solve(&self, started: Instant, stats: engine::Stats) {
+        self.obs.observe(Timer::EngineSolve, started.elapsed());
+        self.obs.add(Counter::EngineAttempts, stats.attempts);
+        self.obs.add(Counter::EngineSteps, stats.steps);
+        self.obs
+            .add(Counter::EngineDepthCutoffs, stats.depth_cutoffs);
     }
 
     /// Runs query number `index` under the Theorem 6 consistency auditor.
@@ -376,7 +440,13 @@ impl TypedProgram {
     /// Panics if `index` is out of range.
     pub fn audit_query(&self, index: usize, config: AuditConfig) -> AuditReport {
         let db = self.database();
-        Auditor::new(self.checker()).run(&db, &self.module.queries[index].goals, config)
+        let started = Instant::now();
+        let report =
+            Auditor::new(self.checker()).run(&db, &self.module.queries[index].goals, config);
+        self.record_solve(started, report.engine);
+        self.obs
+            .add(Counter::AuditResolvents, report.resolvents_checked);
+        report
     }
 
     /// Displays a term with this program's symbol names.

@@ -312,3 +312,163 @@ fn jobs_one_and_four_are_byte_identical() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Observability: --stats and --trace
+// ---------------------------------------------------------------------------
+
+/// Masks every numeric value in a metrics document, leaving only field
+/// names, order and structure — the stable part of the schema.
+fn mask_numbers(doc: &str) -> String {
+    let mut out = String::with_capacity(doc.len());
+    let mut chars = doc.chars().peekable();
+    let mut prev = '\0';
+    while let Some(c) = chars.next() {
+        if prev == ':' && (c.is_ascii_digit()) {
+            while let Some(&d) = chars.peek() {
+                if d.is_ascii_digit() || d == '.' {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push('N');
+            prev = 'N';
+        } else {
+            out.push(c);
+            prev = c;
+        }
+    }
+    out
+}
+
+#[test]
+fn stats_leaves_stdout_byte_identical() {
+    let f = write_fixture("stats_identical.slp", APP);
+    let file = f.to_str().unwrap();
+    let (ok_plain, out_plain, err_plain) = slp(&["check", file]);
+    let (ok_stats, out_stats, err_stats) = slp(&["check", file, "--stats", "--format", "json"]);
+    assert!(ok_plain && ok_stats);
+    assert_eq!(out_plain, out_stats, "--stats must not touch stdout");
+    assert!(err_plain.is_empty());
+    assert!(
+        err_stats.contains("\"schema\":\"slp-metrics/1\""),
+        "{err_stats}"
+    );
+}
+
+#[test]
+fn stats_json_matches_schema_golden_and_round_trips() {
+    use subtype_lp::core::obs::json::JsonValue;
+
+    let f = write_fixture("stats_schema.slp", APP);
+    let (ok, _, stderr) = slp(&["check", f.to_str().unwrap(), "--stats", "--format", "json"]);
+    assert!(ok);
+    let doc = stderr.trim_end();
+    // Key order is part of the contract: the masked document must be
+    // byte-identical to the committed golden.
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/stats_schema.txt");
+    let golden = std::fs::read_to_string(&golden_path).expect("committed stats schema golden");
+    assert_eq!(
+        format!("{}\n", mask_numbers(doc)),
+        golden,
+        "stats schema drifted; re-bless with scripts/bless.sh if intentional"
+    );
+    // The document survives the serde-free parser byte-for-byte.
+    let parsed = JsonValue::parse(doc).expect("stats document parses");
+    assert_eq!(parsed.render(), doc, "render(parse(doc)) != doc");
+    // Spot-check values through the parsed form.
+    let counters = parsed.get("counters").expect("counters object");
+    assert_eq!(
+        counters.get("files_processed").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(
+        counters.get("clause_checks").and_then(JsonValue::as_u64),
+        Some(2)
+    );
+}
+
+#[test]
+fn stats_human_format_lists_every_counter() {
+    let f = write_fixture("stats_human.slp", APP);
+    let (ok, _, stderr) = slp(&["check", f.to_str().unwrap(), "--stats"]);
+    assert!(ok);
+    assert!(stderr.contains("metrics (slp-metrics/1)"), "{stderr}");
+    for name in ["table_hits", "subtype_goals", "files_processed"] {
+        assert!(stderr.contains(name), "missing {name} in:\n{stderr}");
+    }
+}
+
+#[test]
+fn trace_writes_parseable_jsonl_spans() {
+    use subtype_lp::core::obs::json::JsonValue;
+
+    let f = write_fixture("trace.slp", APP);
+    let trace = std::env::temp_dir().join("slp-cli-tests/trace-out.jsonl");
+    let (ok, _, _) = slp(&[
+        "check",
+        f.to_str().unwrap(),
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let log = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!log.is_empty(), "trace log must not be empty");
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, line) in log.lines().enumerate() {
+        let event = JsonValue::parse(line)
+            .unwrap_or_else(|e| panic!("trace line {i} is not JSON ({e}): {line}"));
+        assert_eq!(
+            event.get("seq").and_then(JsonValue::as_u64),
+            Some(i as u64),
+            "sequence numbers are dense from 0"
+        );
+        assert!(event.get("t_ns").is_some());
+        let ev = event
+            .get("ev")
+            .and_then(JsonValue::as_str)
+            .expect("every span names its event");
+        seen.insert(ev.to_string());
+    }
+    for expected in ["check.begin", "check.end", "subtype.start", "subtype.end"] {
+        assert!(seen.contains(expected), "no {expected} span in {seen:?}");
+    }
+}
+
+#[test]
+fn counter_metrics_agree_across_job_counts() {
+    use subtype_lp::core::obs::json::JsonValue;
+    use subtype_lp::core::Counter;
+
+    let f = write_fixture("stats_jobs.slp", APP);
+    let file = f.to_str().unwrap();
+    let doc = |jobs: &str| {
+        let (ok, _, stderr) = slp(&["check", file, "--jobs", jobs, "--stats", "--format", "json"]);
+        assert!(ok);
+        JsonValue::parse(stderr.trim_end()).expect("stats parses")
+    };
+    let (serial, parallel) = (doc("1"), doc("4"));
+    for c in Counter::ALL {
+        if !c.scheduling_invariant() {
+            continue;
+        }
+        assert_eq!(
+            serial
+                .get("counters")
+                .unwrap()
+                .get(c.name())
+                .unwrap()
+                .as_u64(),
+            parallel
+                .get("counters")
+                .unwrap()
+                .get(c.name())
+                .unwrap()
+                .as_u64(),
+            "{} must not depend on --jobs",
+            c.name()
+        );
+    }
+}
