@@ -82,6 +82,51 @@ golden_batch() {
 }
 step golden-batch golden_batch
 
+# `slp explain` output is pinned byte-for-byte too: a refutation core (h),
+# a rejected/well-typed mix with a validated witness (q), and a pristine
+# predicate (app), in both formats.
+golden_explain() {
+  local pred fmt flag
+  for pred in q h app; do
+    for fmt in txt json; do
+      flag=""
+      [ "$fmt" = json ] && flag="--format json"
+      # shellcheck disable=SC2086
+      target/release/slp explain examples/ill_typed.slp "$pred" $flag \
+        > "$tmp/explain_$pred.$fmt"
+      diff -u "tests/golden/explain_$pred.$fmt" "$tmp/explain_$pred.$fmt"
+    done
+  done
+}
+step golden-explain golden_explain
+
+# Every cached Proved entry must replay through the independent witness
+# validator, serial and sharded alike — and the verdicts printed on stdout
+# must be byte-identical across job counts even on the ill-typed corpus
+# (exit 2 there: the corpus is rejected, but the audit itself must pass,
+# which we check by diffing stderr too — an E0301 would show up in it).
+verify_witnesses() {
+  local stem jobs
+  for stem in app naturals; do
+    for jobs in 1 4; do
+      target/release/slp check "examples/$stem.slp" --verify-witnesses \
+        --jobs "$jobs" > "$tmp/vw$jobs.out"
+    done
+    diff -u "$tmp/vw1.out" "$tmp/vw4.out"
+  done
+  for jobs in 1 4; do
+    target/release/slp check examples/ill_typed.slp --verify-witnesses \
+      --jobs "$jobs" > "$tmp/vw$jobs.out" 2> "$tmp/vw$jobs.err" || true
+  done
+  diff -u "$tmp/vw1.out" "$tmp/vw4.out"
+  diff -u "$tmp/vw1.err" "$tmp/vw4.err"
+  if grep -q E0301 "$tmp/vw1.err"; then
+    echo "ci: witness audit failed on examples/ill_typed.slp" >&2
+    return 1
+  fi
+}
+step verify-witnesses verify_witnesses
+
 # check under --jobs 4 (clause-level parallelism) agrees with serial too.
 jobs_agree() {
   local stem

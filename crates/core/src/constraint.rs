@@ -177,11 +177,18 @@ impl ConstraintSet {
 
     /// The constraints defining `c`, in declaration order.
     pub fn for_ctor(&self, c: Sym) -> impl Iterator<Item = &SubtypeConstraint> {
+        self.for_ctor_indexed(c).map(|(_, con)| con)
+    }
+
+    /// Like [`ConstraintSet::for_ctor`], paired with each constraint's
+    /// *global* declaration-order index — the index proof witnesses name in
+    /// [`crate::witness::Step::Constraint`].
+    pub fn for_ctor_indexed(&self, c: Sym) -> impl Iterator<Item = (usize, &SubtypeConstraint)> {
         self.by_ctor
             .get(&c)
             .into_iter()
             .flatten()
-            .map(|&i| &self.constraints[i])
+            .map(|&i| (i, &self.constraints[i]))
     }
 
     /// Number of constraints.
@@ -252,13 +259,25 @@ impl CheckedConstraints {
     /// a capturing argument like `c(α)` for a constraint `c(α) >= τ` would
     /// make the substitution `{α ↦ c(α)}` cyclic.
     pub fn expansions(&self, ty: &Term) -> Vec<Term> {
+        self.expansions_indexed(ty)
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// [`CheckedConstraints::expansions`] paired with the global
+    /// (declaration-order) index of the constraint each rewriting applies —
+    /// the index recorded in proof witnesses
+    /// ([`crate::witness::Step::Constraint`]).
+    pub fn expansions_indexed(&self, ty: &Term) -> Vec<(usize, Term)> {
         let Some(c) = ty.functor() else {
             return Vec::new();
         };
         let args = ty.args();
-        self.for_ctor(c)
-            .filter(|con| con.params().len() == args.len())
-            .map(|con| {
+        self.set
+            .for_ctor_indexed(c)
+            .filter(|(_, con)| con.params().len() == args.len())
+            .map(|(idx, con)| {
                 // Uniformity: parameters are distinct variables, so this
                 // substitution is exactly the paper's {αᵢ ↦ τᵢ}.
                 let bindings = con
@@ -270,7 +289,7 @@ impl CheckedConstraints {
                         _ => unreachable!("checked constraints are uniform"),
                     })
                     .collect::<Subst>();
-                bindings.resolve(&con.rhs)
+                (idx, bindings.resolve(&con.rhs))
             })
             .collect()
     }

@@ -179,7 +179,11 @@ pub fn render_json_all(diags: &[Diagnostic], source: &str, filename: &str) -> St
     format!("[\n  {}\n]\n", body.join(",\n  "))
 }
 
-fn render_json_one(d: &Diagnostic, source: &str, filename: &str) -> String {
+/// Renders one diagnostic as a JSON object (one element of
+/// [`render_json_all`]'s array) — exposed so callers embedding diagnostics
+/// in larger documents (`slp explain --format json`) reuse the exact same
+/// encoding.
+pub fn render_json_one(d: &Diagnostic, source: &str, filename: &str) -> String {
     let mut fields = vec![
         format!("\"code\":{}", json_str(d.code)),
         format!("\"severity\":{}", json_str(&d.severity.to_string())),

@@ -16,6 +16,7 @@
 //! | §7 — constraint-generating `match` (the effective checker) | [`cmatch`] |
 //! | §5–6 Defs. 14–16 — predicate types and well-typedness | [`welltyped`] |
 //! | §6 Thm. 6 — runtime consistency auditing of every resolvent | [`consistency`] |
+//! | (beyond the paper) proof witnesses, replay validation, minimal cores | [`witness`] |
 //! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
 //! | (beyond the paper) lock-striped concurrent proof table | [`shard`] |
 //! | (beyond the paper) the worker pool behind `--jobs N` | [`par`] |
@@ -74,8 +75,10 @@ pub mod shard;
 pub mod table;
 pub mod typing;
 pub mod welltyped;
+pub mod witness;
 
 pub use analysis::{DependenceGraph, TypeDeclError};
+pub use cmatch::SolveOutcome;
 pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, SubtypeConstraint};
 pub use diag::{Diagnostic, Severity};
 pub use filter::{build_filter, FilterError, FilterLibrary};
@@ -88,4 +91,5 @@ pub use prover::{Proof, Prover, ProverConfig};
 pub use shard::{ShardedProofTable, ShardedProver, TableHandle, DEFAULT_SHARD_COUNT};
 pub use table::{ProofTable, TableStats, TabledProver};
 pub use typing::{freeze, freeze_pair, Typing};
-pub use welltyped::{Checker, ParallelChecker, PredTypeTable, TypeCheckError};
+pub use welltyped::{CheckExplanation, Checker, ParallelChecker, PredTypeTable, TypeCheckError};
+pub use witness::{Step, Witness, WitnessError, Witnessed};

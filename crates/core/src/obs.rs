@@ -82,11 +82,20 @@ pub enum Counter {
     EngineDepthCutoffs,
     /// Source files processed by the CLI.
     FilesProcessed,
+    /// Proof witnesses attached to `Proved` verdicts.
+    WitnessEmitted,
+    /// Witness chains that replayed successfully under validation.
+    WitnessValidated,
+    /// Witness chains rejected by validation.
+    WitnessInvalid,
+    /// Total size (member count) of refutation cores emitted; divide by
+    /// refuted witnessed verdicts for the mean core size.
+    RefutedCoreSize,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 23] = [
         Counter::TableHits,
         Counter::TableMisses,
         Counter::TableInserts,
@@ -106,6 +115,10 @@ impl Counter {
         Counter::EngineSteps,
         Counter::EngineDepthCutoffs,
         Counter::FilesProcessed,
+        Counter::WitnessEmitted,
+        Counter::WitnessValidated,
+        Counter::WitnessInvalid,
+        Counter::RefutedCoreSize,
     ];
 
     /// Number of counters.
@@ -133,6 +146,10 @@ impl Counter {
             Counter::EngineSteps => "engine_steps",
             Counter::EngineDepthCutoffs => "engine_depth_cutoffs",
             Counter::FilesProcessed => "files_processed",
+            Counter::WitnessEmitted => "witness_emitted",
+            Counter::WitnessValidated => "witness_validated",
+            Counter::WitnessInvalid => "witness_invalid",
+            Counter::RefutedCoreSize => "refuted_core_size",
         }
     }
 
@@ -143,6 +160,9 @@ impl Counter {
     /// would-be hit into a second miss. Work counters (goals submitted,
     /// clauses checked, engine steps, …) count obligations, not cache
     /// luck, and must come out identical for `--jobs 1` and `--jobs 4`.
+    /// Witness *validation* tallies follow the table population (a
+    /// `--verify-witnesses` audit replays whatever entries survived), so
+    /// they inherit the cache counters' variance.
     pub fn scheduling_invariant(self) -> bool {
         !matches!(
             self,
@@ -154,6 +174,8 @@ impl Counter {
                 | Counter::ShardContention
                 | Counter::PoolBatches
                 | Counter::PoolItems
+                | Counter::WitnessValidated
+                | Counter::WitnessInvalid
         )
     }
 }

@@ -40,6 +40,7 @@ use std::collections::BTreeSet;
 use lp_term::{unify, Signature, Subst, SymKind, Term, Var, VarGen};
 
 use crate::constraint::CheckedConstraints;
+use crate::witness::Step;
 
 /// Limits for the deterministic prover.
 #[derive(Debug, Clone, Copy)]
@@ -160,6 +161,20 @@ impl<'a> Prover<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        self.subtype_all_rigid_traced(goals, rigid, var_watermark).0
+    }
+
+    /// Like [`Prover::subtype_all_rigid`], additionally returning the H_C
+    /// derivation chain of a successful search — the raw material of a
+    /// [`Witness`](crate::witness::Witness). The chain is empty unless the
+    /// proof is [`Proof::Proved`]; replaying it under the returned answer
+    /// with [`crate::witness::replay`] discharges every goal.
+    pub fn subtype_all_rigid_traced(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> (Proof, Vec<Step>) {
         let mut gen = VarGen::starting_at(var_watermark);
         for (a, b) in goals {
             for v in a.vars().into_iter().chain(b.vars()) {
@@ -175,6 +190,7 @@ impl<'a> Prover<'a> {
             rigid,
             steps: 0,
             cut: false,
+            trail: Vec::new(),
         };
         let mut found: Option<Subst> = None;
         let budget = self.config.var_expansion_budget;
@@ -183,9 +199,9 @@ impl<'a> Prover<'a> {
             true
         });
         match found {
-            Some(s) => Proof::Proved(s.normalize()),
-            None if search.cut => Proof::Unknown,
-            None => Proof::Refuted,
+            Some(s) => (Proof::Proved(s.normalize()), search.trail),
+            None if search.cut => (Proof::Unknown, Vec::new()),
+            None => (Proof::Refuted, Vec::new()),
         }
     }
 
@@ -211,6 +227,12 @@ struct Search<'p, 'a> {
     rigid: &'p BTreeSet<Var>,
     steps: u64,
     cut: bool,
+    /// The H_C chain of the path currently being explored. Discipline: every
+    /// alternative pushes its step before recursing and truncates back to
+    /// its entry mark on failure, so any `prove` returning `false` leaves
+    /// the trail exactly as it found it — on success the trail is the
+    /// complete depth-first derivation of the accepted answer.
+    trail: Vec<Step>,
 }
 
 /// Continuation invoked per solution; returns `true` to stop the search.
@@ -219,6 +241,18 @@ type Cont<'k, 'p, 'a> = &'k mut dyn FnMut(&mut Search<'p, 'a>, &Subst) -> bool;
 impl<'p, 'a> Search<'p, 'a> {
     fn is_rigid(&self, v: Var) -> bool {
         self.rigid.contains(&v)
+    }
+
+    /// Pushes `step`, runs `attempt`, and rolls the trail back if the
+    /// attempt fails — the one place the trail discipline lives.
+    fn with_step(&mut self, step: Step, attempt: impl FnOnce(&mut Self) -> bool) -> bool {
+        let mark = self.trail.len();
+        self.trail.push(step);
+        if attempt(self) {
+            return true;
+        }
+        self.trail.truncate(mark);
+        false
     }
 
     /// Enumerates solutions of `sup >= sub` under `subst`, feeding each to
@@ -242,7 +276,7 @@ impl<'p, 'a> Search<'p, 'a> {
             // Both variables: unify, optionally enumerate the supertype.
             (Term::Var(v), Term::Var(w)) => {
                 if v == w {
-                    return k(self, subst);
+                    return self.with_step(Step::Refl, |me| k(me, subst));
                 }
                 match (self.is_rigid(*v), self.is_rigid(*w)) {
                     // Two distinct universals are never related.
@@ -256,7 +290,7 @@ impl<'p, 'a> Search<'p, 'a> {
                         };
                         let mut s2 = subst.clone();
                         s2.bind(bindable, Term::Var(other));
-                        if k(self, &s2) {
+                        if self.with_step(Step::Refl, |me| k(me, &s2)) {
                             return true;
                         }
                         // Enumeration cannot help: any constructor binding
@@ -266,7 +300,7 @@ impl<'p, 'a> Search<'p, 'a> {
                     (false, false) => {
                         let mut s2 = subst.clone();
                         s2.bind(*v, Term::Var(*w));
-                        if k(self, &s2) {
+                        if self.with_step(Step::Refl, |me| k(me, &s2)) {
                             return true;
                         }
                         self.enumerate_var(&sup, &sub, subst, budget, VarSide::Supertype, k)
@@ -280,7 +314,8 @@ impl<'p, 'a> Search<'p, 'a> {
                     return false;
                 }
                 let mut s2 = subst.clone();
-                if unify(&sup, &sub, &mut s2).is_ok() && k(self, &s2) {
+                if unify(&sup, &sub, &mut s2).is_ok() && self.with_step(Step::Refl, |me| k(me, &s2))
+                {
                     return true;
                 }
                 self.enumerate_var(&sup, &sub, subst, budget, VarSide::Supertype, k)
@@ -290,7 +325,9 @@ impl<'p, 'a> Search<'p, 'a> {
                 let w_rigid = self.is_rigid(*w);
                 if !w_rigid {
                     let mut s2 = subst.clone();
-                    if unify(&sup, &sub, &mut s2).is_ok() && k(self, &s2) {
+                    if unify(&sup, &sub, &mut s2).is_ok()
+                        && self.with_step(Step::Refl, |me| k(me, &s2))
+                    {
                         return true;
                     }
                 }
@@ -298,8 +335,10 @@ impl<'p, 'a> Search<'p, 'a> {
                 // c(τ…) →_C σ, then σ >= W (e.g. int >= W with W = nat) —
                 // and for a rigid W this is the only hope (σ may *be* W).
                 if self.prover.sig.kind(*c) == SymKind::TypeCtor {
-                    for e in self.prover.cs.expansions(&sup) {
-                        if self.prove(&e, &sub, subst, budget, k) {
+                    for (idx, e) in self.prover.cs.expansions_indexed(&sup) {
+                        if self.with_step(Step::Constraint(idx), |me| {
+                            me.prove(&e, &sub, subst, budget, &mut *k)
+                        }) {
                             return true;
                         }
                     }
@@ -318,7 +357,7 @@ impl<'p, 'a> Search<'p, 'a> {
                         }
                         let goals: Vec<(Term, Term)> =
                             fargs.iter().cloned().zip(gargs.iter().cloned()).collect();
-                        self.prove_seq(&goals, subst, budget, k)
+                        self.with_step(Step::Decompose, |me| me.prove_seq(&goals, subst, budget, k))
                     }
                     // Theorem 2: substitution axiom (same ctor) and two-step
                     // constraint applications.
@@ -326,12 +365,16 @@ impl<'p, 'a> Search<'p, 'a> {
                         if f == g && fargs.len() == gargs.len() {
                             let goals: Vec<(Term, Term)> =
                                 fargs.iter().cloned().zip(gargs.iter().cloned()).collect();
-                            if self.prove_seq(&goals, subst, budget, k) {
+                            if self.with_step(Step::Decompose, |me| {
+                                me.prove_seq(&goals, subst, budget, &mut *k)
+                            }) {
                                 return true;
                             }
                         }
-                        for e in self.prover.cs.expansions(&sup) {
-                            if self.prove(&e, &sub, subst, budget, k) {
+                        for (idx, e) in self.prover.cs.expansions_indexed(&sup) {
+                            if self.with_step(Step::Constraint(idx), |me| {
+                                me.prove(&e, &sub, subst, budget, &mut *k)
+                            }) {
                                 return true;
                             }
                         }

@@ -37,13 +37,14 @@ use std::time::Instant;
 
 use lp_term::{Signature, Subst, Term, Var};
 
-use crate::constraint::CheckedConstraints;
+use crate::constraint::{CheckedConstraints, SubtypeConstraint};
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
 use crate::table::{
     verdict_name, CachedVerdict, Canonical, ProofTable, TableKey, TableStats, TabledProver,
     DEFAULT_TABLE_CAPACITY,
 };
+use crate::witness::{self, Witness, Witnessed};
 
 /// Default number of lock stripes.
 pub const DEFAULT_SHARD_COUNT: usize = 16;
@@ -202,6 +203,25 @@ impl ShardedProofTable {
         shard.ensure_generation(generation);
         shard.insert(key, verdict);
     }
+
+    /// Audits every shard through [`ProofTable::validate_witnesses`],
+    /// returning the aggregated `(validated, invalid)` tallies. Shards are
+    /// locked one at a time; run the audit after the workers have joined
+    /// for an exact sweep.
+    pub fn validate_witnesses(
+        &self,
+        sig: &Signature,
+        constraints: &[SubtypeConstraint],
+    ) -> (u64, u64) {
+        let mut validated = 0u64;
+        let mut invalid = 0u64;
+        for i in 0..self.shards.len() {
+            let (ok, bad) = self.lock(i).validate_witnesses(sig, constraints);
+            validated += ok;
+            invalid += bad;
+        }
+        (validated, invalid)
+    }
 }
 
 /// A caching wrapper around the deterministic [`Prover`] over a shared
@@ -312,12 +332,16 @@ impl<'a> ShardedProver<'a> {
         if let Some(verdict) = self.table.lookup(generation, &canon.key) {
             return finish(match verdict {
                 CachedVerdict::Refuted => Proof::Refuted,
-                CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
+                CachedVerdict::Proved(answer, _) => Proof::Proved(canon.decode_answer(&answer)),
             });
         }
-        let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
+        let (proof, steps) = self
+            .prover
+            .subtype_all_rigid_traced(goals, rigid, var_watermark);
         let cached = match &proof {
-            Proof::Proved(answer) => canon.encode_answer(answer).map(CachedVerdict::Proved),
+            Proof::Proved(answer) => canon
+                .encode_answer(answer)
+                .map(|a| CachedVerdict::Proved(a, Arc::new(steps))),
             Proof::Refuted => Some(CachedVerdict::Refuted),
             Proof::Unknown => None,
         };
@@ -325,6 +349,135 @@ impl<'a> ShardedProver<'a> {
             self.table.insert(generation, canon.key, verdict);
         }
         finish(proof)
+    }
+
+    /// [`Self::subtype_all_rigid`] with evidence attached — the sharded
+    /// sibling of
+    /// [`TabledProver::subtype_all_rigid_witnessed`](crate::TabledProver::subtype_all_rigid_witnessed):
+    /// `Proved` carries a [`Witness`] whose chain is interned with the
+    /// table entry, `Refuted` a 1-minimal failing core shrunk by re-proving
+    /// under the shared table.
+    pub fn subtype_all_rigid_witnessed(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Witnessed {
+        let started = Instant::now();
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        let obs = self.table.metrics();
+        obs.incr(Counter::SubtypeGoals);
+        let fingerprint = obs.tracing().then(|| canon.key.fingerprint());
+        if let Some(fp) = &fingerprint {
+            obs.trace(&TraceEvent::SubtypeStart { key: fp });
+        }
+        let finish = |out: Witnessed| -> Witnessed {
+            let elapsed = started.elapsed();
+            obs.observe(Timer::SubtypeProve, elapsed);
+            if let Some(fp) = &fingerprint {
+                obs.trace(&TraceEvent::SubtypeEnd {
+                    key: fp,
+                    verdict: verdict_name(&out.proof()),
+                    nanos: elapsed.as_nanos() as u64,
+                });
+            }
+            out
+        };
+        let emit = |witness: Witness| -> Witnessed {
+            obs.incr(Counter::WitnessEmitted);
+            Witnessed::Proved(witness)
+        };
+        let generation = self.cs.generation();
+        match self.table.lookup(generation, &canon.key) {
+            Some(CachedVerdict::Proved(answer, steps)) => finish(emit(Witness {
+                goals: goals.to_vec(),
+                answer: canon.decode_answer(&answer),
+                steps,
+            })),
+            Some(CachedVerdict::Refuted) => finish(Witnessed::Refuted {
+                core: self.shrink_refuted(goals, rigid, var_watermark),
+            }),
+            None => {
+                let (proof, steps) =
+                    self.prover
+                        .subtype_all_rigid_traced(goals, rigid, var_watermark);
+                match proof {
+                    Proof::Proved(answer) => {
+                        let steps = Arc::new(steps);
+                        if let Some(encoded) = canon.encode_answer(&answer) {
+                            self.table.insert(
+                                generation,
+                                canon.key,
+                                CachedVerdict::Proved(encoded, steps.clone()),
+                            );
+                        }
+                        finish(emit(Witness {
+                            goals: goals.to_vec(),
+                            answer,
+                            steps,
+                        }))
+                    }
+                    Proof::Refuted => {
+                        self.table
+                            .insert(generation, canon.key, CachedVerdict::Refuted);
+                        finish(Witnessed::Refuted {
+                            core: self.shrink_refuted(goals, rigid, var_watermark),
+                        })
+                    }
+                    Proof::Unknown => finish(Witnessed::Unknown),
+                }
+            }
+        }
+    }
+
+    /// Greedy core shrinking for a refuted conjunction, deciding every
+    /// candidate sub-conjunction through [`Self::subtype_all_rigid_quiet`].
+    fn shrink_refuted(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Vec<usize> {
+        let core = witness::shrink_core(goals, |subset| {
+            self.subtype_all_rigid_quiet(subset, rigid, var_watermark)
+                .is_refuted()
+        });
+        self.table
+            .metrics()
+            .add(Counter::RefutedCoreSize, core.len() as u64);
+        core
+    }
+
+    /// The tabled judgement with no query instrumentation — see
+    /// [`TabledProver`]'s quiet variant for the rationale.
+    pub(crate) fn subtype_all_rigid_quiet(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Proof {
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        let generation = self.cs.generation();
+        if let Some(verdict) = self.table.lookup(generation, &canon.key) {
+            return match verdict {
+                CachedVerdict::Refuted => Proof::Refuted,
+                CachedVerdict::Proved(answer, _) => Proof::Proved(canon.decode_answer(&answer)),
+            };
+        }
+        let (proof, steps) = self
+            .prover
+            .subtype_all_rigid_traced(goals, rigid, var_watermark);
+        let cached = match &proof {
+            Proof::Proved(answer) => canon
+                .encode_answer(answer)
+                .map(|a| CachedVerdict::Proved(a, Arc::new(steps))),
+            Proof::Refuted => Some(CachedVerdict::Refuted),
+            Proof::Unknown => None,
+        };
+        if let Some(verdict) = cached {
+            self.table.insert(generation, canon.key, verdict);
+        }
+        proof
     }
 
     /// Decides a batch of *independent* subtype goals, one verdict per goal
@@ -428,6 +581,91 @@ impl<'a> TableHandle<'a> {
             TableHandle::Sharded(table) => {
                 ShardedProver::new(sig, cs, table).subtype_all_rigid(goals, rigid, var_watermark)
             }
+        }
+    }
+
+    /// Proves a subtype conjunction with evidence attached: `Proved` carries
+    /// a replayable [`Witness`], `Refuted` a 1-minimal failing core. The
+    /// `Local` and `Sharded` backends account into their table's registry;
+    /// `obs` is consulted only by the `Untabled` arm (which shrinks cores by
+    /// live re-proving — there is no memo table to lean on).
+    pub fn subtype_all_rigid_witnessed_obs(
+        &self,
+        sig: &'a Signature,
+        cs: &'a CheckedConstraints,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+        obs: Option<&MetricsRegistry>,
+    ) -> Witnessed {
+        match self {
+            TableHandle::Untabled => {
+                let started = Instant::now();
+                if let Some(o) = obs {
+                    o.incr(Counter::SubtypeGoals);
+                }
+                let fingerprint = obs.filter(|o| o.tracing()).map(|o| {
+                    let fp = Canonical::of(goals, rigid, var_watermark).key.fingerprint();
+                    o.trace(&TraceEvent::SubtypeStart { key: &fp });
+                    fp
+                });
+                let prover = Prover::new(sig, cs);
+                let (proof, steps) = prover.subtype_all_rigid_traced(goals, rigid, var_watermark);
+                if let Some(o) = obs {
+                    let elapsed = started.elapsed();
+                    o.observe(Timer::SubtypeProve, elapsed);
+                    if let Some(fp) = &fingerprint {
+                        o.trace(&TraceEvent::SubtypeEnd {
+                            key: fp,
+                            verdict: verdict_name(&proof),
+                            nanos: elapsed.as_nanos() as u64,
+                        });
+                    }
+                }
+                match proof {
+                    Proof::Proved(answer) => {
+                        if let Some(o) = obs {
+                            o.incr(Counter::WitnessEmitted);
+                        }
+                        Witnessed::Proved(Witness {
+                            goals: goals.to_vec(),
+                            answer,
+                            steps: Arc::new(steps),
+                        })
+                    }
+                    Proof::Refuted => {
+                        let core = witness::shrink_core(goals, |subset| {
+                            prover
+                                .subtype_all_rigid(subset, rigid, var_watermark)
+                                .is_refuted()
+                        });
+                        if let Some(o) = obs {
+                            o.add(Counter::RefutedCoreSize, core.len() as u64);
+                        }
+                        Witnessed::Refuted { core }
+                    }
+                    Proof::Unknown => Witnessed::Unknown,
+                }
+            }
+            TableHandle::Local(table) => TabledProver::new(sig, cs, table)
+                .subtype_all_rigid_witnessed(goals, rigid, var_watermark),
+            TableHandle::Sharded(table) => ShardedProver::new(sig, cs, table)
+                .subtype_all_rigid_witnessed(goals, rigid, var_watermark),
+        }
+    }
+
+    /// Audits whatever table this handle wraps through its
+    /// `validate_witnesses`; `Untabled` has nothing to audit and reports
+    /// `(0, 0)`.
+    pub fn validate_witnesses(
+        &self,
+        sig: &Signature,
+        constraints: &[SubtypeConstraint],
+    ) -> (u64, u64) {
+        match self {
+            TableHandle::Untabled => (0, 0),
+            TableHandle::Local(table) => table.borrow().validate_witnesses(sig, constraints),
+            TableHandle::Sharded(table) => table.validate_witnesses(sig, constraints),
         }
     }
 }

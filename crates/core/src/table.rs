@@ -66,9 +66,10 @@ use std::time::Instant;
 
 use lp_term::{rename_term, Signature, Subst, Term, Var, VarGen};
 
-use crate::constraint::CheckedConstraints;
+use crate::constraint::{CheckedConstraints, SubtypeConstraint};
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
+use crate::witness::{self, Step, Witness, Witnessed};
 
 /// Default bound on the number of cached verdicts.
 pub const DEFAULT_TABLE_CAPACITY: usize = 4096;
@@ -136,10 +137,18 @@ impl TableKey {
 }
 
 /// A cached conclusive verdict, with any answer held in canonical space.
+///
+/// A `Proved` entry interns the derivation chain alongside the answer:
+/// [`Step`]s are variable-free, so the same `Arc`'d chain replays both in
+/// canonical space (for [`ProofTable::validate_witnesses`]) and, shared
+/// into a [`Witness`], in the variable space of every alpha-variant hit.
+/// `Refuted` stays evidence-free — refutation cores are computed on demand
+/// by re-proving sub-conjunctions under the table, not cached.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum CachedVerdict {
-    /// Derivable; the answer substitution over canonical variables.
-    Proved(Subst),
+    /// Derivable; the answer substitution over canonical variables, plus
+    /// the interned derivation chain.
+    Proved(Subst, Arc<Vec<Step>>),
     /// Conclusively not derivable.
     Refuted,
 }
@@ -377,6 +386,37 @@ impl ProofTable {
             "order queue and entry map out of sync"
         );
     }
+
+    /// Audits the table: replays every cached `Proved` entry's chain in
+    /// canonical space through [`witness::validate_in`] — no prover is
+    /// consulted. Returns `(validated, invalid)` and tallies the same into
+    /// `witness_validated` / `witness_invalid`. `Refuted` entries carry no
+    /// chain and are skipped.
+    pub fn validate_witnesses(
+        &self,
+        sig: &Signature,
+        constraints: &[SubtypeConstraint],
+    ) -> (u64, u64) {
+        let mut validated = 0u64;
+        let mut invalid = 0u64;
+        for (key, verdict) in &self.entries {
+            if let CachedVerdict::Proved(answer, steps) = verdict {
+                let w = Witness {
+                    goals: key.goals.clone(),
+                    answer: answer.clone(),
+                    steps: steps.clone(),
+                };
+                if witness::validate_in(sig, constraints, &w).is_ok() {
+                    validated += 1;
+                } else {
+                    invalid += 1;
+                }
+            }
+        }
+        self.obs.add(Counter::WitnessValidated, validated);
+        self.obs.add(Counter::WitnessInvalid, invalid);
+        (validated, invalid)
+    }
 }
 
 /// The stable verdict name used in `subtype.end` trace events.
@@ -612,13 +652,17 @@ impl<'a> TabledProver<'a> {
                 drop(table);
                 return finish(match verdict {
                     CachedVerdict::Refuted => Proof::Refuted,
-                    CachedVerdict::Proved(answer) => Proof::Proved(canon.decode_answer(&answer)),
+                    CachedVerdict::Proved(answer, _) => Proof::Proved(canon.decode_answer(&answer)),
                 });
             }
         }
-        let proof = self.prover.subtype_all_rigid(goals, rigid, var_watermark);
+        let (proof, steps) = self
+            .prover
+            .subtype_all_rigid_traced(goals, rigid, var_watermark);
         let cached = match &proof {
-            Proof::Proved(answer) => canon.encode_answer(answer).map(CachedVerdict::Proved),
+            Proof::Proved(answer) => canon
+                .encode_answer(answer)
+                .map(|a| CachedVerdict::Proved(a, Arc::new(steps))),
             Proof::Refuted => Some(CachedVerdict::Refuted),
             Proof::Unknown => None,
         };
@@ -626,6 +670,155 @@ impl<'a> TabledProver<'a> {
             self.table.borrow_mut().insert(canon.key, verdict);
         }
         finish(proof)
+    }
+
+    /// [`Self::subtype_all_rigid`] with evidence attached: `Proved` carries
+    /// a replayable [`Witness`] whose chain is interned with the table entry
+    /// (hits share it), `Refuted` a 1-minimal failing core computed by
+    /// greedy constraint-dropping re-proving *under the table* — shrinking
+    /// repeats are memoized, so it stays cheap.
+    ///
+    /// Instrumentation is identical to the plain method (`subtype_goals`,
+    /// the `subtype_prove` timer, span events), plus `witness_emitted` /
+    /// `refuted_core_size` for the evidence itself.
+    pub fn subtype_all_rigid_witnessed(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Witnessed {
+        let started = Instant::now();
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        let fingerprint = {
+            let table = self.table.borrow();
+            table.obs.incr(Counter::SubtypeGoals);
+            table.obs.tracing().then(|| canon.key.fingerprint())
+        };
+        if let Some(fp) = &fingerprint {
+            self.table
+                .borrow()
+                .obs
+                .trace(&TraceEvent::SubtypeStart { key: fp });
+        }
+        let finish = |out: Witnessed| -> Witnessed {
+            let obs = &self.table.borrow().obs;
+            let elapsed = started.elapsed();
+            obs.observe(Timer::SubtypeProve, elapsed);
+            if let Some(fp) = &fingerprint {
+                obs.trace(&TraceEvent::SubtypeEnd {
+                    key: fp,
+                    verdict: verdict_name(&out.proof()),
+                    nanos: elapsed.as_nanos() as u64,
+                });
+            }
+            out
+        };
+        let emit = |witness: Witness| -> Witnessed {
+            self.table.borrow().obs.incr(Counter::WitnessEmitted);
+            Witnessed::Proved(witness)
+        };
+        let cached = {
+            let mut table = self.table.borrow_mut();
+            table.ensure_generation(self.cs.generation());
+            table.lookup(&canon.key)
+        };
+        match cached {
+            Some(CachedVerdict::Proved(answer, steps)) => finish(emit(Witness {
+                goals: goals.to_vec(),
+                answer: canon.decode_answer(&answer),
+                steps,
+            })),
+            Some(CachedVerdict::Refuted) => finish(Witnessed::Refuted {
+                core: self.shrink_refuted(goals, rigid, var_watermark),
+            }),
+            None => {
+                let (proof, steps) =
+                    self.prover
+                        .subtype_all_rigid_traced(goals, rigid, var_watermark);
+                match proof {
+                    Proof::Proved(answer) => {
+                        let steps = Arc::new(steps);
+                        if let Some(encoded) = canon.encode_answer(&answer) {
+                            self.table
+                                .borrow_mut()
+                                .insert(canon.key, CachedVerdict::Proved(encoded, steps.clone()));
+                        }
+                        finish(emit(Witness {
+                            goals: goals.to_vec(),
+                            answer,
+                            steps,
+                        }))
+                    }
+                    Proof::Refuted => {
+                        self.table
+                            .borrow_mut()
+                            .insert(canon.key, CachedVerdict::Refuted);
+                        finish(Witnessed::Refuted {
+                            core: self.shrink_refuted(goals, rigid, var_watermark),
+                        })
+                    }
+                    Proof::Unknown => finish(Witnessed::Unknown),
+                }
+            }
+        }
+    }
+
+    /// Greedy core shrinking for a refuted conjunction, deciding every
+    /// candidate sub-conjunction through [`Self::subtype_all_rigid_quiet`].
+    fn shrink_refuted(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Vec<usize> {
+        let core = witness::shrink_core(goals, |subset| {
+            self.subtype_all_rigid_quiet(subset, rigid, var_watermark)
+                .is_refuted()
+        });
+        self.table
+            .borrow()
+            .obs
+            .add(Counter::RefutedCoreSize, core.len() as u64);
+        core
+    }
+
+    /// The tabled judgement with *no* query instrumentation: no
+    /// `subtype_goals` tick, no timer, no span events. The table's own
+    /// hit/miss/insert counters still move — those are excluded from
+    /// scheduling invariance anyway — so core shrinking can lean on the memo
+    /// table without making `subtype_goals` depend on how many Refuted
+    /// verdicts were witnessed.
+    pub(crate) fn subtype_all_rigid_quiet(
+        &self,
+        goals: &[(Term, Term)],
+        rigid: &BTreeSet<Var>,
+        var_watermark: u32,
+    ) -> Proof {
+        let canon = Canonical::of(goals, rigid, var_watermark);
+        {
+            let mut table = self.table.borrow_mut();
+            table.ensure_generation(self.cs.generation());
+            if let Some(verdict) = table.lookup(&canon.key) {
+                return match verdict {
+                    CachedVerdict::Refuted => Proof::Refuted,
+                    CachedVerdict::Proved(answer, _) => Proof::Proved(canon.decode_answer(&answer)),
+                };
+            }
+        }
+        let (proof, steps) = self
+            .prover
+            .subtype_all_rigid_traced(goals, rigid, var_watermark);
+        let cached = match &proof {
+            Proof::Proved(answer) => canon
+                .encode_answer(answer)
+                .map(|a| CachedVerdict::Proved(a, Arc::new(steps))),
+            Proof::Refuted => Some(CachedVerdict::Refuted),
+            Proof::Unknown => None,
+        };
+        if let Some(verdict) = cached {
+            self.table.borrow_mut().insert(canon.key, verdict);
+        }
+        proof
     }
 
     /// Decides a batch of *independent* subtype goals (no shared
@@ -827,10 +1020,13 @@ mod tests {
         table.insert(a.clone(), CachedVerdict::Refuted);
         // Overwrite: same key again, now with an answer. Must not enqueue a
         // second FIFO slot for `a`.
-        table.insert(a.clone(), CachedVerdict::Proved(Subst::new()));
+        table.insert(
+            a.clone(),
+            CachedVerdict::Proved(Subst::new(), Arc::new(Vec::new())),
+        );
         assert_eq!(table.len(), 1, "re-insert did not add an entry");
         assert!(
-            matches!(table.lookup(&a), Some(CachedVerdict::Proved(_))),
+            matches!(table.lookup(&a), Some(CachedVerdict::Proved(..))),
             "re-insert updated the verdict in place"
         );
 

@@ -18,7 +18,7 @@ use std::time::Instant;
 use lp_engine::Clause;
 use lp_term::{Signature, Sym, SymKind, Term, Var};
 
-use crate::cmatch::{CMatchFailure, CMatcher, CState};
+use crate::cmatch::{CMatchFailure, CMatcher, CState, SolveOutcome};
 use crate::constraint::CheckedConstraints;
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::par;
@@ -170,6 +170,22 @@ pub struct ClauseTyping {
     pub atom_types: Vec<Term>,
 }
 
+/// The result of an *explained* clause or query check: the ordinary
+/// verdict plus, when the commitment-solving phase ran, its witnessed
+/// outcome — a replayable derivation chain for accepted clauses, a
+/// 1-minimal refutation core for `UnsatisfiableCommitments` rejections.
+/// `slp explain` renders these through [`crate::witness::replay`].
+#[derive(Debug, Clone)]
+pub struct CheckExplanation {
+    /// The verdict, identical to what [`Checker::check_clause`] /
+    /// [`Checker::check_query`] would have returned.
+    pub result: Result<ClauseTyping, TypeCheckError>,
+    /// Evidence from the phase-2 constraint solve. `None` when the check
+    /// failed before solving (e.g. a structural `IllTypedAtom`) or when
+    /// no commitments were deferred.
+    pub solve: Option<SolveOutcome>,
+}
+
 /// The well-typedness checker (Definition 16, effective version).
 #[derive(Debug, Clone, Copy)]
 pub struct Checker<'a> {
@@ -255,6 +271,25 @@ impl<'a> Checker<'a> {
         result
     }
 
+    /// [`Checker::check_clause`] with the evidence kept: same verdict and
+    /// same instrumentation, plus the witnessed commitment solve.
+    pub fn explain_clause(&self, clause: &Clause) -> CheckExplanation {
+        let atoms: Vec<&Term> = clause.atoms().collect();
+        let started = self.begin_check("clause", Counter::ClauseChecks, Timer::CheckClause);
+        let (result, solve) = self.check_atoms_explained(&atoms, true);
+        self.end_check("clause", Timer::CheckClause, started, result.is_ok());
+        CheckExplanation { result, solve }
+    }
+
+    /// [`Checker::check_query`] with the evidence kept.
+    pub fn explain_query(&self, goals: &[Term]) -> CheckExplanation {
+        let atoms: Vec<&Term> = goals.iter().collect();
+        let started = self.begin_check("query", Counter::QueryChecks, Timer::CheckQuery);
+        let (result, solve) = self.check_atoms_explained(&atoms, false);
+        self.end_check("query", Timer::CheckQuery, started, result.is_ok());
+        CheckExplanation { result, solve }
+    }
+
     /// Counts + traces the start of one clause/query check; returns the
     /// span start instant when observability is on.
     fn begin_check(&self, kind: &str, counter: Counter, _timer: Timer) -> Option<Instant> {
@@ -313,6 +348,17 @@ impl<'a> Checker<'a> {
         atoms: &[&Term],
         rigid_head: bool,
     ) -> Result<ClauseTyping, TypeCheckError> {
+        self.check_atoms_explained(atoms, rigid_head).0
+    }
+
+    /// [`Checker::check_atoms`] keeping the witnessed phase-2 solve
+    /// alongside the verdict (`None` when the check never reached it).
+    #[allow(clippy::type_complexity)]
+    fn check_atoms_explained(
+        &self,
+        atoms: &[&Term],
+        rigid_head: bool,
+    ) -> (Result<ClauseTyping, TypeCheckError>, Option<SolveOutcome>) {
         // Fresh type variables must not collide with program variables.
         let mut watermark = 0u32;
         for a in atoms {
@@ -330,34 +376,47 @@ impl<'a> Checker<'a> {
         let mut atom_types = Vec::with_capacity(atoms.len());
         for (index, atom) in atoms.iter().enumerate() {
             let p = atom.functor().expect("atoms are applications");
-            let declared = self
-                .preds
-                .get(p)
-                .ok_or_else(|| TypeCheckError::MissingPredType {
-                    pred: self.sig.name(p).to_string(),
-                })?;
+            let declared = match self.preds.get(p) {
+                Some(d) => d,
+                None => {
+                    return (
+                        Err(TypeCheckError::MissingPredType {
+                            pred: self.sig.name(p).to_string(),
+                        }),
+                        None,
+                    );
+                }
+            };
             // Rename the predicate type apart; head variables are rigid,
             // body (and query) variables flexible — they are the ηᵢ.
             let rigid = rigid_head && index == 0;
             let renamed = rename_apart(declared, &mut state, rigid);
             atom_types.push(renamed.clone());
             for (tau_i, t_i) in renamed.args().iter().zip(atom.args()) {
-                cm.cmatch(&mut state, tau_i, t_i).map_err(|failure| {
-                    TypeCheckError::IllTypedAtom {
-                        atom: index,
-                        pred: self.sig.name(p).to_string(),
-                        failure,
-                    }
-                })?;
+                if let Err(failure) = cm.cmatch(&mut state, tau_i, t_i) {
+                    return (
+                        Err(TypeCheckError::IllTypedAtom {
+                            atom: index,
+                            pred: self.sig.name(p).to_string(),
+                            failure,
+                        }),
+                        None,
+                    );
+                }
             }
         }
-        // Solve the collected η commitments (paper §7).
-        cm.finalize(&mut state)
-            .map_err(|failure| TypeCheckError::UnsatisfiableCommitments { failure })?;
-        Ok(ClauseTyping {
-            var_types: state.all_types(),
-            atom_types: atom_types.iter().map(|t| state.resolve(t)).collect(),
-        })
+        // Solve the collected η commitments (paper §7), keeping the
+        // evidence the solve produced whether it succeeded or not.
+        let solved = cm.finalize(&mut state);
+        let solve = state.take_last_solve();
+        let result = match solved {
+            Err(failure) => Err(TypeCheckError::UnsatisfiableCommitments { failure }),
+            Ok(()) => Ok(ClauseTyping {
+                var_types: state.all_types(),
+                atom_types: atom_types.iter().map(|t| state.resolve(t)).collect(),
+            }),
+        };
+        (result, solve)
     }
 }
 

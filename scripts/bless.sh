@@ -2,6 +2,7 @@
 # Regenerates every committed golden artifact deterministically:
 #
 #   tests/golden/{app,naturals,lint_demo}.{txt,json}   lint output goldens
+#   tests/golden/explain_{q,h,app}.{txt,json}          slp explain goldens
 #   tests/golden/stats_schema.txt                      --stats JSON schema
 #   BENCH_5.json                                       perf smoke baseline
 #
@@ -19,6 +20,18 @@ for stem in app naturals lint_demo; do
   target/release/slp lint "examples/$stem.slp" --format json \
     > "tests/golden/$stem.json" || true
   echo "blessed tests/golden/$stem.{txt,json}" >&2
+done
+
+# Explain goldens over the deliberately ill-typed corpus: a refutation core
+# (h), a rejected-and-well-typed mix with a validated witness (q), and a
+# pristine predicate (app). Paths stay relative so the embedded `file`
+# strings are reproducible from the repo root.
+for pred in q h app; do
+  target/release/slp explain examples/ill_typed.slp "$pred" \
+    > "tests/golden/explain_$pred.txt"
+  target/release/slp explain examples/ill_typed.slp "$pred" --format json \
+    > "tests/golden/explain_$pred.json"
+  echo "blessed tests/golden/explain_$pred.{txt,json}" >&2
 done
 
 # The --stats schema golden: the slp-metrics/1 document with every numeric

@@ -1,7 +1,13 @@
 //! `slp` — the subtype-lp command-line interface.
 //!
 //! ```text
-//! slp check   FILE... [--jobs N]   type-check every clause and query
+//! slp check   FILE... [--jobs N] [--verify-witnesses]
+//!                                  type-check every clause and query
+//! slp explain FILE PRED [--format json|human]
+//!                                  show, per clause/query of PRED, either a
+//!                                  numbered replay of the subtype derivation
+//!                                  (the proof witness) or a minimal failing
+//!                                  core explaining why checking refused it
 //! slp lint    FILE... [--jobs N] [--deny warnings] [--format json]
 //!                                  run the static analyzer (dead clauses,
 //!                                  empty types, head condition, unused
@@ -14,6 +20,14 @@
 //! slp export  FILE                 print the module in canonical syntax
 //! slp info    FILE                 summarize declarations
 //! ```
+//!
+//! `check --verify-witnesses` audits the proof table after checking: every
+//! cached `Proved` entry is replayed step-by-step through
+//! [`witness::validate_in`](subtype_lp::core::witness::validate_in),
+//! independently of the prover that built it. A clean audit changes
+//! nothing (stdout stays byte-identical); any entry that fails to replay
+//! is an `E0301` error on stderr with exit code 2. The tallies surface as
+//! the `witness_validated` / `witness_invalid` counters under `--stats`.
 //!
 //! `check` and `lint` accept many files (and `*`/`?` globs, for shells that
 //! do not expand them) and fan the batch out across `--jobs N` worker
@@ -70,7 +84,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE... [--jobs N] [--stats] [--format json|human] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
+    "usage:\n  slp check FILE... [--jobs N] [--verify-witnesses] [--stats]\n            [--format json|human] [--trace FILE]\n  slp explain FILE PRED [--format json|human] [--stats] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
@@ -105,6 +119,13 @@ fn flag_spec(command: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--no-table", false),
             ("--stats", false),
             ("--format", true),
+            ("--trace", true),
+            ("--verify-witnesses", false),
+        ],
+        "explain" => &[
+            ("--format", true),
+            ("--no-table", false),
+            ("--stats", false),
             ("--trace", true),
         ],
         "lint" => &[
@@ -339,8 +360,9 @@ fn dispatch(
                 (1, jobs)
             };
             let multi = files.len() > 1;
+            let verify = parsed.has("--verify-witnesses");
             Ok(run_batch(&files, file_jobs, |file| {
-                check_file(file, clause_jobs, no_table, multi, obs)
+                check_file(file, clause_jobs, no_table, multi, verify, obs)
             }))
         }
         "lint" => {
@@ -383,6 +405,7 @@ fn check_file(
     clause_jobs: usize,
     no_table: bool,
     multi: bool,
+    verify_witnesses: bool,
     obs: &Arc<MetricsRegistry>,
 ) -> FileReport {
     let src = match std::fs::read_to_string(file) {
@@ -410,7 +433,7 @@ fn check_file(
         Ok(p) => p.with_tabling(!no_table),
         Err(e) => return error_report(&program_diagnostics(&module, &e), &src, file),
     };
-    let diags = check_program_diags(&program, clause_jobs, no_table);
+    let diags = check_program_diags(&program, clause_jobs, no_table, verify_witnesses);
     if !diags.is_empty() {
         return error_report(&diags, &src, file);
     }
@@ -521,6 +544,7 @@ fn run_single(
     match parsed.command.as_str() {
         "run" => execute(&program, &src, file, parsed, false),
         "audit" => execute(&program, &src, file, parsed, true),
+        "explain" => explain_cmd(&program, &src, file, parsed),
         "subtype" => subtype(program, parsed).map(|()| ExitCode::SUCCESS),
         "match" => match_cmd(program, parsed).map(|()| ExitCode::SUCCESS),
         "filter" => filter_cmd(program, parsed).map(|()| ExitCode::SUCCESS),
@@ -560,18 +584,26 @@ fn program_diagnostics(module: &Module, e: &subtype_lp::Error) -> Vec<Diagnostic
 /// are checked across the worker pool, sharing one sharded proof table;
 /// the diagnostics come back in clause order either way, so the rendered
 /// output is byte-identical to the serial run.
+///
+/// With `verify_witnesses`, whichever proof table the check populated is
+/// audited afterwards: every cached `Proved` entry is replayed through
+/// `witness::validate_in`, and any replay failure becomes an `E0301`
+/// diagnostic. A clean audit adds nothing, so stdout stays byte-identical
+/// across `--jobs` counts.
 fn check_program_diags(
     program: &TypedProgram,
     clause_jobs: usize,
     no_table: bool,
+    verify_witnesses: bool,
 ) -> Vec<Diagnostic> {
     let module = program.module();
     let mut diags = Vec::new();
-    if clause_jobs > 1 {
-        // The sharded table counts into the program's registry, so serial
-        // and clause-parallel runs report through the same document.
-        let shared = ShardedProofTable::with_metrics(program.metrics().clone());
-        let table = (!no_table).then_some(&shared);
+    // The sharded table counts into the program's registry, so serial
+    // and clause-parallel runs report through the same document.
+    let shared =
+        (clause_jobs > 1).then(|| ShardedProofTable::with_metrics(program.metrics().clone()));
+    if let Some(shared) = &shared {
+        let table = (!no_table).then_some(shared);
         if let Err(subtype_lp::Error::Check(errs)) =
             program.check_clauses_parallel(table, clause_jobs)
         {
@@ -588,19 +620,46 @@ fn check_program_diags(
                     .map(|(i, e)| query_check_diagnostic(module, *i, e)),
             );
         }
-        return diags;
+    } else {
+        if let Err(subtype_lp::Error::Check(errs)) = program.check_clauses() {
+            diags.extend(
+                errs.iter()
+                    .map(|(i, e)| clause_check_diagnostic(module, *i, e)),
+            );
+        }
+        if let Err(subtype_lp::Error::Check(errs)) = program.check_queries() {
+            diags.extend(
+                errs.iter()
+                    .map(|(i, e)| query_check_diagnostic(module, *i, e)),
+            );
+        }
     }
-    if let Err(subtype_lp::Error::Check(errs)) = program.check_clauses() {
-        diags.extend(
-            errs.iter()
-                .map(|(i, e)| clause_check_diagnostic(module, *i, e)),
-        );
-    }
-    if let Err(subtype_lp::Error::Check(errs)) = program.check_queries() {
-        diags.extend(
-            errs.iter()
-                .map(|(i, e)| query_check_diagnostic(module, *i, e)),
-        );
+    if verify_witnesses {
+        let constraints = program.constraints().as_set().constraints();
+        let (validated, invalid) = match &shared {
+            Some(t) => t.validate_witnesses(&module.sig, constraints),
+            None => program
+                .proof_table()
+                .borrow()
+                .validate_witnesses(&module.sig, constraints),
+        };
+        if invalid > 0 {
+            diags.push(
+                Diagnostic::error(
+                    "E0301",
+                    format!(
+                        "witness audit failed: {invalid} of {} cached subtype proof(s) did not \
+                         replay",
+                        validated + invalid
+                    ),
+                )
+                .note(
+                    "every `Proved` proof-table entry must replay step-by-step through \
+                     witness::validate_in; a failure here means the table holds a verdict \
+                     its own derivation chain cannot justify",
+                ),
+            );
+        }
     }
     diags
 }
@@ -622,7 +681,7 @@ fn execute(
     parsed: &ParsedArgs,
     auditing: bool,
 ) -> Result<ExitCode, String> {
-    let diags = check_program_diags(program, 1, !program.tabling());
+    let diags = check_program_diags(program, 1, !program.tabling(), false);
     if !diags.is_empty() {
         return Ok(report_errors(&diags, src, file));
     }
@@ -829,6 +888,321 @@ fn filter_cmd(program: TypedProgram, parsed: &ParsedArgs) -> Result<(), String> 
         }
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// `slp explain` — checkable verdicts and minimal refutation cores
+// ---------------------------------------------------------------------------
+
+/// One derivation step rendered for output (both formats consume these).
+struct StepLine {
+    rule: &'static str,
+    constraint: Option<usize>,
+    goal: String,
+}
+
+/// One clause or query selected for explanation.
+struct ExplainTarget<'a> {
+    what: &'static str,
+    index: usize,
+    span: subtype_lp::parser::Span,
+    hints: &'a subtype_lp::term::NameHints,
+    explanation: subtype_lp::core::CheckExplanation,
+}
+
+/// Explains every clause and query of one predicate: a numbered replay of
+/// the proof witness when checking succeeded, or the diagnostic plus the
+/// 1-minimal refutation core when it did not. Explanations are the
+/// command's *results*, so everything — including the rejection
+/// diagnostics — goes to stdout, and a program that fails to type-check
+/// still explains successfully (exit 0). Only usage, parse, declaration
+/// and unknown-predicate errors exit 2.
+fn explain_cmd(
+    program: &TypedProgram,
+    src: &str,
+    file: &str,
+    parsed: &ParsedArgs,
+) -> Result<ExitCode, String> {
+    use subtype_lp::term::{SymKind, Term};
+
+    let pred_name = operand(parsed, 1, "a PRED name")?.clone();
+    let json = json_format(parsed)?;
+    let module = program.module();
+    let sig = &module.sig;
+    let pred = sig
+        .lookup(&pred_name)
+        .filter(|s| sig.kind(*s) == SymKind::Pred)
+        .ok_or_else(|| format!("{file} declares no predicate `{pred_name}`"))?;
+
+    let checker = program.checker();
+    let mentions = |t: &Term| t.functor() == Some(pred);
+    let mut targets = Vec::new();
+    for (i, lc) in module.clauses.iter().enumerate() {
+        if mentions(&lc.clause.head) || lc.clause.body.iter().any(&mentions) {
+            targets.push(ExplainTarget {
+                what: "clause",
+                index: i,
+                span: lc.span,
+                hints: &lc.hints,
+                explanation: checker.explain_clause(&lc.clause),
+            });
+        }
+    }
+    for (i, q) in module.queries.iter().enumerate() {
+        if q.goals.iter().any(&mentions) {
+            targets.push(ExplainTarget {
+                what: "query",
+                index: i,
+                span: q.span,
+                hints: &q.hints,
+                explanation: checker.explain_query(&q.goals),
+            });
+        }
+    }
+    if targets.is_empty() {
+        return Err(format!(
+            "predicate `{pred_name}` has no clauses or queries in {file}"
+        ));
+    }
+
+    let mut human = String::new();
+    let mut items = Vec::new();
+    let mut well_typed = 0usize;
+    for t in &targets {
+        let (verdict, section, item) = explain_target(program, src, file, t);
+        if verdict == "well-typed" {
+            well_typed += 1;
+        }
+        human.push_str(&section);
+        items.push(item);
+    }
+
+    if json {
+        println!(
+            "{{\"slp-explain\":1,\"file\":{},\"predicate\":{},\"items\":[\n  {}\n]}}",
+            jstr(file),
+            jstr(&pred_name),
+            items.join(",\n  ")
+        );
+    } else {
+        print!("{human}");
+        println!(
+            "{file}: explained {} item(s) for `{pred_name}`: {} well-typed, {} rejected",
+            targets.len(),
+            well_typed,
+            targets.len() - well_typed
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one explanation target as `(verdict, human section, JSON item)`.
+fn explain_target(
+    program: &TypedProgram,
+    src: &str,
+    file: &str,
+    t: &ExplainTarget,
+) -> (&'static str, String, String) {
+    use subtype_lp::core::witness;
+    use subtype_lp::core::{Step, Witnessed};
+    use subtype_lp::term::Term;
+
+    let module = program.module();
+    let sig = &module.sig;
+    let constraints = program.constraints().as_set().constraints();
+    let obs = program.metrics();
+
+    let (line, _) = t.span.line_col(src);
+    let quoted: String = src[t.span.start.min(src.len())..t.span.end.min(src.len())]
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ");
+    let disp = |term: &Term| TermDisplay::new(term, sig).to_string();
+    let disp_hinted = |term: &Term| TermDisplay::new(term, sig).with_hints(t.hints).to_string();
+    // A `+`-alternative constraint by its global (declaration-order) index,
+    // with the declaration's own parameter names.
+    let show_constraint = |k: usize| match module.constraints.get(k) {
+        Some(c) => format!(
+            "{} >= {}",
+            TermDisplay::new(&c.lhs, sig).with_hints(&c.hints),
+            TermDisplay::new(&c.rhs, sig).with_hints(&c.hints)
+        ),
+        None => format!("#{k}"),
+    };
+
+    let solve = t.explanation.solve.as_ref();
+    // The phase-2 conjunction with its origins: goal i was built from the
+    // deferred commitment `α ⊒ t` in `origins[i]`.
+    let goal_lines: Vec<(String, String)> = solve
+        .map(|s| {
+            s.goals
+                .iter()
+                .zip(&s.origins)
+                .map(|((sup, sub), (alpha, commit))| {
+                    (
+                        format!("{} >= {}", disp(sup), disp(sub)),
+                        format!(
+                            "{} admits {}",
+                            disp(&Term::Var(*alpha)),
+                            disp_hinted(commit)
+                        ),
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut section = format!("-- {} #{} ({file}:{line}): {quoted}\n", t.what, t.index);
+    let verdict;
+    let mut steps_json: Vec<String> = Vec::new();
+    let mut core_json: Vec<String> = Vec::new();
+    let mut witness_validated = "null".to_string();
+    let mut diag_json = "null".to_string();
+
+    match (&t.explanation.result, solve.map(|s| &s.verdict)) {
+        (Ok(_), Some(Witnessed::Proved(w))) => {
+            verdict = "well-typed";
+            let mut steps: Vec<StepLine> = Vec::new();
+            let replay = witness::replay(sig, constraints, w, |_, step, sup, sub| {
+                let (rule, constraint) = match step {
+                    Step::Refl => ("refl", None),
+                    Step::Decompose => ("decompose", None),
+                    Step::Constraint(k) => ("constraint", Some(k)),
+                };
+                steps.push(StepLine {
+                    rule,
+                    constraint,
+                    goal: format!("{} >= {}", disp(sup), disp(sub)),
+                });
+            });
+            section.push_str(&format!(
+                "   well-typed: {} deferred commitment(s) proved\n",
+                goal_lines.len()
+            ));
+            for (i, (goal, commit)) in goal_lines.iter().enumerate() {
+                section.push_str(&format!("     goal {}: {goal}   [{commit}]\n", i + 1));
+            }
+            match &replay {
+                Ok(()) => {
+                    obs.incr(Counter::WitnessValidated);
+                    witness_validated = "true".to_string();
+                    section.push_str(&format!(
+                        "   derivation (validated, {} step(s)):\n",
+                        steps.len()
+                    ));
+                    for (i, s) in steps.iter().enumerate() {
+                        match s.constraint {
+                            Some(k) => section.push_str(&format!(
+                                "     {}. {} #{k} ({}): {}\n",
+                                i + 1,
+                                s.rule,
+                                show_constraint(k),
+                                s.goal
+                            )),
+                            None => section.push_str(&format!(
+                                "     {}. {}: {}\n",
+                                i + 1,
+                                s.rule,
+                                s.goal
+                            )),
+                        }
+                    }
+                }
+                Err(e) => {
+                    obs.incr(Counter::WitnessInvalid);
+                    witness_validated = "false".to_string();
+                    section.push_str(&format!("   WITNESS INVALID: {e}\n"));
+                }
+            }
+            steps_json = steps
+                .iter()
+                .map(|s| {
+                    let c = s.constraint.map_or("null".to_string(), |k| k.to_string());
+                    format!(
+                        "{{\"rule\":{},\"constraint\":{c},\"goal\":{}}}",
+                        jstr(s.rule),
+                        jstr(&s.goal)
+                    )
+                })
+                .collect();
+        }
+        (Ok(_), _) => {
+            verdict = "well-typed";
+            witness_validated = "true".to_string();
+            section.push_str("   well-typed: no residual subtype obligations\n");
+        }
+        (Err(e), v) => {
+            verdict = if matches!(v, Some(Witnessed::Unknown)) {
+                "inconclusive"
+            } else {
+                "rejected"
+            };
+            let mut d = if t.what == "clause" {
+                clause_check_diagnostic(module, t.index, e)
+            } else {
+                query_check_diagnostic(module, t.index, e)
+            };
+            if let Some(Witnessed::Refuted { core }) = v {
+                for (m, &j) in core.iter().enumerate() {
+                    let (goal, commit) = &goal_lines[j];
+                    d = d.note(format!(
+                        "refutation core {}/{}: {goal} is underivable (required because \
+                         {commit})",
+                        m + 1,
+                        core.len()
+                    ));
+                    core_json.push(format!(
+                        "{{\"goal\":{},\"commitment\":{}}}",
+                        jstr(goal),
+                        jstr(commit)
+                    ));
+                }
+                d = d.note(
+                    "the core is 1-minimal: drop any one of these commitments and the \
+                     remainder becomes derivable",
+                );
+            }
+            section.push_str(&diag::render_human(&d, src, file));
+            diag_json = diag::render_json_one(&d, src, file);
+        }
+    }
+
+    let item = format!(
+        "{{\"kind\":{},\"index\":{},\"line\":{line},\"source\":{},\"verdict\":{},\
+         \"goals\":[{}],\"steps\":[{}],\"witness_validated\":{witness_validated},\
+         \"core\":[{}],\"diagnostic\":{diag_json}}}",
+        jstr(t.what),
+        t.index,
+        jstr(&quoted),
+        jstr(verdict),
+        goal_lines
+            .iter()
+            .map(|(g, c)| format!("{{\"goal\":{},\"commitment\":{}}}", jstr(g), jstr(c)))
+            .collect::<Vec<_>>()
+            .join(","),
+        steps_json.join(","),
+        core_json.join(",")
+    );
+    (verdict, section, item)
+}
+
+/// Minimal JSON string quoting (matches `diag`'s encoding).
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn info(program: &TypedProgram) -> Result<(), String> {

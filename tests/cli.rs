@@ -437,6 +437,45 @@ fn trace_writes_parseable_jsonl_spans() {
     }
 }
 
+/// `--verify-witnesses` is a silent audit on a healthy program: stdout is
+/// byte-identical to a plain check at every job count, and the counters
+/// confirm the audit actually replayed something.
+#[test]
+fn verify_witnesses_is_stdout_inert_and_counts_validations() {
+    use subtype_lp::core::obs::json::JsonValue;
+
+    let f = write_fixture("vw.slp", APP);
+    let file = f.to_str().unwrap();
+    let (ok, plain, _) = slp(&["check", file]);
+    assert!(ok);
+    for jobs in ["1", "4"] {
+        let (ok, stdout, stderr) = slp(&[
+            "check",
+            file,
+            "--jobs",
+            jobs,
+            "--verify-witnesses",
+            "--stats",
+            "--format",
+            "json",
+        ]);
+        assert!(ok, "audit must pass on a well-typed program: {stderr}");
+        assert_eq!(stdout, plain, "--verify-witnesses must not touch stdout");
+        let doc = JsonValue::parse(stderr.trim_end()).expect("stats parses");
+        let counter = |name: &str| {
+            doc.get("counters")
+                .unwrap()
+                .get(name)
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        };
+        assert!(counter("witness_validated") >= 1, "nothing was audited");
+        assert_eq!(counter("witness_invalid"), 0);
+        assert!(counter("witness_emitted") >= counter("witness_validated"));
+    }
+}
+
 #[test]
 fn counter_metrics_agree_across_job_counts() {
     use subtype_lp::core::obs::json::JsonValue;
