@@ -152,6 +152,22 @@ stats_golden() {
 }
 step stats-golden stats_golden
 
+# The serve daemon replay: a committed request transcript (cold start, a
+# warm constraint-preserving delta, and one injected panic at request 5)
+# is piped through `slp serve` and the response stream must match the
+# committed golden byte-for-byte under both one worker and four — the
+# daemon's fault recovery and incremental re-checking are part of the
+# pinned contract.
+serve_replay() {
+  local jobs
+  for jobs in 1 4; do
+    target/release/slp serve --stdio --jobs "$jobs" --faults panic@5 \
+      < tests/golden/serve_session.requests > "$tmp/serve.$jobs"
+    diff -u tests/golden/serve_session.golden "$tmp/serve.$jobs"
+  done
+}
+step serve-replay serve_replay
+
 # Perf smoke gate: the deterministic BENCH_5 counter signature of the
 # F6/F7 workload family must match the committed baseline exactly (counts,
 # never wall time — the gate is load-independent). Re-bless intentional

@@ -17,7 +17,7 @@ use subtype_core::consistency::{AuditConfig, Auditor};
 use subtype_core::obs::json::JsonValue;
 use subtype_core::{
     lint_module_obs, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot, ProofTable,
-    TabledProver,
+    ServeConfig, ServeSession, TabledProver,
 };
 
 /// Version tag of the document; bump on any structural change.
@@ -32,6 +32,7 @@ pub fn workloads() -> Vec<(&'static str, MetricsSnapshot)> {
         ("table_eviction", table_eviction()),
         ("pipeline_check", pipeline_check()),
         ("lint_pipeline", lint_pipeline()),
+        ("serve_replay", serve_replay()),
     ]
 }
 
@@ -110,8 +111,46 @@ fn pipeline_check() -> MetricsSnapshot {
 fn lint_pipeline() -> MetricsSnapshot {
     let obs = MetricsRegistry::shared();
     let module = lp_parser::parse_module(&programs::pipeline(8, 2)).expect("fixture parses");
-    let diags = lint_module_obs(&module, &LintOptions { tabling: true }, Some(&obs));
+    let diags = lint_module_obs(
+        &module,
+        &LintOptions {
+            tabling: true,
+            ..LintOptions::default()
+        },
+        Some(&obs),
+    );
     std::hint::black_box(diags);
+    obs.snapshot()
+}
+
+/// A serve-daemon replay over `nrev(8)`: cold load + check, then
+/// a clause-append delta (signature and constraints unchanged) and a warm
+/// re-check through the rescoped table. Pins the warm/cold economics of
+/// incremental invalidation — `incremental_reuse` (cached verdicts
+/// surviving the delta) against the cold check's `table_misses` — so a
+/// rescope regression that silently drops the warm table fails the gate.
+fn serve_replay() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let mut session = ServeSession::with_metrics(ServeConfig::default(), obs.clone());
+    let src = programs::nrev(8);
+    let line = |op: &str, source: &str| {
+        JsonValue::Obj(vec![
+            ("op".to_string(), JsonValue::Str(op.to_string())),
+            ("source".to_string(), JsonValue::Str(source.to_string())),
+        ])
+        .render()
+    };
+    let ok = |resp: String| {
+        assert!(
+            resp.contains("\"status\":\"ok\""),
+            "serve replay failed: {resp}"
+        );
+    };
+    ok(session.handle_line(&line("load", &src)));
+    ok(session.handle_line("{\"op\":\"check\"}"));
+    let extended = format!("{src}app(nil, nil, nil).\n");
+    ok(session.handle_line(&line("delta", &extended)));
+    ok(session.handle_line("{\"op\":\"check\"}"));
     obs.snapshot()
 }
 
@@ -243,6 +282,16 @@ mod tests {
         assert_eq!(snap.counter(Counter::SubtypeGoals), 256);
         assert_eq!(snap.counter(Counter::TableMisses), 8);
         assert_eq!(snap.counter(Counter::TableHits), 248);
+    }
+
+    #[test]
+    fn serve_replay_reuses_the_warm_table() {
+        let snap = serve_replay();
+        assert!(
+            snap.counter(Counter::IncrementalReuse) > 0,
+            "the delta must keep cached verdicts alive"
+        );
+        assert_eq!(snap.counter(Counter::RequestsServed), 4);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Explicit, shareable resource budgets.
+//!
+//! Several searches in this crate are complete only up to a resource
+//! bound: `cmatch`'s speculative constructor expansion, lint's W0302
+//! emptiness fixpoint, and (in a serve session) whole requests. Before
+//! this module each site had its own ad-hoc constant and bailed
+//! *silently* when it ran out — indistinguishable from a conclusive
+//! answer. A [`Budget`] makes the bound explicit, configurable, and
+//! observable: callers `charge` units as they expand nodes, the first
+//! failed charge flips the budget into the exhausted state, and every
+//! consumer reports exhaustion as a structured outcome (an `Unknown`
+//! verdict, a dedicated diagnostic) instead of staying quiet.
+//!
+//! Charging is atomic (relaxed), so one budget can be shared by the
+//! clause-parallel checker's workers to bound a whole request rather
+//! than each worker individually.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::obs::{Counter, MetricsRegistry};
+
+/// A charge-based resource budget.
+///
+/// A budget holds a fixed `limit` of abstract units (expansion nodes,
+/// fixpoint nodes, clauses — the consumer defines the unit) and a
+/// running `spent` tally. [`Budget::charge`] spends units and reports
+/// whether the budget still has headroom; once a charge fails, the
+/// budget stays [`exhausted`](Budget::exhausted) until
+/// [`reset`](Budget::reset).
+#[derive(Debug)]
+pub struct Budget {
+    limit: u64,
+    spent: AtomicU64,
+}
+
+impl Budget {
+    /// A budget of `limit` units.
+    pub fn new(limit: u64) -> Self {
+        Budget {
+            limit,
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    /// A budget that never exhausts (`u64::MAX` units).
+    pub fn unlimited() -> Self {
+        Budget::new(u64::MAX)
+    }
+
+    /// Spends `n` units. Returns `true` while the total spend stays
+    /// within the limit; the first overdraft returns `false` and pins
+    /// the budget in the exhausted state (the overdrafted units stay
+    /// counted, so concurrent chargers agree).
+    pub fn charge(&self, n: u64) -> bool {
+        let before = self.spent.fetch_add(n, Ordering::Relaxed);
+        before.saturating_add(n) <= self.limit
+    }
+
+    /// Like [`Budget::charge`], but counts (and does not double-count)
+    /// the first exhaustion in `obs` under
+    /// [`Counter::BudgetExhausted`].
+    pub fn charge_obs(&self, n: u64, obs: &MetricsRegistry) -> bool {
+        let was_exhausted = self.exhausted();
+        let ok = self.charge(n);
+        if !ok && !was_exhausted {
+            obs.incr(Counter::BudgetExhausted);
+        }
+        ok
+    }
+
+    /// Whether a charge has overdrafted the limit.
+    pub fn exhausted(&self) -> bool {
+        self.spent.load(Ordering::Relaxed) > self.limit
+    }
+
+    /// Units spent so far (including any overdraft).
+    pub fn spent(&self) -> u64 {
+        self.spent.load(Ordering::Relaxed)
+    }
+
+    /// Units left before exhaustion (0 once exhausted).
+    pub fn remaining(&self) -> u64 {
+        self.limit.saturating_sub(self.spent())
+    }
+
+    /// The configured limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Clears the spend tally, making the full limit available again.
+    pub fn reset(&self) {
+        self.spent.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_until_exhausted_and_stays_exhausted() {
+        let b = Budget::new(3);
+        assert!(b.charge(2));
+        assert!(!b.exhausted());
+        assert_eq!(b.remaining(), 1);
+        assert!(b.charge(1));
+        assert!(!b.exhausted(), "spending exactly the limit is allowed");
+        assert!(!b.charge(1));
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.charge(1), "exhaustion is sticky");
+        b.reset();
+        assert!(!b.exhausted());
+        assert!(b.charge(3));
+    }
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(b.charge(u64::MAX / 2));
+        assert!(b.charge(u64::MAX / 2));
+        assert!(!b.exhausted());
+    }
+
+    #[test]
+    fn charge_obs_counts_first_exhaustion_once() {
+        let obs = MetricsRegistry::new();
+        let b = Budget::new(1);
+        assert!(b.charge_obs(1, &obs));
+        assert_eq!(obs.get(Counter::BudgetExhausted), 0);
+        assert!(!b.charge_obs(1, &obs));
+        assert!(!b.charge_obs(1, &obs));
+        assert_eq!(obs.get(Counter::BudgetExhausted), 1);
+    }
+}

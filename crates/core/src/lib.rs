@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod budget;
 pub mod cmatch;
 pub mod consistency;
 pub mod constraint;
@@ -71,6 +72,7 @@ pub mod obs;
 pub mod par;
 pub mod prover;
 pub mod semantics;
+pub mod serve;
 pub mod shard;
 pub mod table;
 pub mod typing;
@@ -78,6 +80,7 @@ pub mod welltyped;
 pub mod witness;
 
 pub use analysis::{DependenceGraph, TypeDeclError};
+pub use budget::Budget;
 pub use cmatch::SolveOutcome;
 pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, SubtypeConstraint};
 pub use diag::{Diagnostic, Severity};
@@ -86,8 +89,9 @@ pub use horn::HornTheory;
 pub use lint::{lint_module, lint_module_obs, LintOptions};
 pub use matching::{match_type, MatchOutcome};
 pub use naive::{NaiveOutcome, NaiveProver};
-pub use obs::{Counter, MetricsRegistry, MetricsSnapshot, Timer, TraceEvent};
+pub use obs::{Counter, Fault, FaultPlan, MetricsRegistry, MetricsSnapshot, Timer, TraceEvent};
 pub use prover::{Proof, Prover, ProverConfig};
+pub use serve::{ServeConfig, ServeSession};
 pub use shard::{ShardedProofTable, ShardedProver, TableHandle, DEFAULT_SHARD_COUNT};
 pub use table::{ProofTable, TableStats, TabledProver};
 pub use typing::{freeze, freeze_pair, Typing};

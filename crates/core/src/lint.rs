@@ -37,6 +37,7 @@ use lp_parser::{LoadedClause, Module, Span};
 use lp_term::{rename_term, unify, Signature, Subst, Sym, SymKind, Term, TermDisplay, Var};
 
 use crate::analysis::TypeDeclError;
+use crate::budget::Budget;
 use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::{CheckedConstraints, ConstraintSet};
 use crate::diag::{self, Diagnostic};
@@ -52,11 +53,20 @@ pub struct LintOptions {
     /// disable to mirror `slp --no-table`). The findings are identical
     /// either way — only the proof strategy differs.
     pub tabling: bool,
+    /// Node budget for each inhabitation query of the W0302 emptiness
+    /// fixpoint (see [`Budget`]). Exhaustion answers "inhabited"
+    /// optimistically — no spurious emptiness warning — and is reported
+    /// once per run as a dedicated `W0303` diagnostic instead of the old
+    /// silent bail.
+    pub inhabitation_budget: u64,
 }
 
 impl Default for LintOptions {
     fn default() -> Self {
-        LintOptions { tabling: true }
+        LintOptions {
+            tabling: true,
+            inhabitation_budget: 4096,
+        }
     }
 }
 
@@ -95,7 +105,7 @@ pub fn lint_module_obs(
     match checked_constraints(module) {
         Err(e) => diags.push(decl_diagnostic(module, &e)),
         Ok(checked) => {
-            let mut inh = Inhabitation::new(&module.sig, &checked);
+            let mut inh = Inhabitation::new(&module.sig, &checked, options.inhabitation_budget);
             empty_types(module, &checked, &mut inh, &mut diags);
             match PredTypeTable::from_module(module) {
                 Err(e) => diags.push(
@@ -111,6 +121,25 @@ pub fn lint_module_obs(
                 Ok(preds) => {
                     program_passes(module, &checked, &preds, options, obs, &mut inh, &mut diags)
                 }
+            }
+            if inh.exhausted {
+                if let Some(o) = reg {
+                    o.incr(Counter::BudgetExhausted);
+                }
+                diags.push(
+                    Diagnostic::warning(
+                        "W0303",
+                        format!(
+                            "emptiness analysis exhausted its node budget ({} nodes); \
+                             empty-type and dead-clause findings may be incomplete",
+                            options.inhabitation_budget
+                        ),
+                    )
+                    .note(
+                        "budget-cut inhabitation queries answer \"inhabited\" optimistically, \
+                         so no finding above is spurious — but some may be missing",
+                    ),
+                );
             }
         }
     }
@@ -550,22 +579,28 @@ fn overlap_report(module: &Module, diags: &mut Vec<Diagnostic>) {
 /// is, and a constructor application is when some expansion
 /// ([`CheckedConstraints::expansions`]) is. The closure of a term under
 /// expansion and subterms is usually finite (guardedness bounds the ctor
-/// chains); a node budget guards the degenerate cases, answering
-/// "inhabited" optimistically so no spurious warning is emitted.
+/// chains); a configurable node [`Budget`] guards the degenerate cases,
+/// answering "inhabited" optimistically (no spurious warning) and
+/// recording the exhaustion so the driver can report it (`W0303`).
 struct Inhabitation<'a> {
     sig: &'a Signature,
     cs: &'a CheckedConstraints,
     verdict: BTreeMap<Term, bool>,
+    /// Per-query node budget (reset at the start of each `inhabited`
+    /// closure computation).
+    budget: Budget,
+    /// Whether any query ran out of budget (sticky across queries).
+    exhausted: bool,
 }
 
-const INHABITATION_NODE_BUDGET: usize = 4096;
-
 impl<'a> Inhabitation<'a> {
-    fn new(sig: &'a Signature, cs: &'a CheckedConstraints) -> Self {
+    fn new(sig: &'a Signature, cs: &'a CheckedConstraints, node_budget: u64) -> Self {
         Inhabitation {
             sig,
             cs,
             verdict: BTreeMap::new(),
+            budget: Budget::new(node_budget),
+            exhausted: false,
         }
     }
 
@@ -578,11 +613,15 @@ impl<'a> Inhabitation<'a> {
             return v;
         }
         // Closure under expansion (ctor applications) and subterms (shapes).
+        self.budget.reset();
         let mut nodes: BTreeSet<Term> = BTreeSet::new();
         let mut stack = vec![ty.clone()];
         while let Some(t) = stack.pop() {
-            if nodes.len() > INHABITATION_NODE_BUDGET {
-                return true; // pathological growth: stay silent
+            if !self.budget.charge(1) {
+                // Pathological growth: answer optimistically, but remember
+                // the bail so the driver emits a W0303 diagnostic.
+                self.exhausted = true;
+                return true;
             }
             if matches!(t, Term::Var(_))
                 || self.verdict.contains_key(&t)
@@ -1040,11 +1079,48 @@ mod tests {
                    list(A) >= nil + cons(A, list(A)). bottom >= cons(bottom, bottom). \
                    PRED q(nat). q(pred(0)). PRED s(bottom). s(X). :- q(0).";
         let m = parse_module(src).unwrap();
-        let a = lint_module(&m, &LintOptions { tabling: true });
-        let b = lint_module(&m, &LintOptions { tabling: true });
-        let c = lint_module(&m, &LintOptions { tabling: false });
+        let a = lint_module(
+            &m,
+            &LintOptions {
+                tabling: true,
+                ..LintOptions::default()
+            },
+        );
+        let b = lint_module(
+            &m,
+            &LintOptions {
+                tabling: true,
+                ..LintOptions::default()
+            },
+        );
+        let c = lint_module(
+            &m,
+            &LintOptions {
+                tabling: false,
+                ..LintOptions::default()
+            },
+        );
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn exhausted_inhabitation_budget_reports_w0303() {
+        // A generous budget stays silent; a starved one reports W0303
+        // instead of silently degrading, and never invents W0302 findings.
+        let src = format!("{NAT} PRED q(nat). q(0). :- q(succ(0)).");
+        let m = parse_module(&src).unwrap();
+        let clean = lint_module(&m, &LintOptions::default());
+        assert!(clean.is_empty(), "{clean:?}");
+        let starved = lint_module(
+            &m,
+            &LintOptions {
+                inhabitation_budget: 1,
+                ..LintOptions::default()
+            },
+        );
+        assert_eq!(codes(&starved), vec!["W0303"], "{starved:?}");
+        assert!(starved[0].message.contains("node budget (1 nodes)"));
     }
 
     #[test]

@@ -91,11 +91,29 @@ pub enum Counter {
     /// Total size (member count) of refutation cores emitted; divide by
     /// refuted witnessed verdicts for the mean core size.
     RefutedCoreSize,
+    /// Requests a `slp serve` session answered (any outcome, including
+    /// errors — everything that got a response line).
+    RequestsServed,
+    /// Requests shed by a serve session's bounded queue (answered with a
+    /// `retry_after` hint instead of being processed).
+    RequestsShed,
+    /// Requests whose processing panicked and was contained at the request
+    /// boundary (`catch_unwind`).
+    RequestsPanicked,
+    /// Requests that hit their deadline and degraded to an `Unknown`
+    /// verdict.
+    DeadlineExceeded,
+    /// Requests (or lint/cmatch passes) whose resource budget ran out,
+    /// degrading to an `Unknown` verdict or an exhaustion diagnostic.
+    BudgetExhausted,
+    /// Proof-table entries retained across a per-constraint rescope
+    /// (incremental invalidation) instead of being discarded wholesale.
+    IncrementalReuse,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 29] = [
         Counter::TableHits,
         Counter::TableMisses,
         Counter::TableInserts,
@@ -119,6 +137,12 @@ impl Counter {
         Counter::WitnessValidated,
         Counter::WitnessInvalid,
         Counter::RefutedCoreSize,
+        Counter::RequestsServed,
+        Counter::RequestsShed,
+        Counter::RequestsPanicked,
+        Counter::DeadlineExceeded,
+        Counter::BudgetExhausted,
+        Counter::IncrementalReuse,
     ];
 
     /// Number of counters.
@@ -150,6 +174,12 @@ impl Counter {
             Counter::WitnessValidated => "witness_validated",
             Counter::WitnessInvalid => "witness_invalid",
             Counter::RefutedCoreSize => "refuted_core_size",
+            Counter::RequestsServed => "requests_served",
+            Counter::RequestsShed => "requests_shed",
+            Counter::RequestsPanicked => "requests_panicked",
+            Counter::DeadlineExceeded => "deadline_exceeded",
+            Counter::BudgetExhausted => "budget_exhausted",
+            Counter::IncrementalReuse => "incremental_reuse",
         }
     }
 
@@ -162,7 +192,10 @@ impl Counter {
     /// luck, and must come out identical for `--jobs 1` and `--jobs 4`.
     /// Witness *validation* tallies follow the table population (a
     /// `--verify-witnesses` audit replays whatever entries survived), so
-    /// they inherit the cache counters' variance.
+    /// they inherit the cache counters' variance — as does
+    /// `IncrementalReuse`, which counts survivors of a rescope. The serve
+    /// request counters *are* invariant: faults are keyed off request
+    /// sequence numbers (see [`FaultPlan`]), not clocks or thread timing.
     pub fn scheduling_invariant(self) -> bool {
         !matches!(
             self,
@@ -176,6 +209,7 @@ impl Counter {
                 | Counter::PoolItems
                 | Counter::WitnessValidated
                 | Counter::WitnessInvalid
+                | Counter::IncrementalReuse
         )
     }
 }
@@ -278,6 +312,28 @@ pub enum TraceEvent<'a> {
         /// Index of the contended shard.
         shard: usize,
     },
+    /// A poisoned shard lock was recovered: the shard was cleared and the
+    /// poison flag reset, so later requests rebuild the cache instead of
+    /// erroring forever.
+    ShardPoisonRecovered {
+        /// Index of the recovered shard.
+        shard: usize,
+    },
+    /// A serve session accepted a request.
+    ServeRequest {
+        /// Request sequence number (1-based, arrival order).
+        seq: u64,
+        /// The request's `op` field.
+        op: &'a str,
+    },
+    /// A serve session finished a request.
+    ServeResponse {
+        /// Request sequence number.
+        seq: u64,
+        /// Response status: `"ok"`, `"error"`, `"panic"`, `"shed"`,
+        /// `"deadline"`, or `"budget"`.
+        status: &'a str,
+    },
     /// `cmatch` explored one speculative constructor-expansion branch.
     CmatchExpand {
         /// Printed name of the type constructor being expanded.
@@ -310,6 +366,9 @@ impl TraceEvent<'_> {
             TraceEvent::TableEvict { .. } => "table.evict",
             TraceEvent::TableInvalidate { .. } => "table.invalidate",
             TraceEvent::ShardContention { .. } => "shard.contention",
+            TraceEvent::ShardPoisonRecovered { .. } => "shard.poison_recovered",
+            TraceEvent::ServeRequest { .. } => "serve.request",
+            TraceEvent::ServeResponse { .. } => "serve.response",
             TraceEvent::CmatchExpand { .. } => "cmatch.expand",
             TraceEvent::CheckBegin { .. } => "check.begin",
             TraceEvent::CheckEnd { .. } => "check.end",
@@ -340,8 +399,14 @@ impl TraceEvent<'_> {
             TraceEvent::TableInvalidate { generation } => {
                 let _ = write!(out, ",\"generation\":{generation}");
             }
-            TraceEvent::ShardContention { shard } => {
+            TraceEvent::ShardContention { shard } | TraceEvent::ShardPoisonRecovered { shard } => {
                 let _ = write!(out, ",\"shard\":{shard}");
+            }
+            TraceEvent::ServeRequest { seq, op } => {
+                let _ = write!(out, ",\"req\":{seq},\"op\":{}", json::escape(op));
+            }
+            TraceEvent::ServeResponse { seq, status } => {
+                let _ = write!(out, ",\"req\":{seq},\"status\":{}", json::escape(status));
             }
             TraceEvent::CmatchExpand { ctor } => {
                 let _ = write!(out, ",\"ctor\":{}", json::escape(ctor));
@@ -656,6 +721,110 @@ impl MetricsSnapshot {
     }
 }
 
+/// One injected fault in a [`FaultPlan`].
+///
+/// Faults are *deterministic*: a plan maps request sequence numbers to
+/// faults, so a faulted serve session replays identically under any
+/// worker count or machine speed — the property the fault-injection
+/// goldens and the differential proptest rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic inside request processing (must be contained by the request
+    /// boundary's `catch_unwind`, possibly poisoning a shard lock).
+    Panic,
+    /// Force the request's resource budget to be exhausted up front, so
+    /// checking degrades to `Unknown` verdicts.
+    Exhaust,
+    /// Simulate a request slow enough to blow its deadline (charged
+    /// against the deadline accounting, not a real clock).
+    Slow,
+    /// Simulate queue overload: the request is shed with a `retry_after`
+    /// hint before any processing.
+    Shed,
+}
+
+impl Fault {
+    /// Stable lowercase name used in plan specs and trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::Panic => "panic",
+            Fault::Exhaust => "exhaust",
+            Fault::Slow => "slow",
+            Fault::Shed => "shed",
+        }
+    }
+}
+
+/// A deterministic fault-injection schedule for a serve session.
+///
+/// Parsed from a spec like `"panic@3,exhaust@5,slow@7,shed@9"`: each
+/// entry injects one [`Fault`] at the given request sequence number
+/// (1-based, in arrival order). Sequence numbers — never clocks or
+/// thread interleavings — key the schedule, so a plan is replayable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    entries: Vec<(u64, Fault)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Parses a comma-separated `fault@seq` spec (e.g.
+    /// `"panic@3,shed@9"`). Whitespace around entries is ignored; an
+    /// empty spec yields the empty plan.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for raw in spec.split(',') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (kind, seq) = entry
+                .split_once('@')
+                .ok_or_else(|| format!("fault entry `{entry}` is not of the form fault@seq"))?;
+            let fault = match kind.trim() {
+                "panic" => Fault::Panic,
+                "exhaust" => Fault::Exhaust,
+                "slow" => Fault::Slow,
+                "shed" => Fault::Shed,
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (expected panic, exhaust, slow, or shed)"
+                    ))
+                }
+            };
+            let seq: u64 = seq
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault entry `{entry}` has a non-numeric sequence number"))?;
+            entries.push((seq, fault));
+        }
+        entries.sort_by_key(|&(seq, _)| seq);
+        Ok(FaultPlan { entries })
+    }
+
+    /// The fault injected at request `seq`, if any (first match wins when
+    /// a spec lists the same sequence number twice).
+    pub fn fault_at(&self, seq: u64) -> Option<Fault> {
+        self.entries
+            .iter()
+            .find(|&&(s, _)| s == seq)
+            .map(|&(_, f)| f)
+    }
+
+    /// Whether the plan injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Serde-free JSON: an ordered value type, a canonical renderer, and a
 /// recursive-descent parser.
 ///
@@ -960,6 +1129,23 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_parses_and_keys_off_sequence_numbers() {
+        let plan = FaultPlan::parse("panic@3, exhaust@5,slow@7,shed@9").unwrap();
+        assert!(!plan.is_empty());
+        assert_eq!(plan.fault_at(3), Some(Fault::Panic));
+        assert_eq!(plan.fault_at(5), Some(Fault::Exhaust));
+        assert_eq!(plan.fault_at(7), Some(Fault::Slow));
+        assert_eq!(plan.fault_at(9), Some(Fault::Shed));
+        assert_eq!(plan.fault_at(1), None);
+        assert_eq!(plan.fault_at(4), None);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::none().fault_at(1).is_none());
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("oops@2").is_err());
+        assert!(FaultPlan::parse("panic@x").is_err());
+    }
+
+    #[test]
     fn incr_add_and_timers_accumulate() {
         let obs = MetricsRegistry::new();
         obs.incr(Counter::TableHits);
@@ -1092,5 +1278,10 @@ mod tests {
         assert!(!Counter::TableHits.scheduling_invariant());
         assert!(!Counter::ShardContention.scheduling_invariant());
         assert!(!Counter::PoolItems.scheduling_invariant());
+        assert!(Counter::RequestsServed.scheduling_invariant());
+        assert!(Counter::RequestsShed.scheduling_invariant());
+        assert!(Counter::DeadlineExceeded.scheduling_invariant());
+        assert!(Counter::BudgetExhausted.scheduling_invariant());
+        assert!(!Counter::IncrementalReuse.scheduling_invariant());
     }
 }

@@ -162,9 +162,17 @@ impl ShardedProofTable {
     }
 
     /// Locks shard `index`, counting (and tracing) contention when the
-    /// lock is busy on first try. Poisoning is fatal: a panic inside the
-    /// table's short critical sections means the memo state is arbitrary,
-    /// and serving from it could change verdicts.
+    /// lock is busy on first try.
+    ///
+    /// A *poisoned* shard (a panic escaped while some thread held the
+    /// lock) is recovered rather than propagated: the panic may have left
+    /// the critical section half-done, so the shard's memo state is
+    /// arbitrary and serving from it could change verdicts — but the
+    /// state is only a cache. Recovery drops every entry in the shard and
+    /// clears the mutex's poison flag, trading warm entries for
+    /// correctness; callers re-derive on the resulting misses. Without
+    /// this, one contained panic (e.g. a `catch_unwind` request boundary
+    /// in `slp serve`) would wedge the shard for the process lifetime.
     fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, ProofTable> {
         match self.shards[index].try_lock() {
             Ok(guard) => guard,
@@ -172,12 +180,46 @@ impl ShardedProofTable {
                 self.obs.incr(Counter::ShardContention);
                 self.obs
                     .trace(&TraceEvent::ShardContention { shard: index });
-                self.shards[index]
-                    .lock()
-                    .expect("proof-table shard poisoned")
+                match self.shards[index].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => self.recover(index, poisoned.into_inner()),
+                }
             }
-            Err(TryLockError::Poisoned(_)) => panic!("proof-table shard poisoned"),
+            Err(TryLockError::Poisoned(poisoned)) => self.recover(index, poisoned.into_inner()),
         }
+    }
+
+    /// Recovers a poisoned shard: clears its (possibly inconsistent)
+    /// entries, resets the mutex poison flag so later lockers see a clean
+    /// `Ok`, and counts the event as an invalidation.
+    fn recover<'g>(
+        &'g self,
+        index: usize,
+        mut guard: std::sync::MutexGuard<'g, ProofTable>,
+    ) -> std::sync::MutexGuard<'g, ProofTable> {
+        guard.clear();
+        self.shards[index].clear_poison();
+        self.obs.incr(Counter::TableInvalidations);
+        self.obs
+            .trace(&TraceEvent::ShardPoisonRecovered { shard: index });
+        guard
+    }
+
+    /// Fault-injection hook for `slp serve`: poisons shard `index` by
+    /// panicking while its lock is held (the panic is contained here, but
+    /// the unwind through the guard marks the mutex poisoned). Later
+    /// accesses must go through [`recover`](Self::recover) — this is how
+    /// the serve fault harness proves a mid-critical-section panic cannot
+    /// wedge a shard.
+    pub(crate) fn poison_shard_for_fault_injection(&self, index: usize) {
+        let mutex = &self.shards[index];
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = match mutex.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            panic!("fault injection: poisoning shard {index}");
+        }));
     }
 
     /// The shard index a key routes to.
@@ -202,6 +244,30 @@ impl ShardedProofTable {
         let mut shard = self.lock(self.shard_for(&key));
         shard.ensure_generation(generation);
         shard.insert(key, verdict);
+    }
+
+    /// Per-constraint incremental invalidation: moves every shard to the
+    /// new `generation` through [`ProofTable::rescope`], retaining the
+    /// entries whose evidence survives the theory change instead of
+    /// clearing wholesale. Returns the total number of retained entries
+    /// (also accumulated into [`Counter::IncrementalReuse`]).
+    ///
+    /// The soundness conditions on `constraint_unchanged` / `keep_refuted`
+    /// and the signature-prefix precondition are documented on
+    /// [`ProofTable::rescope`]; `slp serve` computes them by diffing the
+    /// old and new constraint lists on each file delta.
+    pub fn rescope(
+        &self,
+        generation: u64,
+        constraint_unchanged: &dyn Fn(usize) -> bool,
+        keep_refuted: bool,
+    ) -> u64 {
+        (0..self.shards.len())
+            .map(|i| {
+                self.lock(i)
+                    .rescope(generation, constraint_unchanged, keep_refuted)
+            })
+            .sum()
     }
 
     /// Audits every shard through [`ProofTable::validate_witnesses`],
@@ -869,6 +935,84 @@ mod tests {
             assert!(handle.join().expect("prover thread").is_proved());
         });
         assert!(table.metrics().get(Counter::ShardContention) >= 1);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_keeps_checking() {
+        let w = world();
+        let table = ShardedProofTable::with_config(1, 64);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert_eq!(table.len(), 1, "warm entry before the panic");
+        // Panic while holding the only shard's lock, mid-mutation — the
+        // critical section is interrupted exactly as a mid-insert panic
+        // would leave it, and the mutex is now poisoned.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut shard = table.lock(0);
+            shard.clear();
+            panic!("injected panic mid-insert");
+        }));
+        std::panic::set_hook(hook);
+        assert!(outcome.is_err(), "the injected panic escaped the closure");
+        let invalidations_before = table.metrics().get(Counter::TableInvalidations);
+        // Every later access must recover (clear + unpoison), not panic or
+        // error forever, and verdicts must come back correct.
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert!(
+            table.metrics().get(Counter::TableInvalidations) > invalidations_before,
+            "recovery is counted as an invalidation"
+        );
+        assert_eq!(table.len(), 2, "shard rebuilt after poison recovery");
+        // And the mutex really is clean again: a plain lock succeeds.
+        assert!(!table.shards[0].is_poisoned());
+    }
+
+    #[test]
+    fn rescope_retains_across_shards() {
+        let w = world();
+        let table = ShardedProofTable::with_config(4, 64);
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        let entries = table.len();
+        assert_eq!(entries, 3);
+        // Extend the theory with one (redundant) constraint: a pure
+        // addition, so every old index is unchanged — proofs must stay,
+        // the refutation must go.
+        let mut set2 = w.cs.as_set().clone();
+        set2.add(&w.sig, Term::constant(w.int), Term::constant(w.nat))
+            .unwrap();
+        let cs2 = set2.checked(&w.sig).unwrap();
+        let kept = table.rescope(cs2.generation(), &|_| true, false);
+        assert_eq!(
+            kept, 2,
+            "both proved entries survive, the refuted one is dropped"
+        );
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.metrics().get(Counter::IncrementalReuse), 2);
+        // The survivors are served as hits under the new theory.
+        let misses = table.stats().misses;
+        let p2 = ShardedProver::new(&w.sig, &cs2, &table);
+        assert!(p2
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert_eq!(table.stats().misses, misses, "retained entry hits");
     }
 
     #[test]

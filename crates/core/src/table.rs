@@ -327,6 +327,75 @@ impl ProofTable {
         }
     }
 
+    /// Moves the table to a new constraint-theory `generation`, keeping
+    /// every entry that provably survives the theory change instead of
+    /// clearing wholesale (the [`ProofTable::ensure_generation`] behaviour).
+    ///
+    /// The caller describes the change: `constraint_unchanged(i)` must
+    /// return `true` iff the constraint at declaration index `i` is
+    /// byte-identical in the old and new theories, and `keep_refuted`
+    /// must only be `true` when the new theory adds *nothing* (identical
+    /// constraint lists). Soundness:
+    ///
+    /// * a `Proved` entry's chain names exactly the constraints its
+    ///   derivation used ([`Step::Constraint`]); if all of them are
+    ///   unchanged the chain replays verbatim under the new theory, and
+    ///   H_C derivability is monotone under constraint *addition*, so the
+    ///   verdict stands;
+    /// * a `Refuted` entry asserts *no* derivation exists — any added or
+    ///   changed constraint could create one, so refutations only survive
+    ///   a no-op change.
+    ///
+    /// Precondition (checked by the caller, e.g.
+    /// [`ShardedProofTable::rescope`](crate::ShardedProofTable::rescope)
+    /// users): the old signature's symbol numbering must be a prefix of
+    /// the new one, so the `Sym`s baked into cached keys and answers keep
+    /// denoting the same symbols. When that fails, fall back to
+    /// [`ProofTable::ensure_generation`].
+    ///
+    /// Returns the number of retained entries, which is also added to
+    /// [`Counter::IncrementalReuse`]. A same-generation call is a no-op
+    /// returning 0 (nothing was at risk, nothing was "reused").
+    pub fn rescope(
+        &mut self,
+        generation: u64,
+        constraint_unchanged: &dyn Fn(usize) -> bool,
+        keep_refuted: bool,
+    ) -> u64 {
+        if self.generation == generation {
+            return 0;
+        }
+        let before = self.entries.len();
+        let entries = &mut self.entries;
+        self.order.retain(|key| {
+            let keep = match entries.get(key) {
+                Some(CachedVerdict::Proved(_, steps)) => steps.iter().all(|s| match s {
+                    Step::Constraint(i) => constraint_unchanged(*i),
+                    Step::Refl | Step::Decompose => true,
+                }),
+                Some(CachedVerdict::Refuted) => keep_refuted,
+                None => false,
+            };
+            if !keep {
+                entries.remove(key);
+            }
+            keep
+        });
+        debug_assert_eq!(
+            self.order.len(),
+            self.entries.len(),
+            "order queue and entry map out of sync after rescope"
+        );
+        self.generation = generation;
+        let kept = self.entries.len();
+        if kept != before {
+            self.obs.incr(Counter::TableInvalidations);
+            self.obs.trace(&TraceEvent::TableInvalidate { generation });
+        }
+        self.obs.add(Counter::IncrementalReuse, kept as u64);
+        kept as u64
+    }
+
     /// Looks up a key, counting a hit or a miss.
     pub(crate) fn lookup(&mut self, key: &TableKey) -> Option<CachedVerdict> {
         match self.entries.get(key) {

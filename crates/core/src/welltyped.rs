@@ -18,6 +18,7 @@ use std::time::Instant;
 use lp_engine::Clause;
 use lp_term::{Signature, Sym, SymKind, Term, Var};
 
+use crate::budget::Budget;
 use crate::cmatch::{CMatchFailure, CMatcher, CState, SolveOutcome};
 use crate::constraint::CheckedConstraints;
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
@@ -198,6 +199,9 @@ pub struct Checker<'a> {
     /// Observability: clause/query counters, phase timers and check
     /// begin/end spans. `None` costs nothing.
     obs: Option<&'a MetricsRegistry>,
+    /// Optional expansion budget inherited by the constraint matcher
+    /// (see [`crate::budget::Budget`]). `None` = unbounded.
+    budget: Option<&'a Budget>,
 }
 
 impl<'a> Checker<'a> {
@@ -234,6 +238,7 @@ impl<'a> Checker<'a> {
             preds,
             table,
             obs: None,
+            budget: None,
         }
     }
 
@@ -242,6 +247,15 @@ impl<'a> Checker<'a> {
     /// matcher inherits it for expansion counting.
     pub fn with_obs(mut self, obs: Option<&'a MetricsRegistry>) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches an expansion budget (builder style), inherited by the
+    /// constraint matcher of every clause/query check. An exhausted budget
+    /// rejects with [`CMatchFailure::BudgetExhausted`] instead of
+    /// searching without bound.
+    pub fn with_budget(mut self, budget: Option<&'a Budget>) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -372,7 +386,9 @@ impl<'a> Checker<'a> {
             }
         }
         let mut state = CState::new(watermark);
-        let cm = CMatcher::with_handle(self.sig, self.cs, self.table).with_obs(self.obs);
+        let cm = CMatcher::with_handle(self.sig, self.cs, self.table)
+            .with_obs(self.obs)
+            .with_budget(self.budget);
         let mut atom_types = Vec::with_capacity(atoms.len());
         for (index, atom) in atoms.iter().enumerate() {
             let p = atom.functor().expect("atoms are applications");
@@ -445,6 +461,8 @@ pub struct ParallelChecker<'a> {
     jobs: usize,
     /// Observability shared by every worker's serial checker.
     obs: Option<&'a MetricsRegistry>,
+    /// One shared expansion budget bounding all workers together.
+    budget: Option<&'a Budget>,
 }
 
 impl<'a> ParallelChecker<'a> {
@@ -463,6 +481,7 @@ impl<'a> ParallelChecker<'a> {
             table: None,
             jobs,
             obs: None,
+            budget: None,
         }
     }
 
@@ -482,6 +501,7 @@ impl<'a> ParallelChecker<'a> {
             table: Some(table),
             jobs,
             obs: None,
+            budget: None,
         }
     }
 
@@ -493,13 +513,23 @@ impl<'a> ParallelChecker<'a> {
         self
     }
 
+    /// Attaches one shared expansion budget (builder style): the atomic
+    /// spend tally bounds all workers *together*, so a parallel check
+    /// consumes the same total budget as a serial one.
+    pub fn with_budget(mut self, budget: Option<&'a Budget>) -> Self {
+        self.budget = budget;
+        self
+    }
+
     /// The per-worker serial checker.
     fn checker(&self) -> Checker<'a> {
         let handle = match self.table {
             Some(t) => TableHandle::Sharded(t),
             None => TableHandle::Untabled,
         };
-        Checker::with_handle(self.sig, self.cs, self.preds, handle).with_obs(self.obs)
+        Checker::with_handle(self.sig, self.cs, self.preds, handle)
+            .with_obs(self.obs)
+            .with_budget(self.budget)
     }
 
     /// Checks every clause of a program across the worker pool, collecting

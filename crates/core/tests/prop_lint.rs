@@ -96,7 +96,13 @@ fn world_source(seed: u64) -> String {
 fn lint_text(src: &str, tabling: bool) -> String {
     let module = parse_module(src)
         .unwrap_or_else(|e| panic!("generated source must parse: {}\n{src}", e.render(src)));
-    let diags = lint_module(&module, &LintOptions { tabling });
+    let diags = lint_module(
+        &module,
+        &LintOptions {
+            tabling,
+            ..LintOptions::default()
+        },
+    );
     diag::render_human_all(&diags, src, "gen.slp")
 }
 

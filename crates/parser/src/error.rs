@@ -27,6 +27,10 @@ pub enum ParseErrorKind {
     /// A declaration-level structural error, e.g. a constraint whose
     /// left-hand side is not a type-constructor application.
     Malformed(String),
+    /// A term nested deeper than the parser's recursion limit. The limit
+    /// exists so adversarial input (e.g. ten thousand `(`s) is answered
+    /// with a spanned diagnostic instead of a stack overflow.
+    NestingTooDeep(usize),
 }
 
 /// A parse/load error with its source location.
@@ -67,6 +71,9 @@ impl fmt::Display for ParseError {
             }
             ParseErrorKind::Signature(e) => write!(f, "{e}"),
             ParseErrorKind::Malformed(msg) => f.write_str(msg),
+            ParseErrorKind::NestingTooDeep(limit) => {
+                write!(f, "term nesting exceeds the parser limit of {limit}")
+            }
         }
     }
 }

@@ -5,6 +5,12 @@ use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::Lexer;
 use crate::token::{Token, TokenKind};
 
+/// Deepest term nesting the parser accepts. The recursive-descent
+/// `term`/`primary` cycle consumes one stack frame pair per level, so an
+/// explicit bound turns pathological input (e.g. a file of ten thousand
+/// `(`s) into a spanned [`ParseError`] instead of a stack overflow.
+pub const MAX_TERM_DEPTH: usize = 256;
+
 /// Parses a whole source file into top-level [`Item`]s.
 ///
 /// # Errors
@@ -12,7 +18,12 @@ use crate::token::{Token, TokenKind};
 /// Returns the first lexical or syntactic error with its span.
 pub fn parse_items(src: &str) -> Result<Vec<Item>, ParseError> {
     let tokens = Lexer::new(src).tokenize()?;
-    Parser { tokens, pos: 0 }.items()
+    Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    }
+    .items()
 }
 
 /// Parses a single term (optionally `.`-terminated), e.g. a type or goal
@@ -23,7 +34,11 @@ pub fn parse_items(src: &str) -> Result<Vec<Item>, ParseError> {
 /// Returns the first lexical or syntactic error, including trailing input.
 pub fn parse_single_term(src: &str) -> Result<TermAst, ParseError> {
     let tokens = Lexer::new(src).tokenize()?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let t = p.term()?;
     if p.peek().kind == TokenKind::Dot {
         p.bump();
@@ -37,6 +52,8 @@ pub fn parse_single_term(src: &str) -> Result<TermAst, ParseError> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current `primary` recursion depth, bounded by [`MAX_TERM_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
@@ -201,7 +218,23 @@ impl Parser {
         Ok(lhs)
     }
 
+    /// Depth-guarded wrapper: every route back into `primary` (argument
+    /// lists and parenthesized terms go through `term`) passes here, so
+    /// this one check bounds the whole recursive cycle.
     fn primary(&mut self) -> Result<TermAst, ParseError> {
+        if self.depth >= MAX_TERM_DEPTH {
+            return Err(ParseError::new(
+                ParseErrorKind::NestingTooDeep(MAX_TERM_DEPTH),
+                self.peek().span,
+            ));
+        }
+        self.depth += 1;
+        let result = self.primary_unguarded();
+        self.depth -= 1;
+        result
+    }
+
+    fn primary_unguarded(&mut self) -> Result<TermAst, ParseError> {
         match self.peek().kind.clone() {
             TokenKind::Variable(name) => {
                 let span = self.bump().span;

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use lp_parser::{parse_items, parse_module, unparse};
+use lp_parser::{parse_items, parse_module, unparse, ParseErrorKind, MAX_TERM_DEPTH};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -40,12 +40,79 @@ proptest! {
     }
 
     #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        // File contents arrive as bytes; truncated or invalid UTF-8 is
+        // decoded lossily (as the CLI does) and must still only ever
+        // produce a value or a spanned error.
+        let src = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_module(&src) {
+            prop_assert!(e.span.start <= e.span.end);
+            let _ = e.render(&src);
+        }
+    }
+
+    #[test]
+    fn nesting_beyond_the_limit_is_a_spanned_error(extra in 1usize..60) {
+        // `p(p(p(...)))` deeper than MAX_TERM_DEPTH: a diagnostic, never a
+        // stack overflow.
+        let depth = MAX_TERM_DEPTH + extra;
+        let mut src = String::from("FUNC p. ");
+        for _ in 0..depth { src.push_str("p("); }
+        src.push('p');
+        for _ in 0..depth { src.push(')'); }
+        src.push('.');
+        let e = parse_items(&src).expect_err("too deep");
+        prop_assert_eq!(e.kind, ParseErrorKind::NestingTooDeep(MAX_TERM_DEPTH));
+        prop_assert!(e.span.start <= e.span.end && e.span.end <= src.len() + 1);
+    }
+
+    #[test]
     fn error_spans_are_in_bounds(src in "\\PC{0,80}") {
         if let Err(e) = parse_module(&src) {
             prop_assert!(e.span.start <= e.span.end);
             prop_assert!(e.span.end <= src.len() + 1);
             // Rendering must not panic either.
             let _ = e.render(&src);
+        }
+    }
+}
+
+#[test]
+fn nesting_at_the_limit_still_parses() {
+    let mut src = String::from("FUNC p. ");
+    for _ in 0..MAX_TERM_DEPTH - 1 {
+        src.push_str("p(");
+    }
+    src.push('p');
+    for _ in 0..MAX_TERM_DEPTH - 1 {
+        src.push(')');
+    }
+    src.push('.');
+    parse_items(&src).expect("depth exactly at the limit is legal");
+}
+
+/// Replays the committed hardening corpus (`tests/corpus/*.slp`): inputs
+/// that historically threaten recursive-descent front ends — deep nesting,
+/// truncated UTF-8, NULs, unterminated comments. Every one must produce a
+/// value or a spanned, renderable error; none may panic or overflow.
+#[test]
+fn hardening_corpus_never_panics() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus dir exists")
+        .map(|e| e.expect("corpus entry").path())
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "corpus must not be empty");
+    for path in paths {
+        let bytes = std::fs::read(&path).expect("corpus file reads");
+        let src = String::from_utf8_lossy(&bytes);
+        if let Err(e) = parse_module(&src) {
+            assert!(e.span.start <= e.span.end, "{}", path.display());
+            let rendered = e.render(&src);
+            assert!(!rendered.is_empty(), "{}", path.display());
         }
     }
 }

@@ -4,6 +4,7 @@
 #   tests/golden/{app,naturals,lint_demo}.{txt,json}   lint output goldens
 #   tests/golden/explain_{q,h,app}.{txt,json}          slp explain goldens
 #   tests/golden/stats_schema.txt                      --stats JSON schema
+#   tests/golden/serve_session.golden                  serve replay golden
 #   BENCH_5.json                                       perf smoke baseline
 #
 # Run from anywhere; operates on the repo that contains this script. Review
@@ -40,6 +41,13 @@ target/release/slp check examples/app.slp --stats --format json \
   2>&1 >/dev/null |
   sed -E 's/:[0-9]+(\.[0-9]+)?/:N/g' > tests/golden/stats_schema.txt
 echo "blessed tests/golden/stats_schema.txt" >&2
+
+# The serve replay golden: the committed request transcript replayed
+# through the daemon (serial here; ci.sh additionally checks that four
+# workers produce the identical stream).
+target/release/slp serve --stdio --jobs 1 --faults panic@5 \
+  < tests/golden/serve_session.requests > tests/golden/serve_session.golden
+echo "blessed tests/golden/serve_session.golden" >&2
 
 # The perf smoke baseline: deterministic BENCH_5 counters (serial
 # workloads, so the same on every machine).

@@ -61,8 +61,8 @@ use subtype_lp::core::lint::{
     clause_check_diagnostic, decl_diagnostic, lint_module_obs, query_check_diagnostic, LintOptions,
 };
 use subtype_lp::core::{
-    match_type, par, ConstraintSet, Counter, MatchOutcome, MetricsRegistry, NaiveProver,
-    ProofTable, Prover, ShardedProofTable, TabledProver, Timer,
+    match_type, par, ConstraintSet, Counter, FaultPlan, MatchOutcome, MetricsRegistry, NaiveProver,
+    ProofTable, Prover, ServeConfig, ServeSession, ShardedProofTable, TabledProver, Timer,
 };
 use subtype_lp::parser::{parse_module, Module};
 use subtype_lp::term::TermDisplay;
@@ -84,7 +84,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE... [--jobs N] [--verify-witnesses] [--stats]\n            [--format json|human] [--trace FILE]\n  slp explain FILE PRED [--format json|human] [--stats] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
+    "usage:\n  slp check FILE... [--jobs N] [--verify-witnesses] [--stats]\n            [--format json|human] [--trace FILE]\n  slp explain FILE PRED [--format json|human] [--stats] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp serve [--stdio | --socket PATH] [--jobs N] [--faults SPEC]\n            [--budget N] [--deadline-ms N] [--stats] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
@@ -140,6 +140,17 @@ fn flag_spec(command: &str) -> Option<&'static [(&'static str, bool)]> {
             ("-q", true),
             ("-n", true),
             ("--no-table", false),
+            ("--stats", false),
+            ("--format", true),
+            ("--trace", true),
+        ],
+        "serve" => &[
+            ("--stdio", false),
+            ("--socket", true),
+            ("--jobs", true),
+            ("--faults", true),
+            ("--budget", true),
+            ("--deadline-ms", true),
             ("--stats", false),
             ("--format", true),
             ("--trace", true),
@@ -383,8 +394,78 @@ fn dispatch(
                 lint_file(file, no_table, json, deny_warnings, obs)
             }))
         }
+        "serve" => serve_cmd(parsed, obs),
         _ => run_single(parsed, no_table, obs),
     }
+}
+
+/// `slp serve`: the persistent JSON-lines checking daemon (core::serve).
+/// `--stdio` (the default) answers requests from stdin on stdout;
+/// `--socket PATH` binds a Unix socket and serves connections one at a
+/// time. `--faults SPEC` (e.g. `panic@3,shed@5`) injects the
+/// deterministic fault plan used by the replay tests.
+fn serve_cmd(parsed: &ParsedArgs, obs: &Arc<MetricsRegistry>) -> Result<ExitCode, String> {
+    json_format(parsed)?; // fail typos loudly even though responses are always JSON
+    if parsed.has("--stdio") && parsed.value("--socket").is_some() {
+        return Err(format!("--stdio and --socket are exclusive\n{}", usage()));
+    }
+    let faults = match parsed.value("--faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--faults: {e}"))?,
+        None => FaultPlan::none(),
+    };
+    let parse_num = |flag: &str| -> Result<Option<u64>, String> {
+        parsed
+            .value(flag)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("{flag} expects a number, got `{v}`\n{}", usage()))
+            })
+            .transpose()
+    };
+    let config = ServeConfig {
+        jobs: jobs_of(parsed)?,
+        default_budget: parse_num("--budget")?,
+        default_deadline_ms: parse_num("--deadline-ms")?,
+        faults,
+        ..ServeConfig::default()
+    };
+    let mut session = ServeSession::with_metrics(config, obs.clone());
+
+    // Injected (and genuinely unexpected) panics are contained at the
+    // request boundary and answered in-band as `status:"panic"`; the
+    // default hook would interleave a backtrace with the response stream
+    // on stderr, so silence it for the daemon's lifetime.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    match parsed.value("--socket") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            session
+                .run(stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serve: {e}"))?;
+        }
+        Some(path) => {
+            let _ = std::fs::remove_file(path); // stale socket from a crash
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| format!("serve: cannot bind {path}: {e}"))?;
+            // Connections are served one at a time: the session (and its
+            // warm table) is shared across them, and `shutdown` ends the
+            // daemon, not just the connection.
+            while !session.closed() {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| format!("serve: accept: {e}"))?;
+                let reader =
+                    std::io::BufReader::new(stream.try_clone().map_err(|e| format!("serve: {e}"))?);
+                session
+                    .run(reader, stream)
+                    .map_err(|e| format!("serve: {e}"))?;
+            }
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn require_files(parsed: &ParsedArgs) -> Result<&[String], String> {
@@ -478,7 +559,14 @@ fn lint_file(
     drop(parse_span);
     let diags = match parsed {
         Err(e) => vec![Diagnostic::from(&e)],
-        Ok(m) => lint_module_obs(&m, &LintOptions { tabling: !no_table }, Some(obs)),
+        Ok(m) => lint_module_obs(
+            &m,
+            &LintOptions {
+                tabling: !no_table,
+                ..LintOptions::default()
+            },
+            Some(obs),
+        ),
     };
     let stdout = if json {
         diag::render_json_all(&diags, &src, file)
