@@ -50,12 +50,13 @@ step lint-examples target/release/slp lint --deny warnings \
   examples/app.slp examples/naturals.slp
 
 # Lint output is pinned byte-for-byte against the committed goldens, in both
-# human and JSON formats. lint_demo.slp is intentionally dirty (exit 2).
+# human and JSON formats. lint_demo.slp and modes_demo.slp are intentionally
+# dirty (exit 2).
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 golden_lint() {
   local stem
-  for stem in app naturals lint_demo; do
+  for stem in app naturals lint_demo modes_demo; do
     target/release/slp lint "examples/$stem.slp" > "$tmp/$stem.txt" || true
     target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
     diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
@@ -81,6 +82,29 @@ golden_batch() {
   done
 }
 step golden-batch golden_batch
+
+# The mode audit is pinned byte-for-byte in both formats (query 1 exercises
+# a runtime input-boundedness violation on top of the static diagnostics, so
+# the exit code is 2 by design), and the extended Theorem-6 walk must be
+# byte-identical across job counts — the mode check rides the same sharded
+# resolvent pipeline as the consistency audit.
+modes_golden() {
+  local fmt flag jobs
+  for fmt in txt json; do
+    flag=""
+    [ "$fmt" = json ] && flag="--format json"
+    # shellcheck disable=SC2086
+    target/release/slp audit examples/modes_demo.slp --modes -q 1 $flag \
+      > "$tmp/modes_audit.$fmt" || true
+    diff -u "tests/golden/modes_demo_audit.$fmt" "$tmp/modes_audit.$fmt"
+  done
+  for jobs in 1 4; do
+    target/release/slp audit examples/modes_demo.slp --modes --jobs "$jobs" \
+      > "$tmp/modes_jobs.$jobs" 2>&1 || true
+  done
+  diff -u "$tmp/modes_jobs.1" "$tmp/modes_jobs.4"
+}
+step modes-golden modes_golden
 
 # `slp explain` output is pinned byte-for-byte too: a refutation core (h),
 # a rejected/well-typed mix with a validated witness (q), and a pristine

@@ -16,8 +16,8 @@ use lp_gen::{programs, worlds};
 use subtype_core::consistency::{AuditConfig, Auditor};
 use subtype_core::obs::json::JsonValue;
 use subtype_core::{
-    lint_module_obs, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot, ProofTable,
-    ServeConfig, ServeSession, TabledProver,
+    lint_module_obs, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot, ModeAnalysis,
+    ProofTable, ServeConfig, ServeSession, TabledProver,
 };
 
 /// Version tag of the document; bump on any structural change.
@@ -32,6 +32,7 @@ pub fn workloads() -> Vec<(&'static str, MetricsSnapshot)> {
         ("table_eviction", table_eviction()),
         ("pipeline_check", pipeline_check()),
         ("lint_pipeline", lint_pipeline()),
+        ("mode_inference", mode_inference()),
         ("serve_replay", serve_replay()),
     ]
 }
@@ -113,6 +114,31 @@ fn lint_pipeline() -> MetricsSnapshot {
     let module = lp_parser::parse_module(&programs::pipeline(8, 2)).expect("fixture parses");
     let diags = lint_module_obs(
         &module,
+        &LintOptions {
+            tabling: true,
+            ..LintOptions::default()
+        },
+        Some(&obs),
+    );
+    std::hint::black_box(diags);
+    obs.snapshot()
+}
+
+/// Mode analysis on both sides of the declaration boundary: the
+/// declaration-blind fixpoint over `pipeline(8, 2)` (every predicate
+/// inferred, nothing to violate) followed by a full lint of the shipped
+/// `modes_demo.slp` corpus, whose MODE declarations make every mode pass
+/// fire. Pins the inference count and the violation volume of the F9
+/// workload exactly.
+fn mode_inference() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let module = lp_parser::parse_module(&programs::pipeline(8, 2)).expect("fixture parses");
+    let report = ModeAnalysis::new(&module).with_obs(Some(&obs)).run();
+    assert!(report.violations.is_empty(), "undeclared corpus is clean");
+    let moded = lp_parser::parse_module(include_str!("../../../examples/modes_demo.slp"))
+        .expect("fixture parses");
+    let diags = lint_module_obs(
+        &moded,
         &LintOptions {
             tabling: true,
             ..LintOptions::default()
@@ -292,6 +318,21 @@ mod tests {
             "the delta must keep cached verdicts alive"
         );
         assert_eq!(snap.counter(Counter::RequestsServed), 4);
+    }
+
+    #[test]
+    fn mode_workload_pins_inference_and_violation_volume() {
+        let snap = mode_inference();
+        assert_eq!(
+            snap.counter(Counter::ModeInferences),
+            9,
+            "8 pipeline predicates plus the undeclared `loop`"
+        );
+        assert_eq!(
+            snap.counter(Counter::ModeViolations),
+            2,
+            "one ill-moded call (E0601) and one output hazard (E0604)"
+        );
     }
 
     #[test]

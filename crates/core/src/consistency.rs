@@ -11,9 +11,13 @@
 //! ill-typed programs the auditor demonstrates how type errors surface at
 //! runtime (fault injection).
 
-use lp_engine::{Database, Query, Solution, SolveConfig, Stats, Step};
-use lp_term::Term;
+use std::collections::BTreeMap;
 
+use lp_engine::{Database, Query, Solution, SolveConfig, Stats, Step};
+use lp_parser::Mode;
+use lp_term::{Sym, Term};
+
+use crate::modes::resolvent_input_violations;
 use crate::welltyped::{Checker, TypeCheckError};
 
 /// A resolvent that failed the well-typedness conditions during execution.
@@ -27,6 +31,21 @@ pub struct Violation {
     pub error: TypeCheckError,
 }
 
+/// A resolvent whose selected atom broke the mode discipline: an input
+/// (`+`) position was not ground at call time (the runtime counterpart of
+/// the static `E0601` check, exercised by `slp audit --modes`).
+#[derive(Debug, Clone)]
+pub struct ModeStepViolation {
+    /// Depth of the resolvent in the SLD derivation.
+    pub depth: usize,
+    /// The called predicate.
+    pub pred: Sym,
+    /// 0-based input argument position that was not ground.
+    pub position: usize,
+    /// The offending resolvent (goal atoms, bindings applied).
+    pub resolvent: Vec<Term>,
+}
+
 /// The outcome of an audited run.
 #[derive(Debug, Clone, Default)]
 pub struct AuditReport {
@@ -34,6 +53,11 @@ pub struct AuditReport {
     pub resolvents_checked: u64,
     /// Resolvents that were ill-typed.
     pub violations: Vec<Violation>,
+    /// Resolvents whose selected atom was additionally checked for mode
+    /// discipline (zero unless run through [`Auditor::run_with_modes`]).
+    pub mode_resolvents: u64,
+    /// Resolvents whose selected atom had a non-ground input position.
+    pub mode_violations: Vec<ModeStepViolation>,
     /// Solutions found (up to the configured limit).
     pub solutions: Vec<Solution>,
     /// Whether every computed answer substitution left the instantiated
@@ -54,6 +78,12 @@ impl AuditReport {
     /// Whether the run exhibited no type violation at all.
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty() && self.answers_consistent
+    }
+
+    /// Whether every checked resolvent also respected the mode discipline
+    /// (vacuously true when no mode table was supplied).
+    pub fn is_well_moded(&self) -> bool {
+        self.mode_violations.is_empty()
     }
 }
 
@@ -92,6 +122,22 @@ impl<'a> Auditor<'a> {
 
     /// Runs `:- goals.` against `db`, checking every resolvent produced.
     pub fn run(&self, db: &Database, goals: &[Term], config: AuditConfig) -> AuditReport {
+        self.run_with_modes(db, goals, config, None)
+    }
+
+    /// [`Auditor::run`], additionally checking every resolvent's selected
+    /// atom against `modes` (when supplied): its input (`+`) positions must
+    /// be ground at call time. Violations land in
+    /// [`AuditReport::mode_violations`]; the mode checks never change the
+    /// search itself, so solutions and type verdicts are identical to an
+    /// unmoded run.
+    pub fn run_with_modes(
+        &self,
+        db: &Database,
+        goals: &[Term],
+        config: AuditConfig,
+        modes: Option<&BTreeMap<Sym, Vec<Mode>>>,
+    ) -> AuditReport {
         let mut query = Query::new(db, goals.to_vec(), config.solve);
         let mut report = AuditReport {
             answers_consistent: true,
@@ -99,9 +145,24 @@ impl<'a> Auditor<'a> {
             ..AuditReport::default()
         };
         let checker = self.checker;
+        // The initial goal list is the first resolvent of the derivation;
+        // the engine observer only reports the ones resolution produces.
+        if let Some(table) = modes {
+            report.mode_resolvents += 1;
+            for (pred, position) in resolvent_input_violations(table, goals) {
+                report.mode_violations.push(ModeStepViolation {
+                    depth: 0,
+                    pred,
+                    position,
+                    resolvent: goals.to_vec(),
+                });
+            }
+        }
         loop {
             let mut new_violations: Vec<Violation> = Vec::new();
+            let mut new_mode_violations: Vec<ModeStepViolation> = Vec::new();
             let mut checked = 0u64;
+            let mut mode_checked = 0u64;
             let solution = query.next_solution_observed(&mut |step: &Step| {
                 checked += 1;
                 if step.resolvent.is_empty() {
@@ -114,9 +175,22 @@ impl<'a> Auditor<'a> {
                         error,
                     });
                 }
+                if let Some(table) = modes {
+                    mode_checked += 1;
+                    for (pred, position) in resolvent_input_violations(table, &step.resolvent) {
+                        new_mode_violations.push(ModeStepViolation {
+                            depth: step.depth,
+                            pred,
+                            position,
+                            resolvent: step.resolvent.clone(),
+                        });
+                    }
+                }
             });
             report.resolvents_checked += checked;
+            report.mode_resolvents += mode_checked;
             report.violations.extend(new_violations);
+            report.mode_violations.extend(new_mode_violations);
             match solution {
                 Some(sol) => {
                     // Corollary: the instantiated query must stay well-typed.
@@ -230,6 +304,71 @@ mod tests {
         let report = Auditor::new(checker).run(&db, &m.queries[0].goals, AuditConfig::default());
         assert!(!report.answers_consistent);
         assert!(!report.is_clean());
+    }
+
+    fn audit_modes(src: &str) -> AuditReport {
+        let m = parse_module(src).expect("fixture parses");
+        let cs = ConstraintSet::from_module(&m)
+            .unwrap()
+            .checked(&m.sig)
+            .unwrap();
+        let preds = PredTypeTable::from_module(&m).unwrap();
+        let checker = Checker::new(&m.sig, &cs, &preds);
+        let db = m.database();
+        let modes = crate::modes::ModeAnalysis::new(&m).run().modes;
+        Auditor::new(checker).run_with_modes(
+            &db,
+            &m.queries[0].goals,
+            AuditConfig::default(),
+            Some(&modes),
+        )
+    }
+
+    #[test]
+    fn well_moded_run_has_no_mode_violations() {
+        let report = audit_modes(&format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             MODE app(+, +, -).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(cons(0, nil), cons(succ(0), nil), Z).
+            "
+        ));
+        assert!(report.is_clean());
+        assert!(report.is_well_moded(), "{:?}", report.mode_violations);
+        assert!(report.mode_resolvents > 0);
+    }
+
+    #[test]
+    fn unbound_input_at_runtime_is_a_mode_violation() {
+        let src = format!(
+            "{LIST_DECLS}
+             PRED use(nat). MODE use(+). use(0).
+             :- use(X).
+            "
+        );
+        let report = audit_modes(&src);
+        // The typing audit is clean (X : nat is consistent) …
+        assert!(report.is_clean());
+        // … but the selected atom's input position is not ground.
+        assert!(!report.is_well_moded());
+        assert_eq!(report.mode_violations[0].position, 0);
+        assert_eq!(report.mode_violations[0].depth, 0);
+    }
+
+    #[test]
+    fn unmoded_run_reports_no_mode_traffic() {
+        let report = audit(&format!(
+            "{LIST_DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(cons(0, nil), cons(succ(0), nil), Z).
+            "
+        ));
+        assert_eq!(report.mode_resolvents, 0);
+        assert!(report.is_well_moded());
     }
 
     #[test]

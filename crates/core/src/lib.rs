@@ -67,6 +67,7 @@ pub mod filter;
 pub mod horn;
 pub mod lint;
 pub mod matching;
+pub mod modes;
 pub mod naive;
 pub mod obs;
 pub mod par;
@@ -88,6 +89,10 @@ pub use filter::{build_filter, FilterError, FilterLibrary};
 pub use horn::HornTheory;
 pub use lint::{lint_module, lint_module_obs, LintOptions};
 pub use matching::{match_type, MatchOutcome};
+pub use modes::{
+    mode_string, subject_reduction_hazards, ModeAnalysis, ModeMismatch, ModeReport, ModeSite,
+    ModeViolation, SubjectReductionHazard,
+};
 pub use naive::{NaiveOutcome, NaiveProver};
 pub use obs::{Counter, Fault, FaultPlan, MetricsRegistry, MetricsSnapshot, Timer, TraceEvent};
 pub use prover::{Proof, Prover, ProverConfig};

@@ -42,7 +42,9 @@ use crate::cmatch::{CMatchFailure, CMatcher, CState};
 use crate::constraint::{CheckedConstraints, ConstraintSet};
 use crate::diag::{self, Diagnostic};
 use crate::filter;
+use crate::modes::{subject_reduction_hazards, ModeAnalysis, ModeSite};
 use crate::obs::{Counter, MetricsRegistry, Timer};
+use crate::prover::Prover;
 use crate::table::ProofTable;
 use crate::welltyped::{Checker, PredTypeTable, TypeCheckError};
 
@@ -59,6 +61,11 @@ pub struct LintOptions {
     /// once per run as a dedicated `W0303` diagnostic instead of the old
     /// silent bail.
     pub inhabitation_budget: u64,
+    /// Unit budget for the mode passes (`E0601`/`W0602`/`W0603`/`E0604`),
+    /// charged per atom visit and prover consultation (see
+    /// [`crate::modes::ModeAnalysis`]). Exhaustion suppresses mode findings
+    /// (never spurious) and is reported once as `W0605`.
+    pub mode_budget: u64,
 }
 
 impl Default for LintOptions {
@@ -66,6 +73,7 @@ impl Default for LintOptions {
         LintOptions {
             tabling: true,
             inhabitation_budget: 4096,
+            mode_budget: crate::modes::DEFAULT_MODE_BUDGET,
         }
     }
 }
@@ -910,6 +918,185 @@ fn program_passes(
             diags.push(query_check_diagnostic(module, qi, &e));
         }
     }
+
+    mode_passes(module, checked, preds, options, reg, diags);
+}
+
+// ---------------------------------------------------------------------------
+// Passes: modes — input boundedness (E0601), loose declarations (W0602),
+// unmoded recursion (W0603), subject-reduction hazards (E0604)
+// ---------------------------------------------------------------------------
+
+/// The mode passes alone, as a sorted report: the static half of
+/// `slp audit --modes` (and the `modes` serve op), byte-identical to the
+/// `E0601`–`W0605` subset of [`lint_module`]'s output. Subject to the same
+/// gate: a module without `MODE` declarations yields an empty report.
+pub fn mode_diagnostics(
+    module: &Module,
+    checked: &CheckedConstraints,
+    preds: &PredTypeTable,
+    options: &LintOptions,
+    obs: Option<&MetricsRegistry>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    mode_passes(module, checked, preds, options, obs, &mut diags);
+    finish(diags)
+}
+
+/// Runs [`ModeAnalysis`] and the `E0604` hazard scan, rendering the
+/// structured report as diagnostics. Gated on the module containing at
+/// least one `MODE` declaration: an unmoded program has opted out of the
+/// discipline, so the pass stays silent (and existing modules keep their
+/// byte-identical lint output).
+fn mode_passes(
+    module: &Module,
+    checked: &CheckedConstraints,
+    preds: &PredTypeTable,
+    options: &LintOptions,
+    obs: Option<&MetricsRegistry>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if module.pred_modes.is_empty() {
+        return;
+    }
+    let sig = &module.sig;
+    let analysis = ModeAnalysis::new(module)
+        .with_budget(options.mode_budget)
+        .with_obs(obs);
+    let report = analysis.run();
+
+    for v in &report.violations {
+        let (span, hints) = match v.site {
+            ModeSite::Clause(ci) => {
+                let lc = &module.clauses[ci];
+                // atom_spans is head-first for clauses; body atom `ai` is
+                // span index `ai + 1`.
+                (
+                    lc.atom_spans.get(v.atom + 1).copied().unwrap_or(lc.span),
+                    &lc.hints,
+                )
+            }
+            ModeSite::Query(qi) => {
+                let q = &module.queries[qi];
+                (
+                    q.atom_spans.get(v.atom).copied().unwrap_or(q.span),
+                    &q.hints,
+                )
+            }
+        };
+        let names: Vec<String> = v
+            .unbound
+            .iter()
+            .map(|&u| format!("`{}`", hints.get(u).unwrap_or("_")))
+            .collect();
+        let mut d = Diagnostic::error(
+            "E0601",
+            format!(
+                "mode violation: input argument {} of `{}` is not bound at call time \
+                 ({} unbound)",
+                v.position + 1,
+                sig.name(v.pred),
+                names.join(", ")
+            ),
+        )
+        .with_span(span)
+        .note(
+            "a `+` position must be bound by the clause head's input arguments or an \
+             earlier body atom",
+        );
+        if let Some(ms) = module.pred_mode_span(v.pred) {
+            d = d.related(ms, format!("`{}` modes declared here", sig.name(v.pred)));
+        }
+        diags.push(d);
+    }
+
+    for mm in &report.mismatches {
+        diags.push(
+            Diagnostic::warning(
+                "W0602",
+                format!(
+                    "argument {} of `{}` is declared output (`-`) but every call \
+                     supplies it bound",
+                    mm.position + 1,
+                    sig.name(mm.pred)
+                ),
+            )
+            .with_opt_span(module.pred_mode_span(mm.pred))
+            .note("inference agrees with `+` here; the declaration is looser than the program's data flow"),
+        );
+    }
+
+    for &p in &report.unmoded_recursive {
+        let span = module
+            .clauses
+            .iter()
+            .find(|lc| lc.clause.head.functor() == Some(p))
+            .map(head_span);
+        diags.push(
+            Diagnostic::warning(
+                "W0603",
+                format!(
+                    "recursive predicate `{}` has no MODE declaration",
+                    sig.name(p)
+                ),
+            )
+            .with_opt_span(span)
+            .note(
+                "well-modedness of a recursive predicate cannot be checked without a \
+                 declaration; add `MODE ...` to pin its data flow",
+            ),
+        );
+    }
+
+    let prover = Prover::new(sig, checked);
+    let hazards = subject_reduction_hazards(module, &report, preds, &prover, analysis.budget());
+    if let Some(o) = obs {
+        o.add(Counter::ModeViolations, hazards.len() as u64);
+    }
+    for h in &hazards {
+        let mut d = Diagnostic::error(
+            "E0604",
+            format!(
+                "subject-reduction hazard: output argument {} of `{}` is declared \
+                 `{}`, a strict supertype of what its clauses can produce (every \
+                 production fits `{}`)",
+                h.position + 1,
+                sig.name(h.pred),
+                TermDisplay::new(&h.declared, sig),
+                TermDisplay::new(&h.producible, sig),
+            ),
+        )
+        .with_opt_span(module.pred_mode_span(h.pred))
+        .note(
+            "under an input/output mode discipline (Smaus; Fages–Deransart) a `-` \
+             position promising more than unification can deliver is exactly where \
+             per-step subject reduction fails; tighten the declared type or the mode",
+        );
+        if let Some(ps) = module.pred_type_span(h.pred) {
+            d = d.related(ps, format!("`{}` declared here", sig.name(h.pred)));
+        }
+        diags.push(d);
+    }
+
+    if report.exhausted || analysis.budget().exhausted() {
+        if let Some(o) = obs {
+            o.incr(Counter::BudgetExhausted);
+        }
+        diags.push(
+            Diagnostic::warning(
+                "W0605",
+                format!(
+                    "mode analysis exhausted its budget ({} units); mode findings may \
+                     be incomplete",
+                    options.mode_budget
+                ),
+            )
+            .note(
+                "budget-cut mode analysis reports nothing it is not sure of, so no \
+                 finding above is spurious — but some may be missing",
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1121,6 +1308,87 @@ mod tests {
         );
         assert_eq!(codes(&starved), vec!["W0303"], "{starved:?}");
         assert!(starved[0].message.contains("node budget (1 nodes)"));
+    }
+
+    const LISTS: &str = "FUNC 0, succ, pred, nil, cons. \
+         TYPE nat, unnat, int, elist, nelist, list. \
+         nat >= 0 + succ(nat). unnat >= 0 + pred(unnat). int >= nat + unnat. \
+         elist >= nil. nelist(A) >= cons(A, list(A)). list(A) >= elist + nelist(A).";
+
+    #[test]
+    fn mode_passes_are_gated_on_mode_declarations() {
+        // Recursive unmoded `app` plus a generating query: without a MODE
+        // declaration anywhere, none of E0601/W0602/W0603/E0604 may fire.
+        let diags = lint_src(&format!(
+            "{LISTS} PRED app(list(A), list(A), list(A)). \
+             app(nil, L, L). app(cons(X, L), M, cons(X, N)) :- app(L, M, N). \
+             :- app(X, Y, cons(0, nil))."
+        ));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unbound_input_is_e0601_with_span() {
+        let src = format!("{LISTS} PRED use(nat). MODE use(+). use(0). :- use(X).");
+        let diags = lint_src(&src);
+        let e = diags.iter().find(|d| d.code == "E0601").expect("E0601");
+        let span = e.span.expect("spanned");
+        assert_eq!(&src[span.start..span.end], "use(X)");
+        assert!(e.message.contains("`X`"), "{e:?}");
+        assert!(e.related.iter().any(|(_, c)| c.contains("modes declared")));
+    }
+
+    #[test]
+    fn loose_output_declaration_is_w0602() {
+        let src = format!("{LISTS} PRED use(nat). MODE use(-). use(0). :- use(0).");
+        let diags = lint_src(&src);
+        let w = diags.iter().find(|d| d.code == "W0602").expect("W0602");
+        let span = w.span.expect("anchored at the MODE declaration");
+        assert_eq!(&src[span.start..span.end], "use(-)");
+    }
+
+    #[test]
+    fn unmoded_recursion_is_w0603_when_modes_are_in_play() {
+        let src = format!(
+            "{LISTS} PRED len(list(A), nat). PRED use(nat). MODE use(+). \
+             len(nil, 0). len(cons(X, L), succ(N)) :- len(L, N). use(0). \
+             :- len(cons(0, nil), N), use(N)."
+        );
+        let diags = lint_src(&src);
+        let w = diags.iter().find(|d| d.code == "W0603").expect("W0603");
+        assert!(w.message.contains("`len`"), "{w:?}");
+        assert!(w.span.is_some());
+    }
+
+    #[test]
+    fn subject_reduction_hazard_is_e0604() {
+        let src = format!("{LISTS} PRED mk(int). MODE mk(-). mk(pred(0)). :- mk(X).");
+        let diags = lint_src(&src);
+        let e = diags.iter().find(|d| d.code == "E0604").expect("E0604");
+        assert!(e.message.contains("`int`"), "{e:?}");
+        assert!(e.message.contains("`unnat`"), "{e:?}");
+        let span = e.span.expect("anchored at the MODE declaration");
+        assert_eq!(&src[span.start..span.end], "mk(-)");
+        // The tight variant is clean.
+        let ok = lint_src(&format!(
+            "{LISTS} PRED mk(unnat). MODE mk(-). mk(pred(0)). :- mk(X)."
+        ));
+        assert!(!ok.iter().any(|d| d.code == "E0604"), "{ok:?}");
+    }
+
+    #[test]
+    fn starved_mode_budget_reports_w0605_only() {
+        let src = format!("{LISTS} PRED use(nat). MODE use(+). use(0). :- use(X).");
+        let m = parse_module(&src).unwrap();
+        let starved = lint_module(
+            &m,
+            &LintOptions {
+                mode_budget: 1,
+                ..LintOptions::default()
+            },
+        );
+        assert!(codes(&starved).contains(&"W0605"), "{starved:?}");
+        assert!(!codes(&starved).contains(&"E0601"), "{starved:?}");
     }
 
     #[test]

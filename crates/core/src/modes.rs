@@ -1,0 +1,857 @@
+//! Mode inference and mode checking (input/output data-flow discipline).
+//!
+//! Theorem 6 guarantees that resolution preserves well-typedness, but §5
+//! shows the guarantee is a *whole-clause* property: a single resolution
+//! step may still bind a variable to a term outside the type the context
+//! expects when a predicate's declared argument type is broader than the
+//! type the call site requires. The input/output-mode tradition (Smaus;
+//! Fages–Deransart) restores a per-step reading: if every *input* (`+`)
+//! position is bound at call time and every *output* (`-`) position's
+//! declared type is no broader than its context, each resolvent stays
+//! well-typed atom by atom.
+//!
+//! This module implements that layer on top of the subtype system:
+//!
+//! * `MODE p(+, -).` declares argument 1 of `p` as input (bound at call
+//!   time) and argument 2 as output (bound by `p` on success).
+//! * [`ModeAnalysis`] runs a fixpoint pass that *infers* modes for
+//!   undeclared predicates: every position starts input (`+`) and is
+//!   demoted to output (`-`) when some call site cannot guarantee
+//!   boundness. The lattice only ever moves `+` → `-`, so the pass
+//!   terminates; a shared [`Budget`] bounds pathological modules.
+//! * Declared modes are *checked*: an input position whose variables are
+//!   not bound by the clause head's inputs or an earlier body atom is a
+//!   mode violation ([`ModeViolation`], surfaced as `E0601`).
+//! * [`subject_reduction_hazards`] audits output positions: a declared `-`
+//!   position whose (instantiated) predicate type is a *strict supertype*
+//!   of the type Definition 16 assigns to the variable it binds can
+//!   produce values outside the context's type — the exact boundary case
+//!   where Theorem 6's guarantee stops transferring (`E0604`).
+//!
+//! Everything here is serial and iterates in source or `BTreeMap` order,
+//! so reports are deterministic and independent of `--jobs`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lp_parser::{Mode, Module};
+use lp_term::{Sym, Term, Var};
+
+use crate::budget::Budget;
+use crate::obs::{Counter, MetricsRegistry, TraceEvent};
+use crate::prover::Prover;
+use crate::welltyped::PredTypeTable;
+
+/// Default node budget for a mode-analysis run (atom visits plus subtype
+/// queries of the hazard scan).
+pub const DEFAULT_MODE_BUDGET: u64 = 1 << 16;
+
+/// Where a mode finding is anchored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ModeSite {
+    /// Index into `module.clauses`.
+    Clause(usize),
+    /// Index into `module.queries`.
+    Query(usize),
+}
+
+/// An input position not bound at call time (`E0601`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeViolation {
+    /// The clause or query containing the offending call.
+    pub site: ModeSite,
+    /// Body-atom index within the clause (0-based; for queries, the goal
+    /// index).
+    pub atom: usize,
+    /// The called predicate.
+    pub pred: Sym,
+    /// 0-based argument position.
+    pub position: usize,
+    /// The argument's variables that are not bound at call time.
+    pub unbound: Vec<Var>,
+}
+
+/// A declared output position that inference shows is always called bound
+/// (`W0602`): the declaration is looser than the program's actual data flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeMismatch {
+    /// The declared predicate.
+    pub pred: Sym,
+    /// 0-based argument position declared `-` but inferred `+`.
+    pub position: usize,
+}
+
+/// A declared `-` position whose declared type is a *strict supertype* of
+/// what unification against the predicate's clauses can actually produce
+/// (`E0604`).
+///
+/// Definition 16 types every consumer against the declared type, so a
+/// caller must be prepared for any `declared` value even though resolution
+/// only ever yields `producible` values. Under the subtype-relaxed
+/// consumer disciplines of the moded tradition (Smaus; Fages–Deransart)
+/// this gap is exactly where per-step subject reduction fails: a context
+/// typed by the narrower production would accept the call statically while
+/// a broader-than-produced declaration licenses resolvents outside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubjectReductionHazard {
+    /// The declared predicate.
+    pub pred: Sym,
+    /// 0-based `-` argument position.
+    pub position: usize,
+    /// The declared type at the position.
+    pub declared: Term,
+    /// A declared type strictly below `declared` that still contains every
+    /// term the predicate's clauses produce at the position.
+    pub producible: Term,
+}
+
+/// The outcome of mode inference and checking over a module.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ModeReport {
+    /// Effective modes: declarations where present, inferred elsewhere.
+    pub modes: BTreeMap<Sym, Vec<Mode>>,
+    /// Predicates with an explicit `MODE` declaration.
+    pub declared: BTreeSet<Sym>,
+    /// Declaration-blind inference (used for the `W0602` comparison).
+    pub inferred: BTreeMap<Sym, Vec<Mode>>,
+    /// Input positions not bound at call time (`E0601`).
+    pub violations: Vec<ModeViolation>,
+    /// Declared `-` positions that inference shows always bound (`W0602`).
+    pub mismatches: Vec<ModeMismatch>,
+    /// Recursive predicates without a `MODE` declaration (`W0603`).
+    pub unmoded_recursive: Vec<Sym>,
+    /// Fixpoint rounds taken (both runs).
+    pub rounds: usize,
+    /// Whether the budget ran out; findings are then suppressed (the
+    /// analysis answers optimistically, never spuriously).
+    pub exhausted: bool,
+}
+
+impl ModeReport {
+    /// The effective modes of `pred`, if it appears in the module.
+    pub fn modes_of(&self, pred: Sym) -> Option<&[Mode]> {
+        self.modes.get(&pred).map(Vec::as_slice)
+    }
+
+    /// Whether the static pass found nothing to report.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+            && self.mismatches.is_empty()
+            && self.unmoded_recursive.is_empty()
+    }
+}
+
+/// Renders a mode vector in concrete syntax, e.g. `(+, -)`.
+pub fn mode_string(modes: &[Mode]) -> String {
+    let ms: Vec<String> = modes.iter().map(|m| m.symbol().to_string()).collect();
+    format!("({})", ms.join(", "))
+}
+
+/// The fixpoint mode-inference and checking pass.
+///
+/// Serial by construction: results are identical for every `--jobs` value.
+#[derive(Debug)]
+pub struct ModeAnalysis<'a> {
+    module: &'a Module,
+    budget: Budget,
+    obs: Option<&'a MetricsRegistry>,
+}
+
+impl<'a> ModeAnalysis<'a> {
+    /// Creates an analysis over `module` with the default budget.
+    pub fn new(module: &'a Module) -> Self {
+        ModeAnalysis {
+            module,
+            budget: Budget::new(DEFAULT_MODE_BUDGET),
+            obs: None,
+        }
+    }
+
+    /// Replaces the node budget (atom visits across fixpoint rounds).
+    pub fn with_budget(mut self, limit: u64) -> Self {
+        self.budget = Budget::new(limit);
+        self
+    }
+
+    /// Counts inference work and emits `mode.infer` trace events into the
+    /// registry.
+    pub fn with_obs(mut self, obs: Option<&'a MetricsRegistry>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The budget, for sharing with [`subject_reduction_hazards`].
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Runs inference and the static checks, producing a [`ModeReport`].
+    pub fn run(&self) -> ModeReport {
+        let declared: BTreeSet<Sym> = self.module.pred_modes.iter().map(|(p, _)| *p).collect();
+        let (modes, rounds_a) = self.fixpoint(true);
+        let (inferred, rounds_b) = self.fixpoint(false);
+        let mut report = ModeReport {
+            modes,
+            declared,
+            inferred,
+            rounds: rounds_a + rounds_b,
+            ..ModeReport::default()
+        };
+        if !self.budget.exhausted() {
+            self.collect_violations(&mut report);
+            self.collect_mismatches(&mut report);
+            report.unmoded_recursive = self.unmoded_recursive(&report.declared);
+        }
+        report.exhausted = self.budget.exhausted();
+        if report.exhausted {
+            // Optimistic on exhaustion: report nothing rather than risk a
+            // spurious finding from a half-finished fixpoint.
+            report.violations.clear();
+            report.mismatches.clear();
+            report.unmoded_recursive.clear();
+        }
+        if let Some(o) = self.obs {
+            let inferred_preds: Vec<Sym> = report
+                .modes
+                .keys()
+                .filter(|p| !report.declared.contains(p))
+                .copied()
+                .collect();
+            o.add(Counter::ModeInferences, inferred_preds.len() as u64);
+            o.add(Counter::ModeViolations, report.violations.len() as u64);
+            for p in inferred_preds {
+                let ms = mode_string(&report.modes[&p]);
+                o.trace(&TraceEvent::ModeInfer {
+                    pred: self.module.sig.name(p),
+                    modes: &ms,
+                });
+            }
+        }
+        report
+    }
+
+    /// One mode assignment by fixpoint demotion. With `use_decls`, declared
+    /// predicates keep their declared modes (checking run); without, every
+    /// predicate is inferable (the declaration-blind run behind `W0602`).
+    fn fixpoint(&self, use_decls: bool) -> (BTreeMap<Sym, Vec<Mode>>, usize) {
+        let mut modes: BTreeMap<Sym, Vec<Mode>> = BTreeMap::new();
+        let mut fixed: BTreeSet<Sym> = BTreeSet::new();
+        if use_decls {
+            for (p, ms) in &self.module.pred_modes {
+                modes.insert(*p, ms.clone());
+                fixed.insert(*p);
+            }
+        }
+        let mut seed = |atom: &Term| {
+            if let Some(p) = atom.functor() {
+                modes
+                    .entry(p)
+                    .or_insert_with(|| vec![Mode::In; atom.args().len()]);
+            }
+        };
+        for lc in &self.module.clauses {
+            seed(&lc.clause.head);
+            for b in &lc.clause.body {
+                seed(b);
+            }
+        }
+        for q in &self.module.queries {
+            for g in &q.goals {
+                seed(g);
+            }
+        }
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for lc in &self.module.clauses {
+                changed |= self.demote(Some(&lc.clause.head), &lc.clause.body, &mut modes, &fixed);
+            }
+            for q in &self.module.queries {
+                changed |= self.demote(None, &q.goals, &mut modes, &fixed);
+            }
+            if !changed || self.budget.exhausted() {
+                break;
+            }
+        }
+        (modes, rounds)
+    }
+
+    /// Variables bound on entry: the head's input positions (queries start
+    /// with nothing bound).
+    fn initial_bound(head: Option<&Term>, modes: &BTreeMap<Sym, Vec<Mode>>) -> BTreeSet<Var> {
+        let mut bound = BTreeSet::new();
+        if let Some(h) = head {
+            if let Some(pm) = h.functor().and_then(|p| modes.get(&p)) {
+                for (arg, m) in h.args().iter().zip(pm) {
+                    if *m == Mode::In {
+                        bound.extend(arg.vars());
+                    }
+                }
+            }
+        }
+        bound
+    }
+
+    /// One demotion sweep over a clause body or query. Returns whether any
+    /// position changed.
+    fn demote(
+        &self,
+        head: Option<&Term>,
+        body: &[Term],
+        modes: &mut BTreeMap<Sym, Vec<Mode>>,
+        fixed: &BTreeSet<Sym>,
+    ) -> bool {
+        let mut changed = false;
+        let mut bound = Self::initial_bound(head, modes);
+        for atom in body {
+            if !self.budget.charge(1) {
+                return changed;
+            }
+            let Some(p) = atom.functor() else { continue };
+            let Some(pm) = modes.get(&p).cloned() else {
+                continue;
+            };
+            for (i, arg) in atom.args().iter().enumerate() {
+                if pm.get(i) != Some(&Mode::In) {
+                    continue;
+                }
+                if arg.vars().iter().all(|v| bound.contains(v)) {
+                    continue;
+                }
+                if !fixed.contains(&p) {
+                    modes.get_mut(&p).expect("seeded")[i] = Mode::Out;
+                    changed = true;
+                }
+            }
+            // On success the call binds its outputs (and its inputs were
+            // bound already, or reported); either way the atom's variables
+            // are available to later goals.
+            bound.extend(atom.vars());
+        }
+        changed
+    }
+
+    /// Final check sweep: with the fixpoint assignment, any input position
+    /// still unbound at call time is an `E0601`. By construction only
+    /// declared (non-demotable) predicates can fail here.
+    fn collect_violations(&self, report: &mut ModeReport) {
+        let mut check = |site: ModeSite, head: Option<&Term>, body: &[Term]| {
+            let mut bound = Self::initial_bound(head, &report.modes);
+            for (ai, atom) in body.iter().enumerate() {
+                if !self.budget.charge(1) {
+                    return;
+                }
+                let Some(p) = atom.functor() else { continue };
+                let Some(pm) = report.modes.get(&p) else {
+                    continue;
+                };
+                for (i, arg) in atom.args().iter().enumerate() {
+                    if pm.get(i) != Some(&Mode::In) {
+                        continue;
+                    }
+                    let unbound: Vec<Var> = arg
+                        .vars()
+                        .into_iter()
+                        .filter(|v| !bound.contains(v))
+                        .collect();
+                    if !unbound.is_empty() {
+                        report.violations.push(ModeViolation {
+                            site,
+                            atom: ai,
+                            pred: p,
+                            position: i,
+                            unbound,
+                        });
+                    }
+                }
+                bound.extend(atom.vars());
+            }
+        };
+        for (ci, lc) in self.module.clauses.iter().enumerate() {
+            check(ModeSite::Clause(ci), Some(&lc.clause.head), &lc.clause.body);
+        }
+        for (qi, q) in self.module.queries.iter().enumerate() {
+            check(ModeSite::Query(qi), None, &q.goals);
+        }
+    }
+
+    /// `W0602`: a declared `-` position that the declaration-blind run kept
+    /// at `+` (every call site binds it) could be declared input. Only
+    /// predicates that are actually called are compared — an unused
+    /// declaration is vacuously consistent.
+    fn collect_mismatches(&self, report: &mut ModeReport) {
+        let mut called: BTreeSet<Sym> = BTreeSet::new();
+        for lc in &self.module.clauses {
+            for b in &lc.clause.body {
+                called.extend(b.functor());
+            }
+        }
+        for q in &self.module.queries {
+            for g in &q.goals {
+                called.extend(g.functor());
+            }
+        }
+        for (p, decl) in &self.module.pred_modes {
+            if !called.contains(p) {
+                continue;
+            }
+            let Some(inf) = report.inferred.get(p) else {
+                continue;
+            };
+            for (i, dm) in decl.iter().enumerate() {
+                if *dm == Mode::Out && inf.get(i) == Some(&Mode::In) {
+                    report.mismatches.push(ModeMismatch {
+                        pred: *p,
+                        position: i,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `W0603`: predicates on a call-graph cycle with no `MODE` declaration.
+    /// Well-modedness of a recursive predicate is unfalsifiable without a
+    /// declaration (inference just demotes every troublesome position).
+    fn unmoded_recursive(&self, declared: &BTreeSet<Sym>) -> Vec<Sym> {
+        let mut edges: BTreeMap<Sym, BTreeSet<Sym>> = BTreeMap::new();
+        for lc in &self.module.clauses {
+            let Some(h) = lc.clause.head.functor() else {
+                continue;
+            };
+            let entry = edges.entry(h).or_default();
+            for b in &lc.clause.body {
+                entry.extend(b.functor());
+            }
+        }
+        let mut out = Vec::new();
+        for &p in edges.keys() {
+            if declared.contains(&p) || !self.budget.charge(1) {
+                continue;
+            }
+            let mut seen: BTreeSet<Sym> = BTreeSet::new();
+            let mut stack: Vec<Sym> = edges[&p].iter().copied().collect();
+            while let Some(q) = stack.pop() {
+                if q == p {
+                    out.push(p);
+                    break;
+                }
+                if seen.insert(q) {
+                    if let Some(next) = edges.get(&q) {
+                        stack.extend(next.iter().copied());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Scans every declared `-` position for `E0604` hazards: the declared
+/// type is compared against what the predicate's own clauses can produce
+/// there.
+///
+/// For each declared-mode predicate `p` with a ground declared type `τ` at
+/// a `-` position, the scan collects the position's head arguments across
+/// `p`'s clauses. When every one is ground, it searches the module's
+/// nullary type constructors for a `σ` with `τ > σ` (strictly) that still
+/// contains every production; finding one means the declaration promises
+/// strictly more than resolution can deliver. Among satisfying `σ` the
+/// minimal ones are preferred, ties broken by declaration order.
+///
+/// Only declared-mode predicates are scanned (inferred `-` positions are a
+/// heuristic, not a contract); polymorphic declared types and non-ground
+/// productions are skipped conservatively, so no hazard is ever spurious.
+/// Each prover consultation charges the budget; on exhaustion the scan
+/// stops early (optimistically).
+pub fn subject_reduction_hazards(
+    module: &Module,
+    report: &ModeReport,
+    preds: &PredTypeTable,
+    prover: &Prover<'_>,
+    budget: &Budget,
+) -> Vec<SubjectReductionHazard> {
+    use lp_term::SymKind;
+
+    let mut out = Vec::new();
+    // Nullary declared types are the candidate productions, in declaration
+    // order (deterministic).
+    let candidates: Vec<Term> = module
+        .sig
+        .symbols_of_kind(SymKind::TypeCtor)
+        .filter(|&c| Some(c) != module.union_sym && module.sig.arity(c) == Some(0))
+        .map(Term::constant)
+        .collect();
+    for (p, pm) in &report.modes {
+        if !report.declared.contains(p) {
+            continue;
+        }
+        let Some(declared_ty) = preds.get(*p) else {
+            continue;
+        };
+        for (i, m) in pm.iter().enumerate() {
+            if *m != Mode::Out {
+                continue;
+            }
+            let Some(tau) = declared_ty.args().get(i) else {
+                continue;
+            };
+            if !tau.is_ground() {
+                continue; // polymorphic positions are exempt
+            }
+            let mut productions: Vec<&Term> = Vec::new();
+            let mut bounded = true;
+            for lc in &module.clauses {
+                if lc.clause.head.functor() != Some(*p) {
+                    continue;
+                }
+                match lc.clause.head.args().get(i) {
+                    Some(t) if t.is_ground() => productions.push(t),
+                    // A non-ground production may range over all of τ.
+                    _ => bounded = false,
+                }
+            }
+            if !bounded || productions.is_empty() {
+                continue;
+            }
+            let mut fits: Vec<&Term> = Vec::new();
+            for sigma in &candidates {
+                if !budget.charge(2) {
+                    return out;
+                }
+                let strictly_below = prover.subtype(tau, sigma).is_proved()
+                    && !prover.subtype(sigma, tau).is_proved();
+                if !strictly_below {
+                    continue;
+                }
+                if !budget.charge(productions.len() as u64) {
+                    return out;
+                }
+                if productions
+                    .iter()
+                    .all(|t| prover.member(sigma, t).is_proved())
+                {
+                    fits.push(sigma);
+                }
+            }
+            // Prefer a minimal cover: drop σ when a strictly smaller
+            // candidate also fits.
+            let minimal = fits.iter().find(|sigma| {
+                !fits.iter().any(|other| {
+                    other != *sigma
+                        && prover.subtype(sigma, other).is_proved()
+                        && !prover.subtype(other, sigma).is_proved()
+                })
+            });
+            if let Some(sigma) = minimal {
+                out.push(SubjectReductionHazard {
+                    pred: *p,
+                    position: i,
+                    declared: tau.clone(),
+                    producible: (*sigma).clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runtime form of the input-boundedness condition: the selected (first)
+/// atom of a resolvent must have every input position ground. Returns the
+/// offending `(predicate, position)` pairs (empty when well-moded or when
+/// the resolvent is empty).
+pub fn resolvent_input_violations(
+    modes: &BTreeMap<Sym, Vec<Mode>>,
+    resolvent: &[Term],
+) -> Vec<(Sym, usize)> {
+    let Some(selected) = resolvent.first() else {
+        return Vec::new();
+    };
+    let Some(p) = selected.functor() else {
+        return Vec::new();
+    };
+    let Some(pm) = modes.get(&p) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, arg) in selected.args().iter().enumerate() {
+        if pm.get(i) == Some(&Mode::In) && !arg.is_ground() {
+            out.push((p, i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintSet;
+    use crate::welltyped::PredTypeTable;
+    use lp_parser::parse_module;
+
+    const DECLS: &str = "
+        FUNC 0, succ, pred, nil, cons.
+        TYPE nat, unnat, int, elist, nelist, list.
+        nat >= 0 + succ(nat).
+        unnat >= 0 + pred(unnat).
+        int >= nat + unnat.
+        elist >= nil.
+        nelist(A) >= cons(A, list(A)).
+        list(A) >= elist + nelist(A).
+    ";
+
+    fn report(src: &str) -> ModeReport {
+        let m = parse_module(src).unwrap();
+        ModeAnalysis::new(&m).run()
+    }
+
+    fn modes_of(r: &ModeReport, m: &Module, name: &str) -> Vec<Mode> {
+        r.modes_of(m.sig.lookup(name).unwrap()).unwrap().to_vec()
+    }
+
+    #[test]
+    fn declared_well_moded_append_is_clean() {
+        let r = report(&format!(
+            "{DECLS}
+             PRED app(list(A), list(A), list(A)).
+             MODE app(+, +, -).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(cons(0, nil), cons(succ(0), nil), Z).
+            "
+        ));
+        assert!(r.is_clean(), "{r:?}");
+        assert!(!r.exhausted);
+    }
+
+    #[test]
+    fn unbound_input_is_a_violation() {
+        let src = format!(
+            "{DECLS}
+             PRED use(nat). MODE use(+). use(0).
+             :- use(X).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).run();
+        assert_eq!(r.violations.len(), 1, "{r:?}");
+        let v = &r.violations[0];
+        assert_eq!(v.site, ModeSite::Query(0));
+        assert_eq!(v.atom, 0);
+        assert_eq!(v.position, 0);
+        assert_eq!(m.sig.name(v.pred), "use");
+    }
+
+    #[test]
+    fn earlier_outputs_feed_later_inputs() {
+        let r = report(&format!(
+            "{DECLS}
+             PRED mk(nat). MODE mk(-). mk(0).
+             PRED use(nat). MODE use(+). use(0).
+             :- mk(X), use(X).
+            "
+        ));
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn inference_demotes_generating_positions() {
+        let src = format!(
+            "{DECLS}
+             PRED app(list(A), list(A), list(A)).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             :- app(X, Y, cons(0, nil)).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).run();
+        // The splitting query calls app with the first two arguments
+        // unbound: inference demotes them and keeps the third as input.
+        assert_eq!(
+            modes_of(&r, &m, "app"),
+            vec![Mode::Out, Mode::Out, Mode::In]
+        );
+        assert!(r.violations.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn over_conservative_declaration_is_a_mismatch() {
+        let src = format!(
+            "{DECLS}
+             PRED use(nat). MODE use(-). use(0).
+             :- use(0).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).run();
+        assert_eq!(r.mismatches.len(), 1, "{r:?}");
+        assert_eq!(m.sig.name(r.mismatches[0].pred), "use");
+        assert_eq!(r.mismatches[0].position, 0);
+    }
+
+    #[test]
+    fn unused_declared_output_is_not_a_mismatch() {
+        let r = report(&format!(
+            "{DECLS}
+             PRED mk(nat). MODE mk(-). mk(0).
+             PRED use(nat). MODE use(+). use(0).
+             :- use(0).
+            "
+        ));
+        assert!(r.mismatches.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn unmoded_recursion_is_flagged() {
+        let src = format!(
+            "{DECLS}
+             PRED len(list(A), nat). PRED use(nat). MODE use(+).
+             len(nil, 0).
+             len(cons(X, L), succ(N)) :- len(L, N).
+             use(0).
+             :- len(cons(0, nil), N), use(N).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).run();
+        assert_eq!(r.unmoded_recursive.len(), 1, "{r:?}");
+        assert_eq!(m.sig.name(r.unmoded_recursive[0]), "len");
+    }
+
+    #[test]
+    fn declared_recursion_is_not_flagged() {
+        let r = report(&format!(
+            "{DECLS}
+             PRED app(list(A), list(A), list(A)).
+             MODE app(+, +, -).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+            "
+        ));
+        assert!(r.unmoded_recursive.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_nothing() {
+        let src = format!(
+            "{DECLS}
+             PRED use(nat). MODE use(+). use(0).
+             :- use(X).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).with_budget(1).run();
+        assert!(r.exhausted);
+        assert!(r.is_clean(), "optimistic on exhaustion: {r:?}");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let src = format!(
+            "{DECLS}
+             PRED app(list(A), list(A), list(A)).
+             PRED use(nat). MODE use(+).
+             app(nil, L, L).
+             app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+             use(0).
+             :- app(X, Y, cons(0, nil)), use(Z).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let a = ModeAnalysis::new(&m).run();
+        let b = ModeAnalysis::new(&m).run();
+        assert_eq!(a, b);
+    }
+
+    fn hazards(src: &str) -> (Module, Vec<SubjectReductionHazard>) {
+        let m = parse_module(src).unwrap();
+        let cs = ConstraintSet::from_module(&m)
+            .unwrap()
+            .checked(&m.sig)
+            .unwrap();
+        let preds = PredTypeTable::from_module(&m).unwrap();
+        let prover = Prover::new(&m.sig, &cs);
+        let analysis = ModeAnalysis::new(&m);
+        let report = analysis.run();
+        let hs = subject_reduction_hazards(&m, &report, &preds, &prover, analysis.budget());
+        (m, hs)
+    }
+
+    #[test]
+    fn strict_supertype_output_is_a_hazard() {
+        // mk promises an `int` at its output, but its only clause produces
+        // pred(0): every production fits `unnat`, strictly below `int`.
+        let (m, hs) = hazards(&format!(
+            "{DECLS}
+             PRED mk(int). MODE mk(-). mk(pred(0)).
+             :- mk(X).
+            "
+        ));
+        assert_eq!(hs.len(), 1, "{hs:?}");
+        let h = &hs[0];
+        assert_eq!(m.sig.name(h.pred), "mk");
+        assert_eq!(h.position, 0);
+        assert_eq!(h.declared.functor(), m.sig.lookup("int"));
+        assert_eq!(h.producible.functor(), m.sig.lookup("unnat"));
+    }
+
+    #[test]
+    fn tight_output_type_is_not_a_hazard() {
+        // `unnat` has no declared strict subtype containing pred(0).
+        let (_, hs) = hazards(&format!(
+            "{DECLS}
+             PRED mk(unnat). MODE mk(-). mk(pred(0)).
+             :- mk(X).
+            "
+        ));
+        assert!(hs.is_empty(), "{hs:?}");
+    }
+
+    #[test]
+    fn nonground_productions_are_exempt() {
+        // A variable head argument may range over the full declared type:
+        // the production set is unbounded, so no hazard can be claimed.
+        let (_, hs) = hazards(&format!(
+            "{DECLS}
+             PRED id(int, int). MODE id(+, -). id(X, X).
+             :- id(0, Y).
+            "
+        ));
+        assert!(hs.is_empty(), "{hs:?}");
+    }
+
+    #[test]
+    fn polymorphic_output_positions_are_exempt() {
+        let (_, hs) = hazards(&format!(
+            "{DECLS}
+             PRED mk(list(A)). MODE mk(-). mk(nil).
+             :- mk(X).
+            "
+        ));
+        assert!(hs.is_empty(), "{hs:?}");
+    }
+
+    #[test]
+    fn runtime_input_violation_detection() {
+        let src = format!(
+            "{DECLS}
+             PRED use(nat). MODE use(+). use(0).
+             :- use(X).
+            "
+        );
+        let m = parse_module(&src).unwrap();
+        let r = ModeAnalysis::new(&m).run();
+        let bad = resolvent_input_violations(&r.modes, &m.queries[0].goals);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(m.sig.name(bad[0].0), "use");
+        assert_eq!(bad[0].1, 0);
+        let ok = resolvent_input_violations(&r.modes, &[]);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn mode_string_renders_concrete_syntax() {
+        assert_eq!(mode_string(&[Mode::In, Mode::Out]), "(+, -)");
+        assert_eq!(mode_string(&[]), "()");
+    }
+}

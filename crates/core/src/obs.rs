@@ -109,11 +109,20 @@ pub enum Counter {
     /// Proof-table entries retained across a per-constraint rescope
     /// (incremental invalidation) instead of being discarded wholesale.
     IncrementalReuse,
+    /// Predicates whose argument modes were inferred (or re-checked) by
+    /// the mode fixpoint, one per predicate per fixpoint round.
+    ModeInferences,
+    /// Mode-discipline violations found, statically (E0601/E0604) or on an
+    /// audited resolvent.
+    ModeViolations,
+    /// Resolvents whose selected atom was checked for input-boundedness
+    /// during `audit --modes` runs.
+    AuditModeResolvents,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 32] = [
         Counter::TableHits,
         Counter::TableMisses,
         Counter::TableInserts,
@@ -143,6 +152,9 @@ impl Counter {
         Counter::DeadlineExceeded,
         Counter::BudgetExhausted,
         Counter::IncrementalReuse,
+        Counter::ModeInferences,
+        Counter::ModeViolations,
+        Counter::AuditModeResolvents,
     ];
 
     /// Number of counters.
@@ -180,6 +192,9 @@ impl Counter {
             Counter::DeadlineExceeded => "deadline_exceeded",
             Counter::BudgetExhausted => "budget_exhausted",
             Counter::IncrementalReuse => "incremental_reuse",
+            Counter::ModeInferences => "mode_inferences",
+            Counter::ModeViolations => "mode_violations",
+            Counter::AuditModeResolvents => "audit_mode_resolvents",
         }
     }
 
@@ -353,6 +368,20 @@ pub enum TraceEvent<'a> {
         /// Span duration in nanoseconds.
         nanos: u64,
     },
+    /// The mode fixpoint visited one predicate (declared or inferred).
+    ModeInfer {
+        /// Printed name of the predicate.
+        pred: &'a str,
+        /// The mode string at this point, e.g. `"+-"`.
+        modes: &'a str,
+    },
+    /// A mode-discipline check fired on an audited resolvent.
+    ModeAudit {
+        /// Printed name of the selected atom's predicate.
+        pred: &'a str,
+        /// Whether the selected atom's `+` positions were all ground.
+        ok: bool,
+    },
 }
 
 impl TraceEvent<'_> {
@@ -372,6 +401,8 @@ impl TraceEvent<'_> {
             TraceEvent::CmatchExpand { .. } => "cmatch.expand",
             TraceEvent::CheckBegin { .. } => "check.begin",
             TraceEvent::CheckEnd { .. } => "check.end",
+            TraceEvent::ModeInfer { .. } => "mode.infer",
+            TraceEvent::ModeAudit { .. } => "mode.audit",
         }
     }
 
@@ -420,6 +451,17 @@ impl TraceEvent<'_> {
                     ",\"kind\":{},\"ok\":{ok},\"nanos\":{nanos}",
                     json::escape(kind)
                 );
+            }
+            TraceEvent::ModeInfer { pred, modes } => {
+                let _ = write!(
+                    out,
+                    ",\"pred\":{},\"modes\":{}",
+                    json::escape(pred),
+                    json::escape(modes)
+                );
+            }
+            TraceEvent::ModeAudit { pred, ok } => {
+                let _ = write!(out, ",\"pred\":{},\"ok\":{ok}", json::escape(pred));
             }
         }
     }
@@ -1283,5 +1325,10 @@ mod tests {
         assert!(Counter::DeadlineExceeded.scheduling_invariant());
         assert!(Counter::BudgetExhausted.scheduling_invariant());
         assert!(!Counter::IncrementalReuse.scheduling_invariant());
+        // The mode pass runs serially over the whole module, so its
+        // tallies must agree across worker counts.
+        assert!(Counter::ModeInferences.scheduling_invariant());
+        assert!(Counter::ModeViolations.scheduling_invariant());
+        assert!(Counter::AuditModeResolvents.scheduling_invariant());
     }
 }

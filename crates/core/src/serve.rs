@@ -19,6 +19,7 @@
 //! | `load` | `source` | `clauses`, `queries` |
 //! | `delta` | `source` | `clauses`, `queries`, `reused` |
 //! | `check` | `deadline_ms?`, `budget?` | `clauses`, `queries`, `errors`, `verdicts` |
+//! | `modes` | — | `predicates`, `declared`, `inferred`, `violations`, `mismatches`, `unmoded_recursive`, `modes` |
 //! | `stats` | — | the serve counters |
 //! | `shutdown` | — | — |
 //!
@@ -259,6 +260,7 @@ impl ServeSession {
                 "load" => self.op_load(req, id, seq, false),
                 "delta" => self.op_load(req, id, seq, true),
                 "check" => self.op_check(req, id, seq, fault),
+                "modes" => self.op_modes(id, seq),
                 "stats" => self.op_stats(id, seq),
                 "shutdown" => {
                     self.closed = true;
@@ -490,6 +492,74 @@ impl ServeSession {
                 ("queries".to_owned(), JsonValue::num(queries.len() as u64)),
                 ("errors".to_owned(), JsonValue::num(errors_total as u64)),
                 ("verdicts".to_owned(), JsonValue::Arr(verdicts)),
+            ],
+        )
+    }
+
+    /// `modes`: the fixpoint mode report of the loaded module — declared
+    /// `MODE` predicates checked, the rest inferred — against the warm
+    /// module, so an editor can ask for modes without reloading. The row
+    /// order follows symbol declaration order and the response is
+    /// byte-identical across job counts (the analysis is serial).
+    fn op_modes(&self, id: &Option<JsonValue>, seq: u64) -> JsonValue {
+        let Some(program) = &self.program else {
+            return error_response(
+                id,
+                seq,
+                "`modes` needs a loaded program (send `load` first)",
+            );
+        };
+        let report = crate::modes::ModeAnalysis::new(&program.module)
+            .with_obs(Some(&self.obs))
+            .run();
+        let sig = &program.module.sig;
+        let rows = report
+            .modes
+            .iter()
+            .map(|(&p, modes)| {
+                JsonValue::Obj(vec![
+                    ("pred".to_owned(), JsonValue::Str(sig.name(p).to_owned())),
+                    (
+                        "modes".to_owned(),
+                        JsonValue::Str(crate::modes::mode_string(modes)),
+                    ),
+                    (
+                        "declared".to_owned(),
+                        JsonValue::Bool(report.declared.contains(&p)),
+                    ),
+                ])
+            })
+            .collect();
+        ok_response(
+            id,
+            seq,
+            "modes",
+            vec![
+                (
+                    "predicates".to_owned(),
+                    JsonValue::num(report.modes.len() as u64),
+                ),
+                (
+                    "declared".to_owned(),
+                    JsonValue::num(report.declared.len() as u64),
+                ),
+                (
+                    "inferred".to_owned(),
+                    JsonValue::num((report.modes.len() - report.declared.len()) as u64),
+                ),
+                (
+                    "violations".to_owned(),
+                    JsonValue::num(report.violations.len() as u64),
+                ),
+                (
+                    "mismatches".to_owned(),
+                    JsonValue::num(report.mismatches.len() as u64),
+                ),
+                (
+                    "unmoded_recursive".to_owned(),
+                    JsonValue::num(report.unmoded_recursive.len() as u64),
+                ),
+                ("modes".to_owned(), JsonValue::Arr(rows)),
             ],
         )
     }
@@ -769,6 +839,38 @@ mod tests {
         assert_eq!(status(lines[0]), "ok");
         assert_eq!(status(lines[1]), "ok");
         assert_eq!(status(lines[2]), "ok");
+    }
+
+    #[test]
+    fn modes_op_answers_from_the_warm_module() {
+        let mut s = session(ServeConfig::default());
+        // No program yet: a plain error, not a panic.
+        assert_eq!(status(&s.handle_line(&req(r#"{"op":"modes"}"#))), "error");
+        let moded = format!("{APP} MODE app(+, +, -).");
+        assert_eq!(status(&s.handle_line(&load_line(&moded))), "ok");
+        let first = s.handle_line(&req(r#"{"op":"modes"}"#));
+        let r = parse(&first);
+        assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert_eq!(r.get("declared").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(r.get("violations").and_then(|v| v.as_u64()), Some(0));
+        let JsonValue::Arr(rows) = r.get("modes").unwrap() else {
+            panic!("modes is an array");
+        };
+        assert!(
+            rows.iter().any(|row| {
+                row.get("pred").and_then(|v| v.as_str()) == Some("app")
+                    && row.get("modes").and_then(|v| v.as_str()) == Some("(+, +, -)")
+                    && row.get("declared") == Some(&JsonValue::Bool(true))
+            }),
+            "no declared app row in {first}"
+        );
+        // The report is deterministic request to request (modulo seq).
+        let again = s.handle_line(&req(r#"{"op":"modes"}"#));
+        assert_eq!(
+            first.replacen("\"seq\":3", "\"seq\":4", 1),
+            again,
+            "mode reports drifted between requests"
+        );
     }
 
     #[test]

@@ -3,93 +3,10 @@
 //! never panics, is byte-for-byte deterministic across runs, and is
 //! unaffected by proof tabling (the `--no-table` CLI switch).
 
-use std::fmt::Write as _;
-
-use lp_gen::{programs, terms, worlds};
+use lp_gen::{programs, worlds};
 use lp_parser::parse_module;
-use lp_term::{NameHints, Signature, SymKind, Term, TermDisplay};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use subtype_core::diag;
 use subtype_core::lint::{lint_module, LintOptions};
-
-/// Renders a term with `A`, `B`, … names assigned by first occurrence.
-fn render(t: &Term, sig: &Signature, hints: &mut NameHints, count: &mut usize) -> String {
-    for sub in t.subterms() {
-        if let Term::Var(v) = sub {
-            if hints.get(*v).is_none() {
-                let name = if *count < 26 {
-                    char::from(b'A' + *count as u8).to_string()
-                } else {
-                    format!("V{count}")
-                };
-                hints.insert(*v, name);
-                *count += 1;
-            }
-        }
-    }
-    TermDisplay::new(t, sig).with_hints(hints).to_string()
-}
-
-/// Renders a random guarded world as source text, followed by a small
-/// (possibly ill-typed) program over its symbols — raw material for every
-/// lint pass.
-fn world_source(seed: u64) -> String {
-    let w = worlds::random(seed, worlds::RandomWorldConfig::default());
-    let sig = &w.sig;
-    let mut src = String::new();
-
-    let funcs: Vec<&str> = sig
-        .symbols_of_kind(SymKind::Func)
-        .map(|s| sig.name(s))
-        .collect();
-    writeln!(src, "FUNC {}.", funcs.join(", ")).unwrap();
-    let ctors: Vec<&str> = sig
-        .symbols_of_kind(SymKind::TypeCtor)
-        .map(|s| sig.name(s))
-        .filter(|n| *n != "+")
-        .collect();
-    writeln!(src, "TYPE {}.", ctors.join(", ")).unwrap();
-    for c in w.cs.constraints() {
-        if sig.name(c.ctor()) == "+" {
-            continue;
-        }
-        let mut hints = NameHints::new();
-        let mut count = 0;
-        let lhs = render(&c.lhs, sig, &mut hints, &mut count);
-        let rhs = render(&c.rhs, sig, &mut hints, &mut count);
-        writeln!(src, "{lhs} >= {rhs}.").unwrap();
-    }
-
-    // A couple of predicates over the world's first constructors, with
-    // random ground facts (frequently ill-typed — the lint must cope), a
-    // recursive clause, and a query.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
-    for (i, &c) in w.ctors.iter().take(2).enumerate() {
-        if sig.name(c) == "+" {
-            continue;
-        }
-        let ty = match sig.arity(c).unwrap_or(0) {
-            0 => sig.name(c).to_string(),
-            n => format!(
-                "{}({})",
-                sig.name(c),
-                (0..n)
-                    .map(|k| char::from(b'A' + k as u8).to_string())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-        };
-        writeln!(src, "PRED q{i}({ty}).").unwrap();
-        for _ in 0..rng.gen_range(1..3usize) {
-            let t = terms::random_ground_term(&mut rng, sig, &w.funcs, 2);
-            writeln!(src, "q{i}({}).", TermDisplay::new(&t, sig)).unwrap();
-        }
-        writeln!(src, "q{i}(X) :- q{i}(X).").unwrap();
-        writeln!(src, ":- q{i}(Z).").unwrap();
-    }
-    src
-}
 
 /// Lints a source string under the given options, returning the rendered
 /// human report (the CLI's observable output).
@@ -125,7 +42,7 @@ const WORLD_SEEDS: u64 = 48;
 #[test]
 fn random_worlds_lint_deterministically() {
     for seed in 0..WORLD_SEEDS {
-        assert_lint_stable(&world_source(seed));
+        assert_lint_stable(&worlds::random_source(seed));
     }
 }
 

@@ -1,0 +1,165 @@
+//! Property tests for the mode-inference pass: over 200 generated
+//! programs — random guarded worlds plus the `lp-gen` program families —
+//! the fixpoint analysis never panics, is deterministic across runs, and
+//! agrees with itself when its own inferences are written back as `MODE`
+//! declarations and the program re-analysed through a full
+//! unparse/reparse round trip.
+
+use lp_gen::{programs, worlds};
+use lp_parser::{parse_module, unparse, Mode, Module};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use subtype_core::diag;
+use subtype_core::lint::{lint_module, LintOptions};
+use subtype_core::modes::{ModeAnalysis, ModeReport};
+
+/// Number of random-world seeds; together with the program families the
+/// corpus stays above 200 generated programs.
+const WORLD_SEEDS: u64 = 48;
+
+/// The generated corpus: every random world plus the program families.
+fn corpus() -> Vec<String> {
+    let mut cases: Vec<String> = (0..WORLD_SEEDS).map(worlds::random_source).collect();
+    for n in 1..9 {
+        for k in 1..5 {
+            cases.push(programs::pipeline(n, k));
+            cases.push(programs::pipeline_with_errors(n, k, n));
+        }
+    }
+    for n in 0..45 {
+        cases.push(programs::nrev(n));
+        cases.push(programs::fact_base(n));
+    }
+    assert!(
+        cases.len() >= 200,
+        "corpus shrank below the 200-program floor: {} cases",
+        cases.len()
+    );
+    cases
+}
+
+fn parse(src: &str) -> Module {
+    parse_module(src)
+        .unwrap_or_else(|e| panic!("generated source must parse: {}\n{src}", e.render(src)))
+}
+
+/// The shared property: the analysis terminates without panicking and two
+/// runs produce identical reports.
+fn analyse_stable(module: &Module, src: &str) -> ModeReport {
+    let a = ModeAnalysis::new(module).run();
+    let b = ModeAnalysis::new(module).run();
+    assert_eq!(a, b, "two analysis runs differ on:\n{src}");
+    a
+}
+
+#[test]
+fn mode_analysis_is_deterministic_on_generated_programs() {
+    for src in &corpus() {
+        let module = parse(src);
+        let report = analyse_stable(&module, src);
+        // Every predicate with a clause or call gets a mode vector, and
+        // the blind fixpoint covers at least the declared set.
+        assert!(
+            report.declared.iter().all(|p| report.modes.contains_key(p)),
+            "declared predicate missing from the mode map on:\n{src}"
+        );
+    }
+}
+
+/// Writing the analysis's own inferences back as `MODE` declarations and
+/// re-analysing through an unparse/reparse round trip must be clean: the
+/// inferred modes describe the actual data flow, so declaring them can
+/// introduce neither a call-site violation nor a declaration mismatch.
+#[test]
+fn declared_inferences_re_analyse_clean() {
+    for src in &corpus() {
+        let mut module = parse(src);
+        let report = ModeAnalysis::new(&module).run();
+        if report.exhausted {
+            continue; // budget cut the fixpoint short; nothing to pin
+        }
+        module.pred_modes = report
+            .inferred
+            .iter()
+            .filter(|(_, modes)| !modes.is_empty())
+            .map(|(p, modes)| (*p, modes.clone()))
+            .collect();
+        if module.pred_modes.is_empty() {
+            continue;
+        }
+        let declared_src = unparse(&module);
+        let declared = parse_module(&declared_src).unwrap_or_else(|e| {
+            panic!(
+                "moded unparse must reparse: {}\n{declared_src}",
+                e.render(&declared_src)
+            )
+        });
+        let re = analyse_stable(&declared, &declared_src);
+        assert!(
+            re.violations.is_empty(),
+            "declaring inferred modes created call-site violations on:\n{declared_src}\n{:?}",
+            re.violations
+        );
+        assert!(
+            re.mismatches.is_empty(),
+            "declaring inferred modes created mismatches on:\n{declared_src}\n{:?}",
+            re.mismatches
+        );
+    }
+}
+
+/// Randomly corrupted declarations (mode bits flipped against the
+/// inference) must never panic the analysis or the lint driver, and the
+/// rendered lint report stays deterministic and tabling-invariant.
+#[test]
+fn flipped_declarations_never_panic_and_lint_stays_stable() {
+    for (i, src) in corpus().iter().enumerate().step_by(4) {
+        let mut module = parse(src);
+        let report = ModeAnalysis::new(&module).run();
+        let mut rng = StdRng::seed_from_u64(i as u64 ^ 0xd1b54a32d192ed03);
+        module.pred_modes = report
+            .inferred
+            .iter()
+            .filter(|(_, modes)| !modes.is_empty())
+            .map(|(p, modes)| {
+                let flipped: Vec<Mode> = modes
+                    .iter()
+                    .map(|&m| {
+                        if rng.gen_bool(0.5) {
+                            match m {
+                                Mode::In => Mode::Out,
+                                Mode::Out => Mode::In,
+                            }
+                        } else {
+                            m
+                        }
+                    })
+                    .collect();
+                (*p, flipped)
+            })
+            .collect();
+        if module.pred_modes.is_empty() {
+            continue;
+        }
+        let moded_src = unparse(&module);
+        let moded = parse(&moded_src);
+        analyse_stable(&moded, &moded_src);
+        let render = |tabling: bool| {
+            let diags = lint_module(
+                &moded,
+                &LintOptions {
+                    tabling,
+                    ..LintOptions::default()
+                },
+            );
+            diag::render_human_all(&diags, &moded_src, "gen.slp")
+        };
+        let a = render(true);
+        assert_eq!(a, render(true), "two lint runs differ on:\n{moded_src}");
+        assert_eq!(
+            a,
+            render(false),
+            "tabling changed the moded report on:\n{moded_src}"
+        );
+    }
+}

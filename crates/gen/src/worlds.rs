@@ -1,6 +1,8 @@
 //! Constraint-set families ("worlds") for tests and benchmarks.
 
-use lp_term::{Signature, Sym, SymKind, Term, VarGen};
+use std::fmt::Write as _;
+
+use lp_term::{NameHints, Signature, Sym, SymKind, Term, TermDisplay, VarGen};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use subtype_core::{CheckedConstraints, ConstraintSet};
@@ -165,6 +167,84 @@ pub fn random(seed: u64, config: RandomWorldConfig) -> BuiltWorld {
         }
     }
     finish(sig, gen, cs)
+}
+
+/// Renders a term with `A`, `B`, … names assigned by first occurrence.
+fn render_named(t: &Term, sig: &Signature, hints: &mut NameHints, count: &mut usize) -> String {
+    for sub in t.subterms() {
+        if let Term::Var(v) = sub {
+            if hints.get(*v).is_none() {
+                let name = if *count < 26 {
+                    char::from(b'A' + *count as u8).to_string()
+                } else {
+                    format!("V{count}")
+                };
+                hints.insert(*v, name);
+                *count += 1;
+            }
+        }
+    }
+    TermDisplay::new(t, sig).with_hints(hints).to_string()
+}
+
+/// Renders [`random`] (at the default configuration) as declaration-language
+/// source text, followed by a small program over the world's symbols: a
+/// couple of predicates with random ground facts (frequently ill-typed —
+/// downstream passes must cope), a recursive clause each, and a query per
+/// predicate. Deterministic per seed; raw material for the lint and mode
+/// property tests.
+pub fn random_source(seed: u64) -> String {
+    let w = random(seed, RandomWorldConfig::default());
+    let sig = &w.sig;
+    let mut src = String::new();
+
+    let funcs: Vec<&str> = sig
+        .symbols_of_kind(SymKind::Func)
+        .map(|s| sig.name(s))
+        .collect();
+    writeln!(src, "FUNC {}.", funcs.join(", ")).unwrap();
+    let ctors: Vec<&str> = sig
+        .symbols_of_kind(SymKind::TypeCtor)
+        .map(|s| sig.name(s))
+        .filter(|n| *n != "+")
+        .collect();
+    writeln!(src, "TYPE {}.", ctors.join(", ")).unwrap();
+    for c in w.cs.constraints() {
+        if sig.name(c.ctor()) == "+" {
+            continue;
+        }
+        let mut hints = NameHints::new();
+        let mut count = 0;
+        let lhs = render_named(&c.lhs, sig, &mut hints, &mut count);
+        let rhs = render_named(&c.rhs, sig, &mut hints, &mut count);
+        writeln!(src, "{lhs} >= {rhs}.").unwrap();
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
+    for (i, &c) in w.ctors.iter().take(2).enumerate() {
+        if sig.name(c) == "+" {
+            continue;
+        }
+        let ty = match sig.arity(c).unwrap_or(0) {
+            0 => sig.name(c).to_string(),
+            n => format!(
+                "{}({})",
+                sig.name(c),
+                (0..n)
+                    .map(|k| char::from(b'A' + k as u8).to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        };
+        writeln!(src, "PRED q{i}({ty}).").unwrap();
+        for _ in 0..rng.gen_range(1..3usize) {
+            let t = crate::terms::random_ground_term(&mut rng, sig, &w.funcs, 2);
+            writeln!(src, "q{i}({}).", TermDisplay::new(&t, sig)).unwrap();
+        }
+        writeln!(src, "q{i}(X) :- q{i}(X).").unwrap();
+        writeln!(src, ":- q{i}(Z).").unwrap();
+    }
+    src
 }
 
 /// Builds a random constraint right-hand side for constructor index `i`:

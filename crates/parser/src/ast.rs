@@ -53,6 +53,37 @@ pub struct NameAst {
     pub span: Span,
 }
 
+/// An argument mode: `+` (input, bound at call time) or `-` (output,
+/// bound by the call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mode {
+    /// `+` — the argument must be input-bound when the predicate is called.
+    In,
+    /// `-` — the argument is an output the call may bind.
+    Out,
+}
+
+impl Mode {
+    /// The concrete-syntax character, `+` or `-`.
+    pub fn symbol(self) -> char {
+        match self {
+            Mode::In => '+',
+            Mode::Out => '-',
+        }
+    }
+}
+
+/// One entry of a `MODE` declaration: `p(+, -)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModeDeclAst {
+    /// The predicate name.
+    pub name: String,
+    /// One mode per argument position.
+    pub modes: Vec<Mode>,
+    /// Source location of the whole entry.
+    pub span: Span,
+}
+
 /// One top-level item of a source file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Item {
@@ -62,6 +93,9 @@ pub enum Item {
     TypeDecl(Vec<NameAst>),
     /// `PRED p(τ…), q(τ…).` — declares predicate types (Definition 14).
     PredDecl(Vec<TermAst>),
+    /// `MODE p(+,-), q(+).` — declares input/output modes per argument
+    /// position (Smaus–Fages–Deransart).
+    ModeDecl(Vec<ModeDeclAst>),
     /// `c(α…) >= τ.` — a subtype constraint (Definition 2).
     Constraint {
         /// Left-hand side (the supertype pattern).
@@ -101,6 +135,11 @@ impl Item {
             Item::PredDecl(ts) => ts
                 .iter()
                 .map(|t| t.span())
+                .reduce(Span::merge)
+                .unwrap_or_default(),
+            Item::ModeDecl(ds) => ds
+                .iter()
+                .map(|d| d.span)
                 .reduce(Span::merge)
                 .unwrap_or_default(),
             Item::Constraint { span, .. }

@@ -122,6 +122,10 @@ impl<'src> Lexer<'src> {
                 self.bump();
                 TokenKind::Plus
             }
+            '-' => {
+                self.bump();
+                TokenKind::Minus
+            }
             ':' if self.peek2() == Some('-') => {
                 self.bump();
                 self.bump();

@@ -67,6 +67,7 @@ mod parser;
 mod token;
 mod unparse;
 
+pub use ast::{Mode, ModeDeclAst};
 pub use error::{ParseError, ParseErrorKind};
 pub use lexer::Lexer;
 pub use loader::{

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use lp_engine::{Clause, ClauseOrigin};
 use lp_term::{NameHints, Signature, Sym, SymKind, Term, Var, VarGen};
 
-use crate::ast::{Item, TermAst};
+use crate::ast::{Item, Mode, ModeDeclAst, TermAst};
 use crate::error::{ParseError, ParseErrorKind};
 use crate::parser::parse_items;
 use crate::token::Span;
@@ -104,6 +104,12 @@ pub struct Module {
     /// Source location of each `PRED` declaration, parallel to
     /// [`Module::pred_types`].
     pub pred_type_spans: Vec<Span>,
+    /// Declared argument modes, one entry per `MODE`-declared predicate,
+    /// in declaration order.
+    pub pred_modes: Vec<(Sym, Vec<Mode>)>,
+    /// Source location of each `MODE` declaration entry, parallel to
+    /// [`Module::pred_modes`].
+    pub pred_mode_spans: Vec<Span>,
     /// Declaration sites of explicitly declared symbols (`FUNC`/`TYPE`
     /// names), in declaration order.
     pub sym_spans: Vec<(Sym, Span)>,
@@ -148,6 +154,22 @@ impl Module {
             .position(|pt| pt.functor() == Some(pred))
             .and_then(|i| self.pred_type_spans.get(i).copied())
     }
+
+    /// Declared argument modes of `pred`, if a `MODE` declaration exists.
+    pub fn pred_mode(&self, pred: Sym) -> Option<&[Mode]> {
+        self.pred_modes
+            .iter()
+            .find(|(p, _)| *p == pred)
+            .map(|(_, ms)| ms.as_slice())
+    }
+
+    /// Source location of the `MODE` declaration for `pred`, if any.
+    pub fn pred_mode_span(&self, pred: Sym) -> Option<Span> {
+        self.pred_modes
+            .iter()
+            .position(|(p, _)| *p == pred)
+            .and_then(|i| self.pred_mode_spans.get(i).copied())
+    }
 }
 
 /// Parses and loads a source file in one step with default options.
@@ -182,6 +204,9 @@ pub struct Loader {
     pred_types: Vec<Term>,
     pred_type_spans: Vec<Span>,
     pred_type_owner: HashMap<Sym, Span>,
+    pred_modes: Vec<(Sym, Vec<Mode>)>,
+    pred_mode_spans: Vec<Span>,
+    pred_mode_owner: HashMap<Sym, Span>,
     sym_spans: Vec<(Sym, Span)>,
     clauses: Vec<LoadedClause>,
     queries: Vec<LoadedQuery>,
@@ -227,6 +252,9 @@ impl Loader {
             pred_types: Vec::new(),
             pred_type_spans: Vec::new(),
             pred_type_owner: HashMap::new(),
+            pred_modes: Vec::new(),
+            pred_mode_spans: Vec::new(),
+            pred_mode_owner: HashMap::new(),
             sym_spans: Vec::new(),
             clauses: Vec::new(),
             queries: Vec::new(),
@@ -249,6 +277,11 @@ impl Loader {
                 pred_type_owner.insert(p, span);
             }
         }
+        let mut pred_mode_owner = HashMap::new();
+        for (i, (p, _)) in module.pred_modes.iter().enumerate() {
+            let span = module.pred_mode_spans.get(i).copied().unwrap_or_default();
+            pred_mode_owner.insert(*p, span);
+        }
         Loader {
             options,
             sig: module.sig,
@@ -257,6 +290,9 @@ impl Loader {
             pred_types: module.pred_types,
             pred_type_spans: module.pred_type_spans,
             pred_type_owner,
+            pred_modes: module.pred_modes,
+            pred_mode_spans: module.pred_mode_spans,
+            pred_mode_owner,
             sym_spans: module.sym_spans,
             clauses: module.clauses,
             queries: module.queries,
@@ -364,6 +400,12 @@ impl Loader {
                 }
                 Ok(())
             }
+            Item::ModeDecl(decls) => {
+                for d in decls {
+                    self.load_mode_decl(d)?;
+                }
+                Ok(())
+            }
             Item::Constraint { lhs, rhs, span } => self.load_constraint(lhs, rhs, *span),
             Item::Clause { head, body, span } => self.load_clause(head, body, *span),
             Item::Query { body, span } => self.load_query(body, *span),
@@ -378,6 +420,8 @@ impl Loader {
             constraints: self.constraints,
             pred_types: self.pred_types,
             pred_type_spans: self.pred_type_spans,
+            pred_modes: self.pred_modes,
+            pred_mode_spans: self.pred_mode_spans,
             sym_spans: self.sym_spans,
             clauses: self.clauses,
             queries: self.queries,
@@ -421,6 +465,28 @@ impl Loader {
         }
         self.pred_types.push(Term::app(pred, resolved));
         self.pred_type_spans.push(*span);
+        Ok(())
+    }
+
+    fn load_mode_decl(&mut self, d: &ModeDeclAst) -> Result<(), ParseError> {
+        let pred = self
+            .sig
+            .declare(&d.name, SymKind::Pred)
+            .map_err(|e| ParseError::from((e, d.span)))?;
+        self.sig
+            .fix_arity(pred, d.modes.len())
+            .map_err(|e| ParseError::from((e, d.span)))?;
+        if self.pred_mode_owner.insert(pred, d.span).is_some() {
+            return Err(ParseError::new(
+                ParseErrorKind::Malformed(format!(
+                    "duplicate mode declaration for `{}` (one MODE per predicate)",
+                    d.name
+                )),
+                d.span,
+            ));
+        }
+        self.pred_modes.push((pred, d.modes.clone()));
+        self.pred_mode_spans.push(d.span);
         Ok(())
     }
 
@@ -701,6 +767,47 @@ mod tests {
         let err = parse_module("TYPE c, d. c(A) >= d(A, B).").unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::Malformed(_)));
         assert!(err.to_string().contains('B'));
+    }
+
+    #[test]
+    fn mode_decl_loads_with_span_and_arity() {
+        let src = "TYPE t. PRED p(t, t). MODE p(+, -).";
+        let m = parse_module(src).unwrap();
+        let p = m.sig.lookup("p").unwrap();
+        assert_eq!(m.pred_mode(p), Some(&[Mode::In, Mode::Out][..]));
+        let span = m.pred_mode_span(p).expect("MODE entry has a span");
+        assert_eq!(&src[span.start..span.end], "p(+, -)");
+    }
+
+    #[test]
+    fn mode_decl_declares_pred_implicitly() {
+        let m = parse_module("MODE q(+).").unwrap();
+        let q = m.sig.lookup("q").unwrap();
+        assert_eq!(m.sig.kind(q), SymKind::Pred);
+        assert_eq!(m.sig.arity(q), Some(1));
+    }
+
+    #[test]
+    fn duplicate_mode_decl_rejected() {
+        let err = parse_module("MODE p(+). MODE p(-).").unwrap_err();
+        assert!(err.to_string().contains("duplicate mode"));
+    }
+
+    #[test]
+    fn mode_decl_arity_clash_rejected() {
+        let err = parse_module("TYPE t. PRED p(t). MODE p(+, -).").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::Signature(lp_term::SigError::ArityClash { .. })
+        ));
+    }
+
+    #[test]
+    fn resume_preserves_mode_decls() {
+        let m = parse_module("MODE p(+).").unwrap();
+        let mut loader = Loader::resume(m, LoaderOptions::default());
+        let err = loader.load_source("MODE p(-).").unwrap_err();
+        assert!(err.to_string().contains("duplicate mode"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Recursive-descent parser producing the syntactic AST.
 
-use crate::ast::{Item, NameAst, TermAst};
+use crate::ast::{Item, Mode, ModeDeclAst, NameAst, TermAst};
 use crate::error::{ParseError, ParseErrorKind};
 use crate::lexer::Lexer;
 use crate::token::{Token, TokenKind};
@@ -122,6 +122,16 @@ impl Parser {
             self.expect(&TokenKind::Dot, "`.` after PRED declaration")?;
             return Ok(Item::PredDecl(types));
         }
+        if self.at_keyword("MODE") {
+            self.bump();
+            let mut decls = vec![self.mode_decl()?];
+            while self.peek().kind == TokenKind::Comma {
+                self.bump();
+                decls.push(self.mode_decl()?);
+            }
+            self.expect(&TokenKind::Dot, "`.` after MODE declaration")?;
+            return Ok(Item::ModeDecl(decls));
+        }
         if self.peek().kind == TokenKind::Turnstile {
             let start = self.bump().span;
             let body = self.atom_list()?;
@@ -190,6 +200,45 @@ impl Parser {
                 })
             }
             _ => Err(self.unexpected("a symbol name")),
+        }
+    }
+
+    /// `name ( mode (, mode)* )` — one entry of a `MODE` declaration.
+    fn mode_decl(&mut self) -> Result<ModeDeclAst, ParseError> {
+        let TokenKind::Name(name) = self.peek().kind.clone() else {
+            return Err(self.unexpected("a predicate name"));
+        };
+        let start = self.bump().span;
+        self.expect(
+            &TokenKind::LParen,
+            "`(` after the predicate name in a MODE declaration",
+        )?;
+        let mut modes = vec![self.mode()?];
+        while self.peek().kind == TokenKind::Comma {
+            self.bump();
+            modes.push(self.mode()?);
+        }
+        let end = self
+            .expect(&TokenKind::RParen, "`)` closing the mode list")?
+            .span;
+        Ok(ModeDeclAst {
+            name,
+            modes,
+            span: start.merge(end),
+        })
+    }
+
+    fn mode(&mut self) -> Result<Mode, ParseError> {
+        match self.peek().kind {
+            TokenKind::Plus => {
+                self.bump();
+                Ok(Mode::In)
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Mode::Out)
+            }
+            _ => Err(self.unexpected("`+` or `-`")),
         }
     }
 
@@ -408,6 +457,33 @@ mod tests {
             }
             other => panic!("expected PredDecl, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_mode_decl() {
+        let items = parse_items("MODE app(+, +, -), member(-, +).").unwrap();
+        match &items[0] {
+            Item::ModeDecl(ds) => {
+                assert_eq!(ds.len(), 2);
+                assert_eq!(ds[0].name, "app");
+                assert_eq!(ds[0].modes, vec![Mode::In, Mode::In, Mode::Out]);
+                assert_eq!(ds[1].name, "member");
+                assert_eq!(ds[1].modes, vec![Mode::Out, Mode::In]);
+            }
+            other => panic!("expected ModeDecl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mode_decl_rejects_bare_name() {
+        let err = parse_items("MODE p.").unwrap_err();
+        assert!(err.to_string().contains("MODE"), "{err}");
+    }
+
+    #[test]
+    fn mode_decl_rejects_type_argument() {
+        let err = parse_items("MODE p(nat).").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::UnexpectedToken { .. }));
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub enum TokenKind {
     Supertype,
     /// `+`
     Plus,
+    /// `-` (argument mode in `MODE` declarations)
+    Minus,
     /// End of input.
     Eof,
 }
@@ -74,6 +76,7 @@ impl TokenKind {
             TokenKind::Turnstile => "`:-`".to_string(),
             TokenKind::Supertype => "`>=`".to_string(),
             TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
             TokenKind::Eof => "end of input".to_string(),
         }
     }

@@ -56,6 +56,11 @@ pub fn unparse(module: &Module) -> String {
         );
     }
 
+    for (pred, modes) in &module.pred_modes {
+        let ms: Vec<String> = modes.iter().map(|m| m.symbol().to_string()).collect();
+        let _ = writeln!(out, "MODE {}({}).", sig.name(*pred), ms.join(", "));
+    }
+
     for lc in &module.clauses {
         let hints = merge_hints(&lc.hints, || {
             let atoms: Vec<&Term> = lc.clause.atoms().collect();
@@ -177,6 +182,16 @@ mod tests {
     fn unparse_is_a_fixpoint_modulo_renaming() {
         let m1 = parse_module(SRC).unwrap();
         let t1 = unparse(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = unparse(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn mode_decls_round_trip() {
+        let m1 = parse_module("TYPE t. PRED p(t, t). MODE p(+, -). p(X, X).").unwrap();
+        let t1 = unparse(&m1);
+        assert!(t1.contains("MODE p(+, -)."), "{t1}");
         let m2 = parse_module(&t1).unwrap();
         let t2 = unparse(&m2);
         assert_eq!(t1, t2);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Regenerates every committed golden artifact deterministically:
 #
-#   tests/golden/{app,naturals,lint_demo}.{txt,json}   lint output goldens
+#   tests/golden/{app,naturals,lint_demo,modes_demo}.{txt,json}
+#                                                      lint output goldens
+#   tests/golden/modes_demo_audit.{txt,json}           slp audit --modes goldens
 #   tests/golden/explain_{q,h,app}.{txt,json}          slp explain goldens
 #   tests/golden/stats_schema.txt                      --stats JSON schema
 #   tests/golden/serve_session.golden                  serve replay golden
@@ -15,13 +17,23 @@ cd "$(dirname "$0")/.."
 
 cargo build --release -p subtype-lp -p bench
 
-# Lint goldens, human and JSON (lint_demo is intentionally dirty: exit 2).
-for stem in app naturals lint_demo; do
+# Lint goldens, human and JSON (lint_demo and modes_demo are intentionally
+# dirty: exit 2).
+for stem in app naturals lint_demo modes_demo; do
   target/release/slp lint "examples/$stem.slp" > "tests/golden/$stem.txt" || true
   target/release/slp lint "examples/$stem.slp" --format json \
     > "tests/golden/$stem.json" || true
   echo "blessed tests/golden/$stem.{txt,json}" >&2
 done
+
+# The mode audit golden: query 1 calls `use` with an unbound input, so the
+# output carries the full mode report, the static diagnostics, and one
+# runtime violation from the extended Theorem-6 walk (exit 2 by design).
+target/release/slp audit examples/modes_demo.slp --modes -q 1 \
+  > tests/golden/modes_demo_audit.txt || true
+target/release/slp audit examples/modes_demo.slp --modes -q 1 --format json \
+  > tests/golden/modes_demo_audit.json || true
+echo "blessed tests/golden/modes_demo_audit.{txt,json}" >&2
 
 # Explain goldens over the deliberately ill-typed corpus: a refutation core
 # (h), a rejected-and-well-typed mix with a validated witness (q), and a

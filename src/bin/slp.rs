@@ -13,7 +13,12 @@
 //!                                  empty types, head condition, unused
 //!                                  symbols, overlapping heads, …)
 //! slp run     FILE [-q N] [-n N]   run a query (after checking)
-//! slp audit   FILE [-q N] [-n N]   run with Theorem 6 consistency auditing
+//! slp audit   FILE [-q N] [-n N] [--modes] [--jobs N]
+//!                                  run with Theorem 6 consistency auditing;
+//!                                  `--modes` additionally runs the fixpoint
+//!                                  mode analysis (E0601/W0602/W0603/E0604)
+//!                                  and checks every resolvent's input
+//!                                  positions stay ground
 //! slp subtype FILE SUP SUB         decide SUP >= SUB (deterministic prover)
 //! slp match   FILE TYPE TERM       evaluate match(TYPE, TERM)
 //! slp filter  FILE FROM TO         generate a filtering predicate (§7)
@@ -58,11 +63,13 @@ use std::process::ExitCode;
 use subtype_lp::core::consistency::AuditConfig;
 use subtype_lp::core::diag::{self, Diagnostic};
 use subtype_lp::core::lint::{
-    clause_check_diagnostic, decl_diagnostic, lint_module_obs, query_check_diagnostic, LintOptions,
+    clause_check_diagnostic, decl_diagnostic, lint_module_obs, mode_diagnostics,
+    query_check_diagnostic, LintOptions,
 };
 use subtype_lp::core::{
-    match_type, par, ConstraintSet, Counter, FaultPlan, MatchOutcome, MetricsRegistry, NaiveProver,
-    ProofTable, Prover, ServeConfig, ServeSession, ShardedProofTable, TabledProver, Timer,
+    match_type, mode_string, par, ConstraintSet, Counter, FaultPlan, MatchOutcome, MetricsRegistry,
+    ModeAnalysis, NaiveProver, ProofTable, Prover, ServeConfig, ServeSession, ShardedProofTable,
+    TabledProver, Timer,
 };
 use subtype_lp::parser::{parse_module, Module};
 use subtype_lp::term::TermDisplay;
@@ -84,7 +91,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage:\n  slp check FILE... [--jobs N] [--verify-witnesses] [--stats]\n            [--format json|human] [--trace FILE]\n  slp explain FILE PRED [--format json|human] [--stats] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp serve [--stdio | --socket PATH] [--jobs N] [--faults SPEC]\n            [--budget N] [--deadline-ms N] [--stats] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
+    "usage:\n  slp check FILE... [--jobs N] [--verify-witnesses] [--stats]\n            [--format json|human] [--trace FILE]\n  slp explain FILE PRED [--format json|human] [--stats] [--trace FILE]\n  slp lint FILE... [--jobs N] [--deny warnings] [--format json|human]\n           [--stats] [--trace FILE]\n  slp run FILE [-q QUERY] [-n MAX] [--stats] [--format json|human] [--trace FILE]\n  slp audit FILE [-q QUERY] [-n MAX] [--modes] [--jobs N] [--stats]\n            [--format json|human] [--trace FILE]\n  slp serve [--stdio | --socket PATH] [--jobs N] [--faults SPEC]\n            [--budget N] [--deadline-ms N] [--stats] [--trace FILE]\n  slp subtype FILE SUPERTYPE SUBTYPE [--naive]\n  slp match FILE TYPE TERM\n  slp filter FILE FROM_TYPE TO_TYPE\n  slp export FILE\n  slp info FILE\n\nAll commands accept --no-table to disable subtype-proof tabling.\n`check` and `lint` accept several FILEs (and simple *|? globs); the batch\nruns on --jobs N worker threads (default: all cores) with output in input\norder, byte-identical to a serial run.\nResults go to stdout; errors are rendered to stderr.\n--stats emits one metrics document on stderr after the results\n(`slp-metrics/1` JSON under --format json); --trace FILE writes a JSONL\nspan log of prover/table/checker events.\nExit codes: 0 clean, 1 warnings under --deny warnings, 2 errors."
         .to_string()
 }
 
@@ -136,9 +143,19 @@ fn flag_spec(command: &str) -> Option<&'static [(&'static str, bool)]> {
             ("--stats", false),
             ("--trace", true),
         ],
-        "run" | "audit" => &[
+        "run" => &[
             ("-q", true),
             ("-n", true),
+            ("--no-table", false),
+            ("--stats", false),
+            ("--format", true),
+            ("--trace", true),
+        ],
+        "audit" => &[
+            ("-q", true),
+            ("-n", true),
+            ("--modes", false),
+            ("--jobs", true),
             ("--no-table", false),
             ("--stats", false),
             ("--format", true),
@@ -574,17 +591,24 @@ fn lint_file(
         diag::render_human_all(&diags, &src, file)
     };
     let (errors, warnings) = diag::counts(&diags);
-    let code = if errors > 0 {
-        2
-    } else if warnings > 0 && deny_warnings {
-        1
-    } else {
-        0
-    };
     FileReport {
         stdout,
         stderr: String::new(),
-        code,
+        code: lint_exit_code(errors, warnings, deny_warnings),
+    }
+}
+
+/// Exit code of one linted file. Errors always win: a file with both
+/// errors and denied warnings exits 2, never 1 — and because
+/// [`run_batch`] aggregates the batch code as a per-file maximum, the
+/// same ordering holds across files.
+fn lint_exit_code(errors: usize, warnings: usize, deny_warnings: bool) -> u8 {
+    if errors > 0 {
+        2
+    } else if deny_warnings && warnings > 0 {
+        1
+    } else {
+        0
     }
 }
 
@@ -769,7 +793,11 @@ fn execute(
     parsed: &ParsedArgs,
     auditing: bool,
 ) -> Result<ExitCode, String> {
-    let diags = check_program_diags(program, 1, !program.tabling(), false);
+    // `audit --jobs N` parallelizes the pre-execution type check across
+    // clauses (sharing a sharded proof table); the audit itself is serial
+    // and its output byte-identical at every job count.
+    let jobs = if auditing { jobs_of(parsed)? } else { 1 };
+    let diags = check_program_diags(program, jobs, !program.tabling(), false);
     if !diags.is_empty() {
         return Ok(report_errors(&diags, src, file));
     }
@@ -785,6 +813,9 @@ fn execute(
             queries.len()
         ));
     }
+    if auditing && parsed.has("--modes") {
+        return audit_modes(program, src, file, parsed, query, max);
+    }
     if auditing {
         let report = program.audit_query(
             query,
@@ -794,7 +825,7 @@ fn execute(
             },
         );
         for sol in &report.solutions {
-            print_solution(program, query, sol);
+            println!("{}", solution_line(program, query, sol));
         }
         println!(
             "audited {} resolvent(s): {} violation(s), answers {}",
@@ -815,13 +846,173 @@ fn execute(
             println!("no.");
         }
         for sol in &solutions {
-            print_solution(program, query, sol);
+            println!("{}", solution_line(program, query, sol));
         }
     }
     Ok(ExitCode::SUCCESS)
 }
 
-fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine::Solution) {
+/// `slp audit --modes`: the static mode report (the same `E0601`–`W0605`
+/// findings `slp lint` emits, via the shared pass) followed by a moded
+/// Theorem 6 audit — every resolvent, the initial query goals included,
+/// must keep the selected atom's `+` positions ground. Findings are the
+/// command's results and go to stdout in both formats.
+fn audit_modes(
+    program: &TypedProgram,
+    src: &str,
+    file: &str,
+    parsed: &ParsedArgs,
+    query: usize,
+    max: usize,
+) -> Result<ExitCode, String> {
+    let json = json_format(parsed)?;
+    let module = program.module();
+    let sig = &module.sig;
+
+    // The diagnostics pass below re-runs the analysis with observability
+    // wired in (counters, trace spans); this silent run only supplies the
+    // mode assignment the resolvent checks audit against.
+    let report = ModeAnalysis::new(module).run();
+    let diags = mode_diagnostics(
+        module,
+        program.constraints(),
+        program.pred_types(),
+        &LintOptions {
+            tabling: program.tabling(),
+            ..LintOptions::default()
+        },
+        Some(program.metrics().as_ref()),
+    );
+    let audit = program.audit_query_with_modes(
+        query,
+        AuditConfig {
+            max_solutions: max,
+            ..AuditConfig::default()
+        },
+        &report.modes,
+    );
+
+    let mode_rows: Vec<(String, String, bool)> = report
+        .modes
+        .iter()
+        .map(|(&p, modes)| {
+            (
+                sig.name(p).to_string(),
+                mode_string(modes),
+                report.declared.contains(&p),
+            )
+        })
+        .collect();
+    let (errors, _) = diag::counts(&diags);
+    let well_moded = errors == 0 && audit.is_well_moded();
+
+    if json {
+        let modes_json: Vec<String> = mode_rows
+            .iter()
+            .map(|(pred, modes, declared)| {
+                format!(
+                    "{{\"pred\":{},\"modes\":{},\"declared\":{declared}}}",
+                    jstr(pred),
+                    jstr(modes)
+                )
+            })
+            .collect();
+        let diags_json: Vec<String> = diags
+            .iter()
+            .map(|d| diag::render_json_one(d, src, file))
+            .collect();
+        let solutions_json: Vec<String> = audit
+            .solutions
+            .iter()
+            .map(|sol| jstr(&solution_line(program, query, sol)))
+            .collect();
+        let violations_json: Vec<String> = audit
+            .mode_violations
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"depth\":{},\"pred\":{},\"argument\":{},\"atom\":{}}}",
+                    v.depth,
+                    jstr(sig.name(v.pred)),
+                    v.position + 1,
+                    jstr(&program.display(&v.resolvent[0]).to_string())
+                )
+            })
+            .collect();
+        println!(
+            "{{\"slp-audit-modes\":1,\"file\":{},\"query\":{query},\"modes\":[{}],\
+             \"diagnostics\":[{}],\"solutions\":[{}],\"resolvents\":{},\
+             \"violations\":{},\"answers_consistent\":{},\"mode_resolvents\":{},\
+             \"mode_violations\":[{}],\"well_moded\":{well_moded}}}",
+            jstr(file),
+            modes_json.join(","),
+            diags_json.join(","),
+            solutions_json.join(","),
+            audit.resolvents_checked,
+            audit.violations.len(),
+            audit.answers_consistent,
+            audit.mode_resolvents,
+            violations_json.join(",")
+        );
+    } else {
+        println!(
+            "mode report: {} predicate(s), {} declared, {} inferred",
+            mode_rows.len(),
+            report.declared.len(),
+            mode_rows.len() - report.declared.len()
+        );
+        for (pred, modes, declared) in &mode_rows {
+            println!(
+                "  {pred}{modes}  [{}]",
+                if *declared { "declared" } else { "inferred" }
+            );
+        }
+        print!("{}", diag::render_human_all(&diags, src, file));
+        for sol in &audit.solutions {
+            println!("{}", solution_line(program, query, sol));
+        }
+        for v in &audit.mode_violations {
+            println!(
+                "mode violation at depth {}: input argument {} of `{}` is unbound in `{}`",
+                v.depth,
+                v.position + 1,
+                sig.name(v.pred),
+                program.display(&v.resolvent[0])
+            );
+        }
+        println!(
+            "audited {} resolvent(s): {} violation(s), answers {}",
+            audit.resolvents_checked,
+            audit.violations.len(),
+            if audit.answers_consistent {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            }
+        );
+        println!(
+            "mode-checked {} resolvent(s): {} mode violation(s)",
+            audit.mode_resolvents,
+            audit.mode_violations.len()
+        );
+    }
+
+    if !audit.is_clean() {
+        return Err("consistency violations detected".into());
+    }
+    if !well_moded {
+        return Err("mode violations detected".into());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Renders one solution in the `run`/`audit` answer format (`yes.` or
+/// sorted `Name = value` bindings).
+fn solution_line(
+    program: &TypedProgram,
+    query: usize,
+    sol: &subtype_lp::engine::Solution,
+) -> String {
     let q = &program.module().queries[query];
     let mut parts = Vec::new();
     for (v, name) in q.hints.iter() {
@@ -833,9 +1024,9 @@ fn print_solution(program: &TypedProgram, query: usize, sol: &subtype_lp::engine
     }
     parts.sort();
     if parts.is_empty() {
-        println!("yes.");
+        "yes.".to_string()
     } else {
-        println!("{}.", parts.join(", "));
+        format!("{}.", parts.join(", "))
     }
 }
 

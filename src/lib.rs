@@ -55,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,10 +68,12 @@ pub use lp_term as term;
 pub use subtype_core as core;
 
 use lp_engine::{Database, Query, Solution, SolveConfig};
-use lp_parser::{Loader, LoaderOptions, Module, ParseError};
-use lp_term::{NameHints, Term, TermDisplay};
+use lp_parser::{Loader, LoaderOptions, Mode, Module, ParseError};
+use lp_term::{NameHints, Sym, Term, TermDisplay};
 use subtype_core::consistency::{AuditConfig, AuditReport, Auditor};
+use subtype_core::modes::{ModeAnalysis, ModeReport};
 use subtype_core::welltyped::ClauseTyping;
+use subtype_core::TraceEvent;
 use subtype_core::{
     CheckedConstraints, Checker, ConstraintSet, Counter, MetricsRegistry, MetricsSnapshot,
     ParallelChecker, PredTypeTable, ProofTable, Prover, ShardedProofTable, TableStats,
@@ -446,6 +449,58 @@ impl TypedProgram {
         self.record_solve(started, report.engine);
         self.obs
             .add(Counter::AuditResolvents, report.resolvents_checked);
+        report
+    }
+
+    /// Runs the fixpoint mode-inference pass over this program: declared
+    /// `MODE` predicates are checked, the rest inferred (see
+    /// [`subtype_core::modes`]). Inferences count into this program's
+    /// registry.
+    pub fn mode_report(&self) -> ModeReport {
+        ModeAnalysis::new(&self.module)
+            .with_obs(Some(&self.obs))
+            .run()
+    }
+
+    /// [`TypedProgram::audit_query`] under the mode discipline: besides the
+    /// Theorem 6 well-typedness check, every resolvent (including the
+    /// initial query goals) must keep the selected atom's `+` positions
+    /// ground under `modes`. The extra traffic lands in the
+    /// `audit_mode_resolvents` / `mode_violations` counters, and each
+    /// violating resolvent emits a `mode.audit` trace span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn audit_query_with_modes(
+        &self,
+        index: usize,
+        config: AuditConfig,
+        modes: &BTreeMap<Sym, Vec<Mode>>,
+    ) -> AuditReport {
+        let db = self.database();
+        let started = Instant::now();
+        let report = Auditor::new(self.checker()).run_with_modes(
+            &db,
+            &self.module.queries[index].goals,
+            config,
+            Some(modes),
+        );
+        self.record_solve(started, report.engine);
+        self.obs
+            .add(Counter::AuditResolvents, report.resolvents_checked);
+        self.obs
+            .add(Counter::AuditModeResolvents, report.mode_resolvents);
+        self.obs
+            .add(Counter::ModeViolations, report.mode_violations.len() as u64);
+        if self.obs.tracing() {
+            for v in &report.mode_violations {
+                self.obs.trace(&TraceEvent::ModeAudit {
+                    pred: self.module.sig.name(v.pred),
+                    ok: false,
+                });
+            }
+        }
         report
     }
 

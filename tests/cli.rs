@@ -284,6 +284,7 @@ fn jobs_one_and_four_are_byte_identical() {
         example("app.slp"),
         example("naturals.slp"),
         example("lint_demo.slp"),
+        example("modes_demo.slp"),
     ];
     let files: Vec<&str> = files.iter().map(String::as_str).collect();
     for cmd in [
@@ -474,6 +475,133 @@ fn verify_witnesses_is_stdout_inert_and_counts_validations() {
         assert_eq!(counter("witness_invalid"), 0);
         assert!(counter("witness_emitted") >= counter("witness_validated"));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Modes: lint exit codes, `audit --modes`
+// ---------------------------------------------------------------------------
+
+/// A well-moded variant of [`APP`]: one declared predicate whose only call
+/// supplies both inputs bound, plus an undeclared recursive predicate that
+/// lints as a lone W0603 warning.
+const MODED_APP: &str = "
+    FUNC 0, succ, pred, nil, cons.
+    TYPE nat, unnat, int, elist, nelist, list.
+    nat >= 0 + succ(nat).
+    unnat >= 0 + pred(unnat).
+    int >= nat + unnat.
+    elist >= nil.
+    nelist(A) >= cons(A, list(A)).
+    list(A) >= elist + nelist(A).
+    PRED app(list(A), list(A), list(A)).
+    MODE app(+, +, -).
+    app(nil, L, L).
+    app(cons(X, L), M, cons(X, N)) :- app(L, M, N).
+    PRED loop(nat).
+    loop(X) :- loop(X).
+    :- app(cons(0, nil), cons(succ(0), nil), Z).
+";
+
+#[test]
+fn lint_exit_codes_let_errors_beat_denied_warnings() {
+    let warn = write_fixture("warn_only.slp", MODED_APP);
+    let warn = warn.to_str().unwrap();
+    let dirty = example("modes_demo.slp");
+    let clean = example("app.slp");
+    // Warnings alone: 0 by default, 1 under --deny warnings.
+    let (code, _, _) = slp_code(&["lint", warn]);
+    assert_eq!(code, 0);
+    let (code, _, _) = slp_code(&["lint", warn, "--deny", "warnings"]);
+    assert_eq!(code, 1);
+    // Errors always win: a file with both errors and warnings exits 2
+    // whether or not warnings are denied — never 1.
+    let (code, _, _) = slp_code(&["lint", &dirty]);
+    assert_eq!(code, 2);
+    let (code, _, _) = slp_code(&["lint", &dirty, "--deny", "warnings"]);
+    assert_eq!(code, 2);
+    // Batch exit code is the per-file maximum under the same ordering.
+    let (code, _, _) = slp_code(&["lint", &clean, warn, "--deny", "warnings"]);
+    assert_eq!(code, 1);
+    let (code, _, _) = slp_code(&["lint", &clean, warn, &dirty, "--deny", "warnings"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn audit_modes_flags_the_counterexample() {
+    let f = example("modes_demo.slp");
+    let (code, stdout, stderr) = slp_code(&["audit", &f, "--modes"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("mode violations detected"), "{stderr}");
+    assert!(stdout.contains("error[E0604]"), "{stdout}");
+    assert!(stdout.contains("mode report:"), "{stdout}");
+    // The dynamic walk itself is clean on the well-moded query 0.
+    assert!(stdout.contains("0 mode violation(s)"), "{stdout}");
+    assert!(stdout.contains("answers consistent"), "{stdout}");
+}
+
+#[test]
+fn audit_modes_catches_the_runtime_violation() {
+    let f = example("modes_demo.slp");
+    let (code, stdout, _) = slp_code(&["audit", &f, "--modes", "-q", "1"]);
+    assert_eq!(code, 2);
+    assert!(
+        stdout.contains("mode violation at depth 0: input argument 1 of `use`"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("1 mode violation(s)"), "{stdout}");
+}
+
+#[test]
+fn audit_modes_passes_the_well_moded_variant() {
+    let f = write_fixture("well_moded.slp", MODED_APP);
+    let (code, stdout, stderr) = slp_code(&["audit", f.to_str().unwrap(), "--modes"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stdout.contains("0 mode violation(s)"), "{stdout}");
+    assert!(stdout.contains("app(+, +, -)  [declared]"), "{stdout}");
+    assert!(stdout.contains("loop(+)  [inferred]"), "{stdout}");
+}
+
+#[test]
+fn audit_modes_is_byte_identical_across_job_counts() {
+    let f = example("modes_demo.slp");
+    for query in ["0", "1"] {
+        assert_eq!(
+            slp_code(&["audit", &f, "--modes", "-q", query, "--jobs", "1"]),
+            slp_code(&["audit", &f, "--modes", "-q", query, "--jobs", "4"]),
+            "--jobs changed `audit --modes` output on query {query}"
+        );
+    }
+}
+
+#[test]
+fn audit_modes_json_is_parseable_and_structured() {
+    use subtype_lp::core::obs::json::JsonValue;
+
+    let f = example("modes_demo.slp");
+    let (code, stdout, _) = slp_code(&["audit", &f, "--modes", "-q", "1", "--format", "json"]);
+    assert_eq!(code, 2);
+    let doc = JsonValue::parse(stdout.trim_end()).expect("audit doc parses");
+    assert_eq!(
+        doc.get("slp-audit-modes").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    assert_eq!(doc.get("well_moded"), Some(&JsonValue::Bool(false)));
+    let Some(JsonValue::Arr(violations)) = doc.get("mode_violations") else {
+        panic!("mode_violations array missing");
+    };
+    assert_eq!(violations.len(), 1, "{stdout}");
+    assert_eq!(
+        violations[0].get("pred").and_then(JsonValue::as_str),
+        Some("use")
+    );
+    assert_eq!(
+        violations[0].get("argument").and_then(JsonValue::as_u64),
+        Some(1)
+    );
+    let Some(JsonValue::Arr(modes)) = doc.get("modes") else {
+        panic!("modes array missing");
+    };
+    assert_eq!(modes.len(), 6, "{stdout}");
 }
 
 #[test]
