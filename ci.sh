@@ -198,4 +198,11 @@ step serve-replay serve_replay
 # changes with scripts/bless.sh.
 step perf-smoke target/release/report --smoke --baseline BENCH_5.json
 
+# The ground-closure short-circuit has its own golden: the workload is
+# compared against the committed baseline in isolation, so a regression
+# that stops hitting the closure (closure_hits dropping to 0) fails loudly
+# even if someone loosens the full smoke's tolerance.
+step closure-golden target/release/report --smoke --baseline BENCH_5.json \
+  --only ground_closure
+
 echo "ci: full gate passed" >&2

@@ -23,18 +23,50 @@ use subtype_core::{
 /// Version tag of the document; bump on any structural change.
 pub const SCHEMA: &str = "slp-bench/5";
 
+/// A named zero-argument workload runner in the registry.
+pub type Workload = (&'static str, fn() -> MetricsSnapshot);
+
+/// The named workload registry, in the document's fixed order. Each entry
+/// is a zero-argument runner so callers (the full document, or `report
+/// --smoke --only NAME`) can measure exactly the workloads they need.
+pub fn registry() -> Vec<Workload> {
+    vec![
+        ("f6_alpha_batch", f6_alpha_batch as fn() -> MetricsSnapshot),
+        ("f6_audit_nrev", f6_audit_nrev),
+        ("table_eviction", table_eviction),
+        ("pipeline_check", pipeline_check),
+        ("lint_pipeline", lint_pipeline),
+        ("mode_inference", mode_inference),
+        ("serve_replay", serve_replay),
+        ("ground_closure", ground_closure),
+    ]
+}
+
 /// Runs every BENCH_5 workload (serially, in a fixed order) and returns
 /// the per-workload metric snapshots.
 pub fn workloads() -> Vec<(&'static str, MetricsSnapshot)> {
-    vec![
-        ("f6_alpha_batch", f6_alpha_batch()),
-        ("f6_audit_nrev", f6_audit_nrev()),
-        ("table_eviction", table_eviction()),
-        ("pipeline_check", pipeline_check()),
-        ("lint_pipeline", lint_pipeline()),
-        ("mode_inference", mode_inference()),
-        ("serve_replay", serve_replay()),
-    ]
+    registry()
+        .into_iter()
+        .map(|(name, run)| (name, run()))
+        .collect()
+}
+
+/// Runs only the named workloads, in the order given.
+///
+/// # Errors
+///
+/// The first unknown name, with the known names listed.
+pub fn workloads_named(only: &[&str]) -> Result<Vec<(&'static str, MetricsSnapshot)>, String> {
+    let reg = registry();
+    only.iter()
+        .map(|name| match reg.iter().find(|(n, _)| n == name) {
+            Some(&(n, run)) => Ok((n, run())),
+            None => Err(format!(
+                "unknown workload `{name}` (known: {})",
+                reg.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+            )),
+        })
+        .collect()
 }
 
 /// The F6 alpha-variant subtype batch (256 goals, 8 distinct) through a
@@ -180,10 +212,41 @@ fn serve_replay() -> MetricsSnapshot {
     obs.snapshot()
 }
 
+/// Ground subtype judgements through a tabled prover over the paper world:
+/// four goals the precomputed closure decides without touching the
+/// canonical-key or table layer at all, then one parameterized-supertype
+/// goal (`list(int) ⪰ nil`) that must fall back to the table. Pins the
+/// closure hit/miss split, the fallback's single miss/insert, and the
+/// arena-term volume of the one goal that built a canonical key.
+fn ground_closure() -> MetricsSnapshot {
+    let obs = MetricsRegistry::shared();
+    let world = worlds::paper_world();
+    let lookup = |n: &str| world.sig.lookup(n).expect("paper symbol");
+    let (int, nat, elist, nil) = (lookup("int"), lookup("nat"), lookup("elist"), lookup("nil"));
+    let (succ, zero, list) = (lookup("succ"), lookup("0"), lookup("list"));
+    let table = RefCell::new(ProofTable::with_metrics(obs.clone()));
+    let prover = TabledProver::new(&world.sig, &world.checked, &table);
+    let c = lp_term::Term::constant;
+    assert!(prover.subtype(&c(int), &c(nat)).is_proved());
+    assert!(prover.subtype(&c(nat), &c(int)).is_refuted());
+    assert!(prover.subtype(&c(elist), &c(nil)).is_proved());
+    let two = lp_term::Term::app(succ, vec![lp_term::Term::app(succ, vec![c(zero)])]);
+    assert!(prover.subtype(&c(nat), &two).is_proved());
+    let list_int = lp_term::Term::app(list, vec![c(int)]);
+    assert!(prover.subtype(&list_int, &c(nil)).is_proved());
+    obs.snapshot()
+}
+
 /// Assembles the versioned BENCH_5 document: `schema`, then one ordered
 /// counter object per workload. Counters only — no wall time.
 pub fn document() -> JsonValue {
-    let entries = workloads()
+    document_of(workloads())
+}
+
+/// Assembles a BENCH_5 document from already-measured workloads (the
+/// `--only` path measures a subset).
+pub fn document_of(measured: Vec<(&'static str, MetricsSnapshot)>) -> JsonValue {
+    let entries = measured
         .into_iter()
         .map(|(name, snap)| {
             let counters = Counter::ALL
@@ -333,6 +396,38 @@ mod tests {
             2,
             "one ill-moded call (E0601) and one output hazard (E0604)"
         );
+    }
+
+    #[test]
+    fn ground_closure_workload_pins_the_short_circuit() {
+        let snap = ground_closure();
+        assert_eq!(snap.counter(Counter::ClosureHits), 4, "four decided goals");
+        assert_eq!(
+            snap.counter(Counter::ClosureMisses),
+            1,
+            "list(int) is not a closure node"
+        );
+        assert_eq!(snap.counter(Counter::SubtypeGoals), 5);
+        assert_eq!(
+            snap.counter(Counter::TableMisses),
+            1,
+            "only the fallback keys"
+        );
+        assert_eq!(snap.counter(Counter::TableHits), 0);
+        assert_eq!(snap.counter(Counter::TableInserts), 1);
+        assert_eq!(
+            snap.counter(Counter::ArenaTerms),
+            2,
+            "one canonical key over one two-sided goal"
+        );
+    }
+
+    #[test]
+    fn named_workloads_run_standalone() {
+        let measured = workloads_named(&["ground_closure"]).expect("known name");
+        assert_eq!(measured.len(), 1);
+        assert_eq!(measured[0].0, "ground_closure");
+        assert!(workloads_named(&["no_such_workload"]).is_err());
     }
 
     #[test]

@@ -89,7 +89,38 @@ fn bench5_mode(args: &[String]) {
     }
 }
 
-/// `report --smoke [--baseline FILE] [--tolerance F]`: the CI perf gate.
+/// Keeps only the named workload in a BENCH_5 document (for `--only`
+/// comparisons against a full committed baseline).
+fn filter_workloads(
+    doc: subtype_core::obs::json::JsonValue,
+    name: &str,
+) -> subtype_core::obs::json::JsonValue {
+    use subtype_core::obs::json::JsonValue;
+    let JsonValue::Obj(fields) = doc else {
+        return doc;
+    };
+    JsonValue::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "workloads" {
+                    let kept = match v {
+                        JsonValue::Obj(wl) => {
+                            JsonValue::Obj(wl.into_iter().filter(|(n, _)| n == name).collect())
+                        }
+                        other => other,
+                    };
+                    (k, kept)
+                } else {
+                    (k, v)
+                }
+            })
+            .collect(),
+    )
+}
+
+/// `report --smoke [--baseline FILE] [--tolerance F] [--only WORKLOAD]`:
+/// the CI perf gate. `--only` measures (and compares) a single workload.
 fn smoke_mode(args: &[String]) {
     let path = flag_value(args, "--baseline").unwrap_or("BENCH_5.json");
     let tolerance: f64 = match flag_value(args, "--tolerance") {
@@ -116,12 +147,31 @@ fn smoke_mode(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let fresh = bench::bench5::document();
+    let only = flag_value(args, "--only");
+    let (baseline, fresh) = match only {
+        Some(name) => {
+            let measured = match bench::bench5::workloads_named(&[name]) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("report: {e}");
+                    std::process::exit(2);
+                }
+            };
+            (
+                filter_workloads(baseline, name),
+                bench::bench5::document_of(measured),
+            )
+        }
+        None => (baseline, bench::bench5::document()),
+    };
+    let workload_count = match fresh.get("workloads") {
+        Some(subtype_core::obs::json::JsonValue::Obj(wl)) => wl.len(),
+        _ => 0,
+    };
     let diffs = bench::bench5::compare(&baseline, &fresh, tolerance);
     if diffs.is_empty() {
         eprintln!(
-            "smoke: counters match {path} ({} workloads, tolerance {tolerance})",
-            bench::bench5::workloads().len()
+            "smoke: counters match {path} ({workload_count} workload(s), tolerance {tolerance})"
         );
     } else {
         eprintln!("smoke: counter drift against {path}:");

@@ -9,10 +9,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use lp_term::{Signature, Subst, Sym, SymKind, Term, VarGen};
 
 use crate::analysis::{self, TypeDeclError};
+use crate::closure::GroundClosure;
 
 /// Process-wide source of generation stamps (see [`next_generation`]).
 static GENERATION: AtomicU64 = AtomicU64::new(0);
@@ -210,10 +212,39 @@ impl ConstraintSet {
     /// [`TypeDeclError::Unguarded`] (Definition 9), with the offending
     /// constraint or dependence cycle.
     pub fn checked(self, sig: &Signature) -> Result<CheckedConstraints, TypeDeclError> {
+        self.checked_with(sig, None)
+    }
+
+    /// Like [`ConstraintSet::checked`], but reuses `prev`'s precomputed
+    /// ground closure when the new set provably cannot change it (see
+    /// [`GroundClosure::compatible_with`]): the adoption rule behind
+    /// incremental `serve` deltas, where most loads append clauses without
+    /// touching any watched constraint list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConstraintSet::checked`].
+    pub fn checked_reusing(
+        self,
+        sig: &Signature,
+        prev: &CheckedConstraints,
+    ) -> Result<CheckedConstraints, TypeDeclError> {
+        self.checked_with(sig, Some(prev))
+    }
+
+    fn checked_with(
+        self,
+        sig: &Signature,
+        reuse: Option<&CheckedConstraints>,
+    ) -> Result<CheckedConstraints, TypeDeclError> {
         analysis::check_uniform(sig, &self)?;
         let deps = analysis::DependenceGraph::build(sig, &self);
         deps.check_guarded(sig)?;
-        Ok(CheckedConstraints { set: self })
+        let closure = match reuse {
+            Some(prev) if prev.closure.compatible_with(&self) => Arc::clone(&prev.closure),
+            _ => Arc::new(GroundClosure::build(sig, &self)),
+        };
+        Ok(CheckedConstraints { set: self, closure })
     }
 }
 
@@ -224,12 +255,22 @@ impl ConstraintSet {
 #[derive(Debug, Clone)]
 pub struct CheckedConstraints {
     set: ConstraintSet,
+    /// Precomputed ground-fragment closure (paper §3 on the ground types
+    /// reachable from the nullary constructors). Shared by clone/adoption;
+    /// immutable, so sharing across threads and serve generations is safe.
+    closure: Arc<GroundClosure>,
 }
 
 impl CheckedConstraints {
     /// The underlying constraint set.
     pub fn as_set(&self) -> &ConstraintSet {
         &self.set
+    }
+
+    /// The precomputed ground-fragment closure for this set. O(1) oracle for
+    /// ground `t1 >= t2` goals; abstains on anything it did not precompute.
+    pub fn ground_closure(&self) -> &Arc<GroundClosure> {
+        &self.closure
     }
 
     /// The generation stamp inherited from the underlying set at the moment
@@ -419,5 +460,76 @@ mod tests {
         assert_eq!(union_exps.len(), 2);
         assert_eq!(union_exps[0], Term::constant(elist));
         assert_eq!(union_exps[1], Term::app(nelist, vec![Term::constant(nat)]));
+    }
+
+    /// `nat >= 0`, `int >= nat` over the nat signature, plus a parameterized
+    /// `c(A) >= A` that never enters the ground fragment.
+    fn ground_world() -> (Signature, ConstraintSet, Sym) {
+        let (mut sig, mut gen) = nat_sig();
+        let c = sig.declare_with_arity("c", SymKind::TypeCtor, 1).unwrap();
+        let nat = sig.lookup("nat").unwrap();
+        let int = sig.lookup("int").unwrap();
+        let zero = sig.lookup("0").unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add(&sig, Term::constant(nat), Term::constant(zero))
+            .unwrap();
+        cs.add(&sig, Term::constant(int), Term::constant(nat))
+            .unwrap();
+        let a = gen.fresh();
+        cs.add(&sig, Term::app(c, vec![Term::Var(a)]), Term::Var(a))
+            .unwrap();
+        (sig, cs, c)
+    }
+
+    #[test]
+    fn checked_reusing_adopts_closure_when_watched_lists_unchanged() {
+        let (sig, cs, c) = ground_world();
+        let prev = cs.clone().checked(&sig).unwrap();
+        // Identical constraints → same watched lists → adoption.
+        let again = cs.clone().checked_reusing(&sig, &prev).unwrap();
+        assert!(Arc::ptr_eq(prev.ground_closure(), again.ground_closure()));
+        // A delta on the parameterized (unwatched) constructor is invisible
+        // to the ground fragment and must also adopt.
+        let mut gen = VarGen::starting_at(100);
+        let b = gen.fresh();
+        let mut grown = cs.clone();
+        grown
+            .add(&sig, Term::app(c, vec![Term::Var(b)]), Term::Var(b))
+            .unwrap();
+        let adopted = grown.checked_reusing(&sig, &prev).unwrap();
+        assert!(Arc::ptr_eq(prev.ground_closure(), adopted.ground_closure()));
+    }
+
+    #[test]
+    fn checked_reusing_rebuilds_when_a_watched_ground_edge_changes() {
+        let (sig, cs, _c) = ground_world();
+        let prev = cs.clone().checked(&sig).unwrap();
+        let succ = sig.lookup("succ").unwrap();
+        let nat = sig.lookup("nat").unwrap();
+        // Editing `nat`'s defining list is a ground-edge delta: rebuild.
+        let mut edited = cs.clone();
+        edited
+            .add(
+                &sig,
+                Term::constant(nat),
+                Term::app(succ, vec![Term::constant(nat)]),
+            )
+            .unwrap();
+        let rebuilt = edited.checked_reusing(&sig, &prev).unwrap();
+        assert!(!Arc::ptr_eq(
+            prev.ground_closure(),
+            rebuilt.ground_closure()
+        ));
+        // And the rebuilt closure answers under the *new* theory.
+        let zero = sig.lookup("0").unwrap();
+        let one = Term::app(succ, vec![Term::constant(zero)]);
+        assert_eq!(
+            rebuilt.ground_closure().decide(&Term::constant(nat), &one),
+            Some(true)
+        );
+        assert_eq!(
+            prev.ground_closure().decide(&Term::constant(nat), &one),
+            Some(false)
+        );
     }
 }

@@ -17,6 +17,8 @@
 //! | §5–6 Defs. 14–16 — predicate types and well-typedness | [`welltyped`] |
 //! | §6 Thm. 6 — runtime consistency auditing of every resolvent | [`consistency`] |
 //! | (beyond the paper) proof witnesses, replay validation, minimal cores | [`witness`] |
+//! | (beyond the paper) flat arena terms and canonical key codes | [`arena`] |
+//! | (beyond the paper) precomputed ground-fragment subtype closure | [`closure`] |
 //! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
 //! | (beyond the paper) lock-striped concurrent proof table | [`shard`] |
 //! | (beyond the paper) the worker pool behind `--jobs N` | [`par`] |
@@ -58,7 +60,9 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod arena;
 pub mod budget;
+pub mod closure;
 pub mod cmatch;
 pub mod consistency;
 pub mod constraint;
@@ -81,7 +85,9 @@ pub mod welltyped;
 pub mod witness;
 
 pub use analysis::{DependenceGraph, TypeDeclError};
+pub use arena::{TermArena, TermId};
 pub use budget::Budget;
+pub use closure::{ClosureVerdict, GroundClosure};
 pub use cmatch::SolveOutcome;
 pub use constraint::{next_generation, CheckedConstraints, ConstraintSet, SubtypeConstraint};
 pub use diag::{Diagnostic, Severity};

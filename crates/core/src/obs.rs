@@ -118,11 +118,21 @@ pub enum Counter {
     /// Resolvents whose selected atom was checked for input-boundedness
     /// during `audit --modes` runs.
     AuditModeResolvents,
+    /// Subtype goals (or cmatch expansion branches) answered by the
+    /// precomputed ground closure in O(1), skipping prover, table, and key
+    /// construction entirely.
+    ClosureHits,
+    /// Fully-ground goals the closure had to hand back to the prover
+    /// because their supertype lies outside the precomputed node set.
+    ClosureMisses,
+    /// Terms flat-encoded into canonical proof-table key codes (two per
+    /// subtype goal that reaches the table layer).
+    ArenaTerms,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 32] = [
+    pub const ALL: [Counter; 35] = [
         Counter::TableHits,
         Counter::TableMisses,
         Counter::TableInserts,
@@ -155,6 +165,9 @@ impl Counter {
         Counter::ModeInferences,
         Counter::ModeViolations,
         Counter::AuditModeResolvents,
+        Counter::ClosureHits,
+        Counter::ClosureMisses,
+        Counter::ArenaTerms,
     ];
 
     /// Number of counters.
@@ -195,6 +208,9 @@ impl Counter {
             Counter::ModeInferences => "mode_inferences",
             Counter::ModeViolations => "mode_violations",
             Counter::AuditModeResolvents => "audit_mode_resolvents",
+            Counter::ClosureHits => "closure_hits",
+            Counter::ClosureMisses => "closure_misses",
+            Counter::ArenaTerms => "arena_terms",
         }
     }
 
@@ -382,6 +398,18 @@ pub enum TraceEvent<'a> {
         /// Whether the selected atom's `+` positions were all ground.
         ok: bool,
     },
+    /// A ground-fragment closure was built (or adopted) for a module load.
+    ClosureBuild {
+        /// Ground types enrolled as nodes.
+        nodes: u64,
+        /// ε-expansion edges between nodes.
+        edges: u64,
+        /// Strongly connected components of the ε-graph.
+        sccs: u64,
+        /// True when a serve delta adopted the previous closure instead of
+        /// rebuilding.
+        reused: bool,
+    },
 }
 
 impl TraceEvent<'_> {
@@ -403,6 +431,7 @@ impl TraceEvent<'_> {
             TraceEvent::CheckEnd { .. } => "check.end",
             TraceEvent::ModeInfer { .. } => "mode.infer",
             TraceEvent::ModeAudit { .. } => "mode.audit",
+            TraceEvent::ClosureBuild { .. } => "closure.build",
         }
     }
 
@@ -462,6 +491,17 @@ impl TraceEvent<'_> {
             }
             TraceEvent::ModeAudit { pred, ok } => {
                 let _ = write!(out, ",\"pred\":{},\"ok\":{ok}", json::escape(pred));
+            }
+            TraceEvent::ClosureBuild {
+                nodes,
+                edges,
+                sccs,
+                reused,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"nodes\":{nodes},\"edges\":{edges},\"sccs\":{sccs},\"reused\":{reused}"
+                );
             }
         }
     }
@@ -1330,5 +1370,11 @@ mod tests {
         assert!(Counter::ModeInferences.scheduling_invariant());
         assert!(Counter::ModeViolations.scheduling_invariant());
         assert!(Counter::AuditModeResolvents.scheduling_invariant());
+        // Closure decisions and key encodings track obligations, not cache
+        // luck: each goal or expansion branch consults the closure the same
+        // way regardless of worker interleaving.
+        assert!(Counter::ClosureHits.scheduling_invariant());
+        assert!(Counter::ClosureMisses.scheduling_invariant());
+        assert!(Counter::ArenaTerms.scheduling_invariant());
     }
 }

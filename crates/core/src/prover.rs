@@ -177,9 +177,10 @@ impl<'a> Prover<'a> {
     ) -> (Proof, Vec<Step>) {
         let mut gen = VarGen::starting_at(var_watermark);
         for (a, b) in goals {
-            for v in a.vars().into_iter().chain(b.vars()) {
-                gen.reserve(v);
-            }
+            // Allocation-free preorder walk — `Term::vars` would collect a
+            // set per goal side just to reserve each element once.
+            crate::arena::visit_vars(a, &mut |v| gen.reserve(v));
+            crate::arena::visit_vars(b, &mut |v| gen.reserve(v));
         }
         for &v in rigid {
             gen.reserve(v);

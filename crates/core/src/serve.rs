@@ -305,11 +305,34 @@ impl ServeSession {
                 return error_response(id, seq, &format!("parse error: {}", e.render(source)));
             }
         };
-        let checked =
-            match ConstraintSet::from_module(&module).and_then(|set| set.checked(&module.sig)) {
-                Ok(c) => c,
-                Err(e) => return error_response(id, seq, &format!("rejected declarations: {e}")),
-            };
+        // A delta adopts the previous ground closure when no watched
+        // constraint list changed (see `GroundClosure::compatible_with`);
+        // a changed ground edge forces a rebuild, so a rescoped table can
+        // never pair with a stale closure.
+        let checked = match ConstraintSet::from_module(&module).and_then(|set| {
+            match (delta, self.program.as_ref()) {
+                (true, Some(old)) => set.checked_reusing(&module.sig, &old.checked),
+                _ => set.checked(&module.sig),
+            }
+        }) {
+            Ok(c) => c,
+            Err(e) => return error_response(id, seq, &format!("rejected declarations: {e}")),
+        };
+        if self.obs.tracing() {
+            let closure = checked.ground_closure();
+            let stats = closure.stats();
+            let adopted = delta
+                && self
+                    .program
+                    .as_ref()
+                    .is_some_and(|old| Arc::ptr_eq(old.checked.ground_closure(), closure));
+            self.obs.trace(&TraceEvent::ClosureBuild {
+                nodes: stats.nodes as u64,
+                edges: stats.edges as u64,
+                sccs: stats.sccs as u64,
+                reused: adopted,
+            });
+        }
         let preds = match PredTypeTable::from_module(&module) {
             Ok(p) => p,
             Err(e) => return error_response(id, seq, &format!("rejected predicate types: {e}")),
@@ -809,6 +832,53 @@ mod tests {
         assert_eq!(status(&s.handle_line(&req(r#"{"op":"check"}"#))), "ok");
         assert_eq!(s.metrics().get(Counter::DeadlineExceeded), 1);
         assert_eq!(s.metrics().get(Counter::BudgetExhausted), 1);
+    }
+
+    #[test]
+    fn append_only_delta_adopts_the_warm_closure() {
+        let mut s = session(ServeConfig::default());
+        assert_eq!(status(&s.handle_line(&load_line(APP))), "ok");
+        let before = Arc::clone(s.program.as_ref().unwrap().checked.ground_closure());
+        // Appending a clause touches no constraint list: the delta must
+        // share the previous closure rather than recompute it.
+        let extended = format!("{APP} app(nil, nil, nil).");
+        assert_eq!(status(&s.handle_line(&delta_line(&extended))), "ok");
+        let after = s.program.as_ref().unwrap().checked.ground_closure();
+        assert!(
+            Arc::ptr_eq(&before, after),
+            "an append-only delta rebuilt the ground closure"
+        );
+        // A wholesale `load` never adopts, even for identical source.
+        assert_eq!(status(&s.handle_line(&load_line(APP))), "ok");
+        let reloaded = s.program.as_ref().unwrap().checked.ground_closure();
+        assert!(!Arc::ptr_eq(&before, reloaded));
+    }
+
+    #[test]
+    fn ground_edge_delta_rebuilds_the_closure_and_flips_the_verdict() {
+        // `p(f0)` is well-typed only while the ground edge `b >= f0`
+        // exists; a delta that rewires it to `b >= f1` must flip the
+        // verdict. A stale adopted closure would keep answering `b >= f0`
+        // from the old bitset and silently accept the clause.
+        let before = "FUNC f0, f1. TYPE a, b. a >= b. b >= f0. PRED p(a). p(f0).";
+        let after = "FUNC f0, f1. TYPE a, b. a >= b. b >= f1. PRED p(a). p(f0).";
+        let mut s = session(ServeConfig::default());
+        assert_eq!(status(&s.handle_line(&load_line(before))), "ok");
+        let old = Arc::clone(s.program.as_ref().unwrap().checked.ground_closure());
+        let r = parse(&s.handle_line(&req(r#"{"op":"check"}"#)));
+        assert_eq!(r.get("errors").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(status(&s.handle_line(&delta_line(after))), "ok");
+        let new = s.program.as_ref().unwrap().checked.ground_closure();
+        assert!(
+            !Arc::ptr_eq(&old, new),
+            "a changed ground edge must rebuild the closure"
+        );
+        let r = parse(&s.handle_line(&req(r#"{"op":"check"}"#)));
+        assert_eq!(
+            r.get("errors").and_then(|v| v.as_u64()),
+            Some(1),
+            "stale closure kept accepting p(f0): {r:?}"
+        );
     }
 
     #[test]

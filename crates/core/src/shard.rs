@@ -37,6 +37,7 @@ use std::time::Instant;
 
 use lp_term::{Signature, Subst, Term, Var};
 
+use crate::closure::ClosureVerdict;
 use crate::constraint::{CheckedConstraints, SubtypeConstraint};
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
@@ -374,10 +375,31 @@ impl<'a> ShardedProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        // Fully-ground conjunctions the precomputed closure decides never
+        // reach the canonical-key/shard layer: no renaming, no key, no lock.
+        // Identical to the single-threaded short-circuit in
+        // [`TabledProver::subtype_all_rigid`].
+        match self.cs.ground_closure().decide_goals(goals) {
+            ClosureVerdict::Proved => {
+                let obs = self.table.metrics();
+                obs.incr(Counter::SubtypeGoals);
+                obs.incr(Counter::ClosureHits);
+                return Proof::Proved(Subst::new());
+            }
+            ClosureVerdict::Refuted => {
+                let obs = self.table.metrics();
+                obs.incr(Counter::SubtypeGoals);
+                obs.incr(Counter::ClosureHits);
+                return Proof::Refuted;
+            }
+            ClosureVerdict::Miss => self.table.metrics().incr(Counter::ClosureMisses),
+            ClosureVerdict::NotGround => {}
+        }
         let started = Instant::now();
         let canon = Canonical::of(goals, rigid, var_watermark);
         let obs = self.table.metrics();
         obs.incr(Counter::SubtypeGoals);
+        obs.add(Counter::ArenaTerms, 2 * goals.len() as u64);
         let fingerprint = obs.tracing().then(|| canon.key.fingerprint());
         if let Some(fp) = &fingerprint {
             obs.trace(&TraceEvent::SubtypeStart { key: fp });
@@ -433,6 +455,7 @@ impl<'a> ShardedProver<'a> {
         let canon = Canonical::of(goals, rigid, var_watermark);
         let obs = self.table.metrics();
         obs.incr(Counter::SubtypeGoals);
+        obs.add(Counter::ArenaTerms, 2 * goals.len() as u64);
         let fingerprint = obs.tracing().then(|| canon.key.fingerprint());
         if let Some(fp) = &fingerprint {
             obs.trace(&TraceEvent::SubtypeStart { key: fp });
@@ -522,6 +545,13 @@ impl<'a> ShardedProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        // Quiet means quiet: the closure short-circuit skips even its own
+        // counters here, so shrink traffic never moves `closure_hits`.
+        match self.cs.ground_closure().decide_goals(goals) {
+            ClosureVerdict::Proved => return Proof::Proved(Subst::new()),
+            ClosureVerdict::Refuted => return Proof::Refuted,
+            ClosureVerdict::Miss | ClosureVerdict::NotGround => {}
+        }
         let canon = Canonical::of(goals, rigid, var_watermark);
         let generation = self.cs.generation();
         if let Some(verdict) = self.table.lookup(generation, &canon.key) {
@@ -551,14 +581,28 @@ impl<'a> ShardedProver<'a> {
     /// repeats hit (see [`TabledProver::subtype_batch`]).
     pub fn subtype_batch(&self, goals: &[(Term, Term)]) -> Vec<Proof> {
         let no_rigid = BTreeSet::new();
-        let keys: Vec<TableKey> = goals
-            .iter()
-            .map(|g| Canonical::of(std::slice::from_ref(g), &no_rigid, 0).key)
-            .collect();
-        let mut order: Vec<usize> = (0..goals.len()).collect();
-        order.sort_by(|&i, &j| keys[i].cmp(&keys[j]));
+        let closure = self.cs.ground_closure();
+        // Closure-decidable goals are answered directly (inside `subtype`,
+        // which short-circuits before building any key); only the remainder
+        // pays for canonical keys and the duplicate-adjacency sort.
         let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
-        for i in order {
+        let mut open: Vec<usize> = Vec::new();
+        for (i, g) in goals.iter().enumerate() {
+            match closure.decide_goals(std::slice::from_ref(g)) {
+                ClosureVerdict::Proved | ClosureVerdict::Refuted => {
+                    out[i] = Some(self.subtype(&g.0, &g.1));
+                }
+                ClosureVerdict::Miss | ClosureVerdict::NotGround => open.push(i),
+            }
+        }
+        let keys: Vec<TableKey> = open
+            .iter()
+            .map(|&i| Canonical::of(std::slice::from_ref(&goals[i]), &no_rigid, 0).key)
+            .collect();
+        let mut by_key: Vec<usize> = (0..open.len()).collect();
+        by_key.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        for k in by_key {
+            let i = open[k];
             let (sup, sub) = &goals[i];
             out[i] = Some(self.subtype(sup, sub));
         }
@@ -618,6 +662,30 @@ impl<'a> TableHandle<'a> {
     ) -> Proof {
         match self {
             TableHandle::Untabled => {
+                // Even without a memo table the ground closure answers
+                // fully-ground conjunctions without a derivation.
+                match cs.ground_closure().decide_goals(goals) {
+                    ClosureVerdict::Proved => {
+                        if let Some(o) = obs {
+                            o.incr(Counter::SubtypeGoals);
+                            o.incr(Counter::ClosureHits);
+                        }
+                        return Proof::Proved(Subst::new());
+                    }
+                    ClosureVerdict::Refuted => {
+                        if let Some(o) = obs {
+                            o.incr(Counter::SubtypeGoals);
+                            o.incr(Counter::ClosureHits);
+                        }
+                        return Proof::Refuted;
+                    }
+                    ClosureVerdict::Miss => {
+                        if let Some(o) = obs {
+                            o.incr(Counter::ClosureMisses);
+                        }
+                    }
+                    ClosureVerdict::NotGround => {}
+                }
                 let started = Instant::now();
                 if let Some(o) = obs {
                     o.incr(Counter::SubtypeGoals);
@@ -773,23 +841,22 @@ mod tests {
 
     #[test]
     fn distinct_goals_spread_without_collisions() {
+        // Parameterized supertypes sit outside the nullary ground closure,
+        // so these goals genuinely exercise the shards (fully nullary goals
+        // short-circuit before any lock).
         let w = world();
         let table = ShardedProofTable::with_config(4, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
-            .is_proved());
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        assert!(p.subtype(&list_int, &elist).is_proved());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
+        assert!(p.subtype(&list_nat, &elist).is_proved());
         assert_eq!(table.len(), 3);
         // Repeats hit regardless of which shard each verdict landed on.
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
         assert_eq!(table.stats().hits, 1);
     }
 
@@ -799,26 +866,37 @@ mod tests {
         let w2 = world();
         assert_ne!(w1.cs.generation(), w2.cs.generation());
         let table = ShardedProofTable::with_config(4, 64);
+        let goals_of = |w: &crate::prover::tests::World| {
+            vec![
+                (
+                    Term::app(w.list, vec![Term::constant(w.int)]),
+                    Term::constant(w.elist),
+                ),
+                (
+                    Term::app(w.list, vec![Term::constant(w.nat)]),
+                    Term::constant(w.elist),
+                ),
+                (
+                    Term::app(w.nelist, vec![Term::constant(w.int)]),
+                    Term::constant(w.elist),
+                ),
+            ]
+        };
         {
             let p = ShardedProver::new(&w1.sig, &w1.cs, &table);
-            p.subtype(&Term::constant(w1.int), &Term::constant(w1.nat));
-            p.subtype(&Term::constant(w1.int), &Term::constant(w1.unnat));
-            p.subtype(&Term::constant(w1.nat), &Term::constant(w1.unnat));
+            for (sup, sub) in goals_of(&w1) {
+                p.subtype(&sup, &sub);
+            }
             assert_eq!(table.len(), 3);
         }
         {
             // The same-looking queries under the new theory must all miss:
             // each shard is realigned on first touch.
             let p = ShardedProver::new(&w2.sig, &w2.cs, &table);
-            assert!(p
-                .subtype(&Term::constant(w2.int), &Term::constant(w2.nat))
-                .is_proved());
-            assert!(p
-                .subtype(&Term::constant(w2.int), &Term::constant(w2.unnat))
-                .is_proved());
-            assert!(p
-                .subtype(&Term::constant(w2.nat), &Term::constant(w2.unnat))
-                .is_refuted());
+            let goals = goals_of(&w2);
+            assert!(p.subtype(&goals[0].0, &goals[0].1).is_proved());
+            assert!(p.subtype(&goals[1].0, &goals[1].1).is_proved());
+            assert!(p.subtype(&goals[2].0, &goals[2].1).is_refuted());
             let stats = table.stats();
             assert_eq!(stats.hits, 0, "no stale verdict served: {stats:?}");
             assert!(stats.invalidations >= 1);
@@ -831,12 +909,12 @@ mod tests {
         // 2 shards × 1 entry each.
         let table = ShardedProofTable::with_config(2, 2);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        let syms = [w.int, w.nat, w.unnat, w.elist];
-        for sup in syms {
-            for sub in syms {
-                if sup != sub {
-                    p.subtype(&Term::constant(sup), &Term::constant(sub));
-                }
+        let elems = [w.int, w.nat, w.unnat, w.elist];
+        let subs = [Term::constant(w.elist), Term::constant(w.nil)];
+        for elem in elems {
+            let sup = Term::app(w.list, vec![Term::constant(elem)]);
+            for sub in &subs {
+                p.subtype(&sup, sub);
             }
         }
         assert!(
@@ -892,7 +970,8 @@ mod tests {
         let w = world();
         let table = ShardedProofTable::with_config(4, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        p.subtype(&Term::constant(w.int), &Term::constant(w.nat));
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        p.subtype(&list_int, &Term::constant(w.elist));
         let before = table.stats();
         assert_eq!(before.misses, 1);
 
@@ -918,7 +997,9 @@ mod tests {
         let w = world();
         let table = ShardedProofTable::with_config(1, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        p.subtype(&Term::constant(w.int), &Term::constant(w.nat));
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let elist = Term::constant(w.elist);
+        p.subtype(&list_int, &elist);
         assert_eq!(table.metrics().get(Counter::ShardContention), 0);
         // Hold the single shard's lock while another thread looks up: its
         // try_lock must fail once and be counted before it blocks.
@@ -926,7 +1007,7 @@ mod tests {
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
                 let p = ShardedProver::new(&w.sig, &w.cs, &table);
-                p.subtype(&Term::constant(w.int), &Term::constant(w.nat))
+                p.subtype(&list_int, &elist)
             });
             while table.metrics().get(Counter::ShardContention) == 0 {
                 std::thread::yield_now();
@@ -942,9 +1023,10 @@ mod tests {
         let w = world();
         let table = ShardedProofTable::with_config(1, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        assert!(p.subtype(&list_int, &elist).is_proved());
         assert_eq!(table.len(), 1, "warm entry before the panic");
         // Panic while holding the only shard's lock, mid-mutation — the
         // critical section is interrupted exactly as a mid-insert panic
@@ -961,12 +1043,8 @@ mod tests {
         let invalidations_before = table.metrics().get(Counter::TableInvalidations);
         // Every later access must recover (clear + unpoison), not panic or
         // error forever, and verdicts must come back correct.
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
+        assert!(p.subtype(&list_int, &elist).is_proved());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
         assert!(
             table.metrics().get(Counter::TableInvalidations) > invalidations_before,
             "recovery is counted as an invalidation"
@@ -981,15 +1059,13 @@ mod tests {
         let w = world();
         let table = ShardedProofTable::with_config(4, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
-            .is_proved());
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        assert!(p.subtype(&list_int, &elist).is_proved());
+        assert!(p.subtype(&list_nat, &elist).is_proved());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
         let entries = table.len();
         assert_eq!(entries, 3);
         // Extend the theory with one (redundant) constraint: a pure
@@ -1009,9 +1085,7 @@ mod tests {
         // The survivors are served as hits under the new theory.
         let misses = table.stats().misses;
         let p2 = ShardedProver::new(&w.sig, &cs2, &table);
-        assert!(p2
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
+        assert!(p2.subtype(&list_int, &elist).is_proved());
         assert_eq!(table.stats().misses, misses, "retained entry hits");
     }
 
@@ -1028,12 +1102,14 @@ mod tests {
                     let p = ShardedProver::new(&w.sig, &w.cs, table);
                     // Each worker walks the judgement square from a
                     // different offset, so workers race on the same keys.
+                    // `list(..)` supertypes keep every goal on the table
+                    // path (outside the nullary ground closure).
                     for step in 0..32usize {
-                        let sup = syms[(t + step) % syms.len()];
-                        let sub = syms[step % syms.len()];
-                        let proof = p.subtype(&Term::constant(sup), &Term::constant(sub));
-                        let expected = Prover::new(&w.sig, &w.cs)
-                            .subtype(&Term::constant(sup), &Term::constant(sub));
+                        let sup =
+                            Term::app(w.list, vec![Term::constant(syms[(t + step) % syms.len()])]);
+                        let sub = Term::constant(syms[step % syms.len()]);
+                        let proof = p.subtype(&sup, &sub);
+                        let expected = Prover::new(&w.sig, &w.cs).subtype(&sup, &sub);
                         assert_eq!(
                             std::mem::discriminant(&proof),
                             std::mem::discriminant(&expected),
@@ -1045,5 +1121,56 @@ mod tests {
         let stats = table.stats();
         assert_eq!(stats.hits + stats.misses, 4 * 32, "every call counted");
         assert!(table.len() <= table.capacity());
+    }
+
+    /// Satellite regression: an all-ground nullary batch is decided entirely
+    /// by the precomputed closure — no canonical keys, no shard locks, no
+    /// table traffic, and therefore zero contention even under threads.
+    #[test]
+    fn all_ground_batch_never_touches_a_shard() {
+        let w = world();
+        let table = ShardedProofTable::new();
+        let p = ShardedProver::new(&w.sig, &w.cs, &table);
+        let goals: Vec<(Term, Term)> = vec![
+            (Term::constant(w.int), Term::constant(w.nat)),
+            (Term::constant(w.nat), Term::constant(w.int)),
+            (Term::constant(w.int), Term::constant(w.unnat)),
+            (Term::constant(w.elist), Term::constant(w.nil)),
+            (Term::constant(w.nat), w.num(2)),
+        ];
+        let proofs = p.subtype_batch(&goals);
+        assert!(proofs[0].is_proved());
+        assert!(proofs[1].is_refuted());
+        assert!(proofs[2].is_proved());
+        assert!(proofs[3].is_proved());
+        assert!(proofs[4].is_proved());
+        let obs = table.metrics();
+        assert_eq!(obs.get(Counter::ClosureHits), goals.len() as u64);
+        assert_eq!(obs.get(Counter::ClosureMisses), 0);
+        assert_eq!(obs.get(Counter::ArenaTerms), 0, "no keys were encoded");
+        let stats = table.stats();
+        assert_eq!(stats.hits + stats.misses, 0, "no shard was consulted");
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(table.len(), 0);
+        assert_eq!(obs.get(Counter::ShardContention), 0);
+
+        // Threaded: every worker takes the lock-free path, so contention
+        // stays exactly zero no matter how the scheduler interleaves them.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let table = &table;
+                let w = &w;
+                let goals = &goals;
+                scope.spawn(move || {
+                    let p = ShardedProver::new(&w.sig, &w.cs, table);
+                    for (sup, sub) in goals {
+                        assert!(!p.subtype(sup, sub).is_unknown());
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.get(Counter::ShardContention), 0, "lock-free path");
+        assert_eq!(table.len(), 0, "still no entries after threaded run");
+        assert_eq!(obs.get(Counter::ClosureHits), 5 * goals.len() as u64);
     }
 }

@@ -12,9 +12,12 @@
 //! # Canonical keys
 //!
 //! Entries are keyed on the goal conjunction *canonically renamed*: variables
-//! are mapped, in first-occurrence order, onto `_0, _1, …` (via
-//! [`lp_term::rename_term`]), and the rigid set is reduced to the sorted
-//! canonical images of the rigid variables that actually occur in the goals.
+//! are mapped, in first-occurrence order, onto `_0, _1, …`, and the rigid
+//! set is reduced to the sorted canonical images of the rigid variables that
+//! actually occur in the goals. Since the arena refactor the renamed goals
+//! are not materialized as `Term` trees at all: the key is a flat `u32` code
+//! stream built in one pre-order walk ([`arena::encode_canonical`]), with
+//! the same equality as the old renamed-tree representation.
 //! Alpha-variant queries — `list(A) ⪰ nelist(B)` and `list(X) ⪰ nelist(Y)` —
 //! therefore share one entry, while structurally different goals can never
 //! collide. Rigid variables not occurring in the goals are dropped: the
@@ -64,8 +67,10 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
-use lp_term::{rename_term, Signature, Subst, Term, Var, VarGen};
+use lp_term::{Signature, Subst, Term, Var, VarGen};
 
+use crate::arena;
+use crate::closure::ClosureVerdict;
 use crate::constraint::{CheckedConstraints, SubtypeConstraint};
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
@@ -80,10 +85,13 @@ pub const DEFAULT_TABLE_CAPACITY: usize = 4096;
 /// rigidity pattern — see the module docs.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub(crate) struct TableKey {
-    /// The goals with variables renamed to `_0, _1, …` in first-occurrence
-    /// order.
-    goals: Vec<(Term, Term)>,
-    /// Sorted canonical images of the rigid variables occurring in `goals`.
+    /// The goal conjunction as one canonical flat code stream: for each goal,
+    /// `sup` then `sub`, encoded by [`arena::encode_canonical`] with
+    /// variables renamed to `_0, _1, …` in first-occurrence order. Two
+    /// queries produce equal codes iff their renamed goal lists are equal,
+    /// and hashing/comparing is a flat word scan instead of a tree walk.
+    code: Vec<u32>,
+    /// Sorted canonical images of the rigid variables occurring in the goals.
     rigid: Vec<Var>,
 }
 
@@ -114,14 +122,15 @@ impl TableKey {
                 }
             }
         }
+        let decoded = arena::decode_terms(&self.code);
         let mut out = String::new();
-        for (i, (sup, sub)) in self.goals.iter().enumerate() {
+        for (i, pair) in decoded.chunks_exact(2).enumerate() {
             if i > 0 {
                 out.push('&');
             }
-            term(&mut out, sup);
+            term(&mut out, &pair[0]);
             out.push_str(">=");
-            term(&mut out, sub);
+            term(&mut out, &pair[1]);
         }
         if !self.rigid.is_empty() {
             out.push_str("|r:");
@@ -423,15 +432,22 @@ impl ProofTable {
     /// Stores a verdict, evicting the oldest entry when at capacity.
     ///
     /// Re-inserting a key that is already present *updates the verdict in
-    /// place* and leaves the FIFO order queue untouched. The membership test
-    /// goes through `entries` (O(1)), which keeps `order` duplicate-free:
-    /// pushing a second copy of a live key would make the queue grow past the
-    /// entry count, charge `evictions` for queue slots whose key was already
-    /// gone, and — because each insert pops at most one slot — let the table
-    /// overshoot its capacity while evicting live entries early.
+    /// place* — without enqueuing a second FIFO slot — and moves the key to
+    /// the queue tail: a just-re-proved key is the hottest entry in the
+    /// table, so leaving it at its original slot would evict it as if it
+    /// were cold. The membership test goes through `entries` (O(1)), which
+    /// keeps `order` duplicate-free: pushing a second copy of a live key
+    /// would make the queue grow past the entry count, charge `evictions`
+    /// for queue slots whose key was already gone, and — because each insert
+    /// pops at most one slot — let the table overshoot its capacity while
+    /// evicting live entries early.
     pub(crate) fn insert(&mut self, key: TableKey, verdict: CachedVerdict) {
         if let Some(slot) = self.entries.get_mut(&key) {
             *slot = verdict;
+            if let Some(pos) = self.order.iter().position(|k| k == &key) {
+                let hot = self.order.remove(pos).expect("position is in range");
+                self.order.push_back(hot);
+            }
             return;
         }
         if self.entries.len() >= self.capacity {
@@ -470,8 +486,15 @@ impl ProofTable {
         let mut invalid = 0u64;
         for (key, verdict) in &self.entries {
             if let CachedVerdict::Proved(answer, steps) = verdict {
+                // Witness replay is representation-independent: the goals
+                // decode back out of the flat key code, and the chain indexes
+                // constraints, not pointers.
+                let goals: Vec<(Term, Term)> = arena::decode_terms(&key.code)
+                    .chunks_exact(2)
+                    .map(|p| (p[0].clone(), p[1].clone()))
+                    .collect();
                 let w = Witness {
-                    goals: key.goals.clone(),
+                    goals,
                     answer: answer.clone(),
                     steps: steps.clone(),
                 };
@@ -516,34 +539,31 @@ impl Canonical {
     pub(crate) fn of(goals: &[(Term, Term)], rigid: &BTreeSet<Var>, var_watermark: u32) -> Self {
         let mut gen = VarGen::new();
         let mut forward = HashMap::new();
-        let canon_goals = goals
-            .iter()
-            .map(|(sup, sub)| {
-                (
-                    rename_term(sup, &mut gen, &mut forward),
-                    rename_term(sub, &mut gen, &mut forward),
-                )
-            })
-            .collect();
+        let mut code = Vec::new();
+        // One pre-order walk per goal side builds the flat key code directly
+        // — no renamed `Term` trees are ever allocated. The canonical-index
+        // assignment order (first occurrence across sup-then-sub, goal by
+        // goal) is identical to what `rename_term` with a shared map did.
+        // The same pass reserves goal variables into the live prover's
+        // fresh-variable base, which starts at `var_watermark`.
+        let mut base_gen = VarGen::starting_at(var_watermark);
+        for (sup, sub) in goals {
+            arena::encode_canonical(&mut code, sup, &mut forward, &mut gen);
+            arena::encode_canonical(&mut code, sub, &mut forward, &mut gen);
+            arena::visit_vars(sup, &mut |v| base_gen.reserve(v));
+            arena::visit_vars(sub, &mut |v| base_gen.reserve(v));
+        }
         let mut canon_rigid: Vec<Var> = rigid
             .iter()
             .filter_map(|v| forward.get(v).copied())
             .collect();
         canon_rigid.sort_unstable();
-        // Replicate the live prover's fresh-variable base exactly: it starts
-        // at `var_watermark` and reserves every goal and rigid variable.
-        let mut base_gen = VarGen::starting_at(var_watermark);
-        for (sup, sub) in goals {
-            for v in sup.vars().into_iter().chain(sub.vars()) {
-                base_gen.reserve(v);
-            }
-        }
         for &v in rigid {
             base_gen.reserve(v);
         }
         Canonical {
             key: TableKey {
-                goals: canon_goals,
+                code,
                 rigid: canon_rigid,
             },
             forward,
@@ -687,12 +707,34 @@ impl<'a> TabledProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        // Fully-ground conjunctions the precomputed closure decides never
+        // reach the canonical-key/table layer at all: no renaming, no key
+        // allocation, no lookup. The verdicts are exactly what the prover
+        // would return (ground searches bind nothing, so a proved ground
+        // conjunction's answer is the empty substitution).
+        match self.cs.ground_closure().decide_goals(goals) {
+            ClosureVerdict::Proved => {
+                let table = self.table.borrow();
+                table.obs.incr(Counter::SubtypeGoals);
+                table.obs.incr(Counter::ClosureHits);
+                return Proof::Proved(Subst::new());
+            }
+            ClosureVerdict::Refuted => {
+                let table = self.table.borrow();
+                table.obs.incr(Counter::SubtypeGoals);
+                table.obs.incr(Counter::ClosureHits);
+                return Proof::Refuted;
+            }
+            ClosureVerdict::Miss => self.table.borrow().obs.incr(Counter::ClosureMisses),
+            ClosureVerdict::NotGround => {}
+        }
         let started = Instant::now();
         let canon = Canonical::of(goals, rigid, var_watermark);
         // Fingerprint rendering is skipped entirely when nobody traces.
         let fingerprint = {
             let table = self.table.borrow();
             table.obs.incr(Counter::SubtypeGoals);
+            table.obs.add(Counter::ArenaTerms, 2 * goals.len() as u64);
             table.obs.tracing().then(|| canon.key.fingerprint())
         };
         if let Some(fp) = &fingerprint {
@@ -761,6 +803,7 @@ impl<'a> TabledProver<'a> {
         let fingerprint = {
             let table = self.table.borrow();
             table.obs.incr(Counter::SubtypeGoals);
+            table.obs.add(Counter::ArenaTerms, 2 * goals.len() as u64);
             table.obs.tracing().then(|| canon.key.fingerprint())
         };
         if let Some(fp) = &fingerprint {
@@ -863,6 +906,13 @@ impl<'a> TabledProver<'a> {
         rigid: &BTreeSet<Var>,
         var_watermark: u32,
     ) -> Proof {
+        // Quiet means quiet: the closure short-circuit skips even its own
+        // counters here, so shrink traffic never moves `closure_hits`.
+        match self.cs.ground_closure().decide_goals(goals) {
+            ClosureVerdict::Proved => return Proof::Proved(Subst::new()),
+            ClosureVerdict::Refuted => return Proof::Refuted,
+            ClosureVerdict::Miss | ClosureVerdict::NotGround => {}
+        }
         let canon = Canonical::of(goals, rigid, var_watermark);
         {
             let mut table = self.table.borrow_mut();
@@ -899,14 +949,28 @@ impl<'a> TabledProver<'a> {
     /// regardless of input order.
     pub fn subtype_batch(&self, goals: &[(Term, Term)]) -> Vec<Proof> {
         let no_rigid = BTreeSet::new();
-        let keys: Vec<TableKey> = goals
-            .iter()
-            .map(|g| Canonical::of(std::slice::from_ref(g), &no_rigid, 0).key)
-            .collect();
-        let mut order: Vec<usize> = (0..goals.len()).collect();
-        order.sort_by(|&i, &j| keys[i].cmp(&keys[j]));
+        let closure = self.cs.ground_closure();
+        // Closure-decidable goals are answered directly (inside `subtype`,
+        // which short-circuits before building any key); only the remainder
+        // pays for canonical keys and the duplicate-adjacency sort.
         let mut out: Vec<Option<Proof>> = vec![None; goals.len()];
-        for i in order {
+        let mut open: Vec<usize> = Vec::new();
+        for (i, g) in goals.iter().enumerate() {
+            match closure.decide_goals(std::slice::from_ref(g)) {
+                ClosureVerdict::Proved | ClosureVerdict::Refuted => {
+                    out[i] = Some(self.subtype(&g.0, &g.1));
+                }
+                ClosureVerdict::Miss | ClosureVerdict::NotGround => open.push(i),
+            }
+        }
+        let keys: Vec<TableKey> = open
+            .iter()
+            .map(|&i| Canonical::of(std::slice::from_ref(&goals[i]), &no_rigid, 0).key)
+            .collect();
+        let mut by_key: Vec<usize> = (0..open.len()).collect();
+        by_key.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        for k in by_key {
+            let i = open[k];
             let (sup, sub) = &goals[i];
             out[i] = Some(self.subtype(sup, sub));
         }
@@ -973,26 +1037,25 @@ mod tests {
 
     #[test]
     fn distinct_goals_do_not_collide() {
+        // Ground goals whose supertype is outside the nullary-reachable node
+        // set (`list(int)` etc.) — closure misses, so they exercise the
+        // table layer. Nullary ground goals would short-circuit before it.
         let w = world();
         let table = RefCell::new(ProofTable::new());
         let p = TabledProver::new(&w.sig, &w.cs, &table);
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
-            .is_proved());
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
-        assert!(p
-            .subtype(&Term::constant(w.int), &Term::constant(w.unnat))
-            .is_proved());
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        assert!(p.subtype(&list_int, &elist).is_proved());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
+        assert!(p.subtype(&list_nat, &elist).is_proved());
         let stats = table.borrow().stats();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.misses, 3);
         assert_eq!(table_len(&table), 3);
         // Repeats of each now hit, with unchanged verdicts.
-        assert!(p
-            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
-            .is_refuted());
+        assert!(p.subtype(&nelist_int, &elist).is_refuted());
         assert_eq!(table.borrow().stats().hits, 1);
     }
 
@@ -1040,20 +1103,21 @@ mod tests {
         let w = world();
         let table = RefCell::new(ProofTable::with_capacity(2));
         let p = TabledProver::new(&w.sig, &w.cs, &table);
-        let int = Term::constant(w.int);
-        let nat = Term::constant(w.nat);
-        let unnat = Term::constant(w.unnat);
-        // Three distinct judgements into a 2-entry table.
-        p.subtype(&int, &nat); // entry 1
-        p.subtype(&int, &unnat); // entry 2
-        p.subtype(&nat, &unnat); // entry 3, evicts entry 1
+        let elist = Term::constant(w.elist);
+        let g1 = Term::app(w.list, vec![Term::constant(w.int)]);
+        let g2 = Term::app(w.list, vec![Term::constant(w.nat)]);
+        let g3 = Term::app(w.list, vec![Term::constant(w.unnat)]);
+        // Three distinct judgements (all closure misses) into a 2-entry table.
+        p.subtype(&g1, &elist); // entry 1
+        p.subtype(&g2, &elist); // entry 2
+        p.subtype(&g3, &elist); // entry 3, evicts entry 1
         let stats = table.borrow().stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(table_len(&table), 2);
         // Entry 1 was evicted: re-asking misses; entry 3 still hits.
-        p.subtype(&int, &nat);
+        p.subtype(&g1, &elist);
         assert_eq!(table.borrow().stats().hits, 0);
-        p.subtype(&nat, &unnat);
+        p.subtype(&g3, &elist);
         assert_eq!(table.borrow().stats().hits, 1);
     }
 
@@ -1120,18 +1184,81 @@ mod tests {
         assert!(table.lookup(&b).is_none(), "b was evicted second");
     }
 
+    /// The FIFO bug fixed in this PR: an in-place verdict update used to
+    /// leave the key at its original queue position, so a hot, just-re-proved
+    /// entry could be evicted as if it were the coldest one. Updates now move
+    /// the key to the queue tail.
+    #[test]
+    fn in_place_update_moves_key_to_fifo_tail() {
+        let w = world();
+        let mut table = ProofTable::with_capacity(2);
+        let a = key_of(w.int, w.nat);
+        let b = key_of(w.int, w.unnat);
+        let c = key_of(w.nat, w.unnat);
+        table.insert(a.clone(), CachedVerdict::Refuted);
+        table.insert(b.clone(), CachedVerdict::Refuted);
+        // Re-prove `a`: it is now the hottest entry, leaving `b` the oldest.
+        table.insert(
+            a.clone(),
+            CachedVerdict::Proved(Subst::new(), Arc::new(Vec::new())),
+        );
+        assert_eq!(table.len(), 2, "in-place update added no entry");
+        // Overflow must evict `b`, not the just-updated `a`.
+        table.insert(c.clone(), CachedVerdict::Refuted);
+        let stats = table.stats();
+        assert_eq!(table.len(), 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.inserts, 3, "an in-place update is not an insert");
+        assert!(table.lookup(&a).is_some(), "hot re-proved key survives");
+        assert!(table.lookup(&c).is_some(), "new key is live");
+        assert!(table.lookup(&b).is_none(), "the cold key was evicted");
+    }
+
+    /// Fully ground goals over the nullary fragment are answered by the
+    /// precomputed closure: no canonical key is built, and the table is
+    /// never consulted.
+    #[test]
+    fn ground_goals_short_circuit_through_the_closure() {
+        let w = world();
+        let obs = MetricsRegistry::shared();
+        let table = RefCell::new(ProofTable::with_metrics(Arc::clone(&obs)));
+        let p = TabledProver::new(&w.sig, &w.cs, &table);
+        assert!(p
+            .subtype(&Term::constant(w.int), &Term::constant(w.nat))
+            .is_proved());
+        assert!(p
+            .subtype(&Term::constant(w.nat), &Term::constant(w.int))
+            .is_refuted());
+        assert!(p
+            .subtype(&Term::constant(w.elist), &Term::constant(w.elist))
+            .is_proved());
+        assert_eq!(obs.get(Counter::ClosureHits), 3);
+        assert_eq!(obs.get(Counter::ClosureMisses), 0);
+        assert_eq!(obs.get(Counter::ArenaTerms), 0, "no keys were encoded");
+        let stats = table.borrow().stats();
+        assert_eq!(stats.hits + stats.misses, 0, "table never consulted");
+        assert_eq!(table_len(&table), 0);
+        // A ground goal outside the node set still takes the table path.
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        assert!(p.subtype(&list_int, &Term::constant(w.elist)).is_proved());
+        assert_eq!(obs.get(Counter::ClosureMisses), 1);
+        assert_eq!(table.borrow().stats().misses, 1);
+        assert_eq!(obs.get(Counter::ArenaTerms), 2, "one goal, two terms");
+    }
+
     #[test]
     fn counter_accuracy_over_a_mixed_run() {
         let w = world();
         let table = RefCell::new(ProofTable::new());
         let p = TabledProver::new(&w.sig, &w.cs, &table);
-        let int = Term::constant(w.int);
-        let nat = Term::constant(w.nat);
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
         for _ in 0..5 {
-            assert!(p.subtype(&int, &nat).is_proved());
+            assert!(p.subtype(&list_int, &elist).is_proved());
         }
         for _ in 0..3 {
-            assert!(p.subtype(&nat, &int).is_refuted());
+            assert!(p.subtype(&nelist_int, &elist).is_refuted());
         }
         let stats = table.borrow().stats();
         assert_eq!(stats.misses, 2);
@@ -1147,19 +1274,20 @@ mod tests {
         let w2 = world(); // identical constraints, different generation
         assert_ne!(w1.cs.generation(), w2.cs.generation());
         let table = RefCell::new(ProofTable::new());
-        let int1 = Term::constant(w1.int);
-        let nat1 = Term::constant(w1.nat);
+        let sup1 = Term::app(w1.list, vec![Term::constant(w1.int)]);
+        let sub1 = Term::constant(w1.elist);
         {
             let p = TabledProver::new(&w1.sig, &w1.cs, &table);
-            p.subtype(&int1, &nat1);
-            p.subtype(&int1, &nat1);
+            p.subtype(&sup1, &sub1);
+            p.subtype(&sup1, &sub1);
             assert_eq!(table.borrow().stats().hits, 1);
         }
         {
             // Switching worlds clears the table: the same-looking query
             // misses again instead of reusing w1's verdict.
             let p = TabledProver::new(&w2.sig, &w2.cs, &table);
-            p.subtype(&Term::constant(w2.int), &Term::constant(w2.nat));
+            let sup2 = Term::app(w2.list, vec![Term::constant(w2.int)]);
+            p.subtype(&sup2, &Term::constant(w2.elist));
             let stats = table.borrow().stats();
             assert_eq!(stats.hits, 1, "no new hit across worlds");
             assert_eq!(stats.invalidations, 1);
@@ -1172,17 +1300,19 @@ mod tests {
         let w = world();
         let table = RefCell::new(ProofTable::new());
         let p = TabledProver::new(&w.sig, &w.cs, &table);
-        let int = Term::constant(w.int);
-        let nat = Term::constant(w.nat);
-        let unnat = Term::constant(w.unnat);
-        // Interleaved duplicates, deliberately out of order.
+        let elist = Term::constant(w.elist);
+        let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
+        let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
+        let list_nat = Term::app(w.list, vec![Term::constant(w.nat)]);
+        // Interleaved duplicates, deliberately out of order; all three are
+        // closure misses so every judgement goes through the table.
         let goals = vec![
-            (int.clone(), nat.clone()),
-            (nat.clone(), unnat.clone()),
-            (int.clone(), nat.clone()),
-            (int.clone(), unnat.clone()),
-            (nat.clone(), unnat.clone()),
-            (int.clone(), nat.clone()),
+            (list_int.clone(), elist.clone()),
+            (nelist_int.clone(), elist.clone()),
+            (list_int.clone(), elist.clone()),
+            (list_nat.clone(), elist.clone()),
+            (nelist_int.clone(), elist.clone()),
+            (list_int.clone(), elist.clone()),
         ];
         let proofs = p.subtype_batch(&goals);
         assert_eq!(proofs.len(), goals.len());

@@ -374,15 +374,16 @@ impl<'a> Checker<'a> {
         rigid_head: bool,
     ) -> (Result<ClauseTyping, TypeCheckError>, Option<SolveOutcome>) {
         // Fresh type variables must not collide with program variables.
+        // Allocation-free walk: `Term::vars` would build a set per atom
+        // just to fold a maximum over it.
         let mut watermark = 0u32;
-        for a in atoms {
-            for v in a.vars() {
-                watermark = watermark.max(v.0 + 1);
+        {
+            let mut raise = |v: Var| watermark = watermark.max(v.0 + 1);
+            for a in atoms {
+                crate::arena::visit_vars(a, &mut raise);
             }
-        }
-        for (_, t) in self.preds.iter() {
-            for v in t.vars() {
-                watermark = watermark.max(v.0 + 1);
+            for (_, t) in self.preds.iter() {
+                crate::arena::visit_vars(t, &mut raise);
             }
         }
         let mut state = CState::new(watermark);

@@ -126,6 +126,33 @@ proptest! {
     }
 }
 
+/// A delta that rewires a ground subtype edge must flip the verdict of a
+/// clause it covered: the precomputed ground closure may only survive a
+/// delta that provably cannot change it, so `b >= f0` → `b >= f1` forces
+/// a rebuild even though the signature is a prefix and the warm table
+/// rescopes. A stale adopted closure would keep accepting `p(f0)`.
+#[test]
+fn ground_edge_delta_never_serves_a_stale_closure_verdict() {
+    let before = "FUNC f0, f1. TYPE a, b. a >= b. b >= f0. PRED p(a). p(f0).";
+    let after = "FUNC f0, f1. TYPE a, b. a >= b. b >= f1. PRED p(a). p(f0).";
+    for jobs in [1usize, 4] {
+        let mut s = ServeSession::new(ServeConfig {
+            jobs,
+            ..ServeConfig::default()
+        });
+        assert_eq!(status(&s.handle_line(&load_line(before))), "ok");
+        let warm = JsonValue::parse(&s.handle_line(r#"{"op":"check"}"#)).unwrap();
+        assert_eq!(warm.get("errors").and_then(|v| v.as_u64()), Some(0));
+        assert_eq!(status(&s.handle_line(&delta_line(after))), "ok");
+        let cold = JsonValue::parse(&s.handle_line(r#"{"op":"check"}"#)).unwrap();
+        assert_eq!(
+            cold.get("errors").and_then(|v| v.as_u64()),
+            Some(1),
+            "jobs={jobs}: the rewired edge must reject p(f0)"
+        );
+    }
+}
+
 /// The golden fault session from the issue: inject → shed → retry →
 /// recover, including a delta that keeps the warm table. The full
 /// response stream (seq numbers and all) must be byte-identical under

@@ -21,7 +21,7 @@ use rand::SeedableRng;
 
 use lp_gen::{terms, worlds};
 use lp_term::{Signature, SymKind, Term, Var};
-use subtype_core::{ConstraintSet, Proof, ProofTable, Prover, ProverConfig, TabledProver};
+use subtype_core::{ConstraintSet, Counter, Proof, ProofTable, Prover, ProverConfig, TabledProver};
 
 /// Search budget for both provers. Random refutable goals exhaust whatever
 /// budget they are given, so the default (1M steps) would make 300 cases
@@ -100,9 +100,14 @@ proptest! {
         let table = RefCell::new(ProofTable::new());
         let tabled = TabledProver::with_config(&world.sig, &world.checked, CONFIG, &table);
         assert_agreement(&world, &tabled, &goals)?;
-        // Conclusive verdicts must have produced hits on the repeat pass.
+        // Every query is accounted for: answered by the ground closure, or
+        // by the table (a miss on the first pass, a hit on the repeat).
         let stats = table.borrow().stats();
-        prop_assert_eq!(stats.hits + stats.misses, 2 * goals.len() as u64);
+        let closure_hits = table.borrow().metrics().get(Counter::ClosureHits);
+        prop_assert_eq!(
+            stats.hits + stats.misses + closure_hits,
+            2 * goals.len() as u64
+        );
     }
 
     /// Conjunction goals with shared variables and rigid footprints agree
@@ -136,9 +141,14 @@ proptest! {
         let tabled_a = TabledProver::with_config(&world_a.sig, &world_a.checked, CONFIG, &table);
         let tabled_b = TabledProver::with_config(&world_b.sig, &world_b.checked, CONFIG, &table);
         for _ in 0..2 {
-            let (goals_a, _) = goal_pairs(&mut rng, &world_a, 2);
+            let (mut goals_a, va) = goal_pairs(&mut rng, &world_a, 2);
+            // A non-ground goal per segment: the closure abstains on it, so
+            // every segment provably reaches the table and the theory switch
+            // is observed there.
+            goals_a.push((Term::Var(va[0]), Term::Var(va[1])));
             assert_agreement(&world_a, &tabled_a, &goals_a)?;
-            let (goals_b, _) = goal_pairs(&mut rng, &world_b, 2);
+            let (mut goals_b, vb) = goal_pairs(&mut rng, &world_b, 2);
+            goals_b.push((Term::Var(vb[0]), Term::Var(vb[1])));
             assert_agreement(&world_b, &tabled_b, &goals_b)?;
         }
         // Each switch between theories wholesale-invalidated the table.
@@ -167,24 +177,28 @@ proptest! {
     }
 }
 
-/// A true in-place mutation that *flips* a verdict: `a >= c` is refuted
+/// A true in-place mutation that *flips* a verdict: `d(z) >= c` is refuted
 /// until the link `b >= c` is added, after which it is derivable. A stale
-/// table entry surviving the mutation would wrongly answer `Refuted`.
+/// table entry surviving the mutation would wrongly answer `Refuted`. The
+/// supertype is a parameterized application so the goal stays outside the
+/// nullary ground closure and genuinely exercises the table.
 #[test]
 fn mutated_theory_flips_a_cached_refutation() {
     let mut sig = Signature::new();
     let z = sig.declare_with_arity("z", SymKind::Func, 0).unwrap();
-    let a = sig.declare_with_arity("a", SymKind::TypeCtor, 0).unwrap();
     let b = sig.declare_with_arity("b", SymKind::TypeCtor, 0).unwrap();
     let c = sig.declare_with_arity("c", SymKind::TypeCtor, 0).unwrap();
+    let d = sig.declare_with_arity("d", SymKind::TypeCtor, 1).unwrap();
 
     let mut cs = ConstraintSet::new();
-    cs.add(&sig, Term::constant(a), Term::constant(b)).unwrap();
+    let x = Term::Var(Var(0));
+    cs.add(&sig, Term::app(d, vec![x]), Term::constant(b))
+        .unwrap();
     cs.add(&sig, Term::constant(b), Term::constant(z)).unwrap();
     cs.add(&sig, Term::constant(c), Term::constant(z)).unwrap();
 
     let table = RefCell::new(ProofTable::new());
-    let goal = (Term::constant(a), Term::constant(c));
+    let goal = (Term::app(d, vec![Term::constant(z)]), Term::constant(c));
 
     let before = cs.clone().checked(&sig).unwrap();
     let tabled = TabledProver::new(&sig, &before, &table);

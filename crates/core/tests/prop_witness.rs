@@ -195,16 +195,25 @@ proptest! {
     }
 }
 
-/// A tiny world where `a >= b >= z` holds: enough to populate a table with
-/// a `Proved` entry whose witness we can audit across cache events.
+/// A tiny world where `a >= b >= z` holds, plus a parameterized wrapper
+/// `d(X) >= a`: goals with a `d(..)` supertype sit outside the nullary
+/// ground closure, so they genuinely populate the table with `Proved`
+/// entries whose witnesses we can audit across cache events.
 fn chain_world() -> (Signature, ConstraintSet) {
     let mut sig = Signature::new();
     let z = sig.declare_with_arity("z", SymKind::Func, 0).unwrap();
     let a = sig.declare_with_arity("a", SymKind::TypeCtor, 0).unwrap();
     let b = sig.declare_with_arity("b", SymKind::TypeCtor, 0).unwrap();
+    let d = sig.declare_with_arity("d", SymKind::TypeCtor, 1).unwrap();
     let mut cs = ConstraintSet::new();
     cs.add(&sig, Term::constant(a), Term::constant(b)).unwrap();
     cs.add(&sig, Term::constant(b), Term::constant(z)).unwrap();
+    cs.add(
+        &sig,
+        Term::app(d, vec![Term::Var(Var(0))]),
+        Term::constant(a),
+    )
+    .unwrap();
     (sig, cs)
 }
 
@@ -219,12 +228,14 @@ fn witnesses_survive_generation_invalidation() {
     let before = cs.clone().checked(&sig).unwrap();
 
     let table = RefCell::new(ProofTable::new());
-    let a = Term::constant(sig.lookup("a").unwrap());
     let b = Term::constant(sig.lookup("b").unwrap());
     let z = Term::constant(sig.lookup("z").unwrap());
+    let d = sig.lookup("d").unwrap();
+    let d_z = Term::app(d, vec![z.clone()]);
+    let d_b = Term::app(d, vec![b.clone()]);
 
     let tabled = TabledProver::new(&sig, &before, &table);
-    assert!(tabled.subtype(&a, &z).is_proved());
+    assert!(tabled.subtype(&d_z, &z).is_proved());
     let (validated, invalid) = table
         .borrow()
         .validate_witnesses(&sig, before.as_set().constraints());
@@ -240,8 +251,8 @@ fn witnesses_survive_generation_invalidation() {
     let after = cs2.checked(&sig).unwrap();
 
     let tabled = TabledProver::new(&sig, &after, &table);
-    assert!(tabled.subtype(&Term::constant(c), &z).is_proved());
-    assert!(tabled.subtype(&a, &z).is_proved());
+    assert!(tabled.subtype(&d_b, &z).is_proved());
+    assert!(tabled.subtype(&d_z, &z).is_proved());
     let (validated, invalid) = table
         .borrow()
         .validate_witnesses(&sig, after.as_set().constraints());
@@ -259,11 +270,17 @@ fn witnesses_survive_fifo_eviction() {
     let a = Term::constant(sig.lookup("a").unwrap());
     let b = Term::constant(sig.lookup("b").unwrap());
     let z = Term::constant(sig.lookup("z").unwrap());
+    let d = sig.lookup("d").unwrap();
 
     let table = RefCell::new(ProofTable::with_capacity(2));
     let tabled = TabledProver::new(&sig, &checked, &table);
-    // Distinct canonical conjunctions: singletons, pairs, and a triple.
-    let pool = [a.clone(), b.clone(), z.clone()];
+    // Distinct goals, all outside the ground closure (`d(..)` supertypes
+    // are not nullary-reachable), so each one churns the table.
+    let pool = [
+        Term::app(d, vec![a.clone()]),
+        Term::app(d, vec![b.clone()]),
+        Term::app(d, vec![z.clone()]),
+    ];
     let mut proofs = 0u64;
     for sup in &pool {
         for sub in &pool {

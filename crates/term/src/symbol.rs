@@ -21,6 +21,15 @@ impl Sym {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a symbol handle from a raw index previously obtained via
+    /// [`Sym::index`] — the inverse used when symbols round-trip through flat
+    /// encodings (e.g. canonical proof-table key codes). The caller must only
+    /// feed back indices of symbols that exist in the signature the encoding
+    /// was built against; the handle itself carries no validity check.
+    pub fn from_index(index: usize) -> Sym {
+        Sym(index as u32)
+    }
 }
 
 /// The syntactic class a symbol belongs to.
