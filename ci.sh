@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, test, format, lint, goldens, perf smoke.
+# Tier-1 gate: build, test, format, lint, goldens, perf smoke, concurrency.
 # Run from the repo root.
 #
 #   ci.sh           full gate (release build, all checks, perf smoke)
-#   ci.sh --quick   debug build + `cargo test -q` only — the fast inner loop
+#   ci.sh --quick   debug build + tests + fmt + clippy — the fast inner loop
 #
-# Every step prints a `ci: <name>: <seconds>s` timing line on stderr, so a
-# slow step is visible without re-running under `time`.
+# Every step prints a `ci: <name>: <seconds>s` timing line on stderr as it
+# finishes, and the full gate repeats them as a summary table at the end, so
+# a slow step is visible without re-running under `time`.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+# Golden corpus lists shared with scripts/bless.sh.
+# shellcheck source=scripts/goldens.list
+source scripts/goldens.list
 
 quick=0
 for arg in "$@"; do
@@ -21,20 +26,55 @@ for arg in "$@"; do
   esac
 done
 
-# Runs a named step, timing it to stderr: `step NAME CMD...`.
+# Runs a named step, timing it to stderr and into the summary table:
+# `step NAME CMD...`.
+TIMING_NAMES=()
+TIMING_SECS=()
 step() {
   local name="$1"
   shift
-  local t0 t1
+  local t0 t1 secs
   t0=$(date +%s.%N)
   "$@"
   t1=$(date +%s.%N)
-  printf 'ci: %s: %.1fs\n' "$name" "$(echo "$t1 $t0" | awk '{print $1 - $2}')" >&2
+  secs=$(echo "$t1 $t0" | awk '{printf "%.1f", $1 - $2}')
+  TIMING_NAMES+=("$name")
+  TIMING_SECS+=("$secs")
+  printf 'ci: %s: %ss\n' "$name" "$secs" >&2
+}
+
+# Repeats every `ci: <name>: <s>s` timing as an aligned table on stderr.
+timing_summary() {
+  local i width=0
+  for i in "${!TIMING_NAMES[@]}"; do
+    if [ "${#TIMING_NAMES[$i]}" -gt "$width" ]; then
+      width=${#TIMING_NAMES[$i]}
+    fi
+  done
+  echo "ci: timing summary" >&2
+  for i in "${!TIMING_NAMES[@]}"; do
+    printf 'ci:   %-*s %6ss\n' "$width" "${TIMING_NAMES[$i]}" \
+      "${TIMING_SECS[$i]}" >&2
+  done
+}
+
+# Both gates lint the gate itself: ci.sh, scripts/bless.sh, and the sourced
+# goldens.list must be shellcheck-clean. Skipped (loudly) where the binary
+# is not installed, so the gate still runs on minimal containers.
+shellcheck_scripts() {
+  if ! command -v shellcheck > /dev/null 2>&1; then
+    echo "ci: warning: shellcheck not installed, skipping script lint" >&2
+    return 0
+  fi
+  shellcheck ci.sh scripts/bless.sh scripts/goldens.list
 }
 
 if [ "$quick" = 1 ]; then
   step build-debug cargo build --workspace
   step test-debug cargo test --workspace -q
+  step fmt cargo fmt --all --check
+  step clippy cargo clippy --workspace --all-targets -- -D warnings
+  step shellcheck shellcheck_scripts
   echo "ci: quick gate passed" >&2
   exit 0
 fi
@@ -44,6 +84,7 @@ step test-debug cargo test --workspace -q
 step test-release cargo test --workspace -q --release
 step fmt cargo fmt --all --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
+step shellcheck shellcheck_scripts
 
 # Shipped examples must stay lint-clean (exit 0 even under --deny warnings).
 step lint-examples target/release/slp lint --deny warnings \
@@ -56,7 +97,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 golden_lint() {
   local stem
-  for stem in app naturals lint_demo modes_demo; do
+  for stem in "${GOLDEN_LINT_STEMS[@]}"; do
     target/release/slp lint "examples/$stem.slp" > "$tmp/$stem.txt" || true
     target/release/slp lint "examples/$stem.slp" --format json > "$tmp/$stem.json" || true
     diff -u "tests/golden/$stem.txt" "$tmp/$stem.txt"
@@ -111,7 +152,7 @@ step modes-golden modes_golden
 # predicate (app), in both formats.
 golden_explain() {
   local pred fmt flag
-  for pred in q h app; do
+  for pred in "${GOLDEN_EXPLAIN_PREDS[@]}"; do
     for fmt in txt json; do
       flag=""
       [ "$fmt" = json ] && flag="--format json"
@@ -205,4 +246,50 @@ step perf-smoke target/release/report --smoke --baseline BENCH_5.json
 step closure-golden target/release/report --smoke --baseline BENCH_5.json \
   --only ground_closure
 
+# Concurrency gate: the work-stealing pool and the seqlocked proof table
+# must actually engage, and must never change observable output.
+#
+#   1. The contention_storm workload is smoke-gated in isolation: its
+#      baseline pins `steals` to an exact nonzero value (a barrier inside
+#      the workload forces every worker but one to steal), so a silent
+#      fallback to serial execution — steals collapsing to 0 — fails CI
+#      even though the byte-diff half of this gate would still pass.
+#   2. Every user-facing entry point (check, lint, audit --modes, serve)
+#      runs under --jobs 8 — more workers than the storm uses, and enough
+#      oversubscription to shuffle chunk ownership — and stdout, stderr,
+#      and the exit code are compared byte-for-byte against --jobs 1.
+concurrency_gate() {
+  local stem jobs ec
+  for stem in "${GOLDEN_LINT_STEMS[@]}"; do
+    for jobs in 1 8; do
+      ec=0
+      target/release/slp check "examples/$stem.slp" --jobs "$jobs" \
+        > "$tmp/cg_check.$jobs.out" 2> "$tmp/cg_check.$jobs.err" || ec=$?
+      echo "$ec" > "$tmp/cg_check.$jobs.ec"
+      ec=0
+      target/release/slp lint "examples/$stem.slp" --jobs "$jobs" \
+        > "$tmp/cg_lint.$jobs.out" 2> "$tmp/cg_lint.$jobs.err" || ec=$?
+      echo "$ec" > "$tmp/cg_lint.$jobs.ec"
+    done
+    diff -u "$tmp/cg_check.1.out" "$tmp/cg_check.8.out"
+    diff -u "$tmp/cg_check.1.err" "$tmp/cg_check.8.err"
+    diff -u "$tmp/cg_check.1.ec" "$tmp/cg_check.8.ec"
+    diff -u "$tmp/cg_lint.1.out" "$tmp/cg_lint.8.out"
+    diff -u "$tmp/cg_lint.1.err" "$tmp/cg_lint.8.err"
+    diff -u "$tmp/cg_lint.1.ec" "$tmp/cg_lint.8.ec"
+  done
+  for jobs in 1 8; do
+    target/release/slp audit examples/modes_demo.slp --modes --jobs "$jobs" \
+      > "$tmp/cg_audit.$jobs" 2>&1 || true
+  done
+  diff -u "$tmp/cg_audit.1" "$tmp/cg_audit.8"
+  target/release/slp serve --stdio --jobs 8 --faults panic@5 \
+    < tests/golden/serve_session.requests > "$tmp/cg_serve.8"
+  diff -u tests/golden/serve_session.golden "$tmp/cg_serve.8"
+}
+step storm-smoke target/release/report --smoke --baseline BENCH_5.json \
+  --only contention_storm
+step concurrency-gate concurrency_gate
+
+timing_summary
 echo "ci: full gate passed" >&2

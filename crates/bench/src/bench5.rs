@@ -11,13 +11,15 @@
 //! checker doing more subtype work than it used to), not slow hardware.
 
 use std::cell::RefCell;
+use std::sync::Barrier;
 
 use lp_gen::{programs, worlds};
 use subtype_core::consistency::{AuditConfig, Auditor};
 use subtype_core::obs::json::JsonValue;
 use subtype_core::{
-    lint_module_obs, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot, ModeAnalysis,
-    ProofTable, ServeConfig, ServeSession, TabledProver,
+    lint_module_obs, par, Checker, Counter, LintOptions, MetricsRegistry, MetricsSnapshot,
+    ModeAnalysis, ProofTable, ServeConfig, ServeSession, ShardedProofTable, ShardedProver,
+    TabledProver,
 };
 
 /// Version tag of the document; bump on any structural change.
@@ -39,6 +41,7 @@ pub fn registry() -> Vec<Workload> {
         ("mode_inference", mode_inference),
         ("serve_replay", serve_replay),
         ("ground_closure", ground_closure),
+        ("contention_storm", contention_storm),
     ]
 }
 
@@ -237,6 +240,103 @@ fn ground_closure() -> MetricsSnapshot {
     obs.snapshot()
 }
 
+/// The asserted ceiling a racy counter must stay under during the storm;
+/// the *ceiling* (not the measurement) is what the published document
+/// carries, so the baseline stays byte-deterministic. See
+/// [`Counter::bounded_in_baselines`].
+fn storm_cap(counter: Counter) -> u64 {
+    match counter {
+        Counter::ShardContention => 1_000,
+        Counter::TableReadRetries => 100_000,
+        Counter::StealFailures => 1_000_000,
+        _ => unreachable!("only bounded-in-baseline counters have storm caps"),
+    }
+}
+
+/// The concurrency storm: the one workload that runs the *parallel* table
+/// and pool on purpose, proving the lock-free design by counters.
+///
+/// Phase 1 seeds 8 hot judgements into a [`ShardedProofTable`] serially.
+/// Phase 2 runs four single-item chunks through a four-worker
+/// work-stealing pool; a `Barrier(4)` inside each item means the batch
+/// can only complete once four *distinct* workers each hold one chunk,
+/// and since every chunk is seeded onto worker 0's deque that forces
+/// **exactly 3 steals** on any machine — a silent fallback to serial
+/// dispatch (steals = 0) or to a fixed partition (no stealing) fails the
+/// smoke gate. Each worker then hammers the 8 hot keys (128 lock-free
+/// hits in total) and publishes one private verdict (4 misses/inserts).
+/// Phase 3 rescopes every entry into a fresh generation (12 reused).
+///
+/// Schedule-dependent counters (`shard_contention`, `table_read_retries`,
+/// `steal_failures`) are asserted against a generous ceiling and the
+/// *ceiling* is published, keeping the document deterministic; every
+/// other counter — including `steals` — is published as measured and
+/// compared exactly.
+fn contention_storm() -> MetricsSnapshot {
+    const WORKERS: usize = 4;
+    const HOT: usize = 8;
+    const ROUNDS: usize = 4;
+    let obs = MetricsRegistry::shared();
+    let mut world = worlds::paper_world();
+    let goals = crate::alpha_variant_goals(&mut world, HOT + WORKERS, HOT + WORKERS);
+    let (hot, solo) = goals.split_at(HOT);
+    let table = ShardedProofTable::with_config_and_metrics(16, 256, obs.clone());
+
+    // Phase 1: serial seed — 8 deterministic misses/inserts.
+    let prover = ShardedProver::new(&world.sig, &world.checked, &table);
+    for (sup, sub) in hot {
+        assert!(prover.subtype(sup, sub).is_proved());
+    }
+
+    // Phase 2: the storm. Single-item chunks + an in-item barrier force
+    // every worker to claim exactly one chunk, so steals == WORKERS - 1.
+    let barrier = Barrier::new(WORKERS);
+    let items: Vec<usize> = (0..WORKERS).collect();
+    par::run_indexed_chunked_obs(WORKERS, 1, &items, Some(&obs), |_, &worker| {
+        barrier.wait();
+        let p = ShardedProver::new(&world.sig, &world.checked, &table);
+        for _ in 0..ROUNDS {
+            for (sup, sub) in hot {
+                assert!(p.subtype(sup, sub).is_proved());
+            }
+        }
+        let (sup, sub) = &solo[worker];
+        assert!(p.subtype(sup, sub).is_proved());
+    });
+
+    // Phase 3: epoch-bumped rescope with the theory unchanged — every
+    // entry survives into the new generation.
+    let kept = table.rescope(world.checked.generation() + 1, &|_| true, true);
+    assert_eq!(
+        kept,
+        (HOT + WORKERS) as u64,
+        "rescope keeps the whole table"
+    );
+
+    let snap = obs.snapshot();
+    assert_eq!(
+        snap.counter(Counter::Steals),
+        WORKERS as u64 - 1,
+        "the barrier construction pins the steal count exactly"
+    );
+    let published = MetricsRegistry::new();
+    for counter in Counter::ALL {
+        let measured = snap.counter(counter);
+        if counter.bounded_in_baselines() {
+            let cap = storm_cap(counter);
+            assert!(
+                measured <= cap,
+                "{} blew its storm ceiling: {measured} > {cap}",
+                counter.name()
+            );
+            published.add(counter, cap);
+        } else {
+            published.add(counter, measured);
+        }
+    }
+    published.snapshot()
+}
+
 /// Assembles the versioned BENCH_5 document: `schema`, then one ordered
 /// counter object per workload. Counters only — no wall time.
 pub fn document() -> JsonValue {
@@ -428,6 +528,44 @@ mod tests {
         assert_eq!(measured.len(), 1);
         assert_eq!(measured[0].0, "ground_closure");
         assert!(workloads_named(&["no_such_workload"]).is_err());
+    }
+
+    #[test]
+    fn contention_storm_pins_steals_and_hot_hits() {
+        let snap = contention_storm();
+        assert_eq!(
+            snap.counter(Counter::Steals),
+            3,
+            "4 workers, all seeded on worker 0"
+        );
+        assert_eq!(snap.counter(Counter::PoolBatches), 1);
+        assert_eq!(snap.counter(Counter::PoolItems), 4);
+        assert_eq!(snap.counter(Counter::TableMisses), 12, "8 hot + 4 solo");
+        assert_eq!(
+            snap.counter(Counter::TableHits),
+            128,
+            "4 workers x 4 rounds x 8 hot keys"
+        );
+        assert_eq!(snap.counter(Counter::TableInserts), 12);
+        assert_eq!(snap.counter(Counter::TableEvictions), 0);
+        assert_eq!(
+            snap.counter(Counter::IncrementalReuse),
+            12,
+            "rescope keeps everything"
+        );
+        // The racy counters are published as their asserted ceilings.
+        assert_eq!(
+            snap.counter(Counter::ShardContention),
+            storm_cap(Counter::ShardContention)
+        );
+        assert_eq!(
+            snap.counter(Counter::TableReadRetries),
+            storm_cap(Counter::TableReadRetries)
+        );
+        assert_eq!(
+            snap.counter(Counter::StealFailures),
+            storm_cap(Counter::StealFailures)
+        );
     }
 
     #[test]

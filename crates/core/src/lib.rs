@@ -20,8 +20,8 @@
 //! | (beyond the paper) flat arena terms and canonical key codes | [`arena`] |
 //! | (beyond the paper) precomputed ground-fragment subtype closure | [`closure`] |
 //! | (beyond the paper) tabled proving with generation invalidation | [`table`] |
-//! | (beyond the paper) lock-striped concurrent proof table | [`shard`] |
-//! | (beyond the paper) the worker pool behind `--jobs N` | [`par`] |
+//! | (beyond the paper) lock-free seqlocked concurrent proof table | [`shard`] |
+//! | (beyond the paper) the work-stealing worker pool behind `--jobs N` | [`par`] |
 //! | (beyond the paper) metrics, timers, and span tracing | [`obs`] |
 //!
 //! # Quick start
@@ -77,6 +77,7 @@ pub mod obs;
 pub mod par;
 pub mod prover;
 pub mod semantics;
+mod seqlock;
 pub mod serve;
 pub mod shard;
 pub mod table;

@@ -2,7 +2,7 @@
 //! structured trace sink for the whole prover pipeline.
 //!
 //! Every layer of the workspace — the proof table ([`crate::table`]), the
-//! lock-striped shards ([`crate::shard`]), the constraint matcher
+//! seqlocked concurrent store ([`crate::shard`]), the constraint matcher
 //! ([`crate::cmatch`]), the clause/query checkers ([`crate::welltyped`]),
 //! the lint driver ([`crate::lint`]), the worker pool ([`crate::par`]) and
 //! the CLI — reports into one [`MetricsRegistry`]. The registry is a fixed
@@ -54,7 +54,8 @@ pub enum Counter {
     TableEvictions,
     /// Wholesale invalidations on generation mismatch.
     TableInvalidations,
-    /// Shard locks that were busy on first try (`try_lock` would block).
+    /// Bucket writer stamps found busy on acquire (a concurrent writer
+    /// held the seqlock, so the insert was skipped or the probe moved on).
     ShardContention,
     /// Subtype proof obligations submitted to a prover (tabled or not).
     SubtypeGoals,
@@ -128,11 +129,23 @@ pub enum Counter {
     /// Terms flat-encoded into canonical proof-table key codes (two per
     /// subtype goal that reaches the table layer).
     ArenaTerms,
+    /// Seqlock read attempts the lock-free table discarded and retried
+    /// because a concurrent writer moved the bucket's sequence stamp (or
+    /// held it odd) mid-copy. Zero on every serial run by construction.
+    TableReadRetries,
+    /// Work chunks a pool worker claimed from *another* worker's deque.
+    /// Zero when the pool runs inline (`--jobs 1`) — a parallel batch with
+    /// `steals == 0` means the stealing path silently degraded to serial.
+    Steals,
+    /// Steal attempts that found the victim's deque empty (or busy) and
+    /// had to re-pick a victim. Purely scheduling luck; bounded, not
+    /// exact, in perf baselines.
+    StealFailures,
 }
 
 impl Counter {
     /// Every counter, in schema order.
-    pub const ALL: [Counter; 35] = [
+    pub const ALL: [Counter; 38] = [
         Counter::TableHits,
         Counter::TableMisses,
         Counter::TableInserts,
@@ -168,6 +181,9 @@ impl Counter {
         Counter::ClosureHits,
         Counter::ClosureMisses,
         Counter::ArenaTerms,
+        Counter::TableReadRetries,
+        Counter::Steals,
+        Counter::StealFailures,
     ];
 
     /// Number of counters.
@@ -211,6 +227,9 @@ impl Counter {
             Counter::ClosureHits => "closure_hits",
             Counter::ClosureMisses => "closure_misses",
             Counter::ArenaTerms => "arena_terms",
+            Counter::TableReadRetries => "table_read_retries",
+            Counter::Steals => "steals",
+            Counter::StealFailures => "steal_failures",
         }
     }
 
@@ -227,6 +246,9 @@ impl Counter {
     /// `IncrementalReuse`, which counts survivors of a rescope. The serve
     /// request counters *are* invariant: faults are keyed off request
     /// sequence numbers (see [`FaultPlan`]), not clocks or thread timing.
+    /// The concurrency counters added with the lock-free table —
+    /// seqlock read retries, deque steals, and failed steal attempts —
+    /// are scheduling luck by definition and excluded too.
     pub fn scheduling_invariant(self) -> bool {
         !matches!(
             self,
@@ -241,6 +263,28 @@ impl Counter {
                 | Counter::WitnessValidated
                 | Counter::WitnessInvalid
                 | Counter::IncrementalReuse
+                | Counter::TableReadRetries
+                | Counter::Steals
+                | Counter::StealFailures
+        )
+    }
+
+    /// Whether a perf baseline should treat this counter as an upper
+    /// *bound* rather than an exact expectation.
+    ///
+    /// Seqlock retries, writer-lock collisions, and failed steal attempts
+    /// depend on how the OS interleaves racing threads: re-running the
+    /// same workload legitimately lands on different (small) values. The
+    /// `contention_storm` bench therefore asserts a generous ceiling on
+    /// the measured value and publishes the *ceiling* in its snapshot, so
+    /// the emitted document stays deterministic and `report --smoke` can
+    /// keep comparing byte-exactly. Every other counter — including
+    /// `steals`, which the storm workload makes deterministic by
+    /// construction — is reported as measured.
+    pub fn bounded_in_baselines(self) -> bool {
+        matches!(
+            self,
+            Counter::ShardContention | Counter::TableReadRetries | Counter::StealFailures
         )
     }
 }
@@ -338,14 +382,14 @@ pub enum TraceEvent<'a> {
         /// The new generation stamp.
         generation: u64,
     },
-    /// A shard lock was busy on first try.
+    /// A bucket's writer stamp was busy on first try.
     ShardContention {
-        /// Index of the contended shard.
+        /// Index of the contended bucket.
         shard: usize,
     },
-    /// A poisoned shard lock was recovered: the shard was cleared and the
-    /// poison flag reset, so later requests rebuild the cache instead of
-    /// erroring forever.
+    /// A poison-flagged store was recovered: it was wiped and the flag
+    /// reset, so later requests rebuild the cache instead of erroring
+    /// forever.
     ShardPoisonRecovered {
         /// Index of the recovered shard.
         shard: usize,
@@ -812,7 +856,8 @@ impl MetricsSnapshot {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// Panic inside request processing (must be contained by the request
-    /// boundary's `catch_unwind`, possibly poisoning a shard lock).
+    /// boundary's `catch_unwind`, possibly leaving the proof-table store
+    /// poison-flagged).
     Panic,
     /// Force the request's resource budget to be exhausted up front, so
     /// checking degrades to `Unknown` verdicts.
@@ -1376,5 +1421,33 @@ mod tests {
         assert!(Counter::ClosureHits.scheduling_invariant());
         assert!(Counter::ClosureMisses.scheduling_invariant());
         assert!(Counter::ArenaTerms.scheduling_invariant());
+        // Concurrency-mechanism counters are scheduling luck by
+        // definition: retries and steals depend on thread interleaving.
+        assert!(!Counter::TableReadRetries.scheduling_invariant());
+        assert!(!Counter::Steals.scheduling_invariant());
+        assert!(!Counter::StealFailures.scheduling_invariant());
+    }
+
+    #[test]
+    fn bounded_baseline_counters_are_the_racy_subset() {
+        // Only genuinely interleaving-dependent mechanism counters may be
+        // published as ceilings; everything else stays exact in
+        // BENCH_5.json. In particular `steals` is exact: the storm
+        // workload pins it by construction, so a silent fallback to a
+        // serial pool cannot hide behind a bound.
+        for c in Counter::ALL {
+            if c.bounded_in_baselines() {
+                assert!(
+                    !c.scheduling_invariant(),
+                    "{} cannot be both exact-invariant and bounded",
+                    c.name()
+                );
+            }
+        }
+        assert!(Counter::ShardContention.bounded_in_baselines());
+        assert!(Counter::TableReadRetries.bounded_in_baselines());
+        assert!(Counter::StealFailures.bounded_in_baselines());
+        assert!(!Counter::Steals.bounded_in_baselines());
+        assert!(!Counter::TableHits.bounded_in_baselines());
     }
 }

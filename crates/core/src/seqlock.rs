@@ -1,0 +1,721 @@
+//! The lock-free storage engine under [`ShardedProofTable`]: an
+//! epoch-stamped open-addressing map whose buckets are seqlock-validated
+//! blobs of atomic words.
+//!
+//! # Why this shape
+//!
+//! The crate forbids `unsafe` (`#![forbid(unsafe_code)]`), which rules out
+//! the classic seqlock over an `UnsafeCell` payload and every
+//! hazard-pointer / epoch-reclamation scheme built on raw pointers. The
+//! trick used here keeps the whole design in safe Rust: **every byte of a
+//! cached entry lives in `AtomicU64` words**, so a reader racing a writer
+//! performs only well-defined atomic loads — it can observe a *torn
+//! mixture* of old and new words, but never undefined behaviour. The
+//! per-bucket sequence stamp then makes torn snapshots detectable and
+//! discardable:
+//!
+//! * **readers** load the stamp (even = stable, odd = writer active), copy
+//!   the bucket's words with plain atomic loads, and re-load the stamp; a
+//!   changed or odd stamp means the copy may be torn, so it is thrown away
+//!   and retried (counted in [`Counter::TableReadRetries`]). The ordering
+//!   recipe (acquire on the first stamp load, an acquire fence before the
+//!   second) is the standard safe-atomics seqlock, cf. crossbeam's
+//!   `AtomicCell` internals.
+//! * **writers** claim a bucket by CAS-ing its stamp from even to odd — a
+//!   per-bucket spinlock held only for a handful of word stores. A failed
+//!   CAS means another writer owns the bucket *right now*; since the table
+//!   is only a cache, the insert is simply skipped (counted as
+//!   [`Counter::ShardContention`]) and the verdict is re-derived on the
+//!   next miss. No writer ever blocks on another writer.
+//! * **entries never hold heap pointers in shared storage** — keys,
+//!   answers, and witness chains are flat-encoded into the words (via
+//!   [`arena::encode_term`] and the key's existing flat code), so there is
+//!   no reclamation problem at all: overwriting a bucket cannot free
+//!   memory a concurrent reader still sees. Entries whose encoding exceeds
+//!   the fixed bucket payload simply decline caching, which a cache may
+//!   always do.
+//!
+//! # Epoch scoping
+//!
+//! Generation invalidation (PR 6's `rescope` and the older wholesale
+//! `ensure_generation`) is an O(1) **epoch swap**: the store carries one
+//! `AtomicU64` epoch, and every entry is stamped with the generation it
+//! was derived under. An entry is *live* iff its stamp equals the caller's
+//! generation — so after a theory change the old entries are dead the
+//! instant the epoch moves, without touching a single bucket. Dead
+//! buckets are reclaimed lazily: an insert treats them as free slots.
+//! Because a reader compares the entry's own stamp against *its* caller
+//! generation (not the table's), a retried or racing read can never
+//! return a verdict derived under a different theory — the
+//! mixed-generation torn read the kill test in `prop_shard.rs` hunts for
+//! is structurally impossible.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lp_term::{Subst, Term, Var};
+
+use crate::arena;
+use crate::obs::{Counter, MetricsRegistry, TraceEvent};
+use crate::table::{CachedVerdict, TableKey};
+use crate::witness::Step;
+
+/// Payload capacity of one bucket, in `u32` code words. Entries that
+/// flat-encode larger than this decline caching. 240 words comfortably
+/// holds every conjunction the Definition-16 checker emits over the
+/// committed corpora (typical entries are 20–60 words) while keeping a
+/// 4096-bucket table under ~4 MiB.
+const PAYLOAD_U32S: usize = 240;
+
+/// Payload words per bucket (`u32`s packed two per `AtomicU64`).
+const PAYLOAD_WORDS: usize = PAYLOAD_U32S / 2;
+
+/// Probe window: an entry for hash slot `h` lives in one of the `H`
+/// buckets starting at `h` (wrapping). Small enough that lookups stay a
+/// short linear scan, large enough that clustering rarely forces an
+/// eviction before the table is actually full.
+const PROBE_WINDOW: usize = 8;
+
+/// Bounded spin for a reader that keeps seeing a torn or writer-held
+/// bucket. Writers hold a bucket for a handful of stores, so in practice
+/// one retry suffices; the bound exists so a reader can never livelock —
+/// past it the read degrades to a miss (sound: the table is a cache).
+const MAX_READ_RETRIES: usize = 64;
+
+/// One open-addressing slot: a seqlock stamp guarding a generation stamp,
+/// a length, and a flat-encoded entry.
+///
+/// `seq` even = stable, odd = writer active. `len` is the entry's encoded
+/// length in `u32`s (0 = vacant). All fields besides `seq` are protected
+/// by the seqlock protocol — they are atomics only so racing reads are
+/// defined, not because their individual loads are meaningful.
+#[derive(Debug)]
+struct Bucket {
+    seq: AtomicU64,
+    generation: AtomicU64,
+    len: AtomicU64,
+    words: [AtomicU64; PAYLOAD_WORDS],
+}
+
+impl Bucket {
+    fn new() -> Self {
+        Bucket {
+            seq: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A decoded snapshot of one live bucket.
+struct Snapshot {
+    generation: u64,
+    data: Vec<u32>,
+}
+
+/// The epoch-stamped open-addressing store. See the module docs for the
+/// full protocol.
+#[derive(Debug)]
+pub(crate) struct BucketStore {
+    buckets: Box<[Bucket]>,
+    /// The generation the table is currently scoped to. Entries stamped
+    /// with any other generation are dead (and their slots free).
+    epoch: AtomicU64,
+    /// Fault-injection flag: `index + 1` of a "poisoned" shard, 0 when
+    /// clean. The next access recovers (wipes the store) exactly like the
+    /// old mutex-poison path did.
+    poisoned: AtomicU64,
+    obs: Arc<MetricsRegistry>,
+}
+
+impl BucketStore {
+    /// A store with `capacity` buckets (rounded up to a power of two).
+    pub(crate) fn new(capacity: usize, obs: Arc<MetricsRegistry>) -> Self {
+        assert!(capacity > 0, "a bucket store needs at least one slot");
+        let n = capacity.next_power_of_two();
+        BucketStore {
+            buckets: (0..n).map(|_| Bucket::new()).collect(),
+            epoch: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+            obs,
+        }
+    }
+
+    /// Number of buckets — the hard entry capacity.
+    pub(crate) fn capacity(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of entries live under the current epoch. A full scan; meant
+    /// for tests and post-join reporting, not the hot path.
+    pub(crate) fn len(&self) -> usize {
+        self.recover_if_poisoned();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        self.buckets
+            .iter()
+            .filter(|b| match self.read_snapshot(b, None) {
+                Some(snap) => snap.generation == epoch,
+                None => false,
+            })
+            .count()
+    }
+
+    /// Marks the store as poisoned, mimicking a panic that escaped while a
+    /// shard lock was held in the old mutex design. The *next* access
+    /// recovers: wipes every bucket, counts one
+    /// [`Counter::TableInvalidations`], and traces
+    /// [`TraceEvent::ShardPoisonRecovered`]. Kept so `slp serve`'s fault
+    /// harness (and its committed replay golden) exercises the same
+    /// poison-then-self-heal story against the lock-free store.
+    pub(crate) fn poison(&self, index: usize) {
+        self.poisoned.store(index as u64 + 1, Ordering::Release);
+    }
+
+    /// Recovers from an injected poison flag, if one is pending.
+    pub(crate) fn recover_if_poisoned(&self) {
+        let flag = self.poisoned.swap(0, Ordering::AcqRel);
+        if flag != 0 {
+            self.wipe();
+            self.obs.incr(Counter::TableInvalidations);
+            self.obs.trace(&TraceEvent::ShardPoisonRecovered {
+                shard: (flag - 1) as usize,
+            });
+        }
+    }
+
+    /// Physically vacates every bucket (counters untouched).
+    pub(crate) fn wipe(&self) {
+        for bucket in self.buckets.iter() {
+            if let Some(stamp) = self.writer_acquire(bucket) {
+                bucket.generation.store(0, Ordering::Relaxed);
+                bucket.len.store(0, Ordering::Relaxed);
+                self.writer_release(bucket, stamp);
+            }
+            // A bucket whose writer lock is busy is being overwritten right
+            // now; its content is the concurrent writer's business, and a
+            // wipe that misses it only leaves a (sound) cache entry behind.
+        }
+    }
+
+    /// Aligns the store's epoch with the caller's constraint generation —
+    /// the O(1) analogue of `ProofTable::ensure_generation`. On a
+    /// transition the winning thread counts one invalidation iff any entry
+    /// of the outgoing epoch was still live (mirroring the old "only if
+    /// non-empty" accounting).
+    pub(crate) fn align(&self, generation: u64) {
+        self.recover_if_poisoned();
+        let current = self.epoch.load(Ordering::Acquire);
+        if current == generation {
+            return;
+        }
+        if self
+            .epoch
+            .compare_exchange(current, generation, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            let stranded = self
+                .buckets
+                .iter()
+                .filter(|b| match self.read_snapshot(b, None) {
+                    Some(snap) => snap.generation == current,
+                    None => false,
+                })
+                .count();
+            if stranded > 0 {
+                self.obs.incr(Counter::TableInvalidations);
+                self.obs.trace(&TraceEvent::TableInvalidate { generation });
+            }
+        }
+        // A losing CAS means another caller moved the epoch first; entry
+        // stamps keep every subsequent read sound regardless of who won.
+    }
+
+    /// The home slot of a key.
+    fn slot_for(&self, key: &TableKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Seqlock-validated copy of one bucket. Returns `None` for vacant
+    /// buckets and for buckets that stayed torn past the retry bound.
+    /// `retries` counts discarded copies into `TableReadRetries` when a
+    /// registry is given (scans like `len()` pass `None` — they are not
+    /// lookups and must not move lookup-path counters).
+    fn read_snapshot(
+        &self,
+        bucket: &Bucket,
+        retries: Option<&MetricsRegistry>,
+    ) -> Option<Snapshot> {
+        for _ in 0..MAX_READ_RETRIES {
+            let s1 = bucket.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                if let Some(obs) = retries {
+                    obs.incr(Counter::TableReadRetries);
+                }
+                std::hint::spin_loop();
+                continue;
+            }
+            let generation = bucket.generation.load(Ordering::Relaxed);
+            let len = bucket.len.load(Ordering::Relaxed) as usize;
+            // `len > PAYLOAD_U32S` can only be a torn length word; the
+            // stamp check below will send it around for a retry.
+            let torn = len > PAYLOAD_U32S;
+            let data = if torn || len == 0 {
+                Vec::new()
+            } else {
+                copy_payload(bucket, len)
+            };
+            fence(Ordering::Acquire);
+            let s2 = bucket.seq.load(Ordering::Relaxed);
+            if !torn && s1 == s2 {
+                if len == 0 {
+                    return None;
+                }
+                return Some(Snapshot { generation, data });
+            }
+            if let Some(obs) = retries {
+                obs.incr(Counter::TableReadRetries);
+            }
+            std::hint::spin_loop();
+        }
+        // Persistently torn (pathological scheduling): degrade to a miss.
+        None
+    }
+
+    /// Claims a bucket's writer lock: CAS the stamp even → odd. Returns
+    /// the odd stamp to pass to [`Self::writer_release`], or `None` when
+    /// another writer holds the bucket.
+    fn writer_acquire(&self, bucket: &Bucket) -> Option<u64> {
+        let s = bucket.seq.load(Ordering::Relaxed);
+        if s & 1 == 1 {
+            return None;
+        }
+        if bucket
+            .seq
+            .compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return None;
+        }
+        fence(Ordering::Release);
+        Some(s + 1)
+    }
+
+    /// Publishes a bucket: bumps the stamp back to even.
+    fn writer_release(&self, bucket: &Bucket, odd_stamp: u64) {
+        bucket.seq.store(odd_stamp + 1, Ordering::Release);
+    }
+
+    /// Stores `data` (with its generation stamp) into `bucket` under the
+    /// writer lock already held.
+    fn write_payload(&self, bucket: &Bucket, generation: u64, data: &[u32]) {
+        bucket.generation.store(generation, Ordering::Relaxed);
+        bucket.len.store(data.len() as u64, Ordering::Relaxed);
+        for (w, chunk) in data.chunks(2).enumerate() {
+            let lo = chunk[0] as u64;
+            let hi = if chunk.len() == 2 {
+                (chunk[1] as u64) << 32
+            } else {
+                0
+            };
+            bucket.words[w].store(lo | hi, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks a key up under the caller's generation, counting a hit or a
+    /// miss exactly like `ProofTable::lookup`.
+    pub(crate) fn lookup(&self, generation: u64, key: &TableKey) -> Option<CachedVerdict> {
+        self.align(generation);
+        let home = self.slot_for(key);
+        let window = PROBE_WINDOW.min(self.buckets.len());
+        let mask = self.buckets.len() - 1;
+        for i in 0..window {
+            let bucket = &self.buckets[(home + i) & mask];
+            let Some(snap) = self.read_snapshot(bucket, Some(&self.obs)) else {
+                // Vacant slots do NOT end the probe: lazy epoch reclamation
+                // and wipes punch holes mid-window.
+                continue;
+            };
+            if snap.generation != generation {
+                continue;
+            }
+            if let Some((entry_key, verdict)) = decode_entry(&snap.data) {
+                if &entry_key == key {
+                    self.obs.incr(Counter::TableHits);
+                    if self.obs.tracing() {
+                        self.obs.trace(&TraceEvent::TableHit {
+                            key: &key.fingerprint(),
+                        });
+                    }
+                    return Some(verdict);
+                }
+            }
+        }
+        self.obs.incr(Counter::TableMisses);
+        if self.obs.tracing() {
+            self.obs.trace(&TraceEvent::TableMiss {
+                key: &key.fingerprint(),
+            });
+        }
+        None
+    }
+
+    /// Publishes a verdict under the caller's generation.
+    ///
+    /// Mirrors `ProofTable::insert`'s accounting: re-publishing a live key
+    /// updates in place without counting an insert; filling a vacant (or
+    /// epoch-dead) slot counts one insert; displacing a live entry of a
+    /// different key counts an eviction *and* an insert. Oversized entries
+    /// decline silently; a busy writer lock skips the publish (counted as
+    /// shard contention) — both are sound for a cache.
+    pub(crate) fn insert(&self, generation: u64, key: TableKey, verdict: CachedVerdict) {
+        self.align(generation);
+        let Some(data) = encode_entry(&key, &verdict) else {
+            return;
+        };
+        let home = self.slot_for(&key);
+        let window = PROBE_WINDOW.min(self.buckets.len());
+        let mask = self.buckets.len() - 1;
+        // Read pass: prefer the slot already holding this key, else the
+        // first free slot, else evict the home slot.
+        let mut target = None;
+        let mut free = None;
+        for i in 0..window {
+            let index = (home + i) & mask;
+            match self.read_snapshot(&self.buckets[index], Some(&self.obs)) {
+                Some(snap) if snap.generation == generation => {
+                    if target.is_none() && decode_entry(&snap.data).is_some_and(|(k, _)| k == key) {
+                        target = Some((index, false));
+                    }
+                }
+                _ => {
+                    if free.is_none() {
+                        free = Some(index);
+                    }
+                }
+            }
+        }
+        let (index, evicting) = match (target, free) {
+            (Some(t), _) => t,
+            (None, Some(f)) => (f, false),
+            (None, None) => (home, true),
+        };
+        let in_place = target.is_some();
+        let bucket = &self.buckets[index];
+        let Some(stamp) = self.writer_acquire(bucket) else {
+            // Another writer owns this bucket this instant. Skip: the
+            // verdict is re-derivable, and blocking here would reintroduce
+            // the lock convoy this design removes.
+            self.obs.incr(Counter::ShardContention);
+            self.obs
+                .trace(&TraceEvent::ShardContention { shard: index });
+            return;
+        };
+        if evicting {
+            self.obs.incr(Counter::TableEvictions);
+            if self.obs.tracing() {
+                // Decode the victim under the writer lock (no concurrent
+                // writer can tear it now) purely for the trace line.
+                let generation_now = bucket.generation.load(Ordering::Relaxed);
+                let len = bucket.len.load(Ordering::Relaxed) as usize;
+                if len > 0 && len <= PAYLOAD_U32S && generation_now == generation {
+                    if let Some((victim, _)) = decode_entry(&copy_payload(bucket, len)) {
+                        self.obs.trace(&TraceEvent::TableEvict {
+                            key: &victim.fingerprint(),
+                        });
+                    }
+                }
+            }
+        }
+        self.write_payload(bucket, generation, &data);
+        self.writer_release(bucket, stamp);
+        if !in_place {
+            self.obs.incr(Counter::TableInserts);
+        }
+    }
+
+    /// Per-constraint incremental invalidation — the epoch-bumped analogue
+    /// of `ProofTable::rescope`, with identical survivor rules and
+    /// accounting. Walks every bucket once under its writer lock,
+    /// re-stamping survivors with the new generation and vacating the
+    /// rest, then moves the epoch. Returns the number retained.
+    pub(crate) fn rescope(
+        &self,
+        generation: u64,
+        constraint_unchanged: &dyn Fn(usize) -> bool,
+        keep_refuted: bool,
+    ) -> u64 {
+        self.recover_if_poisoned();
+        let current = self.epoch.load(Ordering::Acquire);
+        if current == generation {
+            return 0;
+        }
+        let mut kept = 0u64;
+        let mut dropped = 0u64;
+        for bucket in self.buckets.iter() {
+            let Some(stamp) = self.writer_acquire(bucket) else {
+                continue;
+            };
+            let len = bucket.len.load(Ordering::Relaxed) as usize;
+            let entry_generation = bucket.generation.load(Ordering::Relaxed);
+            if len == 0 || len > PAYLOAD_U32S || entry_generation != current {
+                self.writer_release(bucket, stamp);
+                continue;
+            }
+            let survives = match decode_entry(&copy_payload(bucket, len)) {
+                Some((_, CachedVerdict::Proved(_, steps))) => steps.iter().all(|s| match s {
+                    Step::Constraint(i) => constraint_unchanged(*i),
+                    Step::Refl | Step::Decompose => true,
+                }),
+                Some((_, CachedVerdict::Refuted)) => keep_refuted,
+                None => false,
+            };
+            if survives {
+                bucket.generation.store(generation, Ordering::Relaxed);
+                kept += 1;
+            } else {
+                bucket.len.store(0, Ordering::Relaxed);
+                dropped += 1;
+            }
+            self.writer_release(bucket, stamp);
+        }
+        self.epoch.store(generation, Ordering::Release);
+        if dropped > 0 {
+            self.obs.incr(Counter::TableInvalidations);
+            self.obs.trace(&TraceEvent::TableInvalidate { generation });
+        }
+        self.obs.add(Counter::IncrementalReuse, kept);
+        kept
+    }
+
+    /// Decodes every entry live under the current epoch — for witness
+    /// auditing. Run after workers join for an exact sweep.
+    pub(crate) fn live_entries(&self) -> Vec<(TableKey, CachedVerdict)> {
+        self.recover_if_poisoned();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        self.buckets
+            .iter()
+            .filter_map(|b| self.read_snapshot(b, None))
+            .filter(|snap| snap.generation == epoch)
+            .filter_map(|snap| decode_entry(&snap.data))
+            .collect()
+    }
+
+    /// Test hook: holds a bucket's writer lock while `f` runs, so tests
+    /// can stage a racing writer deterministically.
+    #[cfg(test)]
+    pub(crate) fn with_bucket_locked<R>(&self, key: &TableKey, f: impl FnOnce() -> R) -> R {
+        let bucket = &self.buckets[self.slot_for(key)];
+        let stamp = self
+            .writer_acquire(bucket)
+            .expect("test bucket lock uncontended");
+        let out = f();
+        self.writer_release(bucket, stamp);
+        out
+    }
+}
+
+/// Unpacks `len` `u32`s out of a bucket's payload words with relaxed
+/// loads. Only meaningful under the seqlock protocol: either the caller
+/// holds the writer lock, or the copy is validated against the stamp.
+fn copy_payload(bucket: &Bucket, len: usize) -> Vec<u32> {
+    let mut data = Vec::with_capacity(len);
+    for word in bucket.words.iter().take(len.div_ceil(2)) {
+        let word = word.load(Ordering::Relaxed);
+        data.push(word as u32);
+        if data.len() < len {
+            data.push((word >> 32) as u32);
+        }
+    }
+    data
+}
+
+/// Flat-encodes an entry: `[code_len, rigid_len, tag, code…, rigid…,`
+/// then for `Proved` `bind_count, (var, term_len, term…)…, step_count,
+/// step…]`. Returns `None` when the entry exceeds [`PAYLOAD_U32S`] or an
+/// index overflows a `u32` — the entry then declines caching.
+fn encode_entry(key: &TableKey, verdict: &CachedVerdict) -> Option<Vec<u32>> {
+    let mut out = Vec::with_capacity(16 + key.code().len());
+    out.push(u32::try_from(key.code().len()).ok()?);
+    out.push(u32::try_from(key.rigid().len()).ok()?);
+    out.push(match verdict {
+        CachedVerdict::Refuted => 0,
+        CachedVerdict::Proved(..) => 1,
+    });
+    out.extend_from_slice(key.code());
+    out.extend(key.rigid().iter().map(|v| v.0));
+    if let CachedVerdict::Proved(answer, steps) = verdict {
+        // Canonical answers must serialize deterministically even though
+        // `Subst` iterates in hash order: sort by variable.
+        let mut bindings: Vec<(Var, &Term)> = answer.iter().collect();
+        bindings.sort_by_key(|(v, _)| *v);
+        out.push(u32::try_from(bindings.len()).ok()?);
+        for (v, t) in bindings {
+            out.push(v.0);
+            let at = out.len();
+            out.push(0); // term_len backpatched below
+            arena::encode_term(&mut out, t);
+            out[at] = u32::try_from(out.len() - at - 1).ok()?;
+        }
+        out.push(u32::try_from(steps.len()).ok()?);
+        for step in steps.iter() {
+            out.push(match step {
+                Step::Refl => 0,
+                Step::Decompose => 1,
+                Step::Constraint(i) => u32::try_from(*i).ok()?.checked_add(2)?,
+            });
+        }
+    }
+    (out.len() <= PAYLOAD_U32S).then_some(out)
+}
+
+/// The inverse of [`encode_entry`]. Returns `None` on any structural
+/// mismatch — a torn-but-stamp-valid payload cannot occur under the
+/// protocol, but decoding stays total anyway so a logic bug degrades to a
+/// cache miss instead of a panic.
+fn decode_entry(data: &[u32]) -> Option<(TableKey, CachedVerdict)> {
+    let mut pos = 0usize;
+    let take = |n: usize, pos: &mut usize| -> Option<&[u32]> {
+        let slice = data.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(slice)
+    };
+    let header = take(3, &mut pos)?;
+    let (code_len, rigid_len, tag) = (header[0] as usize, header[1] as usize, header[2]);
+    let code = take(code_len, &mut pos)?.to_vec();
+    let rigid: Vec<Var> = take(rigid_len, &mut pos)?.iter().map(|&w| Var(w)).collect();
+    let key = TableKey::from_parts(code, rigid);
+    let verdict = match tag {
+        0 => CachedVerdict::Refuted,
+        1 => {
+            let bind_count = take(1, &mut pos)?[0] as usize;
+            let mut answer = Subst::new();
+            for _ in 0..bind_count {
+                let head = take(2, &mut pos)?;
+                let (var, term_len) = (Var(head[0]), head[1] as usize);
+                let term_code = take(term_len, &mut pos)?;
+                let mut terms = arena::decode_terms(term_code);
+                if terms.len() != 1 {
+                    return None;
+                }
+                answer.bind(var, terms.pop().expect("length checked"));
+            }
+            let step_count = take(1, &mut pos)?[0] as usize;
+            let mut steps = Vec::with_capacity(step_count);
+            for _ in 0..step_count {
+                steps.push(match take(1, &mut pos)?[0] {
+                    0 => Step::Refl,
+                    1 => Step::Decompose,
+                    w => Step::Constraint((w - 2) as usize),
+                });
+            }
+            CachedVerdict::Proved(answer, Arc::new(steps))
+        }
+        _ => return None,
+    };
+    (pos == data.len()).then_some((key, verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lp_term::{Signature, SymKind};
+
+    fn key_of(sig_terms: &[(Term, Term)]) -> TableKey {
+        use crate::table::Canonical;
+        Canonical::of(sig_terms, &std::collections::BTreeSet::new(), 0).key
+    }
+
+    fn sample_world() -> (Signature, Term, Term) {
+        let mut sig = Signature::new();
+        let f = sig.declare("f", SymKind::TypeCtor).unwrap();
+        let c = sig.declare("c", SymKind::Func).unwrap();
+        let sup = Term::app(f, vec![Term::Var(Var(3))]);
+        let sub = Term::app(c, vec![Term::Var(Var(4)), Term::constant(c)]);
+        (sig, sup, sub)
+    }
+
+    #[test]
+    fn entry_codec_round_trips_proved_and_refuted() {
+        let (_sig, sup, sub) = sample_world();
+        let key = key_of(&[(sup.clone(), sub.clone())]);
+        let mut answer = Subst::new();
+        answer.bind(Var(0), sub.clone());
+        answer.bind(Var(7), Term::Var(Var(1)));
+        let steps = Arc::new(vec![
+            Step::Refl,
+            Step::Decompose,
+            Step::Constraint(0),
+            Step::Constraint(41),
+        ]);
+        for verdict in [CachedVerdict::Proved(answer, steps), CachedVerdict::Refuted] {
+            let data = encode_entry(&key, &verdict).expect("fits");
+            let (back_key, back_verdict) = decode_entry(&data).expect("decodes");
+            assert_eq!(back_key, key);
+            assert_eq!(back_verdict, verdict);
+        }
+    }
+
+    #[test]
+    fn oversized_entries_decline() {
+        let (_sig, sup, sub) = sample_world();
+        // A conjunction long enough to overflow the payload budget.
+        let goals: Vec<(Term, Term)> = (0..PAYLOAD_U32S)
+            .map(|_| (sup.clone(), sub.clone()))
+            .collect();
+        let key = key_of(&goals);
+        assert!(encode_entry(&key, &CachedVerdict::Refuted).is_none());
+    }
+
+    #[test]
+    fn store_round_trips_under_epochs() {
+        let (_sig, sup, sub) = sample_world();
+        let obs = MetricsRegistry::shared();
+        let store = BucketStore::new(64, obs.clone());
+        let key = key_of(&[(sup, sub)]);
+        assert!(store.lookup(7, &key).is_none());
+        store.insert(7, key.clone(), CachedVerdict::Refuted);
+        assert_eq!(store.lookup(7, &key), Some(CachedVerdict::Refuted));
+        assert_eq!(store.len(), 1);
+        // A different generation kills the entry without touching it.
+        assert!(store.lookup(8, &key).is_none());
+        assert_eq!(store.len(), 0);
+        assert!(obs.get(Counter::TableInvalidations) >= 1);
+    }
+
+    #[test]
+    fn busy_writer_lock_skips_the_insert_and_counts_contention() {
+        let (_sig, sup, sub) = sample_world();
+        let obs = MetricsRegistry::shared();
+        let store = BucketStore::new(1, obs.clone());
+        let key = key_of(&[(sup, sub)]);
+        store.with_bucket_locked(&key, || {
+            store.insert(3, key.clone(), CachedVerdict::Refuted);
+        });
+        assert_eq!(obs.get(Counter::ShardContention), 1);
+        assert!(store.lookup(3, &key).is_none(), "publish was skipped");
+        // With the lock released the insert goes through.
+        store.insert(3, key.clone(), CachedVerdict::Refuted);
+        assert_eq!(store.lookup(3, &key), Some(CachedVerdict::Refuted));
+    }
+
+    #[test]
+    fn reader_retries_are_counted_against_a_held_writer_lock() {
+        let (_sig, sup, sub) = sample_world();
+        let obs = MetricsRegistry::shared();
+        let store = BucketStore::new(1, obs.clone());
+        let key = key_of(&[(sup, sub)]);
+        store.insert(3, key.clone(), CachedVerdict::Refuted);
+        let before = obs.get(Counter::TableReadRetries);
+        store.with_bucket_locked(&key, || {
+            // The single bucket is writer-held: every read attempt sees an
+            // odd stamp, retries to the bound, then degrades to a miss.
+            assert!(store.lookup(3, &key).is_none());
+        });
+        assert!(obs.get(Counter::TableReadRetries) > before);
+        assert_eq!(store.lookup(3, &key), Some(CachedVerdict::Refuted));
+    }
+}

@@ -249,10 +249,10 @@ impl ServeSession {
     ) -> JsonValue {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if let Some(Fault::Panic) = fault {
-                // Poison a live shard before unwinding, so the injected
-                // panic exercises the worst case: a panic *while holding
-                // a shard lock* must neither kill the daemon nor wedge
-                // the shard for later requests.
+                // Poison-flag the live store before unwinding, so the
+                // injected panic exercises the worst case: a panic that
+                // leaves the table flagged must neither kill the daemon
+                // nor wedge the table for later requests.
                 self.table.poison_shard_for_fault_injection(0);
                 panic!("injected fault: panic at request {seq}");
             }

@@ -1,61 +1,74 @@
-//! A thread-safe, lock-striped proof table for concurrent checking.
+//! A thread-safe, read-optimized proof table for concurrent checking.
 //!
 //! [`ProofTable`](crate::ProofTable) is deliberately single-threaded (it
 //! lives behind a `RefCell`). Parallel clause- and file-level checking
-//! needs many workers sharing one memo space, so [`ShardedProofTable`]
-//! splits the key space across `N` independent shards, each a plain
-//! `Mutex<ProofTable>`:
+//! needs many workers sharing one memo space. Through PR 9 that memo space
+//! was 16 `Mutex<ProofTable>` stripes; since this PR [`ShardedProofTable`]
+//! is a facade over [`BucketStore`](crate::seqlock::BucketStore), an
+//! epoch-stamped open-addressing map with **seqlock-validated lock-free
+//! reads**:
 //!
-//! * a canonical [`TableKey`] is routed to `hash(key) % N`, so alpha-variant
-//!   queries from *different* threads still land on the same shard and share
-//!   one cached derivation;
-//! * lock striping means contention only arises when two workers touch the
-//!   same shard at the same instant — with the default 16 shards and the
-//!   short critical sections (one hash-map probe or insert; the live proof
-//!   search itself never holds a lock), waiting is negligible;
-//! * each shard keeps its own FIFO bound (total capacity is divided evenly)
-//!   but all shards report into **one** shared [`MetricsRegistry`], so
-//!   [`ShardedProofTable::stats`] is a lock-free read of a handful of
-//!   atomics — it never touches a shard mutex (it used to lock every shard
-//!   and merge per-shard structs on each read, which serialized stats polls
-//!   against the workers);
-//! * generation invalidation (see [`crate::table`]) is preserved *per
-//!   shard*: every lookup/insert aligns the touched shard with the caller's
-//!   constraint-set generation before proceeding, so a shard never serves a
-//!   verdict derived under a different theory — untouched shards are simply
-//!   cleared lazily on their next access.
+//! * a canonical [`TableKey`]'s flat arena code hashes to a home bucket;
+//!   lookups scan a short probe window with atomic loads only — a reader
+//!   never takes a lock, never blocks a writer, and retries (counted in
+//!   [`Counter::TableReadRetries`]) only when it caught a bucket mid-write;
+//! * inserts claim one bucket's sequence stamp as a micro writer lock for
+//!   a handful of word stores; a busy stamp skips the publish (counted as
+//!   [`Counter::ShardContention`], the same counter the old striped design
+//!   fed) rather than queueing — hot-key convoys are gone by construction;
+//! * generation invalidation (see [`crate::table`]) is an O(1) epoch swap:
+//!   entries carry the generation they were derived under and are compared
+//!   against the *caller's* generation, so a stale or torn read can never
+//!   surface a verdict from a different theory; `rescope` re-stamps
+//!   provable survivors exactly like `ProofTable::rescope`;
+//! * all accounting lands in **one** shared [`MetricsRegistry`], so
+//!   [`ShardedProofTable::stats`] remains a lock-free read of atomics.
+//!
+//! The public surface (geometry constructors, `len`/`capacity`/`stats`,
+//! `rescope`, witness auditing, fault-injection poisoning) is unchanged
+//! from the striped design, so `cmatch`/`welltyped`/`serve` and the
+//! witness replayer are plumbing-only consumers — and the serial-output
+//! guarantee from PR 3 still holds: scheduling can move work between hit
+//! and miss, never change a verdict.
 //!
 //! [`ShardedProver`] mirrors [`TabledProver`](crate::TabledProver) over a
-//! shared sharded table, and [`TableHandle`] lets the matcher and checker
-//! accept either backend (or none) through one plumbing point.
+//! shared table, and [`TableHandle`] lets the matcher and checker accept
+//! either backend (or none) through one plumbing point.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
-use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, TryLockError};
+use std::sync::Arc;
 use std::time::Instant;
 
 use lp_term::{Signature, Subst, Term, Var};
 
+use crate::arena;
 use crate::closure::ClosureVerdict;
 use crate::constraint::{CheckedConstraints, SubtypeConstraint};
 use crate::obs::{Counter, MetricsRegistry, Timer, TraceEvent};
 use crate::prover::{Proof, Prover, ProverConfig};
+use crate::seqlock::BucketStore;
 use crate::table::{
     verdict_name, CachedVerdict, Canonical, ProofTable, TableKey, TableStats, TabledProver,
     DEFAULT_TABLE_CAPACITY,
 };
 use crate::witness::{self, Witness, Witnessed};
 
-/// Default number of lock stripes.
+/// Default shard-count *hint*. The lock-free store has no stripes, but the
+/// constructors keep accepting the old geometry so existing call sites
+/// (and persisted configs) stay valid; the value is reported back by
+/// [`ShardedProofTable::shard_count`].
 pub const DEFAULT_SHARD_COUNT: usize = 16;
 
-/// A bounded, generation-invalidated proof table shared across threads via
-/// lock striping. See the module docs for the concurrency contract.
+/// A bounded, generation-invalidated proof table shared across threads —
+/// lock-free reads over an epoch-stamped open-addressing store. See the
+/// module docs for the concurrency contract.
 #[derive(Debug)]
 pub struct ShardedProofTable {
-    shards: Box<[Mutex<ProofTable>]>,
-    /// The one registry every shard reports into (also handed to callers
+    store: BucketStore,
+    /// The configured stripe hint, kept for API compatibility.
+    shards: usize,
+    /// The one registry the store reports into (also handed to callers
     /// via [`Self::metrics`], so a whole invocation can aggregate).
     obs: Arc<MetricsRegistry>,
 }
@@ -78,8 +91,10 @@ impl ShardedProofTable {
         Self::with_config_and_metrics(DEFAULT_SHARD_COUNT, DEFAULT_TABLE_CAPACITY, obs)
     }
 
-    /// A table with `shards` stripes holding at most ~`capacity` entries in
-    /// total (divided evenly; every shard holds at least one entry).
+    /// A table with `capacity` bucket slots (rounded up to a power of
+    /// two). The `shards` stripe hint is recorded for
+    /// [`Self::shard_count`] but no longer affects layout: the store is
+    /// one open-addressed array with per-bucket micro writer locks.
     ///
     /// # Panics
     ///
@@ -88,7 +103,7 @@ impl ShardedProofTable {
         Self::with_config_and_metrics(shards, capacity, MetricsRegistry::shared())
     }
 
-    /// Explicit geometry *and* registry; every shard shares `obs`.
+    /// Explicit geometry *and* registry.
     ///
     /// # Panics
     ///
@@ -100,44 +115,37 @@ impl ShardedProofTable {
     ) -> Self {
         assert!(shards > 0, "a sharded table needs at least one shard");
         assert!(capacity > 0, "a sharded table needs room for one entry");
-        let per_shard = capacity.div_ceil(shards).max(1);
-        let shards = (0..shards)
-            .map(|_| {
-                Mutex::new(ProofTable::with_capacity_and_metrics(
-                    per_shard,
-                    obs.clone(),
-                ))
-            })
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        ShardedProofTable { shards, obs }
+        ShardedProofTable {
+            store: BucketStore::new(capacity, obs.clone()),
+            shards,
+            obs,
+        }
     }
 
-    /// The shared metrics registry all shards report into.
+    /// The shared metrics registry the store reports into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.obs
     }
 
-    /// Number of lock stripes.
+    /// The configured stripe hint (layout-inert since the lock-free
+    /// rewrite; kept so geometry-aware callers keep compiling).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards
     }
 
-    /// Total capacity bound (sum over shards).
+    /// Total capacity bound (bucket count).
     pub fn capacity(&self) -> usize {
-        (0..self.shards.len())
-            .map(|i| self.lock(i).capacity())
-            .sum()
+        self.store.capacity()
     }
 
-    /// Number of cached verdicts across all shards.
+    /// Number of cached verdicts live under the current epoch.
     pub fn len(&self) -> usize {
-        (0..self.shards.len()).map(|i| self.lock(i).len()).sum()
+        self.store.len()
     }
 
-    /// Whether no shard holds a verdict.
+    /// Whether no live verdict is cached.
     pub fn is_empty(&self) -> bool {
-        (0..self.shards.len()).all(|i| self.lock(i).is_empty())
+        self.len() == 0
     }
 
     /// Lifetime counters — a lock-free read of the shared registry's
@@ -155,103 +163,43 @@ impl ShardedProofTable {
         }
     }
 
-    /// Drops all entries in every shard, keeping the counters.
+    /// Drops all entries, keeping the counters.
     pub fn clear(&self) {
-        for i in 0..self.shards.len() {
-            self.lock(i).clear();
-        }
+        self.store.recover_if_poisoned();
+        self.store.wipe();
     }
 
-    /// Locks shard `index`, counting (and tracing) contention when the
-    /// lock is busy on first try.
-    ///
-    /// A *poisoned* shard (a panic escaped while some thread held the
-    /// lock) is recovered rather than propagated: the panic may have left
-    /// the critical section half-done, so the shard's memo state is
-    /// arbitrary and serving from it could change verdicts — but the
-    /// state is only a cache. Recovery drops every entry in the shard and
-    /// clears the mutex's poison flag, trading warm entries for
-    /// correctness; callers re-derive on the resulting misses. Without
-    /// this, one contained panic (e.g. a `catch_unwind` request boundary
-    /// in `slp serve`) would wedge the shard for the process lifetime.
-    fn lock(&self, index: usize) -> std::sync::MutexGuard<'_, ProofTable> {
-        match self.shards[index].try_lock() {
-            Ok(guard) => guard,
-            Err(TryLockError::WouldBlock) => {
-                self.obs.incr(Counter::ShardContention);
-                self.obs
-                    .trace(&TraceEvent::ShardContention { shard: index });
-                match self.shards[index].lock() {
-                    Ok(guard) => guard,
-                    Err(poisoned) => self.recover(index, poisoned.into_inner()),
-                }
-            }
-            Err(TryLockError::Poisoned(poisoned)) => self.recover(index, poisoned.into_inner()),
-        }
-    }
-
-    /// Recovers a poisoned shard: clears its (possibly inconsistent)
-    /// entries, resets the mutex poison flag so later lockers see a clean
-    /// `Ok`, and counts the event as an invalidation.
-    fn recover<'g>(
-        &'g self,
-        index: usize,
-        mut guard: std::sync::MutexGuard<'g, ProofTable>,
-    ) -> std::sync::MutexGuard<'g, ProofTable> {
-        guard.clear();
-        self.shards[index].clear_poison();
-        self.obs.incr(Counter::TableInvalidations);
-        self.obs
-            .trace(&TraceEvent::ShardPoisonRecovered { shard: index });
-        guard
-    }
-
-    /// Fault-injection hook for `slp serve`: poisons shard `index` by
-    /// panicking while its lock is held (the panic is contained here, but
-    /// the unwind through the guard marks the mutex poisoned). Later
-    /// accesses must go through [`recover`](Self::recover) — this is how
-    /// the serve fault harness proves a mid-critical-section panic cannot
-    /// wedge a shard.
+    /// Fault-injection hook for `slp serve`: flags the table as poisoned,
+    /// standing in for a panic that escaped mid-critical-section in the
+    /// old mutex design (the lock-free store has no critical section a
+    /// panic can interrupt — writers never run user code while holding a
+    /// stamp — but the serve fault harness still proves the
+    /// poison-then-self-heal story end to end). The next access recovers:
+    /// it wipes the cache, counts one [`Counter::TableInvalidations`], and
+    /// traces [`TraceEvent::ShardPoisonRecovered`]; callers re-derive on
+    /// the resulting misses.
     pub(crate) fn poison_shard_for_fault_injection(&self, index: usize) {
-        let mutex = &self.shards[index];
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _guard = match mutex.lock() {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            panic!("fault injection: poisoning shard {index}");
-        }));
+        self.store.poison(index);
     }
 
-    /// The shard index a key routes to.
-    fn shard_for(&self, key: &TableKey) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
-    }
-
-    /// Looks up a key under the given constraint-set generation, aligning
-    /// the touched shard first. Counts a hit or a miss on that shard.
+    /// Looks up a key under the given constraint-set generation — a
+    /// lock-free seqlock-validated probe. Counts a hit or a miss.
     pub(crate) fn lookup(&self, generation: u64, key: &TableKey) -> Option<CachedVerdict> {
-        let mut shard = self.lock(self.shard_for(key));
-        shard.ensure_generation(generation);
-        shard.lookup(key)
+        self.store.lookup(generation, key)
     }
 
-    /// Stores a verdict under the given generation, aligning the touched
-    /// shard first (so the stamp recorded with the entry is always the
-    /// deriving theory's).
+    /// Publishes a verdict under the given generation (the stamp recorded
+    /// with the entry is always the deriving theory's). Best-effort: a
+    /// bucket busy under another writer skips the publish.
     pub(crate) fn insert(&self, generation: u64, key: TableKey, verdict: CachedVerdict) {
-        let mut shard = self.lock(self.shard_for(&key));
-        shard.ensure_generation(generation);
-        shard.insert(key, verdict);
+        self.store.insert(generation, key, verdict);
     }
 
-    /// Per-constraint incremental invalidation: moves every shard to the
-    /// new `generation` through [`ProofTable::rescope`], retaining the
-    /// entries whose evidence survives the theory change instead of
-    /// clearing wholesale. Returns the total number of retained entries
-    /// (also accumulated into [`Counter::IncrementalReuse`]).
+    /// Per-constraint incremental invalidation: moves the store's epoch to
+    /// the new `generation`, retaining (re-stamping) the entries whose
+    /// evidence survives the theory change instead of clearing wholesale.
+    /// Returns the number of retained entries (also accumulated into
+    /// [`Counter::IncrementalReuse`]).
     ///
     /// The soundness conditions on `constraint_unchanged` / `keep_refuted`
     /// and the signature-prefix precondition are documented on
@@ -263,18 +211,15 @@ impl ShardedProofTable {
         constraint_unchanged: &dyn Fn(usize) -> bool,
         keep_refuted: bool,
     ) -> u64 {
-        (0..self.shards.len())
-            .map(|i| {
-                self.lock(i)
-                    .rescope(generation, constraint_unchanged, keep_refuted)
-            })
-            .sum()
+        self.store
+            .rescope(generation, constraint_unchanged, keep_refuted)
     }
 
-    /// Audits every shard through [`ProofTable::validate_witnesses`],
-    /// returning the aggregated `(validated, invalid)` tallies. Shards are
-    /// locked one at a time; run the audit after the workers have joined
-    /// for an exact sweep.
+    /// Audits every live entry the same way
+    /// [`ProofTable::validate_witnesses`] does: replays each cached
+    /// `Proved` chain through [`witness::validate_in`] — no prover —
+    /// returning `(validated, invalid)`. Run after the workers have
+    /// joined for an exact sweep.
     pub fn validate_witnesses(
         &self,
         sig: &Signature,
@@ -282,12 +227,34 @@ impl ShardedProofTable {
     ) -> (u64, u64) {
         let mut validated = 0u64;
         let mut invalid = 0u64;
-        for i in 0..self.shards.len() {
-            let (ok, bad) = self.lock(i).validate_witnesses(sig, constraints);
-            validated += ok;
-            invalid += bad;
+        for (key, verdict) in self.store.live_entries() {
+            if let CachedVerdict::Proved(answer, steps) = verdict {
+                let goals: Vec<(Term, Term)> = arena::decode_terms(key.code())
+                    .chunks_exact(2)
+                    .map(|p| (p[0].clone(), p[1].clone()))
+                    .collect();
+                let w = Witness {
+                    goals,
+                    answer,
+                    steps,
+                };
+                if witness::validate_in(sig, constraints, &w).is_ok() {
+                    validated += 1;
+                } else {
+                    invalid += 1;
+                }
+            }
         }
+        self.obs.add(Counter::WitnessValidated, validated);
+        self.obs.add(Counter::WitnessInvalid, invalid);
         (validated, invalid)
+    }
+
+    /// Test hook: holds the writer stamp of `key`'s home bucket while `f`
+    /// runs, staging deterministic contention/retry scenarios.
+    #[cfg(test)]
+    fn with_bucket_locked<R>(&self, key: &TableKey, f: impl FnOnce() -> R) -> R {
+        self.store.with_bucket_locked(key, f)
     }
 }
 
@@ -964,34 +931,41 @@ mod tests {
     /// Regression test for the stats-merge bug: `stats()` used to lock and
     /// merge every shard on each read, so a poll while a worker held any
     /// shard lock would block (and a poll loop would serialize the pool).
-    /// Now it must complete even while **all** shard locks are held.
+    /// Now it reads counters only, and must complete even while a writer
+    /// stamp is held on the hot bucket.
     #[test]
     fn stats_reads_take_no_shard_locks() {
         let w = world();
         let table = ShardedProofTable::with_config(4, 64);
         let p = ShardedProver::new(&w.sig, &w.cs, &table);
         let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
-        p.subtype(&list_int, &Term::constant(w.elist));
+        let elist = Term::constant(w.elist);
+        p.subtype(&list_int, &elist);
         let before = table.stats();
         assert_eq!(before.misses, 1);
 
-        // Hold every shard lock on this thread, then read stats from
-        // another; with any lock acquisition in stats() this would deadlock
-        // and the recv below would time out.
-        let guards: Vec<_> = (0..table.shard_count()).map(|i| table.lock(i)).collect();
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::scope(|scope| {
-            scope.spawn(|| {
-                tx.send(table.stats()).expect("receiver alive");
+        // Hold the populated entry's bucket under a writer stamp, then
+        // read stats from another thread; any bucket acquisition in
+        // stats() would spin and the recv below would time out.
+        let key = Canonical::of(&[(list_int, elist)], &BTreeSet::new(), 0).key;
+        table.with_bucket_locked(&key, || {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    tx.send(table.stats()).expect("receiver alive");
+                });
+                let polled = rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .expect("stats() completed without touching buckets");
+                assert_eq!(polled, before);
             });
-            let polled = rx
-                .recv_timeout(std::time::Duration::from_secs(5))
-                .expect("stats() completed without any shard lock");
-            assert_eq!(polled, before);
         });
-        drop(guards);
     }
 
+    /// A bucket busy under a writer cannot block a prover: the lookup
+    /// retries its seqlock read, degrades to a miss, the verdict is
+    /// re-derived, and the publish is skipped — counting both the read
+    /// retries and the contention.
     #[test]
     fn contended_locks_are_counted() {
         let w = world();
@@ -1001,21 +975,11 @@ mod tests {
         let elist = Term::constant(w.elist);
         p.subtype(&list_int, &elist);
         assert_eq!(table.metrics().get(Counter::ShardContention), 0);
-        // Hold the single shard's lock while another thread looks up: its
-        // try_lock must fail once and be counted before it blocks.
-        let guard = table.lock(0);
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
-                let p = ShardedProver::new(&w.sig, &w.cs, &table);
-                p.subtype(&list_int, &elist)
-            });
-            while table.metrics().get(Counter::ShardContention) == 0 {
-                std::thread::yield_now();
-            }
-            drop(guard);
-            assert!(handle.join().expect("prover thread").is_proved());
-        });
+        let key = Canonical::of(&[(list_int.clone(), elist.clone())], &BTreeSet::new(), 0).key;
+        let verdict = table.with_bucket_locked(&key, || p.subtype(&list_int, &elist));
+        assert!(verdict.is_proved(), "busy bucket still answers correctly");
         assert!(table.metrics().get(Counter::ShardContention) >= 1);
+        assert!(table.metrics().get(Counter::TableReadRetries) > 0);
     }
 
     #[test]
@@ -1027,21 +991,12 @@ mod tests {
         let list_int = Term::app(w.list, vec![Term::constant(w.int)]);
         let nelist_int = Term::app(w.nelist, vec![Term::constant(w.int)]);
         assert!(p.subtype(&list_int, &elist).is_proved());
-        assert_eq!(table.len(), 1, "warm entry before the panic");
-        // Panic while holding the only shard's lock, mid-mutation — the
-        // critical section is interrupted exactly as a mid-insert panic
-        // would leave it, and the mutex is now poisoned.
-        let hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut shard = table.lock(0);
-            shard.clear();
-            panic!("injected panic mid-insert");
-        }));
-        std::panic::set_hook(hook);
-        assert!(outcome.is_err(), "the injected panic escaped the closure");
+        assert_eq!(table.len(), 1, "warm entry before the fault");
+        // Inject the fault the serve harness models: a request panic
+        // escaped mid-check, so the cache state is no longer trusted.
+        table.poison_shard_for_fault_injection(0);
         let invalidations_before = table.metrics().get(Counter::TableInvalidations);
-        // Every later access must recover (clear + unpoison), not panic or
+        // Every later access must recover (wipe + unflag), not panic or
         // error forever, and verdicts must come back correct.
         assert!(p.subtype(&list_int, &elist).is_proved());
         assert!(p.subtype(&nelist_int, &elist).is_refuted());
@@ -1049,9 +1004,7 @@ mod tests {
             table.metrics().get(Counter::TableInvalidations) > invalidations_before,
             "recovery is counted as an invalidation"
         );
-        assert_eq!(table.len(), 2, "shard rebuilt after poison recovery");
-        // And the mutex really is clean again: a plain lock succeeds.
-        assert!(!table.shards[0].is_poisoned());
+        assert_eq!(table.len(), 2, "table rebuilt after poison recovery");
     }
 
     #[test]

@@ -96,6 +96,25 @@ pub(crate) struct TableKey {
 }
 
 impl TableKey {
+    /// Reassembles a key from its flat parts — the inverse of
+    /// [`TableKey::code`]/[`TableKey::rigid`], used when the lock-free
+    /// sharded table decodes an entry back out of its atomic bucket words.
+    pub(crate) fn from_parts(code: Vec<u32>, rigid: Vec<Var>) -> TableKey {
+        TableKey { code, rigid }
+    }
+
+    /// The canonical flat code stream (word-level view for the lock-free
+    /// table's bucket encoding).
+    pub(crate) fn code(&self) -> &[u32] {
+        &self.code
+    }
+
+    /// The sorted canonical rigid variables (word-level view for the
+    /// lock-free table's bucket encoding).
+    pub(crate) fn rigid(&self) -> &[Var] {
+        &self.rigid
+    }
+
     /// A compact, human-scannable rendering for trace logs: symbols print
     /// as `s<index>` (the signature is not in scope here), canonical
     /// variables as `_<n>`, goals as `sup>=sub` joined with `&`, followed

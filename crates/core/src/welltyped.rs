@@ -442,7 +442,8 @@ impl<'a> Checker<'a> {
 /// Definition 16 checks each clause (and each query) in isolation — no
 /// state flows between them — so the program-wide check is embarrassingly
 /// parallel. `ParallelChecker` dispatches clauses across the workspace
-/// worker pool ([`crate::par::run_indexed`]); workers share one
+/// work-stealing pool ([`crate::par`] — idle workers steal queued clause
+/// chunks instead of idling behind a fixed partition); workers share one
 /// [`ShardedProofTable`] (when tabling is on), so a judgement derived for
 /// one clause is a cache hit for every other clause on any thread.
 ///

@@ -3,7 +3,8 @@
 //!
 //! The sharded table is the concurrent counterpart of the single
 //! [`ProofTable`]: same canonical keys, same generation invalidation, just
-//! lock-striped. These tests assert it is *observationally identical* —
+//! concurrent (a seqlocked open-addressing store since the lock-free
+//! rewrite). These tests assert it is *observationally identical* —
 //! exact [`Proof`] equality, answers included — to both the untabled
 //! prover and the `RefCell`-backed tabled prover, on miss passes, hit
 //! passes, and under genuinely concurrent access from several threads.
@@ -20,10 +21,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use lp_gen::{terms, worlds};
-use lp_term::{Term, Var};
+use lp_term::{Signature, SymKind, Term, Var};
 use subtype_core::{
-    Counter, Proof, ProofTable, Prover, ProverConfig, ShardedProofTable, ShardedProver,
-    TabledProver,
+    ConstraintSet, Counter, Proof, ProofTable, Prover, ProverConfig, ShardedProofTable,
+    ShardedProver, TabledProver,
 };
 
 /// Same tight search budget as `prop_table.rs` — both provers run the same
@@ -178,4 +179,121 @@ proptest! {
         let closure_hits = table.metrics().get(Counter::ClosureHits);
         prop_assert_eq!(stats.hits + stats.misses + closure_hits, 16);
     }
+
+    /// Schedule fuzzing for the lock-free store: four threads hammer a
+    /// deliberately tiny table (collisions, evictions, seqlock races on
+    /// shared hot keys) while one of them keeps `rescope`-ing the store to
+    /// a foreign generation, so every other thread's next touch has to
+    /// re-align the epoch and re-derive. Whatever the interleaving, each
+    /// query must come back *exactly* equal to the serial prover's proof —
+    /// answers included — and never a verdict cached under a different
+    /// generation.
+    #[test]
+    fn hot_keys_survive_interleaved_rescope_epochs(seed in any::<u64>()) {
+        let world = worlds::random(seed % 512, worlds::RandomWorldConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (goals, _) = goal_pairs(&mut rng, &world, 4);
+        let plain = Prover::with_config(&world.sig, &world.checked, CONFIG);
+        let expected: Vec<Proof> = goals.iter().map(|(a, b)| plain.subtype(a, b)).collect();
+        // 8 buckets for 4 hot keys: probe clustering and epoch churn both
+        // happen on nearly every touch.
+        let table = ShardedProofTable::with_config(4, 8);
+        let world_ref = &world;
+        let goals_ref = &goals;
+        let expected_ref = &expected;
+        let table_ref = &table;
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                scope.spawn(move || {
+                    let sharded = ShardedProver::with_config(
+                        &world_ref.sig,
+                        &world_ref.checked,
+                        CONFIG,
+                        table_ref,
+                    );
+                    for round in 0..6usize {
+                        for i in 0..goals_ref.len() {
+                            let j = (i + t + round) % goals_ref.len();
+                            let (sup, sub) = &goals_ref[j];
+                            assert_eq!(
+                                sharded.subtype(sup, sub),
+                                expected_ref[j],
+                                "thread {t} round {round} diverged on goal {j}"
+                            );
+                        }
+                        if t == 0 {
+                            // Shove the whole store into a generation no
+                            // prover queries under; everyone else must
+                            // re-align and re-derive, never serve stale.
+                            table_ref.rescope(
+                                world_ref.checked.generation() + 1 + round as u64,
+                                &|_| true,
+                                true,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The seqlock torn-read kill test. Two theories share one store: their
+/// signatures declare the same symbols in the same order, so the goal
+/// `list(X) ⪰ elist` flat-encodes to the *same table key* under both —
+/// but theory 1 proves it and theory 2 refutes it. Threads hammer both
+/// provers concurrently on a **single-bucket** store, so every insert
+/// races every read on the same seqlock and the epoch ping-pongs on
+/// nearly every touch. A torn read that slipped validation, or any read
+/// that honoured a bucket stamped with the other generation, would hand
+/// one thread the other theory's verdict — the assertion that can never
+/// fire if the stamp discipline is right.
+#[test]
+fn torn_reads_never_leak_a_mixed_generation_verdict() {
+    let mut sig = Signature::new();
+    let elist = sig
+        .declare("elist", SymKind::TypeCtor)
+        .expect("fresh symbol");
+    let list = sig
+        .declare_with_arity("list", SymKind::TypeCtor, 1)
+        .expect("fresh symbol");
+    let mut cs = ConstraintSet::new();
+    cs.add(
+        &sig,
+        Term::app(list, vec![Term::Var(Var(0))]),
+        Term::constant(elist),
+    )
+    .expect("well-formed constraint");
+    let proving = cs.checked(&sig).expect("guarded theory");
+    let refuting = ConstraintSet::new().checked(&sig).expect("empty theory");
+    assert_ne!(proving.generation(), refuting.generation());
+
+    let table = ShardedProofTable::with_config(1, 1);
+    let sup = Term::app(list, vec![Term::Var(Var(7))]);
+    let sub = Term::constant(elist);
+    let sig_ref = &sig;
+    let table_ref = &table;
+    let (sup_ref, sub_ref) = (&sup, &sub);
+    std::thread::scope(|scope| {
+        for (theory, want_proved) in [(&proving, true), (&refuting, false)] {
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    let p = ShardedProver::with_config(sig_ref, theory, CONFIG, table_ref);
+                    for round in 0..400 {
+                        let verdict = p.subtype(sup_ref, sub_ref);
+                        assert_eq!(
+                            verdict.is_proved(),
+                            want_proved,
+                            "round {round}: a verdict from the other \
+                             generation leaked through (got {verdict:?})"
+                        );
+                    }
+                });
+            }
+        }
+    });
+    assert!(
+        table.metrics().get(Counter::TableInvalidations) > 0,
+        "the generations really did fight over the store"
+    );
 }

@@ -15,11 +15,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Golden corpus lists shared with ci.sh.
+# shellcheck source=scripts/goldens.list
+source scripts/goldens.list
+
 cargo build --release -p subtype-lp -p bench
 
 # Lint goldens, human and JSON (lint_demo and modes_demo are intentionally
 # dirty: exit 2).
-for stem in app naturals lint_demo modes_demo; do
+for stem in "${GOLDEN_LINT_STEMS[@]}"; do
   target/release/slp lint "examples/$stem.slp" > "tests/golden/$stem.txt" || true
   target/release/slp lint "examples/$stem.slp" --format json \
     > "tests/golden/$stem.json" || true
@@ -39,7 +43,7 @@ echo "blessed tests/golden/modes_demo_audit.{txt,json}" >&2
 # (h), a rejected-and-well-typed mix with a validated witness (q), and a
 # pristine predicate (app). Paths stay relative so the embedded `file`
 # strings are reproducible from the repo root.
-for pred in q h app; do
+for pred in "${GOLDEN_EXPLAIN_PREDS[@]}"; do
   target/release/slp explain examples/ill_typed.slp "$pred" \
     > "tests/golden/explain_$pred.txt"
   target/release/slp explain examples/ill_typed.slp "$pred" --format json \
@@ -61,8 +65,11 @@ target/release/slp serve --stdio --jobs 1 --faults panic@5 \
   < tests/golden/serve_session.requests > tests/golden/serve_session.golden
 echo "blessed tests/golden/serve_session.golden" >&2
 
-# The perf smoke baseline: deterministic BENCH_5 counters (serial
-# workloads, so the same on every machine).
+# The perf smoke baseline: deterministic BENCH_5 counters. The serial
+# workloads are the same on every machine; contention_storm runs a real
+# 4-worker pool but publishes an exact, barrier-forced steal count and
+# fixed ceilings for its racy counters, so it blesses deterministically
+# too.
 target/release/report --bench5 --out BENCH_5.json
 
 echo "bless: done — review with \`git diff\` before committing" >&2

@@ -39,7 +39,7 @@
 //! threads (default: one per core). Output is collected per file and
 //! emitted in input order, so a parallel run is byte-identical to the
 //! serial one. With a single file, `check` parallelizes across *clauses*
-//! instead, its workers sharing one lock-striped proof table.
+//! instead, its workers sharing one lock-free seqlocked proof table.
 //!
 //! Stream discipline: results (well-typed summaries, lint findings, JSON)
 //! go to **stdout**; every error — usage mistakes, unreadable files, parse

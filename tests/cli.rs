@@ -616,26 +616,29 @@ fn counter_metrics_agree_across_job_counts() {
         assert!(ok);
         JsonValue::parse(stderr.trim_end()).expect("stats parses")
     };
-    let (serial, parallel) = (doc("1"), doc("4"));
-    for c in Counter::ALL {
-        if !c.scheduling_invariant() {
-            continue;
+    let serial = doc("1");
+    for jobs in ["4", "8"] {
+        let parallel = doc(jobs);
+        for c in Counter::ALL {
+            if !c.scheduling_invariant() {
+                continue;
+            }
+            assert_eq!(
+                serial
+                    .get("counters")
+                    .unwrap()
+                    .get(c.name())
+                    .unwrap()
+                    .as_u64(),
+                parallel
+                    .get("counters")
+                    .unwrap()
+                    .get(c.name())
+                    .unwrap()
+                    .as_u64(),
+                "{} must not depend on --jobs {jobs}",
+                c.name()
+            );
         }
-        assert_eq!(
-            serial
-                .get("counters")
-                .unwrap()
-                .get(c.name())
-                .unwrap()
-                .as_u64(),
-            parallel
-                .get("counters")
-                .unwrap()
-                .get(c.name())
-                .unwrap()
-                .as_u64(),
-            "{} must not depend on --jobs",
-            c.name()
-        );
     }
 }
